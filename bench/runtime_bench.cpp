@@ -1,0 +1,118 @@
+// T2 — Allocator runtime microbenchmarks (google-benchmark).
+//
+// Precise per-call timings of the three allocators and the JCT add-on
+// across instance sizes; complements the wall-clock scalability figure
+// (F7) with statistically robust numbers.
+#include <benchmark/benchmark.h>
+
+#include "amf.hpp"
+
+namespace {
+
+using namespace amf;
+
+core::AllocationProblem make_problem(int jobs, int sites, double skew) {
+  auto cfg = workload::paper_default(skew, 424242);
+  cfg.jobs = jobs;
+  cfg.sites = sites;
+  cfg.sites_per_job_max = std::min(4, sites);
+  workload::Generator gen(cfg);
+  return gen.generate();
+}
+
+void BM_AmfAllocate(benchmark::State& state) {
+  auto problem = make_problem(static_cast<int>(state.range(0)),
+                              static_cast<int>(state.range(1)), 1.0);
+  core::AmfAllocator amf;
+  for (auto _ : state) {
+    auto allocation = amf.allocate(problem);
+    benchmark::DoNotOptimize(allocation);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AmfAllocate)
+    ->Args({10, 10})
+    ->Args({50, 10})
+    ->Args({100, 10})
+    ->Args({400, 10})
+    ->Args({100, 4})
+    ->Args({100, 40})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EamfAllocate(benchmark::State& state) {
+  auto problem = make_problem(static_cast<int>(state.range(0)), 10, 1.0);
+  core::EnhancedAmfAllocator eamf;
+  for (auto _ : state) {
+    auto allocation = eamf.allocate(problem);
+    benchmark::DoNotOptimize(allocation);
+  }
+}
+BENCHMARK(BM_EamfAllocate)->Arg(10)->Arg(100)->Arg(400)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_PsmfAllocate(benchmark::State& state) {
+  auto problem = make_problem(static_cast<int>(state.range(0)), 10, 1.0);
+  core::PerSiteMaxMin psmf;
+  for (auto _ : state) {
+    auto allocation = psmf.allocate(problem);
+    benchmark::DoNotOptimize(allocation);
+  }
+}
+BENCHMARK(BM_PsmfAllocate)->Arg(10)->Arg(100)->Arg(400)->Arg(2000)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_JctAddon(benchmark::State& state) {
+  auto problem = make_problem(static_cast<int>(state.range(0)), 10, 1.0);
+  core::AmfAllocator amf;
+  auto base = amf.allocate(problem);
+  core::JctAddon addon;
+  for (auto _ : state) {
+    auto optimized = addon.optimize(problem, base);
+    benchmark::DoNotOptimize(optimized);
+  }
+}
+BENCHMARK(BM_JctAddon)->Arg(10)->Arg(50)->Arg(100)->Unit(
+    benchmark::kMillisecond);
+
+void BM_MaxFlowSolve(benchmark::State& state) {
+  auto problem = make_problem(static_cast<int>(state.range(0)), 10, 1.0);
+  flow::TransportNetwork net(problem.demands(), problem.capacities());
+  std::vector<double> caps(static_cast<std::size_t>(problem.jobs()), 5.0);
+  for (auto _ : state) {
+    double f = net.solve(caps);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_MaxFlowSolve)->Arg(100)->Arg(400)->Arg(1000)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_WaterFill(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  std::vector<double> caps(n), weights(n, 1.0);
+  for (auto& c : caps) c = rng.uniform(0.0, 10.0);
+  for (auto _ : state) {
+    auto a = core::water_fill(caps, weights, static_cast<double>(n));
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_WaterFill)->Arg(100)->Arg(1000)->Arg(10000)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_SimulatorBatch(benchmark::State& state) {
+  auto cfg = workload::paper_default(1.2, 515151);
+  workload::Generator gen(cfg);
+  auto trace = workload::generate_trace(
+      gen, 0.8, static_cast<int>(state.range(0)));
+  for (auto& j : trace.jobs) j.arrival = 0.0;
+  core::AmfAllocator amf;
+  for (auto _ : state) {
+    sim::Simulator simulator(amf);
+    auto records = simulator.run(trace);
+    benchmark::DoNotOptimize(records);
+  }
+}
+BENCHMARK(BM_SimulatorBatch)->Arg(25)->Arg(50)->Arg(100)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace

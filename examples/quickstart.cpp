@@ -1,0 +1,107 @@
+// quickstart — a guided tour of the amf public API on a small instance.
+//
+//   $ ./quickstart
+//
+// Builds a 4-job, 3-site problem by hand, allocates with PSMF, AMF and
+// E-AMF, prints the allocation matrices and fairness/property reports,
+// and finishes with the JCT add-on.
+#include <iostream>
+
+#include "amf.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace amf;
+
+  // Three sites (small, medium, large) and four jobs with different data
+  // locality. demands[j][s] caps what job j can use at site s; the
+  // workloads matrix is the amount of work each job has at each site.
+  core::Matrix demands{
+      {12, 0, 0},    // job 0: captive on the small site, limited parallelism
+      {20, 30, 0},   // job 1: small + medium
+      {0, 30, 50},   // job 2: medium + large
+      {20, 30, 50},  // job 3: everywhere
+  };
+  core::Matrix workloads{
+      {24, 0, 0},
+      {25, 25, 0},
+      {0, 30, 60},
+      {20, 20, 20},
+  };
+  std::vector<double> capacities{20, 30, 50};
+  core::AllocationProblem problem(demands, capacities, workloads);
+
+  core::PerSiteMaxMin psmf;
+  core::AmfAllocator amf;
+  core::EnhancedAmfAllocator eamf;
+
+  auto show = [&](const core::Allocation& a) {
+    std::cout << "\n=== " << a.policy() << " ===\n";
+    util::Table table({"job", "site0", "site1", "site2", "aggregate"});
+    for (int j = 0; j < problem.jobs(); ++j)
+      table.row_numeric("job " + std::to_string(j),
+                        {a.share(j, 0), a.share(j, 1), a.share(j, 2),
+                         a.aggregate(j)});
+    table.print(std::cout);
+
+    auto fairness = core::fairness_report(problem, a);
+    std::cout << "jain index        : " << fairness.jain << "\n"
+              << "min/max aggregate : " << fairness.min_max << "\n"
+              << "utilization       : " << fairness.utilization << "\n"
+              << "pareto efficient  : "
+              << (core::is_pareto_efficient(problem, a) ? "yes" : "no")
+              << "\n"
+              << "envy-free         : "
+              << (core::is_envy_free(problem, a) ? "yes" : "no") << "\n"
+              << "sharing incentive : "
+              << (core::satisfies_sharing_incentive(problem, a) ? "yes"
+                                                                : "no")
+              << "\n";
+  };
+
+  show(psmf.allocate(problem));
+  auto amf_alloc = amf.allocate(problem);
+  show(amf_alloc);
+  show(eamf.allocate(problem));
+
+  // The AMF aggregates are the unique max-min fair vector — verify with
+  // the definitional oracle, then optimize the per-site split for
+  // completion times without touching the aggregates.
+  std::cout << "\nAMF aggregates are max-min fair (definitional check): "
+            << (core::is_max_min_fair(problem, amf_alloc.aggregates())
+                    ? "yes"
+                    : "no")
+            << "\n";
+
+  // Why did each job get what it got? The fill trace names the round
+  // (bottleneck group) and water level at which each job froze.
+  std::cout << "\n=== Explanation (progressive-filling trace) ===\n";
+  const auto& trace = amf.last_fill_trace();
+  util::Table explain({"job", "frozen in round", "water level"});
+  for (int j = 0; j < problem.jobs(); ++j)
+    explain.row(
+        {"job " + std::to_string(j),
+         std::to_string(trace.freeze_round[static_cast<std::size_t>(j)]),
+         util::CsvWriter::format(
+             trace.freeze_level[static_cast<std::size_t>(j)])});
+  explain.print(std::cout);
+  std::cout << "(jobs frozen in the same round share a bottleneck; later "
+               "rounds freeze at weakly higher levels)\n";
+
+  core::JctAddon addon;
+  auto optimized = addon.optimize(problem, amf_alloc);
+  auto before = core::completion_times(problem, amf_alloc);
+  auto after = core::completion_times(problem, optimized);
+  std::cout << "\n=== JCT add-on (aggregates preserved) ===\n";
+  util::Table jct({"job", "JCT before", "JCT after"});
+  for (int j = 0; j < problem.jobs(); ++j)
+    jct.row({"job " + std::to_string(j),
+             util::CsvWriter::format(before[static_cast<std::size_t>(j)]),
+             util::CsvWriter::format(after[static_cast<std::size_t>(j)])});
+  jct.print(std::cout);
+  std::cout << "(the raw max-flow split ignores workloads and can starve a "
+               "job's worked site entirely; the add-on re-splits within the "
+               "same aggregates)\n";
+  return 0;
+}

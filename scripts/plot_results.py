@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Plot the figure CSVs produced by scripts/run_all_experiments.sh.
+
+Usage:
+    python3 scripts/plot_results.py [results_dir] [out_dir]
+
+Creates one PNG per figure under out_dir (default: results/plots). Only
+matplotlib is required; figures it cannot find are skipped with a note,
+so partial result directories are fine.
+"""
+import csv
+import os
+import sys
+from collections import defaultdict
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover - plotting is optional
+    sys.exit("plot_results.py needs matplotlib (pip install matplotlib)")
+
+
+def read_csv(path):
+    """Returns (header, rows) skipping '#' comment lines."""
+    with open(path) as fh:
+        rows = [r for r in csv.reader(fh) if r and not r[0].startswith("#")]
+    return rows[0], rows[1:]
+
+
+def series_by(rows, key_idx, x_idx, y_idx):
+    out = defaultdict(lambda: ([], []))
+    for row in rows:
+        xs, ys = out[row[key_idx]]
+        xs.append(float(row[x_idx]))
+        ys.append(float(row[y_idx]))
+    return out
+
+
+def line_figure(path, title, xlabel, ylabel, key, x, y, out_png, logy=False):
+    header, rows = read_csv(path)
+    idx = {name: i for i, name in enumerate(header)}
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for policy, (xs, ys) in sorted(
+        series_by(rows, idx[key], idx[x], idx[y]).items()
+    ):
+        ax.plot(xs, ys, marker="o", label=policy)
+    ax.set_title(title)
+    ax.set_xlabel(xlabel)
+    ax.set_ylabel(ylabel)
+    if logy:
+        ax.set_yscale("log")
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out_png, dpi=150)
+    plt.close(fig)
+    print(f"wrote {out_png}")
+
+
+FIGURES = [
+    ("bench_f1_balance_vs_skew.csv", "F1: balance vs skew", "zipf skew",
+     "Jain index", "policy", "skew", "jain", False),
+    ("bench_f3_jct_vs_skew.csv", "F3: mean JCT vs skew (ideal lens)",
+     "zipf skew", "mean W/A", "policy", "skew", "ideal_mean_jct", False),
+    ("bench_f4_jct_tail.csv", "F4: max JCT vs skew (ideal lens)",
+     "zipf skew", "max W/A", "policy", "skew", "ideal_max", True),
+    ("bench_f5_jct_cdf.csv", "F5: JCT CDF at z=1.5", "JCT",
+     "cumulative fraction", "policy", "jct", "cum_fraction", False),
+    ("bench_f9_dynamic.csv", "F9: online mean JCT vs load", "offered load",
+     "mean JCT", "policy", "load", "mean_jct", False),
+    ("bench_f11_churn.csv", "F11: excess placement churn", "offered load",
+     "excess churn", "policy", "load", "excess_churn", False),
+    ("bench_f12_locality.csv", "F12: balance vs locality spread",
+     "max sites per job", "static Jain", "policy", "max_sites_per_job",
+     "static_jain", False),
+    ("bench_e1_multiresource.csv", "E1: dominant-share balance vs captivity",
+     "captive fraction", "Jain index", "policy", "captivity", "jain", False),
+]
+
+
+def main():
+    results = sys.argv[1] if len(sys.argv) > 1 else "results"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else os.path.join(
+        results, "plots")
+    os.makedirs(out_dir, exist_ok=True)
+    for fname, title, xl, yl, key, x, y, logy in FIGURES:
+        path = os.path.join(results, fname)
+        if not os.path.exists(path):
+            print(f"skipping {fname} (not found)")
+            continue
+        out_png = os.path.join(out_dir, fname.replace(".csv", ".png"))
+        line_figure(path, title, xl, yl, key, x, y, out_png, logy)
+
+
+if __name__ == "__main__":
+    main()

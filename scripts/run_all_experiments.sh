@@ -1,0 +1,24 @@
+#!/bin/sh
+# Regenerates every figure/table of EXPERIMENTS.md into results/*.csv.
+#
+#   ./scripts/run_all_experiments.sh [build_dir] [out_dir]
+#
+# Each bench binary is deterministic, so re-running reproduces the
+# committed numbers exactly on the same platform.
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results}"
+mkdir -p "$OUT_DIR"
+
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "running $name ..."
+  if [ "$name" = "bench_runtime" ]; then
+    "$bench" --benchmark_format=csv > "$OUT_DIR/$name.csv" 2>/dev/null
+  else
+    "$bench" > "$OUT_DIR/$name.csv"
+  fi
+done
+echo "wrote $(ls "$OUT_DIR" | wc -l) result files to $OUT_DIR/"

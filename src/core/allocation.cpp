@@ -1,0 +1,69 @@
+#include "core/allocation.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace amf::core {
+
+Allocation::Allocation(Matrix shares, std::string policy)
+    : shares_(std::move(shares)), policy_(std::move(policy)) {
+  aggregates_.reserve(shares_.size());
+  std::size_t width = shares_.empty() ? 0 : shares_.front().size();
+  for (const auto& row : shares_) {
+    AMF_REQUIRE(row.size() == width, "ragged allocation matrix");
+    aggregates_.push_back(std::accumulate(row.begin(), row.end(), 0.0));
+  }
+}
+
+double Allocation::share(int job, int site) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  AMF_REQUIRE(site >= 0 && site < sites(), "site index out of range");
+  return shares_[static_cast<std::size_t>(job)][static_cast<std::size_t>(site)];
+}
+
+double Allocation::aggregate(int job) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  return aggregates_[static_cast<std::size_t>(job)];
+}
+
+std::vector<double> Allocation::normalized_aggregates(
+    const AllocationProblem& p) const {
+  AMF_REQUIRE(p.jobs() == jobs(), "allocation/problem size mismatch");
+  std::vector<double> norm(aggregates_);
+  for (int j = 0; j < jobs(); ++j)
+    norm[static_cast<std::size_t>(j)] /= p.weight(j);
+  return norm;
+}
+
+double Allocation::site_usage(int site) const {
+  AMF_REQUIRE(site >= 0 && site < sites(), "site index out of range");
+  double sum = 0.0;
+  for (const auto& row : shares_) sum += row[static_cast<std::size_t>(site)];
+  return sum;
+}
+
+double Allocation::utilization(const AllocationProblem& p) const {
+  AMF_REQUIRE(p.sites() == sites(), "allocation/problem size mismatch");
+  double cap = p.total_capacity();
+  if (cap == 0.0) return 0.0;
+  double used = std::accumulate(aggregates_.begin(), aggregates_.end(), 0.0);
+  return used / cap;
+}
+
+bool Allocation::feasible_for(const AllocationProblem& p, double eps) const {
+  if (p.jobs() != jobs()) return false;
+  if (jobs() > 0 && p.sites() != sites()) return false;
+  const double tol = eps * p.scale();
+  for (int j = 0; j < jobs(); ++j)
+    for (int s = 0; s < sites(); ++s) {
+      double a = share(j, s);
+      if (a < -tol) return false;
+      if (a > p.demand(j, s) + tol) return false;
+    }
+  for (int s = 0; s < sites(); ++s)
+    if (site_usage(s) > p.capacity(s) + tol) return false;
+  return true;
+}
+
+}  // namespace amf::core

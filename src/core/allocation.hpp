@@ -1,0 +1,67 @@
+// allocation.hpp — the result type shared by all allocators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace amf::core {
+
+/// A concrete per-site allocation plus cached aggregates.
+class Allocation {
+ public:
+  Allocation() = default;
+
+  /// `shares[j][s]` is job j's allocation at site s. Aggregates are
+  /// computed and cached on construction.
+  explicit Allocation(Matrix shares, std::string policy = {});
+
+  int jobs() const { return static_cast<int>(shares_.size()); }
+  int sites() const {
+    return shares_.empty() ? 0 : static_cast<int>(shares_.front().size());
+  }
+
+  const Matrix& shares() const { return shares_; }
+  double share(int job, int site) const;
+
+  /// Per-job aggregate allocations A[j] = Σ_s a[j][s].
+  const std::vector<double>& aggregates() const { return aggregates_; }
+  double aggregate(int job) const;
+
+  /// Aggregates divided by job weights (the quantity max-min fairness
+  /// equalizes in the weighted model).
+  std::vector<double> normalized_aggregates(const AllocationProblem& p) const;
+
+  /// Σ_j a[j][s] — total usage of site s.
+  double site_usage(int site) const;
+
+  /// Fraction of total capacity in use.
+  double utilization(const AllocationProblem& p) const;
+
+  /// Checks 0 <= a <= d and per-site capacity with relative tolerance eps.
+  bool feasible_for(const AllocationProblem& p, double eps = 1e-7) const;
+
+  /// Name of the allocator that produced this allocation (for reports).
+  const std::string& policy() const { return policy_; }
+
+ private:
+  Matrix shares_;
+  std::vector<double> aggregates_;
+  std::string policy_;
+};
+
+/// Common interface of all allocation policies.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Computes an allocation for the instance. Implementations must return
+  /// feasible allocations and are deterministic.
+  virtual Allocation allocate(const AllocationProblem& problem) const = 0;
+
+  /// Short policy name used in reports ("AMF", "E-AMF", "PSMF", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace amf::core

@@ -1,0 +1,179 @@
+#include "core/amf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "flow/parametric.hpp"
+#include "util/error.hpp"
+
+namespace amf::core {
+
+namespace {
+
+/// Source cap of job j at level t given its floor: max(floor, weight·t).
+double cap_at(double floor, double weight, double t) {
+  return std::max(floor, weight * t);
+}
+
+}  // namespace
+
+Allocation progressive_fill(const AllocationProblem& problem,
+                            const std::vector<double>& floors,
+                            const std::string& policy_name, double eps,
+                            flow::LevelMethod method,
+                            flow::LevelSolveStats* stats, FillTrace* trace) {
+  const int n = problem.jobs();
+  if (trace != nullptr) {
+    trace->freeze_round.assign(static_cast<std::size_t>(n), 0);
+    trace->freeze_level.assign(static_cast<std::size_t>(n), 0.0);
+    trace->rounds = 0;
+  }
+  AMF_REQUIRE(static_cast<int>(floors.size()) == n,
+              "one floor per job required");
+  for (double f : floors) AMF_REQUIRE(f >= 0.0, "floors must be >= 0");
+
+  if (n == 0)
+    return Allocation(Matrix{}, policy_name);
+
+  const Matrix& d = problem.demands();
+  const auto& caps = problem.capacities();
+  flow::TransportNetwork net(d, caps);
+  const double scale = net.scale();
+  const double tol = eps * scale;
+
+  net.solve(floors, eps);
+  AMF_REQUIRE(net.saturated(eps), "floors must be jointly feasible");
+
+  std::vector<char> frozen(static_cast<std::size_t>(n), 0);
+  std::vector<double> value(static_cast<std::size_t>(n), 0.0);
+  int unfrozen_count = n;
+
+  // Jobs that can never receive anything are frozen at their floor (== 0,
+  // since a positive floor would contradict floor feasibility).
+  for (int j = 0; j < n; ++j) {
+    if (net.solo_ceiling(j) <= tol) {
+      frozen[static_cast<std::size_t>(j)] = 1;
+      value[static_cast<std::size_t>(j)] = 0.0;
+      --unfrozen_count;
+    }
+  }
+
+  // Level segments: the cap function max(floor, w·t) changes slope at the
+  // per-job breakpoints floor/w. Within one segment every cap is affine.
+  double t_ub = 1.0 + scale;
+  for (int j = 0; j < n; ++j)
+    t_ub = std::max(t_ub, net.solo_ceiling(j) / problem.weight(j) + 1.0);
+  std::set<double> boundary_set{0.0, t_ub};
+  for (int j = 0; j < n; ++j) {
+    if (frozen[static_cast<std::size_t>(j)]) continue;
+    double b = floors[static_cast<std::size_t>(j)] / problem.weight(j);
+    if (b > tol && b < t_ub) boundary_set.insert(b);
+  }
+  std::vector<double> bounds(boundary_set.begin(), boundary_set.end());
+
+  double level = 0.0;
+  std::size_t seg = 0;
+  int round_counter = 0;
+  auto mark_frozen = [&](int j) {
+    if (trace == nullptr) return;
+    trace->freeze_round[static_cast<std::size_t>(j)] = round_counter;
+    trace->freeze_level[static_cast<std::size_t>(j)] =
+        value[static_cast<std::size_t>(j)] / problem.weight(j);
+    trace->rounds = round_counter;
+  };
+  std::vector<flow::ParametricSource> sources(static_cast<std::size_t>(n));
+  // Termination: every loop iteration either freezes at least one job or
+  // advances to the next segment, so at most n + |bounds| iterations run.
+  while (unfrozen_count > 0) {
+    AMF_ASSERT(seg + 1 < bounds.size(), "ran out of level segments");
+    const double seg_end = bounds[seg + 1];
+    const double t_lo = std::max(level, bounds[seg]);
+    const double t_tol = eps * std::max(1.0, seg_end);
+
+    for (int j = 0; j < n; ++j) {
+      auto& src = sources[static_cast<std::size_t>(j)];
+      if (frozen[static_cast<std::size_t>(j)]) {
+        src = {value[static_cast<std::size_t>(j)], 0.0};
+      } else {
+        const double w = problem.weight(j);
+        const double f = floors[static_cast<std::size_t>(j)];
+        if (f >= w * seg_end - t_tol) {
+          // Floor-clamped throughout this segment.
+          src = {f, 0.0};
+        } else {
+          src = {0.0, w};
+        }
+      }
+    }
+
+    auto res = flow::solve_critical_level(net, d, caps, sources, t_lo,
+                                          seg_end, eps, method, stats);
+    ++round_counter;
+    level = res.level;
+
+    if (res.segment_exhausted) {
+      ++seg;
+      if (seg + 1 >= bounds.size()) {
+        // The last segment's upper bound exceeds every attainable level, so
+        // exhausting it is a numerical corner; freeze everyone at their cap.
+        for (int j = 0; j < n; ++j) {
+          if (frozen[static_cast<std::size_t>(j)]) continue;
+          frozen[static_cast<std::size_t>(j)] = 1;
+          value[static_cast<std::size_t>(j)] =
+              cap_at(floors[static_cast<std::size_t>(j)], problem.weight(j),
+                     level);
+          --unfrozen_count;
+          mark_frozen(j);
+        }
+      }
+      continue;
+    }
+
+    int newly = 0;
+    for (int j = 0; j < n; ++j) {
+      if (frozen[static_cast<std::size_t>(j)]) continue;
+      if (!res.can_increase[static_cast<std::size_t>(j)]) {
+        frozen[static_cast<std::size_t>(j)] = 1;
+        value[static_cast<std::size_t>(j)] =
+            cap_at(floors[static_cast<std::size_t>(j)], problem.weight(j),
+                   level);
+        --unfrozen_count;
+        ++newly;
+        mark_frozen(j);
+      }
+    }
+    if (newly == 0) {
+      // Numerically every job still had a hair of residual path at the
+      // critical level. The level cannot rise further, so freeze all.
+      for (int j = 0; j < n; ++j) {
+        if (frozen[static_cast<std::size_t>(j)]) continue;
+        frozen[static_cast<std::size_t>(j)] = 1;
+        value[static_cast<std::size_t>(j)] =
+            cap_at(floors[static_cast<std::size_t>(j)], problem.weight(j),
+                   level);
+        --unfrozen_count;
+        mark_frozen(j);
+      }
+    }
+  }
+
+  // Materialize the allocation realizing the frozen aggregates exactly.
+  net.solve(value, eps);
+  if (stats != nullptr) ++stats->flow_solves;
+  AMF_ASSERT(net.saturated(eps * 64.0),
+             "final frozen aggregates must be feasible");
+  return Allocation(net.allocation(), policy_name);
+}
+
+Allocation AmfAllocator::allocate(const AllocationProblem& problem) const {
+  std::vector<double> zero_floors(static_cast<std::size_t>(problem.jobs()),
+                                  0.0);
+  flow::LevelSolveStats stats;
+  auto allocation = progressive_fill(problem, zero_floors, name(), eps_,
+                                     method_, &stats, &last_trace_);
+  last_flow_solves_ = stats.flow_solves;
+  return allocation;
+}
+
+}  // namespace amf::core

@@ -1,0 +1,74 @@
+// amf.hpp — Aggregate Max-min Fairness (the paper's primary contribution).
+//
+// AMF requires the vector of *aggregate* allocations A[j] = Σ_s a[j][s] to
+// be (weighted) lexicographically max-min fair over the whole feasible
+// region — capacity is shifted between sites on a job's behalf whenever
+// that lets a worse-off job catch up. The feasible aggregate set is a
+// polymatroid (its rank function is the max flow of the job→site
+// transportation network), so progressive filling computes the unique
+// max-min fair aggregate vector: raise every unfrozen job's aggregate at a
+// common weighted rate, freeze the jobs that hit a tight cut, repeat.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "flow/parametric.hpp"
+
+namespace amf::core {
+
+/// Diagnostic trace of one progressive-filling run: which round froze
+/// each job and at what weight-normalized water level — the "why did my
+/// job get exactly this much" explanation. Jobs frozen in the same round
+/// share a bottleneck (a tight set of sites); later rounds freeze at
+/// weakly higher levels.
+struct FillTrace {
+  std::vector<int> freeze_round;     ///< per job; 0 = structurally zero
+  std::vector<double> freeze_level;  ///< per job: aggregate / weight
+  int rounds = 0;                    ///< total filling rounds executed
+};
+
+/// The AMF allocator.
+///
+/// Aggregates are the unique (weighted) lex max-min fair vector; the
+/// per-site split returned is the one realized by the final max-flow
+/// (combine with JctAddon to pick a completion-time-optimized split for
+/// the same aggregates).
+class AmfAllocator final : public Allocator {
+ public:
+  /// `eps`: relative tolerance of all flow computations; `method`:
+  /// critical-level search (cut-Newton default; bisection kept for the
+  /// ablation study).
+  explicit AmfAllocator(double eps = 1e-9,
+                        flow::LevelMethod method =
+                            flow::LevelMethod::kCutNewton)
+      : eps_(eps), method_(method) {}
+
+  Allocation allocate(const AllocationProblem& problem) const override;
+  std::string name() const override { return "AMF"; }
+
+  /// Max-flow solve count of the last allocate() call (instrumentation
+  /// for the F10 ablation; not thread-safe across concurrent calls).
+  int last_flow_solves() const { return last_flow_solves_; }
+
+  /// Explanation of the last allocate() call (same thread-safety caveat).
+  const FillTrace& last_fill_trace() const { return last_trace_; }
+
+ private:
+  double eps_;
+  flow::LevelMethod method_;
+  mutable int last_flow_solves_ = 0;
+  mutable FillTrace last_trace_;
+};
+
+/// Progressive-filling engine shared by AMF and E-AMF.
+///
+/// Computes the weighted lex max-min fair aggregates subject to per-job
+/// lower floors (each job's aggregate is at least its floor). `floors`
+/// must be jointly feasible — equal-split floors always are; pass zeros
+/// for plain AMF. Returns the allocation realizing the fair aggregates.
+Allocation progressive_fill(
+    const AllocationProblem& problem, const std::vector<double>& floors,
+    const std::string& policy_name, double eps,
+    flow::LevelMethod method = flow::LevelMethod::kCutNewton,
+    flow::LevelSolveStats* stats = nullptr, FillTrace* trace = nullptr);
+
+}  // namespace amf::core

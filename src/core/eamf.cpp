@@ -1,0 +1,20 @@
+#include "core/eamf.hpp"
+
+#include "core/amf.hpp"
+
+namespace amf::core {
+
+std::vector<double> EnhancedAmfAllocator::sharing_floors(
+    const AllocationProblem& problem) {
+  std::vector<double> floors(static_cast<std::size_t>(problem.jobs()));
+  for (int j = 0; j < problem.jobs(); ++j)
+    floors[static_cast<std::size_t>(j)] = problem.equal_split_share(j);
+  return floors;
+}
+
+Allocation EnhancedAmfAllocator::allocate(
+    const AllocationProblem& problem) const {
+  return progressive_fill(problem, sharing_floors(problem), name(), eps_);
+}
+
+}  // namespace amf::core

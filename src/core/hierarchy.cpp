@@ -1,0 +1,97 @@
+#include "core/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "core/amf.hpp"
+#include "util/error.hpp"
+
+namespace amf::core {
+
+HierarchicalAmfAllocator::HierarchicalAmfAllocator(
+    std::vector<int> tenant_of, std::vector<double> tenant_weights,
+    double eps)
+    : tenant_of_(std::move(tenant_of)),
+      tenant_weights_(std::move(tenant_weights)),
+      eps_(eps) {
+  AMF_REQUIRE(eps > 0.0, "eps must be positive");
+  for (int t : tenant_of_) {
+    AMF_REQUIRE(t >= 0, "tenant ids must be non-negative");
+    tenants_ = std::max(tenants_, t + 1);
+  }
+  if (tenant_weights_.empty())
+    tenant_weights_.assign(static_cast<std::size_t>(tenants_), 1.0);
+  AMF_REQUIRE(static_cast<int>(tenant_weights_.size()) == tenants_,
+              "one weight per tenant required");
+  for (double w : tenant_weights_)
+    AMF_REQUIRE(w > 0.0, "tenant weights must be positive");
+}
+
+Allocation HierarchicalAmfAllocator::allocate(
+    const AllocationProblem& problem) const {
+  const int n = problem.jobs();
+  const int m = problem.sites();
+  AMF_REQUIRE(static_cast<int>(tenant_of_.size()) == n,
+              "tenant assignment length != job count");
+  if (n == 0) {
+    last_tenant_aggregates_.assign(static_cast<std::size_t>(tenants_), 0.0);
+    return Allocation(Matrix{}, name());
+  }
+
+  // Level 1: the tenant problem. A tenant's demand cap at a site is the
+  // union of its jobs' caps there (a tenant can never use more than the
+  // site offers, so clamp).
+  Matrix tenant_demands(static_cast<std::size_t>(tenants_),
+                        std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  for (int j = 0; j < n; ++j) {
+    int t = tenant_of_[static_cast<std::size_t>(j)];
+    for (int s = 0; s < m; ++s)
+      tenant_demands[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)] +=
+          problem.demand(j, s);
+  }
+  for (int t = 0; t < tenants_; ++t)
+    for (int s = 0; s < m; ++s)
+      tenant_demands[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)] =
+          std::min(tenant_demands[static_cast<std::size_t>(t)]
+                                 [static_cast<std::size_t>(s)],
+                   problem.capacity(s));
+
+  AllocationProblem tenant_problem(tenant_demands, problem.capacities(), {},
+                                   tenant_weights_);
+  AmfAllocator amf(eps_);
+  Allocation tenant_allocation = amf.allocate(tenant_problem);
+  last_tenant_aggregates_ = tenant_allocation.aggregates();
+
+  // Level 2: within each tenant, AMF among its jobs using the tenant's
+  // per-site allocation as the capacity vector.
+  Matrix shares(static_cast<std::size_t>(n),
+                std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  for (int t = 0; t < tenants_; ++t) {
+    std::vector<int> members;
+    for (int j = 0; j < n; ++j)
+      if (tenant_of_[static_cast<std::size_t>(j)] == t) members.push_back(j);
+    if (members.empty()) continue;
+
+    Matrix member_demands;
+    std::vector<double> member_weights;
+    member_demands.reserve(members.size());
+    for (int j : members) {
+      member_demands.push_back(problem.demands()[static_cast<std::size_t>(j)]);
+      member_weights.push_back(problem.weight(j));
+    }
+    std::vector<double> envelope(static_cast<std::size_t>(m));
+    for (int s = 0; s < m; ++s)
+      envelope[static_cast<std::size_t>(s)] = tenant_allocation.share(t, s);
+
+    AllocationProblem inner(std::move(member_demands), std::move(envelope),
+                            {}, std::move(member_weights));
+    Allocation inner_allocation = amf.allocate(inner);
+    for (std::size_t i = 0; i < members.size(); ++i)
+      for (int s = 0; s < m; ++s)
+        shares[static_cast<std::size_t>(members[i])]
+              [static_cast<std::size_t>(s)] =
+            inner_allocation.share(static_cast<int>(i), s);
+  }
+  return Allocation(std::move(shares), name());
+}
+
+}  // namespace amf::core

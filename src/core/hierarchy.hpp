@@ -1,0 +1,52 @@
+// hierarchy.hpp — two-level (tenant → job) aggregate max-min fairness.
+//
+// Production fair schedulers (YARN queues, Mesos roles) are hierarchical:
+// capacity is divided fairly among *tenants* first, then among each
+// tenant's jobs. Flat AMF treats every job equally, so a tenant can
+// enlarge its share simply by splitting work into more jobs. The
+// hierarchical allocator closes that loophole by running AMF twice:
+//
+//   1. across tenants — each tenant's demand at a site is the union of
+//      its jobs' demands (capped by the site), aggregates are tenant
+//      totals, weights are tenant weights;
+//   2. within each tenant — plain AMF among its jobs with the tenant's
+//      per-site allocation as the capacity vector.
+//
+// The tenant level inherits AMF's properties (Pareto efficiency,
+// envy-freeness between tenants, strategy-proofness against tenant-level
+// manipulation — including the split-into-more-jobs attack).
+#pragma once
+
+#include <vector>
+
+#include "core/allocation.hpp"
+
+namespace amf::core {
+
+class HierarchicalAmfAllocator final : public Allocator {
+ public:
+  /// `tenant_of[j]` assigns job j to a tenant id in [0, tenants);
+  /// `tenant_weights` (optional) weights the tenant-level fairness.
+  HierarchicalAmfAllocator(std::vector<int> tenant_of,
+                           std::vector<double> tenant_weights = {},
+                           double eps = 1e-9);
+
+  Allocation allocate(const AllocationProblem& problem) const override;
+  std::string name() const override { return "H-AMF"; }
+
+  int tenants() const { return tenants_; }
+
+  /// Tenant-level aggregate allocations of the last allocate() call.
+  const std::vector<double>& last_tenant_aggregates() const {
+    return last_tenant_aggregates_;
+  }
+
+ private:
+  std::vector<int> tenant_of_;
+  std::vector<double> tenant_weights_;
+  int tenants_ = 0;
+  double eps_;
+  mutable std::vector<double> last_tenant_aggregates_;
+};
+
+}  // namespace amf::core

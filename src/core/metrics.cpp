@@ -1,0 +1,74 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/jct.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace amf::core {
+
+FairnessReport fairness_report(const AllocationProblem& problem,
+                               const Allocation& allocation) {
+  auto norm = allocation.normalized_aggregates(problem);
+  FairnessReport r;
+  r.jain = util::jain_index(norm);
+  r.min_max = util::min_max_ratio(norm);
+  r.cv = util::coefficient_of_variation(norm);
+  r.gini = util::gini(norm);
+  if (!norm.empty()) {
+    auto [mn, mx] = std::minmax_element(norm.begin(), norm.end());
+    r.min_aggregate = *mn;
+    r.max_aggregate = *mx;
+    double sum = 0.0;
+    for (double v : norm) sum += v;
+    r.mean_aggregate = sum / static_cast<double>(norm.size());
+  }
+  r.utilization = allocation.utilization(problem);
+  return r;
+}
+
+JctReport jct_report(const AllocationProblem& problem,
+                     const Allocation& allocation) {
+  auto jct = completion_times(problem, allocation);
+  auto sd = slowdowns(problem, allocation);
+  JctReport r;
+  std::vector<double> finite;
+  finite.reserve(jct.size());
+  util::Accumulator sd_acc;
+  for (std::size_t j = 0; j < jct.size(); ++j) {
+    if (std::isfinite(jct[j])) {
+      finite.push_back(jct[j]);
+      sd_acc.add(sd[j]);
+    } else {
+      ++r.unbounded;
+    }
+  }
+  if (!finite.empty()) {
+    util::Accumulator acc;
+    for (double t : finite) acc.add(t);
+    r.mean = acc.mean();
+    r.max = acc.max();
+    r.p50 = util::percentile(finite, 50.0);
+    r.p95 = util::percentile(finite, 95.0);
+    r.mean_slowdown = sd_acc.mean();
+  }
+  return r;
+}
+
+int lexicographic_compare(std::vector<double> a, std::vector<double> b,
+                          double tol) {
+  AMF_REQUIRE(a.size() == b.size(),
+              "lexicographic_compare needs equal-length vectors");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i] - tol) return -1;
+    if (a[i] > b[i] + tol) return 1;
+  }
+  return 0;
+}
+
+}  // namespace amf::core

@@ -1,0 +1,45 @@
+// metrics.hpp — the evaluation metrics reported by the paper: balance of
+// resource allocation (fairness indices over aggregates) and job
+// completion time statistics.
+#pragma once
+
+#include "core/allocation.hpp"
+
+namespace amf::core {
+
+/// Balance of the (weight-normalized) aggregate allocation vector.
+struct FairnessReport {
+  double jain = 1.0;        ///< Jain's fairness index in (0, 1].
+  double min_max = 1.0;     ///< min/max ratio of normalized aggregates.
+  double cv = 0.0;          ///< coefficient of variation.
+  double gini = 0.0;        ///< Gini coefficient.
+  double min_aggregate = 0.0;
+  double max_aggregate = 0.0;
+  double mean_aggregate = 0.0;
+  double utilization = 0.0;  ///< fraction of total capacity allocated.
+};
+
+FairnessReport fairness_report(const AllocationProblem& problem,
+                               const Allocation& allocation);
+
+/// Completion-time statistics (requires workloads). Jobs with infinite
+/// JCT are counted in `unbounded` and excluded from the finite statistics.
+struct JctReport {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  double mean_slowdown = 1.0;  ///< mean of JCT / (W_j / A_j).
+  int unbounded = 0;           ///< jobs whose JCT is infinite.
+};
+
+JctReport jct_report(const AllocationProblem& problem,
+                     const Allocation& allocation);
+
+/// Lexicographic comparison of two aggregate vectors after ascending sort:
+/// negative if a < b (a is lexicographically worse), 0 if equal within
+/// tol, positive if a > b. The max-min fair vector maximizes this order.
+int lexicographic_compare(std::vector<double> a, std::vector<double> b,
+                          double tol = 1e-9);
+
+}  // namespace amf::core

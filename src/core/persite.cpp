@@ -1,0 +1,24 @@
+#include "core/persite.hpp"
+
+#include "core/single_site.hpp"
+
+namespace amf::core {
+
+Allocation PerSiteMaxMin::allocate(const AllocationProblem& problem) const {
+  const int n = problem.jobs();
+  const int m = problem.sites();
+  Matrix shares(static_cast<std::size_t>(n),
+                std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  std::vector<double> caps(static_cast<std::size_t>(n));
+  for (int s = 0; s < m; ++s) {
+    for (int j = 0; j < n; ++j)
+      caps[static_cast<std::size_t>(j)] = problem.demand(j, s);
+    auto site_alloc = water_fill(caps, problem.weights(), problem.capacity(s));
+    for (int j = 0; j < n; ++j)
+      shares[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
+          site_alloc[static_cast<std::size_t>(j)];
+  }
+  return Allocation(std::move(shares), name());
+}
+
+}  // namespace amf::core

@@ -1,0 +1,21 @@
+// persite.hpp — the paper's baseline: per-site max-min fairness (PSMF).
+//
+// Each site independently divides its capacity max-min fairly among the
+// jobs demanding resource there, ignoring what those jobs receive
+// elsewhere. Jobs whose workload concentrates on hot (contended) sites end
+// up with small aggregates while jobs on cold sites are barely throttled —
+// the imbalance AMF is designed to remove.
+#pragma once
+
+#include "core/allocation.hpp"
+
+namespace amf::core {
+
+/// Per-site (weighted) max-min fair allocator.
+class PerSiteMaxMin final : public Allocator {
+ public:
+  Allocation allocate(const AllocationProblem& problem) const override;
+  std::string name() const override { return "PSMF"; }
+};
+
+}  // namespace amf::core

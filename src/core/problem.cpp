@@ -1,0 +1,194 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace amf::core {
+
+AllocationProblem::AllocationProblem(Matrix demands,
+                                     std::vector<double> capacities,
+                                     Matrix workloads,
+                                     std::vector<double> weights)
+    : demands_(std::move(demands)),
+      capacities_(std::move(capacities)),
+      workloads_(std::move(workloads)),
+      weights_(std::move(weights)) {
+  if (weights_.empty()) weights_.assign(demands_.size(), 1.0);
+  validate();
+}
+
+void AllocationProblem::validate() const {
+  AMF_REQUIRE(!capacities_.empty(), "problem needs at least one site");
+  const auto n = demands_.size();
+  const auto m = capacities_.size();
+  for (double c : capacities_)
+    AMF_REQUIRE(c >= 0.0 && std::isfinite(c), "capacities must be finite, >= 0");
+  for (const auto& row : demands_) {
+    AMF_REQUIRE(row.size() == m, "demand matrix width != site count");
+    for (double d : row)
+      AMF_REQUIRE(d >= 0.0 && std::isfinite(d), "demands must be finite, >= 0");
+  }
+  if (!workloads_.empty()) {
+    AMF_REQUIRE(workloads_.size() == n, "workload matrix height != job count");
+    for (std::size_t j = 0; j < n; ++j) {
+      AMF_REQUIRE(workloads_[j].size() == m,
+                  "workload matrix width != site count");
+      for (std::size_t s = 0; s < m; ++s) {
+        double w = workloads_[j][s];
+        AMF_REQUIRE(w >= 0.0 && std::isfinite(w),
+                    "workloads must be finite, >= 0");
+        AMF_REQUIRE(w == 0.0 || demands_[j][s] > 0.0,
+                    "positive workload requires positive demand cap");
+      }
+    }
+  }
+  AMF_REQUIRE(weights_.size() == n, "weight vector length != job count");
+  for (double w : weights_)
+    AMF_REQUIRE(w > 0.0 && std::isfinite(w), "weights must be finite, > 0");
+}
+
+double AllocationProblem::demand(int job, int site) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  AMF_REQUIRE(site >= 0 && site < sites(), "site index out of range");
+  return demands_[static_cast<std::size_t>(job)][static_cast<std::size_t>(site)];
+}
+
+double AllocationProblem::workload(int job, int site) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  AMF_REQUIRE(site >= 0 && site < sites(), "site index out of range");
+  if (workloads_.empty()) return 0.0;
+  return workloads_[static_cast<std::size_t>(job)]
+                   [static_cast<std::size_t>(site)];
+}
+
+double AllocationProblem::capacity(int site) const {
+  AMF_REQUIRE(site >= 0 && site < sites(), "site index out of range");
+  return capacities_[static_cast<std::size_t>(site)];
+}
+
+double AllocationProblem::weight(int job) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  return weights_[static_cast<std::size_t>(job)];
+}
+
+double AllocationProblem::solo_ceiling(int job) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  double total = 0.0;
+  for (int s = 0; s < sites(); ++s)
+    total += std::min(demand(job, s), capacity(s));
+  return total;
+}
+
+double AllocationProblem::total_work(int job) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  if (workloads_.empty()) return 0.0;
+  const auto& row = workloads_[static_cast<std::size_t>(job)];
+  return std::accumulate(row.begin(), row.end(), 0.0);
+}
+
+double AllocationProblem::total_capacity() const {
+  return std::accumulate(capacities_.begin(), capacities_.end(), 0.0);
+}
+
+double AllocationProblem::scale() const {
+  double s = 1.0;
+  for (double c : capacities_) s = std::max(s, c);
+  for (const auto& row : demands_)
+    for (double d : row) s = std::max(s, d);
+  return s;
+}
+
+double AllocationProblem::equal_split_share(int job) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  double weight_total =
+      std::accumulate(weights_.begin(), weights_.end(), 0.0);
+  double share = 0.0;
+  for (int s = 0; s < sites(); ++s)
+    share += std::min(demand(job, s),
+                      capacity(s) * weight(job) / weight_total);
+  return share;
+}
+
+AllocationProblem AllocationProblem::with_reported_demands(
+    int job, const std::vector<double>& reported) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  AMF_REQUIRE(static_cast<int>(reported.size()) == sites(),
+              "reported demand vector length != site count");
+  Matrix d = demands_;
+  d[static_cast<std::size_t>(job)] = reported;
+  // Workloads describe true work; a misreport does not change them, but a
+  // reported zero demand where true work exists would fail validation, so
+  // the probe copy drops workload information.
+  return AllocationProblem(std::move(d), capacities_, {}, weights_);
+}
+
+AllocationProblem AllocationProblem::subset(
+    const std::vector<int>& job_indices) const {
+  Matrix d, w;
+  std::vector<double> wt;
+  d.reserve(job_indices.size());
+  wt.reserve(job_indices.size());
+  for (int j : job_indices) {
+    AMF_REQUIRE(j >= 0 && j < jobs(), "job index out of range");
+    d.push_back(demands_[static_cast<std::size_t>(j)]);
+    if (!workloads_.empty())
+      w.push_back(workloads_[static_cast<std::size_t>(j)]);
+    wt.push_back(weights_[static_cast<std::size_t>(j)]);
+  }
+  return AllocationProblem(std::move(d), capacities_, std::move(w),
+                           std::move(wt));
+}
+
+void AllocationProblem::save(std::ostream& out) const {
+  using util::CsvWriter;
+  out << jobs() << ',' << sites() << ',' << (has_workloads() ? 1 : 0) << '\n';
+  auto emit_row = [&out](const std::vector<double>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << CsvWriter::format(row[i]);
+    }
+    out << '\n';
+  };
+  for (const auto& row : demands_) emit_row(row);
+  emit_row(capacities_);
+  if (has_workloads())
+    for (const auto& row : workloads_) emit_row(row);
+  emit_row(weights_);
+}
+
+AllocationProblem AllocationProblem::load(std::istream& in) {
+  auto read_row = [&in](std::size_t expected) {
+    std::string line;
+    AMF_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                "truncated problem file");
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) row.push_back(std::stod(cell));
+    AMF_REQUIRE(row.size() == expected, "problem file row width mismatch");
+    return row;
+  };
+  auto header = read_row(3);
+  auto n = static_cast<std::size_t>(header[0]);
+  auto m = static_cast<std::size_t>(header[1]);
+  bool has_work = header[2] != 0.0;
+  Matrix d(n), w;
+  for (auto& row : d) row = read_row(m);
+  std::vector<double> caps = read_row(m);
+  if (has_work) {
+    w.resize(n);
+    for (auto& row : w) row = read_row(m);
+  }
+  std::vector<double> weights = read_row(n);
+  return AllocationProblem(std::move(d), std::move(caps), std::move(w),
+                           std::move(weights));
+}
+
+}  // namespace amf::core

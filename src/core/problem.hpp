@@ -1,0 +1,85 @@
+// problem.hpp — the distributed allocation problem instance.
+//
+// n jobs run across m sites. Job j can use at most d[j][s] units of
+// resource at site s (its demand cap, derived from data locality) and has
+// w[j][s] units of work to process there. Site s offers C[s] units.
+// Optional weights express per-job priorities under weighted max-min
+// fairness; the unweighted paper model is weights == 1.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "flow/transport.hpp"
+
+namespace amf::core {
+
+using Matrix = flow::Matrix;
+
+/// An immutable-after-validation allocation problem instance.
+class AllocationProblem {
+ public:
+  AllocationProblem() = default;
+
+  /// Builds and validates an instance. `workloads` may be empty (no
+  /// completion-time information) or n×m; `weights` may be empty (all 1).
+  AllocationProblem(Matrix demands, std::vector<double> capacities,
+                    Matrix workloads = {}, std::vector<double> weights = {});
+
+  int jobs() const { return static_cast<int>(demands_.size()); }
+  int sites() const { return static_cast<int>(capacities_.size()); }
+
+  const Matrix& demands() const { return demands_; }
+  const std::vector<double>& capacities() const { return capacities_; }
+  /// Empty when the instance carries no workload information.
+  const Matrix& workloads() const { return workloads_; }
+  const std::vector<double>& weights() const { return weights_; }
+  bool has_workloads() const { return !workloads_.empty(); }
+
+  double demand(int job, int site) const;
+  double workload(int job, int site) const;
+  double capacity(int site) const;
+  double weight(int job) const;
+
+  /// Σ_s min(d[j][s], C[s]) — the most job j could ever receive.
+  double solo_ceiling(int job) const;
+  /// Σ_s w[j][s] — total work of job j (0 without workloads).
+  double total_work(int job) const;
+  double total_capacity() const;
+  /// Largest capacity/demand value (>= 1); tolerance scale of the
+  /// instance. All flow computations use tolerances relative to this
+  /// value, which bounds the usable dynamic range *within* one instance
+  /// to roughly eight orders of magnitude — quantities smaller than
+  /// eps·scale() of the largest site are treated as numerical noise.
+  double scale() const;
+
+  /// The sharing-incentive guarantee of job j: what it would get if every
+  /// site were statically partitioned in proportion to the weights,
+  /// Σ_s min(d[j][s], C[s]·φ_j/Σφ). This is the floor E-AMF enforces.
+  double equal_split_share(int job) const;
+
+  /// A copy of this instance where job `job` reports `reported` as its
+  /// demand row (used by strategy-proofness probes). Workloads are kept.
+  AllocationProblem with_reported_demands(int job,
+                                          const std::vector<double>& reported)
+      const;
+
+  /// A copy restricted to the given jobs (order preserved).
+  AllocationProblem subset(const std::vector<int>& job_indices) const;
+
+  /// CSV round-trip: header line `jobs,sites` then one row per job of
+  /// demands, then capacities, then optional workloads and weights.
+  void save(std::ostream& out) const;
+  static AllocationProblem load(std::istream& in);
+
+ private:
+  void validate() const;
+
+  Matrix demands_;
+  std::vector<double> capacities_;
+  Matrix workloads_;
+  std::vector<double> weights_;
+};
+
+}  // namespace amf::core

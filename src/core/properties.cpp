@@ -1,0 +1,115 @@
+#include "core/properties.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flow/transport.hpp"
+#include "util/error.hpp"
+
+namespace amf::core {
+
+bool is_pareto_efficient(const AllocationProblem& problem,
+                         const Allocation& allocation, double eps) {
+  AMF_REQUIRE(problem.jobs() == allocation.jobs(),
+              "problem/allocation size mismatch");
+  if (problem.jobs() == 0) return true;
+  flow::TransportNetwork net(problem.demands(), problem.capacities());
+  net.solve(allocation.aggregates(), eps);
+  AMF_REQUIRE(net.saturated(eps * 64.0),
+              "allocation aggregates must be feasible");
+  auto can = net.jobs_can_increase(eps);
+  return std::none_of(can.begin(), can.end(), [](char c) { return c != 0; });
+}
+
+double max_envy(const AllocationProblem& problem,
+                const Allocation& allocation) {
+  AMF_REQUIRE(problem.jobs() == allocation.jobs(),
+              "problem/allocation size mismatch");
+  double worst = 0.0;
+  for (int i = 0; i < problem.jobs(); ++i) {
+    const double own = allocation.aggregate(i);
+    for (int k = 0; k < problem.jobs(); ++k) {
+      if (k == i) continue;
+      const double ratio = problem.weight(i) / problem.weight(k);
+      double value = 0.0;
+      for (int s = 0; s < problem.sites(); ++s)
+        value += std::min(allocation.share(k, s) * ratio,
+                          problem.demand(i, s));
+      worst = std::max(worst, value - own);
+    }
+  }
+  return worst;
+}
+
+bool is_envy_free(const AllocationProblem& problem,
+                  const Allocation& allocation, double tol) {
+  return max_envy(problem, allocation) <= tol * problem.scale();
+}
+
+double max_sharing_incentive_violation(const AllocationProblem& problem,
+                                       const Allocation& allocation) {
+  AMF_REQUIRE(problem.jobs() == allocation.jobs(),
+              "problem/allocation size mismatch");
+  double worst = 0.0;
+  for (int j = 0; j < problem.jobs(); ++j)
+    worst = std::max(worst, problem.equal_split_share(j) -
+                                allocation.aggregate(j));
+  return worst;
+}
+
+bool satisfies_sharing_incentive(const AllocationProblem& problem,
+                                 const Allocation& allocation, double tol) {
+  return max_sharing_incentive_violation(problem, allocation) <=
+         tol * problem.scale();
+}
+
+StrategyProbeResult probe_strategy_proofness(const AllocationProblem& problem,
+                                             const Allocator& allocator,
+                                             int job, int trials,
+                                             util::Rng& rng, double tol) {
+  AMF_REQUIRE(job >= 0 && job < problem.jobs(), "job index out of range");
+  AMF_REQUIRE(trials >= 0, "trials must be >= 0");
+
+  const Allocation truthful = allocator.allocate(problem);
+  const double baseline = truthful.aggregate(job);
+  const int m = problem.sites();
+
+  StrategyProbeResult result;
+  result.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> report(static_cast<std::size_t>(m));
+    // Three misreport families, mixed at random: global scaling,
+    // per-site jitter with hiding, and inflation toward site capacity.
+    int family = static_cast<int>(rng.uniform_index(3));
+    for (int s = 0; s < m; ++s) {
+      double d = problem.demand(job, s);
+      double r = d;
+      switch (family) {
+        case 0:  // scale everything by a common factor in [0, 3]
+          r = d * rng.uniform(0.0, 3.0);
+          break;
+        case 1:  // per-site jitter; hide a site with probability 0.3
+          r = rng.bernoulli(0.3) ? 0.0 : d * rng.uniform(0.2, 2.0);
+          break;
+        default:  // claim demand wherever capacity exists
+          r = rng.bernoulli(0.5) ? problem.capacity(s)
+                                 : d * rng.uniform(0.5, 1.5);
+          break;
+      }
+      report[static_cast<std::size_t>(s)] = r;
+    }
+
+    auto lied = problem.with_reported_demands(job, report);
+    Allocation manipulated = allocator.allocate(lied);
+    double usable = 0.0;
+    for (int s = 0; s < m; ++s)
+      usable += std::min(manipulated.share(job, s), problem.demand(job, s));
+
+    double gain = usable - baseline;
+    result.max_gain = std::max(result.max_gain, gain);
+    if (gain > tol * problem.scale()) ++result.profitable;
+  }
+  return result;
+}
+
+}  // namespace amf::core

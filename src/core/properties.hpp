@@ -1,0 +1,57 @@
+// properties.hpp — empirical checkers for the fairness properties the
+// paper proves about AMF: Pareto efficiency, envy-freeness,
+// strategy-proofness, and the sharing-incentive property (which AMF lacks
+// and E-AMF restores). The test suite and bench T1 exercise these across
+// thousands of random instances.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "util/rng.hpp"
+
+namespace amf::core {
+
+/// Pareto efficiency in aggregates: true iff no job's aggregate can be
+/// increased without decreasing another's. Decided exactly by a residual
+/// reachability query on the transportation network.
+bool is_pareto_efficient(const AllocationProblem& problem,
+                         const Allocation& allocation, double eps = 1e-7);
+
+/// Envy of job i toward job k: the value (to i) of k's bundle, clipped to
+/// i's demand caps and scaled by the weight ratio φ_i/φ_k, minus i's own
+/// aggregate. Returns the maximum envy over all ordered pairs; <= 0 means
+/// envy-free.
+double max_envy(const AllocationProblem& problem,
+                const Allocation& allocation);
+
+bool is_envy_free(const AllocationProblem& problem,
+                  const Allocation& allocation, double tol = 1e-7);
+
+/// Sharing incentive: job j's aggregate must reach its equal-split share
+/// Σ_s min(d[j][s], C[s]·φ_j/Σφ). Returns the maximum shortfall over
+/// jobs; <= 0 means the property holds.
+double max_sharing_incentive_violation(const AllocationProblem& problem,
+                                       const Allocation& allocation);
+
+bool satisfies_sharing_incentive(const AllocationProblem& problem,
+                                 const Allocation& allocation,
+                                 double tol = 1e-7);
+
+/// Result of a randomized strategy-proofness probe.
+struct StrategyProbeResult {
+  double max_gain = 0.0;   ///< best true-utility gain any misreport found
+  int trials = 0;          ///< number of misreports attempted
+  int profitable = 0;      ///< misreports with gain above tolerance
+};
+
+/// Attacks the allocator on behalf of `job`: draws `trials` random
+/// misreported demand vectors (scalings, site hiding, inflation), re-runs
+/// the allocator, and measures the job's *true* usable allocation
+/// Σ_s min(a'[job][s], d_true[job][s]) against its truthful aggregate.
+/// A strategy-proof policy admits no gain beyond tolerance.
+StrategyProbeResult probe_strategy_proofness(const AllocationProblem& problem,
+                                             const Allocator& allocator,
+                                             int job, int trials,
+                                             util::Rng& rng,
+                                             double tol = 1e-6);
+
+}  // namespace amf::core

@@ -1,0 +1,43 @@
+// reference.hpp — independent correctness oracles for the allocators.
+//
+// Two ways to validate an AMF result without trusting the AMF code path:
+//   1. the *definitional* fixed-point test — a vector is (weighted) max-min
+//      fair iff it is feasible and no job's aggregate can be raised while
+//      every weakly-worse-off job keeps its value (each probe is one flow
+//      feasibility check);
+//   2. exhaustive lexicographic search over an integer allocation grid for
+//      tiny instances — the continuous optimum must weakly dominate every
+//      grid point, and equals the grid optimum when it is integral.
+#pragma once
+
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace amf::core {
+
+/// Definitional test: is `aggregates` the weighted lex max-min fair vector
+/// for the instance? `tol` is relative to the instance scale. Exact up to
+/// the flow tolerance; cost is jobs+1 max-flow solves.
+bool is_max_min_fair(const AllocationProblem& problem,
+                     const std::vector<double>& aggregates,
+                     double tol = 1e-6);
+
+/// Exhaustive search over integer allocations a[j][s] ∈ {0, 1, ...,
+/// floor(min(d, C))} (site sums capped by floor(C)); returns the
+/// lexicographically max-min best aggregate vector found. Intended for
+/// instances with at most ~6 demand cells; throws if the grid would
+/// exceed `max_points` (default 10^7) enumeration points.
+std::vector<double> brute_force_max_min_aggregates(
+    const AllocationProblem& problem, long long max_points = 10'000'000);
+
+/// A third, fully independent computation of the AMF aggregate vector:
+/// sequential leximin over the transportation polytope with the LP
+/// substrate (Ogryczak procedure — maximize the common minimum with one
+/// level LP, fix the jobs pinned at it via per-job feasibility LPs,
+/// recurse). Exact up to LP tolerance; O(n) LPs of size n·m. Slower than
+/// the flow-based allocator but shares none of its code paths — the
+/// strongest differential oracle in the test suite.
+std::vector<double> lp_max_min_aggregates(const AllocationProblem& problem);
+
+}  // namespace amf::core

@@ -1,0 +1,66 @@
+#include "core/rounding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace amf::core {
+
+Allocation round_to_slots(const AllocationProblem& problem,
+                          const Allocation& fractional) {
+  const int n = problem.jobs();
+  const int m = problem.sites();
+  AMF_REQUIRE(fractional.jobs() == n, "allocation/problem size mismatch");
+  AMF_REQUIRE(n == 0 || fractional.sites() == m,
+              "allocation/problem site mismatch");
+  const std::string policy = fractional.policy().empty()
+                                 ? std::string("slots")
+                                 : fractional.policy() + "+slots";
+  if (n == 0) return Allocation(Matrix{}, policy);
+
+  Matrix rounded(static_cast<std::size_t>(n),
+                 std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  for (int s = 0; s < m; ++s) {
+    // Floor everything; collect remainders.
+    double site_total = 0.0;
+    std::vector<std::pair<double, int>> remainders;  // (remainder, job)
+    std::vector<double> floors(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      double v = std::max(0.0, fractional.share(j, s));
+      double f = std::floor(v + 1e-9);
+      floors[static_cast<std::size_t>(j)] = f;
+      site_total += v;
+      double remainder = v - f;
+      if (remainder > 1e-9) remainders.emplace_back(remainder, j);
+    }
+    // Whole slots the site can still hand out: the fractional usage we
+    // floored away, bounded by the site's integral capacity.
+    double site_cap = std::floor(problem.capacity(s) + 1e-9);
+    double floor_sum = std::accumulate(floors.begin(), floors.end(), 0.0);
+    int budget = static_cast<int>(
+        std::min(std::floor(site_total + 1e-9), site_cap) - floor_sum);
+
+    // Largest remainders first; ties broken by job index (determinism).
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    for (const auto& [remainder, j] : remainders) {
+      if (budget <= 0) break;
+      if (floors[static_cast<std::size_t>(j)] + 1.0 <=
+          problem.demand(j, s) + 1e-9) {
+        floors[static_cast<std::size_t>(j)] += 1.0;
+        --budget;
+      }
+    }
+    for (int j = 0; j < n; ++j)
+      rounded[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
+          floors[static_cast<std::size_t>(j)];
+  }
+  return Allocation(std::move(rounded), policy);
+}
+
+}  // namespace amf::core

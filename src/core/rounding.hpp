@@ -1,0 +1,26 @@
+// rounding.hpp — integral slot rounding for fractional allocations.
+//
+// Real clusters hand out whole slots/containers. This rounds a
+// fractional allocation to integers per site with the largest-remainder
+// method: floor every share, then distribute the site's remaining whole
+// slots to the largest fractional remainders (never exceeding a demand
+// cap or the site's integral capacity). Each job's share moves by less
+// than one slot per site, so aggregates stay within `sites()` slots of
+// the fair fractional optimum — the fairness loss of integrality is
+// bounded and tested.
+#pragma once
+
+#include "core/allocation.hpp"
+
+namespace amf::core {
+
+/// Rounds `fractional` to whole slots. The result satisfies
+///   * every share is a non-negative integer,
+///   * share <= demand cap (+epsilon) cell-wise,
+///   * per-site totals <= floor(capacity),
+///   * |rounded - fractional| < 1 per cell.
+/// The policy name becomes fractional.policy() + "+slots".
+Allocation round_to_slots(const AllocationProblem& problem,
+                          const Allocation& fractional);
+
+}  // namespace amf::core

@@ -1,0 +1,65 @@
+#include "core/single_site.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace amf::core {
+
+double water_level(const std::vector<double>& caps,
+                   const std::vector<double>& weights, double capacity) {
+  AMF_REQUIRE(caps.size() == weights.size(),
+              "caps/weights length mismatch");
+  AMF_REQUIRE(capacity >= 0.0, "capacity must be non-negative");
+  double total = 0.0;
+  for (std::size_t j = 0; j < caps.size(); ++j) {
+    AMF_REQUIRE(caps[j] >= 0.0, "caps must be non-negative");
+    AMF_REQUIRE(weights[j] > 0.0, "weights must be positive");
+    total += caps[j];
+  }
+  if (total <= capacity) return std::numeric_limits<double>::infinity();
+
+  // Process jobs in increasing order of saturation level cap/weight; a job
+  // saturates once the level passes its cap/weight.
+  std::vector<std::size_t> order(caps.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return caps[a] * weights[b] < caps[b] * weights[a];
+  });
+
+  double remaining = capacity;
+  double weight_sum =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (std::size_t j : order) {
+    double sat_level = caps[j] / weights[j];
+    if (sat_level * weight_sum <= remaining) {
+      // Job j saturates below the level the rest can sustain.
+      remaining -= caps[j];
+      weight_sum -= weights[j];
+    } else {
+      return remaining / weight_sum;
+    }
+  }
+  // total > capacity guarantees the loop returns before exhausting jobs.
+  ::amf::util::detail::throw_internal("unreachable", __FILE__, __LINE__,
+                                      "water_level fell through");
+}
+
+std::vector<double> water_fill(const std::vector<double>& caps,
+                               const std::vector<double>& weights,
+                               double capacity) {
+  double level = water_level(caps, weights, capacity);
+  std::vector<double> a(caps.size());
+  for (std::size_t j = 0; j < caps.size(); ++j)
+    a[j] = std::min(caps[j], weights[j] * level);
+  return a;
+}
+
+std::vector<double> water_fill(const std::vector<double>& caps,
+                               double capacity) {
+  return water_fill(caps, std::vector<double>(caps.size(), 1.0), capacity);
+}
+
+}  // namespace amf::core

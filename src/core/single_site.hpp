@@ -1,0 +1,33 @@
+// single_site.hpp — classic single-resource weighted max-min fairness.
+//
+// This is the conventional water-filling the paper's baseline applies
+// independently at every site, and a building block reused elsewhere
+// (e.g. equal-split floors). Exact, O(n log n), no flow machinery needed.
+#pragma once
+
+#include <vector>
+
+namespace amf::core {
+
+/// Weighted max-min fair division of `capacity` among jobs with upper
+/// bounds `caps` and positive `weights`: lexicographically maximizes the
+/// sorted vector of a[j]/weights[j] subject to 0 <= a[j] <= caps[j] and
+/// Σ a[j] <= capacity. The optimum has the water-filling form
+/// a[j] = min(caps[j], weights[j] * level).
+///
+/// Pareto note: if Σ caps <= capacity every job simply receives its cap.
+std::vector<double> water_fill(const std::vector<double>& caps,
+                               const std::vector<double>& weights,
+                               double capacity);
+
+/// Unweighted convenience overload (all weights 1).
+std::vector<double> water_fill(const std::vector<double>& caps,
+                               double capacity);
+
+/// The final water level of the weighted fill: the value L such that
+/// a[j] = min(caps[j], weights[j] * L). Returns +inf when capacity exceeds
+/// total demand (every cap satisfied, level unbounded).
+double water_level(const std::vector<double>& caps,
+                   const std::vector<double>& weights, double capacity);
+
+}  // namespace amf::core

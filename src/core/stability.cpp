@@ -1,0 +1,224 @@
+#include "core/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flow/mincost.hpp"
+#include "lp/simplex.hpp"
+#include "util/error.hpp"
+
+namespace amf::core {
+
+StabilityAddon::StabilityAddon(double eps, Backend backend)
+    : eps_(eps), backend_(backend) {
+  AMF_REQUIRE(eps > 0.0, "eps must be positive");
+}
+
+double StabilityAddon::churn(const Allocation& a, const Allocation& b) {
+  AMF_REQUIRE(a.jobs() == b.jobs() && a.sites() == b.sites(),
+              "churn needs equally shaped allocations");
+  double total = 0.0;
+  for (int j = 0; j < a.jobs(); ++j)
+    for (int s = 0; s < a.sites(); ++s)
+      total += std::abs(a.share(j, s) - b.share(j, s));
+  return total;
+}
+
+Allocation StabilityAddon::optimize(const AllocationProblem& problem,
+                                    const Allocation& target,
+                                    const Allocation& previous) const {
+  const int n = problem.jobs();
+  AMF_REQUIRE(target.jobs() == n, "target/problem size mismatch");
+  AMF_REQUIRE(previous.jobs() == n && previous.sites() == target.sites(),
+              "previous/target shape mismatch");
+  const std::string policy = target.policy().empty()
+                                 ? std::string("stable")
+                                 : target.policy() + "+stable";
+  if (n == 0) return Allocation(Matrix{}, policy);
+  return backend_ == Backend::kLp
+             ? optimize_lp(problem, target, previous, policy)
+             : optimize_mcmf(problem, target, previous, policy);
+}
+
+Allocation StabilityAddon::optimize_lp(const AllocationProblem& problem,
+                                       const Allocation& target,
+                                       const Allocation& previous,
+                                       const std::string& policy) const {
+  const int n = problem.jobs();
+  const int m = problem.sites();
+
+  // Variables: a[j][s] for cells with positive demand, then one churn
+  // variable c[j][s] per cell with |a - prev| >= c via two inequalities.
+  std::vector<std::vector<int>> var_of(
+      static_cast<std::size_t>(n),
+      std::vector<int>(static_cast<std::size_t>(m), -1));
+  int cells = 0;
+  for (int j = 0; j < n; ++j)
+    for (int s = 0; s < m; ++s)
+      if (problem.demand(j, s) > 0.0) {
+        var_of[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
+            cells++;
+      }
+  const int vars = 2 * cells;  // [0, cells) shares, [cells, 2*cells) churn
+
+  lp::LinearProgram program;
+  program.variables = vars;
+  program.objective.assign(static_cast<std::size_t>(vars), 0.0);
+  for (int c = cells; c < vars; ++c)
+    program.objective[static_cast<std::size_t>(c)] = -1.0;  // min Σ churn
+
+  auto cell_row = [&](int width) {
+    lp::Row row;
+    row.coeffs.assign(static_cast<std::size_t>(width), 0.0);
+    return row;
+  };
+
+  // Exact per-job aggregates.
+  for (int j = 0; j < n; ++j) {
+    auto row = cell_row(vars);
+    bool any = false;
+    for (int s = 0; s < m; ++s) {
+      int v = var_of[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+      if (v >= 0) {
+        row.coeffs[static_cast<std::size_t>(v)] = 1.0;
+        any = true;
+      }
+    }
+    double agg = target.aggregate(j);
+    AMF_REQUIRE(any || agg <= eps_ * problem.scale(),
+                "job with positive aggregate but no demand cells");
+    if (!any) continue;
+    row.type = lp::RowType::kEq;
+    row.rhs = agg;
+    program.rows.push_back(std::move(row));
+  }
+  // Site capacities.
+  for (int s = 0; s < m; ++s) {
+    auto row = cell_row(vars);
+    bool any = false;
+    for (int j = 0; j < n; ++j) {
+      int v = var_of[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+      if (v >= 0) {
+        row.coeffs[static_cast<std::size_t>(v)] = 1.0;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    row.type = lp::RowType::kLe;
+    row.rhs = problem.capacity(s);
+    program.rows.push_back(std::move(row));
+  }
+  // Demand caps and the churn envelope.
+  for (int j = 0; j < n; ++j)
+    for (int s = 0; s < m; ++s) {
+      int v = var_of[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+      if (v < 0) continue;
+      double prev = previous.share(j, s);
+      {
+        auto row = cell_row(vars);
+        row.coeffs[static_cast<std::size_t>(v)] = 1.0;
+        row.type = lp::RowType::kLe;
+        row.rhs = problem.demand(j, s);
+        program.rows.push_back(std::move(row));
+      }
+      {
+        // a - c <= prev  (covers a above prev)
+        auto row = cell_row(vars);
+        row.coeffs[static_cast<std::size_t>(v)] = 1.0;
+        row.coeffs[static_cast<std::size_t>(cells + v)] = -1.0;
+        row.type = lp::RowType::kLe;
+        row.rhs = prev;
+        program.rows.push_back(std::move(row));
+      }
+      {
+        // a + c >= prev  (covers a below prev)
+        auto row = cell_row(vars);
+        row.coeffs[static_cast<std::size_t>(v)] = 1.0;
+        row.coeffs[static_cast<std::size_t>(cells + v)] = 1.0;
+        row.type = lp::RowType::kGe;
+        row.rhs = prev;
+        program.rows.push_back(std::move(row));
+      }
+    }
+
+  auto result = lp::solve(program, eps_);
+  AMF_REQUIRE(result.status == lp::LpStatus::kOptimal,
+              "target aggregates must be realizable");
+
+  Matrix shares(static_cast<std::size_t>(n),
+                std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  for (int j = 0; j < n; ++j)
+    for (int s = 0; s < m; ++s) {
+      int v = var_of[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+      if (v >= 0)
+        shares[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
+            std::max(0.0, result.x[static_cast<std::size_t>(v)]);
+    }
+  return Allocation(std::move(shares), policy);
+}
+
+
+Allocation StabilityAddon::optimize_mcmf(const AllocationProblem& problem,
+                                         const Allocation& target,
+                                         const Allocation& previous,
+                                         const std::string& policy) const {
+  const int n = problem.jobs();
+  const int m = problem.sites();
+
+  // Layout: 0 = source, 1..n jobs, n+1..n+m sites, last = sink.
+  flow::MinCostFlow net(2 + n + m);
+  const flow::NodeId source = 0, sink = 1 + n + m;
+  auto job_node = [](int j) { return 1 + j; };
+  auto site_node = [n](int s) { return 1 + n + s; };
+
+  double total = 0.0;
+  for (int j = 0; j < n; ++j) {
+    double agg = target.aggregate(j);
+    AMF_REQUIRE(agg >= -eps_ * problem.scale(), "negative target aggregate");
+    net.add_edge(source, job_node(j), std::max(0.0, agg), 0.0);
+    total += std::max(0.0, agg);
+  }
+  // Per cell: a "keep" arc rewarded for staying at the previous share and
+  // a "change" arc charged for growth beyond it. Shrinkage churn is
+  // (prev - kept), i.e. Σprev - Σkept: the constant drops out and the
+  // -1/+1 costs minimize exactly the total L1 distance.
+  std::vector<std::vector<std::pair<flow::EdgeId, flow::EdgeId>>> arcs(
+      static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    arcs[static_cast<std::size_t>(j)].assign(static_cast<std::size_t>(m),
+                                             {-1, -1});
+    for (int s = 0; s < m; ++s) {
+      double d = problem.demand(j, s);
+      if (d <= 0.0) continue;
+      double keep = std::min(previous.share(j, s), d);
+      flow::EdgeId keep_arc = net.add_edge(job_node(j), site_node(s),
+                                           std::max(0.0, keep), -1.0);
+      flow::EdgeId change_arc = net.add_edge(job_node(j), site_node(s),
+                                             std::max(0.0, d - keep), 1.0);
+      arcs[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] = {
+          keep_arc, change_arc};
+    }
+  }
+  for (int s = 0; s < m; ++s)
+    net.add_edge(site_node(s), sink, problem.capacity(s), 0.0);
+
+  auto result = net.solve(source, sink,
+                          std::numeric_limits<double>::infinity(), eps_);
+  AMF_REQUIRE(result.flow >= total - eps_ * std::max(problem.scale(), total),
+              "target aggregates must be realizable");
+
+  Matrix shares(static_cast<std::size_t>(n),
+                std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  for (int j = 0; j < n; ++j)
+    for (int s = 0; s < m; ++s) {
+      auto [keep_arc, change_arc] =
+          arcs[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+      if (keep_arc < 0) continue;
+      shares[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
+          std::max(0.0, net.flow(keep_arc)) +
+          std::max(0.0, net.flow(change_arc));
+    }
+  return Allocation(std::move(shares), policy);
+}
+
+}  // namespace amf::core

@@ -1,0 +1,57 @@
+// stability.hpp — placement stability under AMF: minimize reallocation
+// churn.
+//
+// In online execution the allocator runs at every arrival/completion.
+// The AMF aggregate vector moves smoothly, but the max-flow realization
+// is an arbitrary vertex of the transportation polytope — consecutive
+// events can reshuffle placements wholesale even when aggregates barely
+// change, and in a real cluster every reshuffled unit is preemption and
+// data-transfer cost. This add-on picks, among the allocations realizing
+// the target aggregates exactly, one minimizing the total L1 distance to
+// the previous allocation — a small linear program over the placement
+// polytope (solved with the bundled simplex).
+#pragma once
+
+#include "core/allocation.hpp"
+
+namespace amf::core {
+
+/// Churn-minimizing redistribution with aggregates pinned.
+class StabilityAddon {
+ public:
+  /// Two interchangeable solvers compute the same optimum:
+  /// kMinCostFlow (default) — "keep" arcs rewarded, "change" arcs
+  /// charged, one min-cost max-flow; scales to simulator use.
+  /// kLp — the direct linear program over the placement polytope;
+  /// retained as an independent cross-check (see stability tests).
+  enum class Backend { kMinCostFlow, kLp };
+
+  explicit StabilityAddon(double eps = 1e-9,
+                          Backend backend = Backend::kMinCostFlow);
+
+  /// Returns an allocation with `target`'s aggregates (exactly) whose
+  /// per-site shares are as close as possible (total L1) to `previous`.
+  /// `previous` must have the same shape; pass a zero allocation for the
+  /// first event. The result's policy name is target.policy() + "+stable".
+  Allocation optimize(const AllocationProblem& problem,
+                      const Allocation& target,
+                      const Allocation& previous) const;
+
+  /// Total L1 distance between two allocations of the same shape.
+  static double churn(const Allocation& a, const Allocation& b);
+
+ private:
+  Allocation optimize_lp(const AllocationProblem& problem,
+                         const Allocation& target,
+                         const Allocation& previous,
+                         const std::string& policy) const;
+  Allocation optimize_mcmf(const AllocationProblem& problem,
+                           const Allocation& target,
+                           const Allocation& previous,
+                           const std::string& policy) const;
+
+  double eps_;
+  Backend backend_;
+};
+
+}  // namespace amf::core

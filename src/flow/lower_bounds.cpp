@@ -1,0 +1,65 @@
+#include "flow/lower_bounds.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace amf::flow {
+
+std::optional<std::vector<double>> feasible_flow_with_lower_bounds(
+    int node_count, const std::vector<BoundedEdge>& edges, NodeId source,
+    NodeId sink, double eps) {
+  AMF_REQUIRE(node_count >= 2, "need at least source and sink");
+  AMF_REQUIRE(source >= 0 && source < node_count, "bad source");
+  AMF_REQUIRE(sink >= 0 && sink < node_count, "bad sink");
+
+  double scale = 1.0;
+  for (const auto& e : edges) {
+    AMF_REQUIRE(e.from >= 0 && e.from < node_count, "bad edge source");
+    AMF_REQUIRE(e.to >= 0 && e.to < node_count, "bad edge target");
+    AMF_REQUIRE(e.lower >= 0.0 && e.lower <= e.upper + eps,
+                "edge bounds must satisfy 0 <= lower <= upper");
+    scale = std::max(scale, e.upper);
+  }
+
+  // Transformed network: original nodes + super source/sink.
+  FlowNetwork net(node_count + 2);
+  const NodeId ss = node_count;
+  const NodeId tt = node_count + 1;
+
+  std::vector<double> excess(static_cast<std::size_t>(node_count), 0.0);
+  std::vector<EdgeId> arc(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto& e = edges[i];
+    arc[i] = net.add_edge(e.from, e.to, std::max(0.0, e.upper - e.lower));
+    excess[static_cast<std::size_t>(e.to)] += e.lower;
+    excess[static_cast<std::size_t>(e.from)] -= e.lower;
+  }
+  // Circulation closure: allow return flow from sink to source.
+  // 2x total scale is a safe "infinite" capacity for this network.
+  double big = 0.0;
+  for (const auto& e : edges) big += e.upper;
+  big = std::max(big, scale) * 2.0 + 1.0;
+  net.add_edge(sink, source, big);
+
+  double required = 0.0;
+  for (NodeId v = 0; v < node_count; ++v) {
+    double ex = excess[static_cast<std::size_t>(v)];
+    if (ex > 0.0) {
+      net.add_edge(ss, v, ex);
+      required += ex;
+    } else if (ex < 0.0) {
+      net.add_edge(v, tt, -ex);
+    }
+  }
+
+  double pushed = net.max_flow(ss, tt, eps);
+  if (pushed < required - eps * std::max(1.0, required)) return std::nullopt;
+
+  std::vector<double> result(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    result[i] = edges[i].lower + net.flow(arc[i]);
+  return result;
+}
+
+}  // namespace amf::flow

@@ -1,0 +1,35 @@
+// lower_bounds.hpp — feasible s-t flow with per-edge lower bounds.
+//
+// Used by the JCT add-on: realizing a fixed AMF aggregate vector while
+// forcing each job's per-site rate above a completion-time target is an
+// s-t flow problem with exact source-arc values (lower == upper) and lower
+// bounds on job→site arcs. Solved with the classic excess transformation:
+// route mandatory flow through a super source/sink and check saturation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flow/network.hpp"
+
+namespace amf::flow {
+
+/// A directed edge with a flow interval [lower, upper].
+struct BoundedEdge {
+  NodeId from = 0;
+  NodeId to = 0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Finds an s-t flow satisfying every edge's [lower, upper] interval, if
+/// one exists. Returns the per-edge flow values (aligned with `edges`), or
+/// nullopt when infeasible. `eps` bounds the saturation tolerance.
+///
+/// The s-t problem is reduced to a circulation by adding a sink→source arc
+/// of unbounded capacity; flow conservation then holds at s and t too.
+std::optional<std::vector<double>> feasible_flow_with_lower_bounds(
+    int node_count, const std::vector<BoundedEdge>& edges, NodeId source,
+    NodeId sink, double eps = FlowNetwork::kDefaultEps);
+
+}  // namespace amf::flow

@@ -1,0 +1,185 @@
+#include "flow/network.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace amf::flow {
+
+FlowNetwork::FlowNetwork(int node_count) {
+  AMF_REQUIRE(node_count >= 0, "node count must be non-negative");
+  adj_.resize(static_cast<std::size_t>(node_count));
+}
+
+NodeId FlowNetwork::add_node() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size()) - 1;
+}
+
+EdgeId FlowNetwork::add_edge(NodeId from, NodeId to, double capacity) {
+  AMF_REQUIRE(from >= 0 && from < node_count(), "add_edge: bad source node");
+  AMF_REQUIRE(to >= 0 && to < node_count(), "add_edge: bad target node");
+  AMF_REQUIRE(capacity >= 0.0, "add_edge: negative capacity");
+  EdgeId id = static_cast<EdgeId>(to_.size());
+  to_.push_back(to);
+  residual_.push_back(capacity);
+  adj_[static_cast<std::size_t>(from)].push_back(id);
+  to_.push_back(from);
+  residual_.push_back(0.0);
+  adj_[static_cast<std::size_t>(to)].push_back(id + 1);
+  orig_.push_back(capacity);
+  return id;
+}
+
+double FlowNetwork::flow(EdgeId e) const {
+  AMF_REQUIRE(e >= 0 && e < static_cast<EdgeId>(to_.size()) && (e % 2) == 0,
+              "flow: not a forward arc id");
+  return residual_[static_cast<std::size_t>(e) + 1];
+}
+
+double FlowNetwork::capacity(EdgeId e) const {
+  AMF_REQUIRE(e >= 0 && e < static_cast<EdgeId>(to_.size()) && (e % 2) == 0,
+              "capacity: not a forward arc id");
+  return orig_[static_cast<std::size_t>(e) / 2];
+}
+
+void FlowNetwork::set_capacity(EdgeId e, double capacity) {
+  AMF_REQUIRE(e >= 0 && e < static_cast<EdgeId>(to_.size()) && (e % 2) == 0,
+              "set_capacity: not a forward arc id");
+  AMF_REQUIRE(capacity >= 0.0, "set_capacity: negative capacity");
+  orig_[static_cast<std::size_t>(e) / 2] = capacity;
+}
+
+void FlowNetwork::reset_flow() {
+  for (std::size_t e = 0; e < to_.size(); e += 2) {
+    residual_[e] = orig_[e / 2];
+    residual_[e + 1] = 0.0;
+  }
+}
+
+bool FlowNetwork::bfs_levels(NodeId source, NodeId sink, double eps) {
+  level_.assign(adj_.size(), -1);
+  std::queue<NodeId> q;
+  level_[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    for (EdgeId e : adj_[static_cast<std::size_t>(v)]) {
+      NodeId u = to_[static_cast<std::size_t>(e)];
+      if (level_[static_cast<std::size_t>(u)] < 0 &&
+          residual_[static_cast<std::size_t>(e)] > eps) {
+        level_[static_cast<std::size_t>(u)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+double FlowNetwork::dfs_blocking(NodeId v, NodeId sink, double pushed,
+                                 double eps) {
+  if (v == sink) return pushed;
+  auto& it = iter_[static_cast<std::size_t>(v)];
+  auto& edges = adj_[static_cast<std::size_t>(v)];
+  for (; it < edges.size(); ++it) {
+    EdgeId e = edges[it];
+    NodeId u = to_[static_cast<std::size_t>(e)];
+    if (residual_[static_cast<std::size_t>(e)] > eps &&
+        level_[static_cast<std::size_t>(u)] ==
+            level_[static_cast<std::size_t>(v)] + 1) {
+      double d = dfs_blocking(
+          u, sink, std::min(pushed, residual_[static_cast<std::size_t>(e)]),
+          eps);
+      if (d > eps) {
+        residual_[static_cast<std::size_t>(e)] -= d;
+        residual_[static_cast<std::size_t>(e ^ 1)] += d;
+        return d;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double FlowNetwork::max_flow(NodeId source, NodeId sink, double eps) {
+  AMF_REQUIRE(source >= 0 && source < node_count(), "max_flow: bad source");
+  AMF_REQUIRE(sink >= 0 && sink < node_count(), "max_flow: bad sink");
+  AMF_REQUIRE(source != sink, "max_flow: source == sink");
+  double total = 0.0;
+  while (bfs_levels(source, sink, eps)) {
+    iter_.assign(adj_.size(), 0);
+    for (;;) {
+      double pushed = dfs_blocking(
+          source, sink, std::numeric_limits<double>::infinity(), eps);
+      if (pushed <= eps) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::vector<char> FlowNetwork::residual_reachable_from(NodeId from,
+                                                       double eps) const {
+  AMF_REQUIRE(from >= 0 && from < node_count(), "bad node");
+  std::vector<char> seen(adj_.size(), 0);
+  std::queue<NodeId> q;
+  seen[static_cast<std::size_t>(from)] = 1;
+  q.push(from);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    for (EdgeId e : adj_[static_cast<std::size_t>(v)]) {
+      NodeId u = to_[static_cast<std::size_t>(e)];
+      if (!seen[static_cast<std::size_t>(u)] &&
+          residual_[static_cast<std::size_t>(e)] > eps) {
+        seen[static_cast<std::size_t>(u)] = 1;
+        q.push(u);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<char> FlowNetwork::residual_can_reach(NodeId to,
+                                                  double eps) const {
+  AMF_REQUIRE(to >= 0 && to < node_count(), "bad node");
+  // Reverse BFS: node v can reach `to` iff some residual arc v->u exists
+  // with u already known to reach `to`. We walk arcs backwards: from node
+  // u, scan its incident arcs; arc e incident to u with to_[e^1] == u means
+  // e starts at u... simpler: for node u, each incident arc id `a` in
+  // adj_[u] points u -> to_[a]; the arc arriving INTO u from v is the pair
+  // of some arc in adj_[u] (its reverse). residual on arc v->u is
+  // residual_[a ^ 1] where a in adj_[u] and to_[a] == v.
+  std::vector<char> seen(adj_.size(), 0);
+  std::queue<NodeId> q;
+  seen[static_cast<std::size_t>(to)] = 1;
+  q.push(to);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (EdgeId a : adj_[static_cast<std::size_t>(u)]) {
+      NodeId v = to_[static_cast<std::size_t>(a)];
+      // Arc (a ^ 1) runs v -> u; usable if it has residual capacity.
+      if (!seen[static_cast<std::size_t>(v)] &&
+          residual_[static_cast<std::size_t>(a ^ 1)] > eps) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        q.push(v);
+      }
+    }
+  }
+  return seen;
+}
+
+double FlowNetwork::outflow(NodeId node) const {
+  AMF_REQUIRE(node >= 0 && node < node_count(), "bad node");
+  double sum = 0.0;
+  for (EdgeId e : adj_[static_cast<std::size_t>(node)]) {
+    if ((e % 2) == 0) sum += flow(e);
+  }
+  return sum;
+}
+
+}  // namespace amf::flow

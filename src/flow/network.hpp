@@ -1,0 +1,92 @@
+// network.hpp — max-flow substrate.
+//
+// A real-capacity flow network with Dinic's algorithm, residual
+// reachability queries and min-cut extraction. This is the computational
+// core underneath every AMF operation: feasibility of a water level is a
+// max-flow saturation check, freezing decisions are residual reachability,
+// and critical levels are solved on min-cuts (see parametric.hpp).
+//
+// Capacities are doubles; an epsilon (relative to the largest capacity)
+// decides when residual capacity counts as zero. All algorithms are
+// deterministic: edge insertion order fixes traversal order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace amf::flow {
+
+/// Node index within a FlowNetwork.
+using NodeId = int;
+/// Edge index returned by add_edge (identifies the forward arc).
+using EdgeId = int;
+
+/// Directed flow network with Dinic max-flow.
+///
+/// Edges are created in forward/reverse pairs; `add_edge` returns the id of
+/// the forward arc (its reverse is `id ^ 1`). Capacities can be updated
+/// between solves via `set_capacity` + `reset_flow` for parametric reuse.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(int node_count = 0);
+
+  /// Adds a node; returns its id.
+  NodeId add_node();
+
+  int node_count() const { return static_cast<int>(adj_.size()); }
+  int edge_count() const { return static_cast<int>(to_.size()) / 2; }
+
+  /// Adds a directed edge with the given capacity (>= 0); returns the
+  /// forward arc id.
+  EdgeId add_edge(NodeId from, NodeId to, double capacity);
+
+  /// Current flow on the forward arc `e` (reverse arc's residual).
+  double flow(EdgeId e) const;
+
+  /// Original capacity of the forward arc `e`.
+  double capacity(EdgeId e) const;
+
+  /// Updates the capacity of forward arc `e`. Takes effect at the next
+  /// reset_flow(); flows already pushed are not adjusted.
+  void set_capacity(EdgeId e, double capacity);
+
+  /// Clears all flow (residuals return to capacities).
+  void reset_flow();
+
+  /// Runs Dinic from `source` to `sink` on top of any existing flow and
+  /// returns the *additional* flow pushed. Residual capacities below `eps`
+  /// are treated as zero.
+  double max_flow(NodeId source, NodeId sink, double eps = kDefaultEps);
+
+  /// Nodes reachable from `from` in the residual graph (arcs with residual
+  /// > eps). After a max_flow this gives the source side of a min cut when
+  /// called with the source.
+  std::vector<char> residual_reachable_from(NodeId from,
+                                            double eps = kDefaultEps) const;
+
+  /// Nodes that can reach `to` through the residual graph. After a
+  /// max_flow, a job node with `true` here can still increase its
+  /// throughput to the sink — the freezing test of progressive filling.
+  std::vector<char> residual_can_reach(NodeId to,
+                                       double eps = kDefaultEps) const;
+
+  /// Total flow currently leaving `node` (sum over forward arcs minus
+  /// incoming reverse flow is not needed for sources; this sums flow on
+  /// arcs out of `node`).
+  double outflow(NodeId node) const;
+
+  static constexpr double kDefaultEps = 1e-9;
+
+ private:
+  bool bfs_levels(NodeId source, NodeId sink, double eps);
+  double dfs_blocking(NodeId v, NodeId sink, double pushed, double eps);
+
+  std::vector<std::vector<EdgeId>> adj_;
+  std::vector<NodeId> to_;
+  std::vector<double> residual_;  // remaining capacity per arc
+  std::vector<double> orig_;      // original capacity of forward arcs (by pair)
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace amf::flow

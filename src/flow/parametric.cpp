@@ -1,0 +1,148 @@
+#include "flow/parametric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace amf::flow {
+
+namespace {
+
+std::vector<double> caps_at(const std::vector<ParametricSource>& sources,
+                            double t) {
+  std::vector<double> caps(sources.size());
+  for (std::size_t j = 0; j < sources.size(); ++j)
+    caps[j] = std::max(0.0, sources[j].fixed + sources[j].slope * t);
+  return caps;
+}
+
+}  // namespace
+
+CriticalLevel solve_critical_level(
+    TransportNetwork& net, const Matrix& demands,
+    const std::vector<double>& capacities,
+    const std::vector<ParametricSource>& sources, double t_lo, double t_hi,
+    double eps, LevelMethod method, LevelSolveStats* stats) {
+  const int n = net.jobs();
+  const int m = net.sites();
+  AMF_REQUIRE(static_cast<int>(sources.size()) == n,
+              "one parametric source per job required");
+  AMF_REQUIRE(t_lo <= t_hi, "empty level segment");
+  for (const auto& src : sources)
+    AMF_REQUIRE(src.slope >= 0.0, "source slopes must be non-negative");
+
+  const double t_tol = eps * std::max({1.0, std::abs(t_hi), std::abs(t_lo)});
+
+  double slope_total = 0.0, fixed_total = 0.0;
+  for (const auto& src : sources) {
+    slope_total += src.slope;
+    fixed_total += src.fixed;
+  }
+
+  auto feasible_at = [&](double t) {
+    net.solve(caps_at(sources, t), eps);
+    if (stats != nullptr) ++stats->flow_solves;
+    return net.saturated(eps);
+  };
+
+  double t = t_hi;
+  double known_feasible = t_lo;  // bisection lower bracket
+  bool found = false;
+  constexpr int kMaxNewton = 64;
+
+  if (method == LevelMethod::kBisection) {
+    // Ablation baseline: plain bisection, no cut analysis. It must close
+    // the bracket well below the residual threshold used by the freezing
+    // BFS, otherwise the leftover level gap leaks enough slack into the
+    // binding cut that no job appears frozen.
+    if (feasible_at(t_hi)) {
+      found = true;
+    } else {
+      const double deep_tol = t_tol * 1e-3;
+      double lo = t_lo, hi = t_hi;
+      for (int it = 0; it < 200 && hi - lo > deep_tol; ++it) {
+        double mid = 0.5 * (lo + hi);
+        (feasible_at(mid) ? lo : hi) = mid;
+      }
+      t = lo;
+      bool ok = feasible_at(t);
+      AMF_ASSERT(ok, "bisection bracket lost feasibility");
+      found = true;
+    }
+  }
+
+  for (int iter = 0; !found && iter < kMaxNewton; ++iter) {
+    if (feasible_at(t)) {
+      found = true;
+      break;
+    }
+    // Read the binding min cut and jump to where its value meets demand.
+    auto cut = net.min_cut(eps);
+    double cut_slope = 0.0, cut_fixed = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (!cut.job_in_source_side[static_cast<std::size_t>(j)]) {
+        // Source arc of j is cut: contributes cap_j(t).
+        cut_slope += sources[static_cast<std::size_t>(j)].slope;
+        cut_fixed += sources[static_cast<std::size_t>(j)].fixed;
+      } else {
+        // Job is on the source side: its crossing demand arcs are cut.
+        for (int s = 0; s < m; ++s)
+          if (!cut.site_in_source_side[static_cast<std::size_t>(s)])
+            cut_fixed += demands[static_cast<std::size_t>(j)]
+                                [static_cast<std::size_t>(s)];
+      }
+    }
+    for (int s = 0; s < m; ++s)
+      if (cut.site_in_source_side[static_cast<std::size_t>(s)])
+        cut_fixed += capacities[static_cast<std::size_t>(s)];
+
+    // Solve cut_slope·t' + cut_fixed = slope_total·t' + fixed_total.
+    double dslope = slope_total - cut_slope;
+    double t_new;
+    if (dslope <= eps * std::max(1.0, slope_total)) {
+      // Degenerate cut (numerically flat): bisect instead.
+      t_new = 0.5 * (known_feasible + t);
+    } else {
+      t_new = (cut_fixed - fixed_total) / dslope;
+      // Newton must strictly descend; otherwise fall back to bisection.
+      if (!(t_new < t - t_tol)) t_new = 0.5 * (known_feasible + t);
+    }
+    t = std::clamp(t_new, known_feasible, t);
+    if (t - known_feasible <= t_tol) {
+      t = known_feasible;
+      // The caller guaranteed feasibility here; solve to materialize it.
+      bool ok = feasible_at(t);
+      AMF_ASSERT(ok, "level segment start must be feasible");
+      found = true;
+      break;
+    }
+  }
+
+  if (!found) {
+    // Newton exhausted its budget (possible only under severe floating-
+    // point degeneracy): finish with plain bisection.
+    double lo = known_feasible, hi = t;
+    for (int i = 0; i < 80 && hi - lo > t_tol; ++i) {
+      double mid = 0.5 * (lo + hi);
+      if (feasible_at(mid))
+        lo = mid;
+      else
+        hi = mid;
+    }
+    t = lo;
+    bool ok = feasible_at(t);
+    AMF_ASSERT(ok, "bisection bracket lost feasibility");
+  }
+
+  CriticalLevel result;
+  result.level = t;
+  result.segment_exhausted = (t >= t_hi - t_tol);
+  // A slightly looser threshold for the freezing decision keeps jobs with a
+  // numerically negligible residual path from staying unfrozen forever.
+  result.can_increase = net.jobs_can_increase(eps * 16.0);
+  result.allocation = net.allocation();
+  return result;
+}
+
+}  // namespace amf::flow

@@ -1,0 +1,68 @@
+// parametric.hpp — critical water levels on the transportation polytope.
+//
+// Progressive filling raises the aggregate allocation of every unfrozen
+// job at a common (weighted) rate until some capacity constraint binds.
+// With source caps that are affine in the level t — cap_j(t) = fixed_j +
+// slope_j·t — the max-flow value maxflow(t) is concave piecewise linear,
+// so the largest feasible level solves maxflow(t) = Σ_j cap_j(t).
+//
+// We find it by Newton iteration on min-cuts (a Dinkelbach-style scheme):
+// starting from an infeasible upper bound, each round solves one max flow,
+// reads off the binding cut, and jumps to the level where that cut's
+// (linear) value meets the (linear) total demand. The iterates decrease
+// monotonically and land exactly on the critical level after finitely many
+// distinct cuts; a bisection fallback guards against floating-point stalls.
+#pragma once
+
+#include <vector>
+
+#include "flow/transport.hpp"
+
+namespace amf::flow {
+
+/// Affine source capacity: cap(t) = max(0, fixed + slope * t).
+struct ParametricSource {
+  double fixed = 0.0;
+  double slope = 0.0;
+};
+
+/// How the critical level is located. kCutNewton is the default
+/// (few max-flow solves, lands exactly on the breakpoint); kBisection is
+/// the naive alternative kept for the ablation study (bench F10).
+enum class LevelMethod { kCutNewton, kBisection };
+
+/// Optional instrumentation collected by solve_critical_level.
+struct LevelSolveStats {
+  int flow_solves = 0;  ///< max-flow computations performed
+};
+
+/// Result of a critical-level solve on one affine segment [t_lo, t_hi].
+struct CriticalLevel {
+  /// The largest feasible level within the segment.
+  double level = 0.0;
+  /// True when the whole segment is feasible (level == t_hi and nothing
+  /// binds strictly inside); the caller should advance to the next segment.
+  bool segment_exhausted = false;
+  /// Per-job: can this job's aggregate still increase at `level`?
+  /// (Residual path to the sink exists.) Jobs with `false` are the ones a
+  /// progressive-filling caller must freeze.
+  std::vector<char> can_increase;
+  /// Allocation matrix realizing the caps at `level`.
+  Matrix allocation;
+};
+
+/// Finds the largest t in [t_lo, t_hi] such that source caps cap_j(t) are
+/// simultaneously realizable (max flow saturates all source arcs).
+///
+/// Preconditions: the caps at t_lo are feasible; `net` was built from
+/// `demands`/`capacities`; slopes are non-negative. Throws InternalError
+/// if the t_lo feasibility contract is violated beyond tolerance.
+CriticalLevel solve_critical_level(
+    TransportNetwork& net, const Matrix& demands,
+    const std::vector<double>& capacities,
+    const std::vector<ParametricSource>& sources, double t_lo, double t_hi,
+    double eps = FlowNetwork::kDefaultEps,
+    LevelMethod method = LevelMethod::kCutNewton,
+    LevelSolveStats* stats = nullptr);
+
+}  // namespace amf::flow

@@ -1,0 +1,135 @@
+#include "flow/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace amf::flow {
+
+TransportNetwork::TransportNetwork(const Matrix& demands,
+                                   const std::vector<double>& capacities)
+    : jobs_(static_cast<int>(demands.size())),
+      sites_(static_cast<int>(capacities.size())),
+      scale_(1.0),
+      net_(2 + static_cast<int>(demands.size()) +
+           static_cast<int>(capacities.size())) {
+  AMF_REQUIRE(sites_ > 0, "at least one site required");
+  for (double c : capacities) {
+    AMF_REQUIRE(c >= 0.0, "negative site capacity");
+    scale_ = std::max(scale_, c);
+  }
+  for (const auto& row : demands) {
+    AMF_REQUIRE(static_cast<int>(row.size()) == sites_,
+                "demand row width != number of sites");
+    for (double d : row) {
+      AMF_REQUIRE(d >= 0.0, "negative demand");
+      scale_ = std::max(scale_, d);
+    }
+  }
+
+  // Node layout: 0 = source, 1..jobs = job nodes, jobs+1..jobs+sites =
+  // site nodes, last = sink.
+  source_ = 0;
+  sink_ = 1 + jobs_ + sites_;
+  auto job_node = [this](int j) { return 1 + j; };
+  auto site_node = [this](int s) { return 1 + jobs_ + s; };
+
+  std::vector<EdgeId> site_arcs(static_cast<std::size_t>(sites_));
+  for (int s = 0; s < sites_; ++s)
+    site_arcs[static_cast<std::size_t>(s)] =
+        net_.add_edge(site_node(s), sink_, capacities[static_cast<std::size_t>(s)]);
+
+  source_arcs_.resize(static_cast<std::size_t>(jobs_));
+  job_site_arcs_.resize(static_cast<std::size_t>(jobs_));
+  solo_ceiling_.resize(static_cast<std::size_t>(jobs_), 0.0);
+  for (int j = 0; j < jobs_; ++j) {
+    source_arcs_[static_cast<std::size_t>(j)] =
+        net_.add_edge(source_, job_node(j), 0.0);
+    for (int s = 0; s < sites_; ++s) {
+      double d = demands[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+      if (d > 0.0) {
+        EdgeId e = net_.add_edge(job_node(j), site_node(s), d);
+        job_site_arcs_[static_cast<std::size_t>(j)].emplace_back(s, e);
+        solo_ceiling_[static_cast<std::size_t>(j)] +=
+            std::min(d, capacities[static_cast<std::size_t>(s)]);
+      }
+    }
+  }
+}
+
+double TransportNetwork::solve(const std::vector<double>& source_caps,
+                               double eps) {
+  AMF_REQUIRE(static_cast<int>(source_caps.size()) == jobs_,
+              "source cap vector length != number of jobs");
+  last_total_ = 0.0;
+  for (int j = 0; j < jobs_; ++j) {
+    double cap = source_caps[static_cast<std::size_t>(j)];
+    AMF_REQUIRE(cap >= 0.0, "negative source cap");
+    net_.set_capacity(source_arcs_[static_cast<std::size_t>(j)], cap);
+    last_total_ += cap;
+  }
+  net_.reset_flow();
+  last_flow_ = net_.max_flow(source_, sink_, eps * scale_);
+  return last_flow_;
+}
+
+bool TransportNetwork::saturated(double eps) const {
+  return last_flow_ >= last_total_ - eps * std::max(scale_, last_total_);
+}
+
+Matrix TransportNetwork::allocation() const {
+  Matrix a(static_cast<std::size_t>(jobs_),
+           std::vector<double>(static_cast<std::size_t>(sites_), 0.0));
+  for (int j = 0; j < jobs_; ++j)
+    for (const auto& [s, e] : job_site_arcs_[static_cast<std::size_t>(j)])
+      a[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
+          std::max(0.0, net_.flow(e));
+  return a;
+}
+
+std::vector<char> TransportNetwork::jobs_can_increase(double eps) const {
+  auto reach = net_.residual_can_reach(sink_, eps * scale_);
+  std::vector<char> can(static_cast<std::size_t>(jobs_), 0);
+  for (int j = 0; j < jobs_; ++j)
+    can[static_cast<std::size_t>(j)] = reach[static_cast<std::size_t>(1 + j)];
+  return can;
+}
+
+TransportNetwork::MinCut TransportNetwork::min_cut(double eps) const {
+  auto reach = net_.residual_reachable_from(source_, eps * scale_);
+  MinCut cut;
+  cut.job_in_source_side.resize(static_cast<std::size_t>(jobs_));
+  cut.site_in_source_side.resize(static_cast<std::size_t>(sites_));
+  for (int j = 0; j < jobs_; ++j)
+    cut.job_in_source_side[static_cast<std::size_t>(j)] =
+        reach[static_cast<std::size_t>(1 + j)];
+  for (int s = 0; s < sites_; ++s)
+    cut.site_in_source_side[static_cast<std::size_t>(s)] =
+        reach[static_cast<std::size_t>(1 + jobs_ + s)];
+  return cut;
+}
+
+double TransportNetwork::solo_ceiling(int job) const {
+  AMF_REQUIRE(job >= 0 && job < jobs_, "bad job index");
+  return solo_ceiling_[static_cast<std::size_t>(job)];
+}
+
+bool aggregates_feasible(const Matrix& demands,
+                         const std::vector<double>& capacities,
+                         const std::vector<double>& aggregates, double eps) {
+  TransportNetwork net(demands, capacities);
+  net.solve(aggregates, eps);
+  return net.saturated(eps);
+}
+
+std::optional<Matrix> allocation_for_aggregates(
+    const Matrix& demands, const std::vector<double>& capacities,
+    const std::vector<double>& aggregates, double eps) {
+  TransportNetwork net(demands, capacities);
+  net.solve(aggregates, eps);
+  if (!net.saturated(eps)) return std::nullopt;
+  return net.allocation();
+}
+
+}  // namespace amf::flow

@@ -1,0 +1,98 @@
+// transport.hpp — the bipartite job→site transportation network.
+//
+// Every allocation problem induces the same network shape:
+//
+//   source --cap f_j--> job_j --cap d[j][s]--> site_s --cap C[s]--> sink
+//
+// A per-job budget vector f is realizable as aggregates iff the max flow
+// saturates every source arc. This header wraps that construction so the
+// core allocators never touch raw node ids, and keeps the network alive
+// across repeated solves with different source caps (parametric reuse).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flow/network.hpp"
+
+namespace amf::flow {
+
+/// Dense job×site matrix helper type used throughout the flow layer.
+using Matrix = std::vector<std::vector<double>>;
+
+/// Reusable job→site transportation network.
+class TransportNetwork {
+ public:
+  /// `demands[j][s]` is the per-site demand cap (arc capacity job→site;
+  /// arcs are only materialized for strictly positive demand);
+  /// `capacities[s]` the site capacity.
+  TransportNetwork(const Matrix& demands,
+                   const std::vector<double>& capacities);
+
+  int jobs() const { return jobs_; }
+  int sites() const { return sites_; }
+
+  /// Characteristic scale of the instance (max capacity/demand, >= 1);
+  /// tolerances in callers should be relative to this.
+  double scale() const { return scale_; }
+
+  /// Solves max flow with the given per-job source caps (resetting any
+  /// previous flow) and returns the attained flow value.
+  double solve(const std::vector<double>& source_caps,
+               double eps = FlowNetwork::kDefaultEps);
+
+  /// Total of the last source caps passed to solve().
+  double last_demand_total() const { return last_total_; }
+
+  /// True when the last solve saturated every source arc (the caps are
+  /// feasible as aggregates).
+  bool saturated(double eps = FlowNetwork::kDefaultEps) const;
+
+  /// Allocation matrix realized by the last solve: a[j][s] = flow(job→site).
+  Matrix allocation() const;
+
+  /// After a solve: per-job flag, true when the job still has a residual
+  /// path to the sink (its aggregate could be increased). The freezing
+  /// test of progressive filling.
+  std::vector<char> jobs_can_increase(
+      double eps = FlowNetwork::kDefaultEps) const;
+
+  /// After a solve: source side of a min cut (residual reachability from
+  /// the source), reported separately for jobs and sites.
+  struct MinCut {
+    std::vector<char> job_in_source_side;
+    std::vector<char> site_in_source_side;
+  };
+  MinCut min_cut(double eps = FlowNetwork::kDefaultEps) const;
+
+  /// Maximum aggregate job j could attain if it were alone (Σ_s min(d, C)).
+  double solo_ceiling(int job) const;
+
+ private:
+  int jobs_;
+  int sites_;
+  double scale_;
+  FlowNetwork net_;
+  NodeId source_;
+  NodeId sink_;
+  std::vector<EdgeId> source_arcs_;               // per job
+  std::vector<std::vector<std::pair<int, EdgeId>>> job_site_arcs_;  // (site, arc)
+  std::vector<double> solo_ceiling_;
+  double last_total_ = 0.0;
+  double last_flow_ = 0.0;
+};
+
+/// True iff the aggregate vector `aggregates` is feasible for the instance
+/// (some allocation matrix attains at least these per-job totals).
+bool aggregates_feasible(const Matrix& demands,
+                         const std::vector<double>& capacities,
+                         const std::vector<double>& aggregates,
+                         double eps = FlowNetwork::kDefaultEps);
+
+/// An allocation matrix realizing exactly the given aggregates, if feasible.
+std::optional<Matrix> allocation_for_aggregates(
+    const Matrix& demands, const std::vector<double>& capacities,
+    const std::vector<double>& aggregates,
+    double eps = FlowNetwork::kDefaultEps);
+
+}  // namespace amf::flow

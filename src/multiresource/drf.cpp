@@ -1,0 +1,486 @@
+#include "multiresource/drf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "lp/simplex.hpp"
+#include "util/error.hpp"
+
+namespace amf::multiresource {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+// ---------------------------------------------------------------------------
+// Per-site DRF
+
+TaskMatrix PerSiteDrfAllocator::allocate(
+    const MultiResourceProblem& problem) const {
+  const int n = problem.jobs();
+  const int m = problem.sites();
+  const int rc = problem.resources();
+  TaskMatrix x(static_cast<std::size_t>(n),
+               std::vector<double>(static_cast<std::size_t>(m), 0.0));
+
+  for (int s = 0; s < m; ++s) {
+    // Site-local dominant share per task; inf when the site lacks a
+    // resource the job needs (the job cannot run there).
+    std::vector<double> dom(static_cast<std::size_t>(n), 0.0);
+    for (int j = 0; j < n; ++j) {
+      double d = 0.0;
+      for (int r = 0; r < rc; ++r) {
+        double need = problem.profile(j, r);
+        if (need <= 0.0) continue;
+        double cap = problem.capacity(s, r);
+        d = cap <= 0.0 ? kInf : std::max(d, need / cap);
+      }
+      dom[static_cast<std::size_t>(j)] = d;
+    }
+
+    std::vector<char> frozen(static_cast<std::size_t>(n), 0);
+    std::vector<double> tasks(static_cast<std::size_t>(n), 0.0);
+    for (int j = 0; j < n; ++j)
+      if (problem.task_cap(j, s) <= 0.0 ||
+          !std::isfinite(dom[static_cast<std::size_t>(j)]) ||
+          dom[static_cast<std::size_t>(j)] <= 0.0)
+        frozen[static_cast<std::size_t>(j)] = 1;
+
+    // tasks of unfrozen j at level t: min(cap, t / dom_j).
+    auto tasks_at = [&](double t) {
+      std::vector<double> out(tasks);
+      for (int j = 0; j < n; ++j)
+        if (!frozen[static_cast<std::size_t>(j)])
+          out[static_cast<std::size_t>(j)] =
+              std::min(problem.task_cap(j, s),
+                       t / dom[static_cast<std::size_t>(j)]);
+      return out;
+    };
+    auto usage = [&](const std::vector<double>& task_vec, int r) {
+      double used = 0.0;
+      for (int j = 0; j < n; ++j)
+        used += task_vec[static_cast<std::size_t>(j)] * problem.profile(j, r);
+      return used;
+    };
+    auto level_feasible = [&](double t) {
+      auto task_vec = tasks_at(t);
+      for (int r = 0; r < rc; ++r)
+        if (usage(task_vec, r) >
+            problem.capacity(s, r) + eps_ * problem.scale())
+          return false;
+      return true;
+    };
+
+    double level = 0.0;
+    // Each round freezes at least one job, so at most n rounds run.
+    for (int round = 0; round < n; ++round) {
+      bool any_unfrozen = false;
+      for (char f : frozen) any_unfrozen |= !f;
+      if (!any_unfrozen) break;
+
+      if (level_feasible(1.0)) {
+        // Every remaining job reaches its task cap before any resource
+        // saturates (a dominant share cannot exceed 1).
+        tasks = tasks_at(1.0);
+        break;
+      }
+      double lo = level, hi = 1.0;
+      for (int it = 0; it < 64; ++it) {
+        double mid = 0.5 * (lo + hi);
+        (level_feasible(mid) ? lo : hi) = mid;
+      }
+      level = lo;
+      tasks = tasks_at(level);
+
+      // Freeze jobs at their cap or touching a saturated resource.
+      const double tol = 1e-7 * problem.scale();
+      std::vector<char> saturated(static_cast<std::size_t>(rc), 0);
+      for (int r = 0; r < rc; ++r)
+        saturated[static_cast<std::size_t>(r)] =
+            usage(tasks, r) >= problem.capacity(s, r) - tol;
+      int newly = 0;
+      for (int j = 0; j < n; ++j) {
+        if (frozen[static_cast<std::size_t>(j)]) continue;
+        bool freeze =
+            tasks[static_cast<std::size_t>(j)] >=
+            problem.task_cap(j, s) - tol;
+        for (int r = 0; r < rc && !freeze; ++r)
+          freeze = saturated[static_cast<std::size_t>(r)] &&
+                   problem.profile(j, r) > 0.0;
+        if (freeze) {
+          frozen[static_cast<std::size_t>(j)] = 1;
+          ++newly;
+        }
+      }
+      if (newly == 0) break;  // numerically nothing moves; stop here
+    }
+
+    for (int j = 0; j < n; ++j)
+      x[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
+          tasks[static_cast<std::size_t>(j)];
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate DRF
+
+namespace {
+
+/// Shared LP construction: variables are the (job, site) pairs with a
+/// positive task cap; rows are per-job total-task floors, per-site
+/// per-resource capacities, and per-variable caps.
+struct AdrfLp {
+  explicit AdrfLp(const MultiResourceProblem& problem) : p(problem) {
+    var_of.assign(static_cast<std::size_t>(p.jobs()),
+                  std::vector<int>(static_cast<std::size_t>(p.sites()), -1));
+    for (int j = 0; j < p.jobs(); ++j)
+      for (int s = 0; s < p.sites(); ++s)
+        if (p.task_cap(j, s) > 0.0) {
+          var_of[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
+              vars;
+          ++vars;
+        }
+  }
+
+  /// Rows for the given per-job total-task floors.
+  std::vector<lp::Row> rows(const std::vector<double>& floors) const {
+    std::vector<lp::Row> out;
+    for (int j = 0; j < p.jobs(); ++j) {
+      if (floors[static_cast<std::size_t>(j)] <= 0.0) continue;
+      lp::Row row;
+      row.coeffs.assign(static_cast<std::size_t>(vars), 0.0);
+      for (int s = 0; s < p.sites(); ++s) {
+        int v = var_of[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+        if (v >= 0) row.coeffs[static_cast<std::size_t>(v)] = 1.0;
+      }
+      row.type = lp::RowType::kGe;
+      row.rhs = floors[static_cast<std::size_t>(j)];
+      out.push_back(std::move(row));
+    }
+    for (int s = 0; s < p.sites(); ++s)
+      for (int r = 0; r < p.resources(); ++r) {
+        lp::Row row;
+        row.coeffs.assign(static_cast<std::size_t>(vars), 0.0);
+        bool any = false;
+        for (int j = 0; j < p.jobs(); ++j) {
+          int v = var_of[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+          if (v >= 0 && p.profile(j, r) > 0.0) {
+            row.coeffs[static_cast<std::size_t>(v)] = p.profile(j, r);
+            any = true;
+          }
+        }
+        if (!any) continue;
+        row.type = lp::RowType::kLe;
+        row.rhs = p.capacity(s, r);
+        out.push_back(std::move(row));
+      }
+    for (int j = 0; j < p.jobs(); ++j)
+      for (int s = 0; s < p.sites(); ++s) {
+        int v = var_of[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+        if (v < 0) continue;
+        lp::Row row;
+        row.coeffs.assign(static_cast<std::size_t>(vars), 0.0);
+        row.coeffs[static_cast<std::size_t>(v)] = 1.0;
+        row.type = lp::RowType::kLe;
+        row.rhs = p.task_cap(j, s);
+        out.push_back(std::move(row));
+      }
+    return out;
+  }
+
+  bool feasible(const std::vector<double>& floors,
+                std::vector<double>* witness = nullptr) const {
+    return lp::feasible(vars, rows(floors), witness);
+  }
+
+  TaskMatrix extract(const std::vector<double>& solution) const {
+    TaskMatrix x(static_cast<std::size_t>(p.jobs()),
+                 std::vector<double>(static_cast<std::size_t>(p.sites()), 0.0));
+    for (int j = 0; j < p.jobs(); ++j)
+      for (int s = 0; s < p.sites(); ++s) {
+        int v = var_of[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+        if (v >= 0)
+          x[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
+              std::max(0.0, solution[static_cast<std::size_t>(v)]);
+      }
+    return x;
+  }
+
+  const MultiResourceProblem& p;
+  std::vector<std::vector<int>> var_of;
+  int vars = 0;
+};
+
+}  // namespace
+
+TaskMatrix AggregateDrfAllocator::allocate(
+    const MultiResourceProblem& problem) const {
+  const int n = problem.jobs();
+  if (n == 0) return TaskMatrix{};
+  AdrfLp builder(problem);
+
+  std::vector<double> delta(static_cast<std::size_t>(n));
+  std::vector<double> cap_total(static_cast<std::size_t>(n), 0.0);
+  for (int j = 0; j < n; ++j) {
+    delta[static_cast<std::size_t>(j)] = problem.dominant_share_per_task(j);
+    for (int s = 0; s < problem.sites(); ++s)
+      cap_total[static_cast<std::size_t>(j)] += problem.task_cap(j, s);
+  }
+
+  std::vector<char> fixed(static_cast<std::size_t>(n), 0);
+  std::vector<double> floor_tasks(static_cast<std::size_t>(n), 0.0);
+  int unfixed = 0;
+  for (int j = 0; j < n; ++j) {
+    if (cap_total[static_cast<std::size_t>(j)] <= 0.0 ||
+        delta[static_cast<std::size_t>(j)] <= 0.0)
+      fixed[static_cast<std::size_t>(j)] = 1;
+    else
+      ++unfixed;
+  }
+
+  // Exact lexicographic max-min over the (general, non-polymatroid) LP
+  // polytope, Ogryczak-style: each round solves one LP that maximizes the
+  // common minimum share t of the unfixed jobs (t is an LP variable, the
+  // per-job rows read Σ_s x[j][s] − t/δ_j >= 0), then fixes exactly the
+  // jobs that cannot exceed t* while everyone else keeps their floor
+  // (tested by one feasibility LP per job).
+  auto solve_level = [&]() -> double {
+    lp::LinearProgram program;
+    program.variables = builder.vars + 1;  // t is the last variable
+    const int t_var = builder.vars;
+    program.objective.assign(static_cast<std::size_t>(program.variables),
+                             0.0);
+    program.objective[static_cast<std::size_t>(t_var)] = 1.0;
+    // Base rows (floors for fixed jobs, capacities, caps), widened by the
+    // t column.
+    std::vector<double> base_floors(floor_tasks);
+    for (int j = 0; j < n; ++j)
+      if (!fixed[static_cast<std::size_t>(j)])
+        base_floors[static_cast<std::size_t>(j)] = 0.0;
+    for (auto& row : builder.rows(base_floors)) {
+      row.coeffs.push_back(0.0);
+      program.rows.push_back(std::move(row));
+    }
+    for (int j = 0; j < n; ++j) {
+      if (fixed[static_cast<std::size_t>(j)]) continue;
+      lp::Row row;
+      row.coeffs.assign(static_cast<std::size_t>(program.variables), 0.0);
+      for (int s = 0; s < problem.sites(); ++s) {
+        int v = builder.var_of[static_cast<std::size_t>(j)]
+                              [static_cast<std::size_t>(s)];
+        if (v >= 0) row.coeffs[static_cast<std::size_t>(v)] = 1.0;
+      }
+      row.coeffs[static_cast<std::size_t>(t_var)] =
+          -1.0 / delta[static_cast<std::size_t>(j)];
+      row.type = lp::RowType::kGe;
+      row.rhs = 0.0;
+      program.rows.push_back(std::move(row));
+    }
+    {
+      // A dominant share cannot exceed 1; bounding t keeps the LP bounded
+      // even in degenerate corner cases.
+      lp::Row bound;
+      bound.coeffs.assign(static_cast<std::size_t>(program.variables), 0.0);
+      bound.coeffs[static_cast<std::size_t>(t_var)] = 1.0;
+      bound.type = lp::RowType::kLe;
+      bound.rhs = 1.0;
+      program.rows.push_back(std::move(bound));
+    }
+    auto result = lp::solve(program, eps_);
+    AMF_ASSERT(result.status == lp::LpStatus::kOptimal,
+               "level LP must be feasible (floors were attained before)");
+    return result.objective;
+  };
+
+  for (int round = 0; round < std::max(max_rounds_, n + 1) && unfixed > 0;
+       ++round) {
+    const double level = solve_level();
+
+    // Floors everyone holds while one job probes upward; kept floors are
+    // microscopically relaxed so LP noise cannot pin a job spuriously.
+    std::vector<double> at_level(floor_tasks);
+    for (int j = 0; j < n; ++j)
+      if (!fixed[static_cast<std::size_t>(j)])
+        at_level[static_cast<std::size_t>(j)] =
+            level * (1.0 - 1e-9) / delta[static_cast<std::size_t>(j)];
+
+    // The probe step must be small: a job that can still rise by any
+    // meaningful amount belongs to the next leximin level, not this one.
+    const double step = 1e-5;
+    int newly = 0;
+    for (int j = 0; j < n; ++j) {
+      if (fixed[static_cast<std::size_t>(j)]) continue;
+      auto probe = at_level;
+      probe[static_cast<std::size_t>(j)] =
+          (level + step) / delta[static_cast<std::size_t>(j)];
+      if (!builder.feasible(probe)) {
+        fixed[static_cast<std::size_t>(j)] = 1;
+        // Fix a hair below the LP optimum so later LPs that re-impose
+        // this floor never trip on solver noise.
+        floor_tasks[static_cast<std::size_t>(j)] =
+            level * (1.0 - 1e-9) / delta[static_cast<std::size_t>(j)];
+        --unfixed;
+        ++newly;
+      }
+    }
+    if (newly == 0) {
+      // Numerically fuzzy critical set: settle everyone at the level.
+      for (int j = 0; j < n; ++j) {
+        if (fixed[static_cast<std::size_t>(j)]) continue;
+        fixed[static_cast<std::size_t>(j)] = 1;
+        floor_tasks[static_cast<std::size_t>(j)] =
+            level * (1.0 - 1e-9) / delta[static_cast<std::size_t>(j)];
+        --unfixed;
+      }
+    }
+  }
+
+  // Pareto top-up: among allocations honoring every fair floor, maximize
+  // total tasks (efficiency without disturbing fairness floors).
+  lp::LinearProgram program;
+  program.variables = builder.vars;
+  program.rows = builder.rows(floor_tasks);
+  program.objective.assign(static_cast<std::size_t>(builder.vars), 1.0);
+  auto result = lp::solve(program, eps_);
+  AMF_ASSERT(result.status == lp::LpStatus::kOptimal,
+             "fair floors must remain feasible for the top-up LP");
+  return builder.extract(result.x);
+}
+
+bool is_aggregate_drf_fair(const MultiResourceProblem& problem,
+                           const std::vector<double>& shares, double tol) {
+  // On the Leontief polytope (not a polymatroid) the classical
+  // "max-min fair" vector need not exist; the right target is the
+  // *leximin* optimum. We verify the Ogryczak sequential
+  // characterization: peeling levels from below, (a) the claimed minimum
+  // of the remaining jobs must equal the LP-maximal common minimum, and
+  // (b) exactly the jobs that cannot exceed that level (with everyone
+  // else held at or above it) may sit on it.
+  const int n = problem.jobs();
+  AMF_REQUIRE(static_cast<int>(shares.size()) == n,
+              "share vector length != job count");
+  if (n == 0) return true;
+  AdrfLp builder(problem);
+
+  std::vector<double> delta(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j)
+    delta[static_cast<std::size_t>(j)] = problem.dominant_share_per_task(j);
+  auto tasks_for = [&](int j, double share) {
+    return delta[static_cast<std::size_t>(j)] <= 0.0
+               ? 0.0
+               : share / delta[static_cast<std::size_t>(j)];
+  };
+
+  // 1. The vector itself must be feasible (floors relaxed by tol).
+  {
+    std::vector<double> floors(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j)
+      floors[static_cast<std::size_t>(j)] = tasks_for(
+          j, std::max(0.0, shares[static_cast<std::size_t>(j)] - tol));
+    if (!builder.feasible(floors)) return false;
+  }
+
+  std::vector<char> fixed(static_cast<std::size_t>(n), 0);
+  std::vector<double> fixed_floor(static_cast<std::size_t>(n), 0.0);
+  int unfixed = 0;
+  for (int j = 0; j < n; ++j) {
+    double cap_total = 0.0;
+    for (int s = 0; s < problem.sites(); ++s)
+      cap_total += problem.task_cap(j, s);
+    if (cap_total <= 0.0 || delta[static_cast<std::size_t>(j)] <= 0.0) {
+      // Structurally zero: its claimed share must be (near) zero.
+      if (shares[static_cast<std::size_t>(j)] > tol) return false;
+      fixed[static_cast<std::size_t>(j)] = 1;
+    } else {
+      ++unfixed;
+    }
+  }
+
+  // max common minimum of the unfixed jobs via the level LP.
+  auto max_common_min = [&]() {
+    lp::LinearProgram program;
+    program.variables = builder.vars + 1;
+    const int t_var = builder.vars;
+    program.objective.assign(static_cast<std::size_t>(program.variables),
+                             0.0);
+    program.objective[static_cast<std::size_t>(t_var)] = 1.0;
+    std::vector<double> base(fixed_floor);
+    for (int j = 0; j < n; ++j)
+      if (!fixed[static_cast<std::size_t>(j)])
+        base[static_cast<std::size_t>(j)] = 0.0;
+    for (auto& row : builder.rows(base)) {
+      row.coeffs.push_back(0.0);
+      program.rows.push_back(std::move(row));
+    }
+    for (int j = 0; j < n; ++j) {
+      if (fixed[static_cast<std::size_t>(j)]) continue;
+      lp::Row row;
+      row.coeffs.assign(static_cast<std::size_t>(program.variables), 0.0);
+      for (int s = 0; s < problem.sites(); ++s) {
+        int v = builder.var_of[static_cast<std::size_t>(j)]
+                              [static_cast<std::size_t>(s)];
+        if (v >= 0) row.coeffs[static_cast<std::size_t>(v)] = 1.0;
+      }
+      row.coeffs[static_cast<std::size_t>(t_var)] =
+          -1.0 / delta[static_cast<std::size_t>(j)];
+      row.type = lp::RowType::kGe;
+      row.rhs = 0.0;
+      program.rows.push_back(std::move(row));
+    }
+    lp::Row bound;
+    bound.coeffs.assign(static_cast<std::size_t>(program.variables), 0.0);
+    bound.coeffs[static_cast<std::size_t>(builder.vars)] = 1.0;
+    bound.type = lp::RowType::kLe;
+    bound.rhs = 1.0;
+    program.rows.push_back(std::move(bound));
+    auto result = lp::solve(program);
+    if (result.status != lp::LpStatus::kOptimal) return -1.0;
+    return result.objective;
+  };
+
+  const double probe_step = std::max(tol * 16.0, 1e-4);
+  for (int round = 0; round < n + 1 && unfixed > 0; ++round) {
+    double claimed_min = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < n; ++j)
+      if (!fixed[static_cast<std::size_t>(j)])
+        claimed_min =
+            std::min(claimed_min, shares[static_cast<std::size_t>(j)]);
+
+    double level = max_common_min();
+    if (level < 0.0) return false;  // fixed floors became infeasible
+    if (std::abs(level - claimed_min) > tol * std::max(1.0, claimed_min) +
+                                            probe_step)
+      return false;  // the claimed minimum is not LP-optimal
+
+    // Probe every job sitting on the level; the un-improvable ones are
+    // correctly placed, an improvable one means the vector under-serves
+    // it. Jobs above the level stay unfixed for the next peel.
+    int newly = 0;
+    std::vector<double> floors(fixed_floor);
+    for (int j = 0; j < n; ++j)
+      if (!fixed[static_cast<std::size_t>(j)])
+        floors[static_cast<std::size_t>(j)] =
+            tasks_for(j, std::max(0.0, level - tol));
+    for (int j = 0; j < n; ++j) {
+      if (fixed[static_cast<std::size_t>(j)]) continue;
+      if (shares[static_cast<std::size_t>(j)] >
+          level + tol * std::max(1.0, level) + probe_step)
+        continue;  // above this level; peeled later
+      auto probe = floors;
+      probe[static_cast<std::size_t>(j)] = tasks_for(j, level + probe_step);
+      if (builder.feasible(probe)) return false;  // j should exceed level
+      fixed[static_cast<std::size_t>(j)] = 1;
+      fixed_floor[static_cast<std::size_t>(j)] =
+          tasks_for(j, std::max(0.0, level - tol));
+      --unfixed;
+      ++newly;
+    }
+    if (newly == 0) return false;  // no job on its claimed level
+  }
+  return unfixed == 0;
+}
+
+}  // namespace amf::multiresource

@@ -1,0 +1,57 @@
+// drf.hpp — Dominant Resource Fairness allocators, single-site and
+// aggregate.
+//
+// Per-site DRF (the natural multi-resource baseline, what Mesos/YARN do
+// independently in every cluster): at each site, progressive filling on
+// the site-local dominant shares with task caps — computed in closed
+// form by bisection on the common level.
+//
+// Aggregate DRF (ADRF, the multi-resource analogue of the paper's AMF):
+// the vector of *aggregate* dominant shares D_j = X_j·δ_j is
+// lexicographically max-min fair over the joint feasible region. Since
+// Leontief constraints are linear but not flow-representable, progressive
+// filling here uses the LP substrate (src/lp): a bisection on the common
+// level with LP feasibility checks, per-job freeze probes, and a final
+// Pareto top-up LP that maximizes total tasks subject to the fair floors.
+#pragma once
+
+#include "multiresource/problem.hpp"
+
+namespace amf::multiresource {
+
+/// Per-site DRF baseline.
+class PerSiteDrfAllocator {
+ public:
+  explicit PerSiteDrfAllocator(double eps = 1e-10) : eps_(eps) {}
+
+  TaskMatrix allocate(const MultiResourceProblem& problem) const;
+
+ private:
+  double eps_;
+};
+
+/// Aggregate DRF allocator (the multi-site extension).
+class AggregateDrfAllocator {
+ public:
+  /// `level_iters`: bisection resolution per filling round;
+  /// `max_rounds`: progressive-filling rounds (each freezes >= 1 job).
+  explicit AggregateDrfAllocator(double eps = 1e-9, int level_iters = 40,
+                                 int max_rounds = 12)
+      : eps_(eps), level_iters_(level_iters), max_rounds_(max_rounds) {}
+
+  TaskMatrix allocate(const MultiResourceProblem& problem) const;
+
+ private:
+  double eps_;
+  int level_iters_;
+  int max_rounds_;
+};
+
+/// Definitional oracle: is `shares` the lex max-min fair vector of
+/// aggregate dominant shares? (Feasible, and no job can gain while every
+/// weakly-worse-off job keeps its share — each probe is one LP.)
+bool is_aggregate_drf_fair(const MultiResourceProblem& problem,
+                           const std::vector<double>& shares,
+                           double tol = 1e-5);
+
+}  // namespace amf::multiresource

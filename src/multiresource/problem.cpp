@@ -1,0 +1,152 @@
+#include "multiresource/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace amf::multiresource {
+
+MultiResourceProblem::MultiResourceProblem(
+    TaskMatrix task_caps, std::vector<std::vector<double>> profiles,
+    std::vector<std::vector<double>> capacities)
+    : task_caps_(std::move(task_caps)),
+      profiles_(std::move(profiles)),
+      capacities_(std::move(capacities)) {
+  AMF_REQUIRE(!capacities_.empty(), "at least one site required");
+  const std::size_t m = capacities_.size();
+  const std::size_t r_count = capacities_[0].size();
+  AMF_REQUIRE(r_count >= 1, "at least one resource required");
+  for (const auto& site : capacities_) {
+    AMF_REQUIRE(site.size() == r_count, "ragged capacity matrix");
+    for (double c : site)
+      AMF_REQUIRE(c >= 0.0 && std::isfinite(c), "capacities must be >= 0");
+  }
+  AMF_REQUIRE(task_caps_.size() == profiles_.size(),
+              "task cap / profile job count mismatch");
+  for (const auto& row : task_caps_) {
+    AMF_REQUIRE(row.size() == m, "task cap row width != site count");
+    for (double c : row)
+      AMF_REQUIRE(c >= 0.0 && std::isfinite(c), "task caps must be >= 0");
+  }
+  for (const auto& p : profiles_) {
+    AMF_REQUIRE(p.size() == r_count, "profile width != resource count");
+    bool any = false;
+    for (double v : p) {
+      AMF_REQUIRE(v >= 0.0 && std::isfinite(v), "profiles must be >= 0");
+      any |= (v > 0.0);
+    }
+    AMF_REQUIRE(any, "each job must consume at least one resource");
+  }
+  for (const auto& site : capacities_)
+    for (double c : site) scale_ = std::max(scale_, c);
+  for (const auto& row : task_caps_)
+    for (double c : row) scale_ = std::max(scale_, c);
+  for (const auto& p : profiles_)
+    for (double v : p) scale_ = std::max(scale_, v);
+
+  for (int r = 0; r < resources(); ++r)
+    AMF_REQUIRE(total_capacity(r) > 0.0 ||
+                    std::all_of(profiles_.begin(), profiles_.end(),
+                                [r](const auto& p) {
+                                  return p[static_cast<std::size_t>(r)] == 0.0;
+                                }),
+                "a demanded resource must have positive total capacity");
+}
+
+double MultiResourceProblem::task_cap(int job, int site) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  AMF_REQUIRE(site >= 0 && site < sites(), "site index out of range");
+  return task_caps_[static_cast<std::size_t>(job)][static_cast<std::size_t>(site)];
+}
+
+double MultiResourceProblem::profile(int job, int resource) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  AMF_REQUIRE(resource >= 0 && resource < resources(),
+              "resource index out of range");
+  return profiles_[static_cast<std::size_t>(job)]
+                  [static_cast<std::size_t>(resource)];
+}
+
+double MultiResourceProblem::capacity(int site, int resource) const {
+  AMF_REQUIRE(site >= 0 && site < sites(), "site index out of range");
+  AMF_REQUIRE(resource >= 0 && resource < resources(),
+              "resource index out of range");
+  return capacities_[static_cast<std::size_t>(site)]
+                    [static_cast<std::size_t>(resource)];
+}
+
+double MultiResourceProblem::total_capacity(int resource) const {
+  AMF_REQUIRE(resource >= 0 && resource < resources(),
+              "resource index out of range");
+  double total = 0.0;
+  for (const auto& site : capacities_)
+    total += site[static_cast<std::size_t>(resource)];
+  return total;
+}
+
+double MultiResourceProblem::dominant_share_per_task(int job) const {
+  double best = 0.0;
+  for (int r = 0; r < resources(); ++r) {
+    double pool = total_capacity(r);
+    if (pool <= 0.0) continue;
+    best = std::max(best, profile(job, r) / pool);
+  }
+  return best;
+}
+
+int MultiResourceProblem::dominant_resource(int job) const {
+  int best_r = 0;
+  double best = -1.0;
+  for (int r = 0; r < resources(); ++r) {
+    double pool = total_capacity(r);
+    if (pool <= 0.0) continue;
+    double share = profile(job, r) / pool;
+    if (share > best) {
+      best = share;
+      best_r = r;
+    }
+  }
+  return best_r;
+}
+
+std::vector<double> MultiResourceProblem::dominant_shares(
+    const TaskMatrix& x) const {
+  AMF_REQUIRE(static_cast<int>(x.size()) == jobs(),
+              "allocation height != job count");
+  std::vector<double> shares(static_cast<std::size_t>(jobs()), 0.0);
+  for (int j = 0; j < jobs(); ++j) {
+    AMF_REQUIRE(static_cast<int>(x[static_cast<std::size_t>(j)].size()) ==
+                    sites(),
+                "allocation width != site count");
+    double tasks = 0.0;
+    for (double v : x[static_cast<std::size_t>(j)]) tasks += v;
+    shares[static_cast<std::size_t>(j)] =
+        tasks * dominant_share_per_task(j);
+  }
+  return shares;
+}
+
+bool MultiResourceProblem::feasible(const TaskMatrix& x, double eps) const {
+  if (static_cast<int>(x.size()) != jobs()) return false;
+  const double tol = eps * scale_;
+  for (int j = 0; j < jobs(); ++j) {
+    if (static_cast<int>(x[static_cast<std::size_t>(j)].size()) != sites())
+      return false;
+    for (int s = 0; s < sites(); ++s) {
+      double v = x[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+      if (v < -tol || v > task_cap(j, s) + tol) return false;
+    }
+  }
+  for (int s = 0; s < sites(); ++s)
+    for (int r = 0; r < resources(); ++r) {
+      double used = 0.0;
+      for (int j = 0; j < jobs(); ++j)
+        used += x[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] *
+                profile(j, r);
+      if (used > capacity(s, r) + tol) return false;
+    }
+  return true;
+}
+
+}  // namespace amf::multiresource

@@ -1,0 +1,68 @@
+// problem.hpp — the multi-resource, multi-site allocation model.
+//
+// An extension of the paper's single-resource model in the direction of
+// DRF (Dominant Resource Fairness, the mechanism behind Mesos/YARN fair
+// schedulers, which the paper generalizes across sites): every site now
+// offers R resource types, and each job runs Leontief tasks with a fixed
+// per-task consumption profile. Data locality appears as per-site task
+// caps. Fairness is defined on the *aggregate dominant share*: the
+// fraction of the system-wide pool of a job's dominant resource that its
+// tasks consume across all sites.
+#pragma once
+
+#include <vector>
+
+namespace amf::multiresource {
+
+/// x[j][s] = number of (divisible) tasks of job j placed at site s.
+using TaskMatrix = std::vector<std::vector<double>>;
+
+class MultiResourceProblem {
+ public:
+  /// `task_caps[j][s]`: maximum tasks of job j at site s (0 = no data
+  /// there); `profiles[j][r]`: per-task consumption of resource r (at
+  /// least one positive entry per job); `capacities[s][r]`: site s's pool
+  /// of resource r.
+  MultiResourceProblem(TaskMatrix task_caps,
+                       std::vector<std::vector<double>> profiles,
+                       std::vector<std::vector<double>> capacities);
+
+  int jobs() const { return static_cast<int>(task_caps_.size()); }
+  int sites() const { return static_cast<int>(capacities_.size()); }
+  int resources() const {
+    return capacities_.empty() ? 0 : static_cast<int>(capacities_[0].size());
+  }
+
+  double task_cap(int job, int site) const;
+  double profile(int job, int resource) const;
+  double capacity(int site, int resource) const;
+
+  /// Σ_s capacities[s][r] — the system-wide pool of resource r.
+  double total_capacity(int resource) const;
+
+  /// Dominant share contributed by ONE task of job j:
+  /// max_r profile[j][r] / total_capacity(r). The aggregate dominant
+  /// share of the job is linear in its total task count: D_j = X_j · δ_j.
+  double dominant_share_per_task(int job) const;
+
+  /// argmax of the above.
+  int dominant_resource(int job) const;
+
+  /// Per-job aggregate dominant shares of a task allocation.
+  std::vector<double> dominant_shares(const TaskMatrix& x) const;
+
+  /// 0 <= x <= caps and per-site-resource capacity respected (relative
+  /// tolerance eps).
+  bool feasible(const TaskMatrix& x, double eps = 1e-7) const;
+
+  /// Largest capacity/cap/profile magnitude (>= 1), for tolerances.
+  double scale() const { return scale_; }
+
+ private:
+  TaskMatrix task_caps_;
+  std::vector<std::vector<double>> profiles_;
+  std::vector<std::vector<double>> capacities_;
+  double scale_ = 1.0;
+};
+
+}  // namespace amf::multiresource

@@ -1,0 +1,226 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/stability.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace amf::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ActiveJob {
+  int id = 0;
+  double arrival = 0.0;
+  double total_work = 0.0;
+  std::vector<double> remaining;  // per site
+  std::vector<double> demands;    // original caps, per site
+  double weight = 1.0;
+
+  bool done(double tol) const {
+    for (double r : remaining)
+      if (r > tol) return false;
+    return true;
+  }
+};
+
+}  // namespace
+
+Simulator::Simulator(const core::Allocator& policy, SimulatorConfig config)
+    : policy_(policy), config_(config) {
+  AMF_REQUIRE(config.eps > 0.0, "eps must be positive");
+  AMF_REQUIRE(config.migration_penalty >= 0.0,
+              "migration penalty must be >= 0");
+}
+
+std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
+  const int m = static_cast<int>(trace.capacities.size());
+  AMF_REQUIRE(m > 0, "trace needs at least one site");
+  for (const auto& job : trace.jobs) {
+    AMF_REQUIRE(static_cast<int>(job.workloads.size()) == m,
+                "trace job workload width mismatch");
+    AMF_REQUIRE(static_cast<int>(job.demands.size()) == m,
+                "trace job demand width mismatch");
+  }
+  for (std::size_t i = 1; i < trace.jobs.size(); ++i)
+    AMF_REQUIRE(trace.jobs[i].arrival >= trace.jobs[i - 1].arrival,
+                "trace must be sorted by arrival");
+
+  stats_ = RunStats{};
+  double work_scale = 1.0;
+  for (const auto& job : trace.jobs)
+    for (double w : job.workloads) work_scale = std::max(work_scale, w);
+  const double work_tol = 1e-9 * work_scale;
+  const double total_capacity = std::accumulate(
+      trace.capacities.begin(), trace.capacities.end(), 0.0);
+
+  std::vector<JobRecord> records(trace.jobs.size());
+  std::vector<ActiveJob> active;
+  double jain_area = 0.0;   // ∫ jain(active aggregates) dt
+  double jain_time = 0.0;   // total time with >= 2 active jobs
+  std::size_t next_arrival = 0;
+  double clock = 0.0;
+  double busy_area = 0.0;  // ∫ used-capacity dt
+
+  core::JctAddon addon(config_.eps);
+  core::StabilityAddon stability(config_.eps);
+  // Previous event's per-site shares, keyed by job id (for churn
+  // accounting and the stability add-on).
+  std::unordered_map<int, std::vector<double>> prev_shares;
+
+  auto admit_due = [&] {
+    while (next_arrival < trace.jobs.size() &&
+           trace.jobs[next_arrival].arrival <= clock + 1e-12) {
+      const auto& spec = trace.jobs[next_arrival];
+      ActiveJob job;
+      job.id = static_cast<int>(next_arrival);
+      job.arrival = spec.arrival;
+      job.remaining = spec.workloads;
+      job.demands = spec.demands;
+      job.weight = spec.weight;
+      job.total_work = std::accumulate(spec.workloads.begin(),
+                                       spec.workloads.end(), 0.0);
+      auto& rec = records[next_arrival];
+      rec.id = job.id;
+      rec.arrival = spec.arrival;
+      rec.total_work = job.total_work;
+      if (job.done(work_tol)) {
+        rec.completion = spec.arrival;  // empty job: completes on arrival
+      } else {
+        active.push_back(std::move(job));
+      }
+      ++next_arrival;
+    }
+  };
+
+  while (!active.empty() || next_arrival < trace.jobs.size()) {
+    if (active.empty()) {
+      clock = trace.jobs[next_arrival].arrival;
+      admit_due();
+      continue;
+    }
+
+    // Build the residual allocation problem: demand caps are zeroed at
+    // sites whose part already drained (no point holding resources there).
+    const int n = static_cast<int>(active.size());
+    core::Matrix demands(static_cast<std::size_t>(n)),
+        workloads(static_cast<std::size_t>(n));
+    std::vector<double> weights(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      const auto& job = active[static_cast<std::size_t>(j)];
+      auto& drow = demands[static_cast<std::size_t>(j)];
+      drow.assign(static_cast<std::size_t>(m), 0.0);
+      for (int s = 0; s < m; ++s)
+        if (job.remaining[static_cast<std::size_t>(s)] > work_tol)
+          drow[static_cast<std::size_t>(s)] =
+              job.demands[static_cast<std::size_t>(s)];
+      workloads[static_cast<std::size_t>(j)] = job.remaining;
+      for (auto& w : workloads[static_cast<std::size_t>(j)])
+        if (w <= work_tol) w = 0.0;
+      weights[static_cast<std::size_t>(j)] = job.weight;
+    }
+    core::AllocationProblem problem(std::move(demands), trace.capacities,
+                                    std::move(workloads), std::move(weights));
+    core::Allocation alloc = policy_.allocate(problem);
+    if (config_.use_jct_addon) alloc = addon.optimize(problem, alloc);
+
+    // Previous placement of the current active set (zeros for arrivals).
+    core::Matrix prev_matrix(static_cast<std::size_t>(n),
+                             std::vector<double>(static_cast<std::size_t>(m),
+                                                 0.0));
+    for (int j = 0; j < n; ++j) {
+      auto it = prev_shares.find(active[static_cast<std::size_t>(j)].id);
+      if (it != prev_shares.end())
+        prev_matrix[static_cast<std::size_t>(j)] = it->second;
+    }
+    core::Allocation prev_alloc(prev_matrix);
+    if (config_.use_stability_addon)
+      alloc = stability.optimize(problem, alloc, prev_alloc);
+    stats_.total_churn += core::StabilityAddon::churn(alloc, prev_alloc);
+    if (config_.migration_penalty > 0.0) {
+      // Withdrawing allocation from an unfinished part costs progress.
+      for (int j = 0; j < n; ++j) {
+        auto& job = active[static_cast<std::size_t>(j)];
+        for (int s = 0; s < m; ++s) {
+          double r = job.remaining[static_cast<std::size_t>(s)];
+          if (r <= work_tol) continue;
+          double withdrawn = prev_alloc.share(j, s) - alloc.share(j, s);
+          if (withdrawn > 0.0)
+            job.remaining[static_cast<std::size_t>(s)] =
+                r + config_.migration_penalty * withdrawn;
+        }
+      }
+    }
+    for (int j = 0; j < n; ++j) {
+      stats_.aggregate_drift +=
+          std::abs(alloc.aggregate(j) - prev_alloc.aggregate(j));
+      prev_shares[active[static_cast<std::size_t>(j)].id] =
+          alloc.shares()[static_cast<std::size_t>(j)];
+    }
+    ++stats_.events;
+
+    // Next event: earliest site-part completion or next arrival.
+    double dt = kInf;
+    if (next_arrival < trace.jobs.size())
+      dt = trace.jobs[next_arrival].arrival - clock;
+    for (int j = 0; j < n; ++j) {
+      const auto& job = active[static_cast<std::size_t>(j)];
+      for (int s = 0; s < m; ++s) {
+        double r = job.remaining[static_cast<std::size_t>(s)];
+        if (r <= work_tol) continue;
+        double rate = alloc.share(j, s);
+        if (rate > 0.0) dt = std::min(dt, r / rate);
+      }
+    }
+    AMF_ASSERT(std::isfinite(dt) && dt >= 0.0,
+               "simulation stalled: no progress and no arrivals");
+
+    // Advance time, drain work.
+    double used = 0.0;
+    for (int j = 0; j < n; ++j) {
+      auto& job = active[static_cast<std::size_t>(j)];
+      for (int s = 0; s < m; ++s) {
+        double r = job.remaining[static_cast<std::size_t>(s)];
+        if (r <= work_tol) continue;
+        double rate = alloc.share(j, s);
+        used += rate;
+        double left = r - rate * dt;
+        job.remaining[static_cast<std::size_t>(s)] =
+            left <= work_tol ? 0.0 : left;
+      }
+    }
+    busy_area += used * dt;
+    if (n >= 2) {
+      jain_area += util::jain_index(alloc.aggregates()) * dt;
+      jain_time += dt;
+    }
+    clock += dt;
+
+    // Retire finished jobs.
+    for (auto it = active.begin(); it != active.end();) {
+      if (it->done(work_tol)) {
+        records[static_cast<std::size_t>(it->id)].completion = clock;
+        prev_shares.erase(it->id);
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    admit_due();
+  }
+
+  stats_.makespan = clock;
+  stats_.time_avg_jain = jain_time > 0.0 ? jain_area / jain_time : 1.0;
+  stats_.avg_utilization =
+      (clock > 0.0 && total_capacity > 0.0) ? busy_area / (clock * total_capacity)
+                                            : 0.0;
+  return records;
+}
+
+}  // namespace amf::sim

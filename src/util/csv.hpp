@@ -1,0 +1,42 @@
+// csv.hpp — small CSV emitter for experiment output. Benches print their
+// series to stdout in CSV so figures can be regenerated with any plotting
+// tool; CsvWriter handles quoting and column consistency.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace amf::util {
+
+/// Streams rows of a fixed-width CSV table. The header row fixes the column
+/// count; subsequent rows must match it.
+class CsvWriter {
+ public:
+  /// Writes the header immediately. `out` must outlive the writer.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Writes one data row; throws ContractError on column-count mismatch.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with enough digits to round-trip.
+  void row_numeric(const std::vector<double>& cells);
+
+  std::size_t columns() const { return columns_; }
+
+  /// Escapes one CSV field (quotes when it contains comma/quote/newline).
+  static std::string escape(const std::string& field);
+
+  /// Round-trippable decimal formatting for doubles (trims trailing zeros).
+  static std::string format(double v);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ostream& out_;
+  std::size_t columns_;
+};
+
+}  // namespace amf::util

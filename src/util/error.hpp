@@ -1,0 +1,60 @@
+// error.hpp — lightweight contract checking for the amf library.
+//
+// The library validates its inputs at API boundaries and throws
+// `amf::util::ContractError` with a descriptive message on violation.
+// Internal invariants use AMF_ASSERT which is compiled in all build types
+// (allocation problems are small; the cost is negligible and the safety is
+// worth it for a fairness library whose outputs feed schedulers).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace amf::util {
+
+/// Thrown when a caller violates an API precondition.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant fails (indicates a library bug).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_contract(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+
+[[noreturn]] inline void throw_internal(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace amf::util
+
+/// Validate a caller-supplied precondition; throws ContractError on failure.
+#define AMF_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::amf::util::detail::throw_contract(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+/// Validate an internal invariant; throws InternalError on failure.
+#define AMF_ASSERT(expr, msg)                                               \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::amf::util::detail::throw_internal(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)

@@ -1,0 +1,51 @@
+// parallel.hpp — a small work-stealing-free thread pool and parallel_for
+// used by the experiment harnesses to run parameter sweeps concurrently.
+// Each sweep point owns an independent Rng (via Rng::split at setup time),
+// so parallel execution never perturbs the reported numbers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace amf::util {
+
+/// Fixed-size thread pool executing arbitrary tasks. Join happens on
+/// destruction; tasks submitted after shutdown throw.
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future reports its completion/exception.
+  std::future<void> submit(std::function<void()> task);
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across a transient pool of `threads`
+/// workers (0 = hardware concurrency). Exceptions from any iteration are
+/// rethrown on the calling thread (first one wins). Iterations are chunked
+/// contiguously to keep per-task overhead low.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace amf::util

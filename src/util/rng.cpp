@@ -1,0 +1,191 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace amf::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x);
+  // xoshiro's all-zero state is a fixed point; splitmix64 cannot produce
+  // four zero words from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  AMF_REQUIRE(lo <= hi, "uniform(lo, hi) needs lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  AMF_REQUIRE(n > 0, "uniform_index(0) is undefined");
+  // Lemire's unbiased bounded sampling.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = (~n + 1) % n;  // (2^64 - n) mod n
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  AMF_REQUIRE(lo <= hi, "uniform_int(lo, hi) needs lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::exponential(double lambda) {
+  AMF_REQUIRE(lambda > 0, "exponential rate must be positive");
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller without caching the second variate, so that the stream of
+  // raw draws consumed is a deterministic function of the call sequence.
+  double u1 = 1.0 - uniform();  // (0, 1]
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double xm, double alpha) {
+  AMF_REQUIRE(xm > 0 && alpha > 0, "pareto needs xm > 0 and alpha > 0");
+  double u = 1.0 - uniform();  // (0, 1]
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::gamma(double shape) {
+  AMF_REQUIRE(shape > 0, "gamma shape must be positive");
+  if (shape < 1.0) {
+    // Boost: Gamma(k) = Gamma(k+1) * U^{1/k}.
+    double u = 1.0 - uniform();
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0) continue;
+    v = v * v * v;
+    double u = 1.0 - uniform();  // (0, 1]
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  ZipfSampler sampler(static_cast<std::size_t>(n), s);
+  return sampler(*this);
+}
+
+std::vector<double> Rng::dirichlet(std::size_t n, double alpha) {
+  AMF_REQUIRE(n > 0, "dirichlet dimension must be positive");
+  AMF_REQUIRE(alpha > 0, "dirichlet concentration must be positive");
+  std::vector<double> x(n);
+  double sum = 0.0;
+  for (auto& xi : x) {
+    xi = gamma(alpha);
+    sum += xi;
+  }
+  if (sum <= 0) {
+    // Vanishingly unlikely underflow for tiny alpha: fall back to a
+    // one-hot sample, which is the alpha -> 0 limit of the Dirichlet.
+    std::fill(x.begin(), x.end(), 0.0);
+    x[static_cast<std::size_t>(uniform_index(n))] = 1.0;
+    return x;
+  }
+  for (auto& xi : x) xi /= sum;
+  return x;
+}
+
+Rng Rng::split() {
+  // A child seeded from two fresh draws; streams do not overlap in practice
+  // for the scale of experiments here.
+  std::uint64_t a = (*this)();
+  std::uint64_t b = (*this)();
+  return Rng(a ^ rotl(b, 32));
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  AMF_REQUIRE(n > 0, "ZipfSampler needs n > 0");
+  AMF_REQUIRE(s >= 0, "ZipfSampler exponent must be non-negative");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const {
+  double u = rng.uniform();
+  // First index whose CDF exceeds u.
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] > u)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+double ZipfSampler::pmf(std::size_t i) const {
+  AMF_REQUIRE(i < cdf_.size(), "ZipfSampler::pmf index out of range");
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace amf::util

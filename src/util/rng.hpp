@@ -1,0 +1,108 @@
+// rng.hpp — deterministic pseudo-random number generation for experiments.
+//
+// All stochastic components of the library (workload generators, strategy
+// probes, property sweeps) draw from `amf::util::Rng`, a xoshiro256++
+// generator seeded through splitmix64. Fixing the seed fixes every
+// experiment end-to-end, across platforms and standard-library versions
+// (we never use std::uniform_*_distribution, whose output is
+// implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace amf::util {
+
+/// Deterministic, platform-independent PRNG (xoshiro256++).
+///
+/// Satisfies the UniformRandomBitGenerator concept, but prefer the
+/// distribution helpers below for reproducibility.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state via splitmix64(seed).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  std::uint64_t operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Exponential with rate lambda > 0 (mean 1/lambda).
+  double exponential(double lambda);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Pareto (Lomax-style, xm scale, alpha shape > 0): xm / U^{1/alpha}.
+  double pareto(double xm, double alpha);
+
+  /// Gamma(shape k > 0, scale 1) via Marsaglia–Tsang (k >= 1) with the
+  /// standard boost for k < 1.
+  double gamma(double shape);
+
+  /// Zipf-distributed index in [0, n): P(i) ∝ 1/(i+1)^s. s = 0 is uniform.
+  /// Sampling is inverse-CDF on precomputed weights; for repeated draws
+  /// with the same (n, s) prefer ZipfSampler.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Dirichlet(alpha, ..., alpha) sample of dimension n: a random point on
+  /// the simplex; alpha < 1 concentrates mass on few coordinates (skew),
+  /// alpha -> inf approaches the uniform split.
+  std::vector<double> dirichlet(std::size_t n, double alpha);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel sweeps).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Precomputed Zipf sampler over [0, n) with exponent s >= 0.
+/// O(log n) per draw via binary search over the CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t operator()(Rng& rng) const;
+
+  /// Probability of index i.
+  double pmf(std::size_t i) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // inclusive prefix sums, last element == 1
+};
+
+}  // namespace amf::util

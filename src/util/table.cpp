@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace amf::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  AMF_REQUIRE(!header_.empty(), "table header must not be empty");
+}
+
+void Table::row(std::vector<std::string> cells) {
+  AMF_REQUIRE(cells.size() == header_.size(), "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::row_numeric(const std::string& label,
+                        const std::vector<double>& cells) {
+  std::vector<std::string> r;
+  r.reserve(cells.size() + 1);
+  r.push_back(label);
+  for (double v : cells) r.push_back(CsvWriter::format(v));
+  row(std::move(r));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    width[i] = header_[i].size();
+  for (const auto& r : rows_)
+    for (std::size_t i = 0; i < r.size(); ++i)
+      width[i] = std::max(width[i], r[i].size());
+
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) out << "  ";
+      out << r[i];
+      for (std::size_t p = r[i].size(); p < width[i]; ++p) out << ' ';
+    }
+    out << '\n';
+  };
+
+  emit(header_);
+  std::string sep;
+  for (std::size_t i = 0; i < width.size(); ++i) {
+    if (i) sep += "  ";
+    sep += std::string(width[i], '-');
+  }
+  out << sep << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace amf::util

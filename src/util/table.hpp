@@ -1,0 +1,31 @@
+// table.hpp — aligned console tables for bench/example output. The paper's
+// tables (property satisfaction, runtime comparisons) are rendered with
+// this printer so that bench output is directly readable in a terminal.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace amf::util {
+
+/// Collects rows then renders an aligned ASCII table. Numeric convenience
+/// overloads format via CsvWriter::format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+  void row_numeric(const std::string& label, const std::vector<double>& cells);
+
+  /// Renders with a header separator; columns padded to content width.
+  void print(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace amf::util

@@ -1,0 +1,100 @@
+// generator.hpp — synthetic multi-site workloads.
+//
+// The paper evaluates AMF on simulated workloads whose defining knob is
+// how skewed each job's work distribution is across sites. We model that
+// with two mechanisms that can be combined:
+//   * site popularity follows a Zipf law with exponent `zipf_skew` — jobs
+//     place their data on hot sites more often as the exponent grows
+//     (z = 0 is uniform);
+//   * within a job, work splits across its chosen sites by a Dirichlet
+//     draw with concentration `split_alpha` (small alpha = the job's work
+//     piles onto one of its sites).
+// Job sizes follow a configurable distribution; demand caps come from a
+// demand model (see below).
+#pragma once
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+
+namespace amf::workload {
+
+/// How per-site demand caps d[j][s] derive from workloads.
+enum class DemandModel {
+  /// d[j][s] = C[s] wherever the job has work: the job could absorb the
+  /// whole site (elastic parallelism). The paper's headline setting.
+  kUncapped,
+  /// d[j][s] = demand_factor · w[j][s]: parallelism proportional to the
+  /// work present at the site (a task-slot model).
+  kProportionalToWork,
+};
+
+/// Job size distribution for total work W_j.
+enum class SizeDistribution { kUniform, kLognormal, kPareto };
+
+struct GeneratorConfig {
+  int jobs = 100;
+  int sites = 10;
+
+  /// Zipf exponent of site popularity (0 = uniform placement).
+  double zipf_skew = 1.0;
+  /// Number of sites holding each job's data, drawn uniformly from
+  /// [sites_per_job_min, sites_per_job_max] (clamped to `sites`).
+  int sites_per_job_min = 1;
+  int sites_per_job_max = 4;
+  /// Dirichlet concentration of the within-job work split (1 = flat
+  /// simplex; < 1 skews the split itself).
+  double split_alpha = 1.0;
+
+  SizeDistribution size_distribution = SizeDistribution::kLognormal;
+  /// Mean of total work per job (lognormal sigma / pareto alpha below).
+  double mean_job_work = 100.0;
+  double lognormal_sigma = 1.0;
+  double pareto_alpha = 1.5;
+
+  /// Site capacity before jitter.
+  double capacity_per_site = 100.0;
+  /// Uniform multiplicative jitter: C[s] = capacity_per_site·(1 ± jitter).
+  double capacity_jitter = 0.0;
+
+  DemandModel demand_model = DemandModel::kUncapped;
+  /// Used by kProportionalToWork.
+  double demand_factor = 1.0;
+
+  std::uint64_t seed = 42;
+};
+
+/// Deterministic workload generator (same config + seed = same instance).
+class Generator {
+ public:
+  explicit Generator(GeneratorConfig config);
+
+  /// One instance; advances the internal RNG (call repeatedly for a
+  /// sequence of independent instances).
+  core::AllocationProblem generate();
+
+  /// Total work W_j for a fresh job (exposed for trace generation).
+  double draw_job_work(util::Rng& rng) const;
+
+  const GeneratorConfig& config() const { return config_; }
+  util::Rng& rng() { return rng_; }
+
+  /// Per-site workload row + matching demand row for one job against the
+  /// given capacities (exposed for trace generation).
+  struct JobRow {
+    std::vector<double> workloads;
+    std::vector<double> demands;
+  };
+  JobRow draw_job_row(const std::vector<double>& capacities, util::Rng& rng) const;
+
+  /// Site capacities for one instance.
+  std::vector<double> draw_capacities(util::Rng& rng) const;
+
+ private:
+  GeneratorConfig config_;
+  util::Rng rng_;
+  util::ZipfSampler site_sampler_;
+};
+
+}  // namespace amf::workload

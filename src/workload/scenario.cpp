@@ -1,0 +1,66 @@
+#include "workload/scenario.hpp"
+
+namespace amf::workload {
+
+GeneratorConfig paper_default(double zipf_skew, std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.jobs = 100;
+  cfg.sites = 10;
+  cfg.zipf_skew = zipf_skew;
+  cfg.sites_per_job_min = 1;
+  cfg.sites_per_job_max = 4;
+  cfg.split_alpha = 1.0;
+  cfg.size_distribution = SizeDistribution::kLognormal;
+  cfg.mean_job_work = 100.0;
+  cfg.lognormal_sigma = 1.0;
+  cfg.capacity_per_site = 100.0;
+  cfg.demand_model = DemandModel::kUncapped;
+  cfg.seed = seed;
+  return cfg;
+}
+
+GeneratorConfig property_sweep(std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.jobs = 8;
+  cfg.sites = 4;
+  cfg.zipf_skew = 0.8;
+  cfg.sites_per_job_min = 1;
+  cfg.sites_per_job_max = 3;
+  cfg.split_alpha = 0.7;
+  cfg.size_distribution = SizeDistribution::kUniform;
+  cfg.mean_job_work = 50.0;
+  cfg.capacity_per_site = 60.0;
+  cfg.capacity_jitter = 0.3;
+  cfg.demand_model = DemandModel::kProportionalToWork;
+  cfg.demand_factor = 1.5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+GeneratorConfig geo_analytics(std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.jobs = 150;
+  cfg.sites = 12;
+  cfg.zipf_skew = 1.2;
+  cfg.sites_per_job_min = 2;
+  cfg.sites_per_job_max = 6;
+  cfg.split_alpha = 0.5;
+  cfg.size_distribution = SizeDistribution::kPareto;
+  cfg.pareto_alpha = 1.5;
+  cfg.mean_job_work = 200.0;
+  cfg.capacity_per_site = 120.0;
+  cfg.capacity_jitter = 0.5;
+  cfg.demand_model = DemandModel::kUncapped;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<Scenario> all_scenarios() {
+  return {
+      {"paper_default", paper_default()},
+      {"property_sweep", property_sweep(1)},
+      {"geo_analytics", geo_analytics()},
+  };
+}
+
+}  // namespace amf::workload

@@ -1,0 +1,34 @@
+// scenario.hpp — named workload presets shared by benches, examples and
+// tests, so every experiment in EXPERIMENTS.md is reproducible from a
+// one-line scenario reference.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace amf::workload {
+
+/// The default evaluation setting: 100 jobs over 10 sites, lognormal job
+/// sizes, data on 1–4 sites per job, uncapped demands. Skew is the free
+/// variable of most sweeps.
+GeneratorConfig paper_default(double zipf_skew = 1.0, std::uint64_t seed = 42);
+
+/// A small setting for property sweeps (fast enough for thousands of
+/// instances): 8 jobs, 4 sites, capped demands to exercise cut structure.
+GeneratorConfig property_sweep(std::uint64_t seed);
+
+/// Geo-distributed analytics: few large datacenters and several small
+/// edge sites, heavy-tailed job sizes.
+GeneratorConfig geo_analytics(std::uint64_t seed = 7);
+
+/// Names every preset for bench/report output.
+struct Scenario {
+  std::string name;
+  GeneratorConfig config;
+};
+
+std::vector<Scenario> all_scenarios();
+
+}  // namespace amf::workload

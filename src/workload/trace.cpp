@@ -1,0 +1,112 @@
+#include "workload/trace.hpp"
+
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace amf::workload {
+
+double Trace::offered_load() const {
+  if (jobs.empty()) return 0.0;
+  double total_work = 0.0;
+  for (const auto& job : jobs)
+    total_work += std::accumulate(job.workloads.begin(), job.workloads.end(),
+                                  0.0);
+  double span = jobs.back().arrival;
+  double capacity =
+      std::accumulate(capacities.begin(), capacities.end(), 0.0);
+  if (span <= 0.0 || capacity <= 0.0) return 0.0;
+  return total_work / (span * capacity);
+}
+
+Trace generate_trace(Generator& generator, double load, int count) {
+  AMF_REQUIRE(load > 0.0, "offered load must be positive");
+  AMF_REQUIRE(count >= 0, "count must be >= 0");
+
+  Trace trace;
+  auto& rng = generator.rng();
+  trace.capacities = generator.draw_capacities(rng);
+  double capacity = std::accumulate(trace.capacities.begin(),
+                                    trace.capacities.end(), 0.0);
+  // Mean work per job is mean_job_work, so a Poisson arrival rate of
+  // load·capacity/mean_work delivers `load` of the system per unit time.
+  double rate = load * capacity / generator.config().mean_job_work;
+
+  double clock = 0.0;
+  trace.jobs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    clock += rng.exponential(rate);
+    auto row = generator.draw_job_row(trace.capacities, rng);
+    TraceJob job;
+    job.arrival = clock;
+    job.workloads = std::move(row.workloads);
+    job.demands = std::move(row.demands);
+    trace.jobs.push_back(std::move(job));
+  }
+  return trace;
+}
+
+namespace {
+
+std::vector<double> read_csv_row(std::istream& in, std::size_t expected) {
+  std::string line;
+  AMF_REQUIRE(static_cast<bool>(std::getline(in, line)),
+              "truncated trace file");
+  std::vector<double> row;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) row.push_back(std::stod(cell));
+  AMF_REQUIRE(expected == 0 || row.size() == expected,
+              "trace file row width mismatch");
+  return row;
+}
+
+}  // namespace
+
+void save_trace(const Trace& trace, std::ostream& out) {
+  using util::CsvWriter;
+  const std::size_t m = trace.capacities.size();
+  out << trace.jobs.size() << ',' << m << '\n';
+  auto emit = [&out](const std::vector<double>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << CsvWriter::format(row[i]);
+    }
+    out << '\n';
+  };
+  emit(trace.capacities);
+  for (const auto& job : trace.jobs) {
+    AMF_REQUIRE(job.workloads.size() == m && job.demands.size() == m,
+                "trace job width mismatch");
+    std::vector<double> row{job.arrival, job.weight};
+    row.insert(row.end(), job.workloads.begin(), job.workloads.end());
+    row.insert(row.end(), job.demands.begin(), job.demands.end());
+    emit(row);
+  }
+}
+
+Trace load_trace(std::istream& in) {
+  auto header = read_csv_row(in, 2);
+  auto count = static_cast<std::size_t>(header[0]);
+  auto m = static_cast<std::size_t>(header[1]);
+  Trace trace;
+  trace.capacities = read_csv_row(in, m);
+  trace.jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto row = read_csv_row(in, 2 + 2 * m);
+    TraceJob job;
+    job.arrival = row[0];
+    job.weight = row[1];
+    job.workloads.assign(row.begin() + 2, row.begin() + 2 + static_cast<std::ptrdiff_t>(m));
+    job.demands.assign(row.begin() + 2 + static_cast<std::ptrdiff_t>(m), row.end());
+    trace.jobs.push_back(std::move(job));
+  }
+  return trace;
+}
+
+}  // namespace amf::workload

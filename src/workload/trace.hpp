@@ -1,0 +1,45 @@
+// trace.hpp — arrival traces for the discrete-event simulator.
+//
+// A trace is a sequence of jobs with arrival timestamps over a fixed set
+// of sites. Arrivals are Poisson with a rate chosen relative to system
+// capacity, so sweeping `load` from light to beyond saturation reproduces
+// the dynamic experiments (bench F9).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace amf::workload {
+
+/// One job of a trace.
+struct TraceJob {
+  double arrival = 0.0;
+  std::vector<double> workloads;  // per site
+  std::vector<double> demands;    // per site
+  double weight = 1.0;
+};
+
+/// A full trace over a fixed site set.
+struct Trace {
+  std::vector<double> capacities;
+  std::vector<TraceJob> jobs;  // sorted by arrival
+
+  /// Offered load: total work arriving per unit time divided by total
+  /// capacity (1.0 = saturation on average).
+  double offered_load() const;
+};
+
+/// Generates `count` jobs with exponential inter-arrival times such that
+/// the offered load (mean arriving work per unit time over total
+/// capacity) equals `load`. Workload shapes and demand caps follow the
+/// generator's config; capacities are drawn once for the whole trace.
+Trace generate_trace(Generator& generator, double load, int count);
+
+/// CSV round-trip: header `jobs,sites`, a capacity row, then per job one
+/// row `arrival,weight,workloads...,demands...`.
+void save_trace(const Trace& trace, std::ostream& out);
+Trace load_trace(std::istream& in);
+
+}  // namespace amf::workload

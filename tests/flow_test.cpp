@@ -1,0 +1,454 @@
+// Tests for src/flow: Dinic max-flow on known graphs and against a
+// brute-force cut enumeration, residual reachability, feasible flow with
+// lower bounds, the transportation wrapper, and the parametric
+// critical-level solver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <cmath>
+#include <numeric>
+
+#include "flow/lower_bounds.hpp"
+#include "flow/mincost.hpp"
+#include "flow/network.hpp"
+#include "flow/parametric.hpp"
+#include "flow/transport.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace amf::flow {
+namespace {
+
+TEST(FlowNetwork, SingleEdge) {
+  FlowNetwork net(2);
+  net.add_edge(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 1), 5.0);
+}
+
+TEST(FlowNetwork, SeriesBottleneck) {
+  FlowNetwork net(3);
+  net.add_edge(0, 1, 5.0);
+  net.add_edge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 2), 3.0);
+}
+
+TEST(FlowNetwork, ParallelPaths) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 2.0);
+  net.add_edge(0, 2, 3.0);
+  net.add_edge(1, 3, 2.0);
+  net.add_edge(2, 3, 3.0);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 3), 5.0);
+}
+
+TEST(FlowNetwork, ClassicTextbookGraph) {
+  // CLRS-style example with a known max flow of 23.
+  FlowNetwork net(6);
+  net.add_edge(0, 1, 16);
+  net.add_edge(0, 2, 13);
+  net.add_edge(1, 2, 10);
+  net.add_edge(2, 1, 4);
+  net.add_edge(1, 3, 12);
+  net.add_edge(3, 2, 9);
+  net.add_edge(2, 4, 14);
+  net.add_edge(4, 3, 7);
+  net.add_edge(3, 5, 20);
+  net.add_edge(4, 5, 4);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 5), 23.0);
+}
+
+TEST(FlowNetwork, RequiresAugmentingThroughBackEdge) {
+  // The greedy path 0->1->2->3 must be partially undone via the residual.
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 1);
+  net.add_edge(0, 2, 1);
+  net.add_edge(1, 2, 1);
+  net.add_edge(1, 3, 1);
+  net.add_edge(2, 3, 1);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 3), 2.0);
+}
+
+TEST(FlowNetwork, FlowConservationPerEdge) {
+  FlowNetwork net(4);
+  EdgeId a = net.add_edge(0, 1, 2.0);
+  EdgeId b = net.add_edge(0, 2, 3.0);
+  EdgeId c = net.add_edge(1, 3, 2.0);
+  EdgeId d = net.add_edge(2, 3, 3.0);
+  net.max_flow(0, 3);
+  EXPECT_DOUBLE_EQ(net.flow(a), 2.0);
+  EXPECT_DOUBLE_EQ(net.flow(b), 3.0);
+  EXPECT_DOUBLE_EQ(net.flow(c), 2.0);
+  EXPECT_DOUBLE_EQ(net.flow(d), 3.0);
+  EXPECT_DOUBLE_EQ(net.outflow(0), 5.0);
+}
+
+TEST(FlowNetwork, ResetAndRecomputeWithNewCapacity) {
+  FlowNetwork net(2);
+  EdgeId e = net.add_edge(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 1), 1.0);
+  net.set_capacity(e, 4.0);
+  net.reset_flow();
+  EXPECT_DOUBLE_EQ(net.max_flow(0, 1), 4.0);
+}
+
+TEST(FlowNetwork, MinCutSeparatesSourceAndSink) {
+  FlowNetwork net(3);
+  net.add_edge(0, 1, 5.0);
+  net.add_edge(1, 2, 3.0);
+  net.max_flow(0, 2);
+  auto side = net.residual_reachable_from(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);   // the 0->1 edge has residual
+  EXPECT_FALSE(side[2]);  // the bottleneck separates the sink
+}
+
+TEST(FlowNetwork, ResidualCanReachSink) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 1.0);
+  net.add_edge(0, 2, 1.0);
+  net.add_edge(1, 3, 2.0);
+  net.add_edge(2, 3, 1.0);
+  net.max_flow(0, 3);
+  auto reach = net.residual_can_reach(3);
+  EXPECT_TRUE(reach[1]);   // node 1's outgoing edge has slack
+  EXPECT_FALSE(reach[2]);  // node 2 is fully saturated toward the sink
+}
+
+TEST(FlowNetwork, InputValidation) {
+  FlowNetwork net(2);
+  EXPECT_THROW(net.add_edge(0, 5, 1.0), util::ContractError);
+  EXPECT_THROW(net.add_edge(0, 1, -1.0), util::ContractError);
+  EXPECT_THROW(net.max_flow(0, 0), util::ContractError);
+}
+
+// Brute-force min-cut by enumerating all source-side subsets.
+double brute_force_max_flow(int nodes,
+                            const std::vector<std::array<double, 3>>& edges,
+                            int s, int t) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int mask = 0; mask < (1 << nodes); ++mask) {
+    if (!(mask & (1 << s)) || (mask & (1 << t))) continue;
+    double cut = 0.0;
+    for (const auto& e : edges) {
+      int u = static_cast<int>(e[0]), v = static_cast<int>(e[1]);
+      if ((mask & (1 << u)) && !(mask & (1 << v))) cut += e[2];
+    }
+    best = std::min(best, cut);
+  }
+  return best;
+}
+
+class RandomFlowTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFlowTest, MatchesBruteForceMinCut) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int nodes = 6;
+  std::vector<std::array<double, 3>> edges;
+  FlowNetwork net(nodes);
+  for (int u = 0; u < nodes; ++u)
+    for (int v = 0; v < nodes; ++v) {
+      if (u == v) continue;
+      if (rng.bernoulli(0.45)) {
+        double cap = static_cast<double>(rng.uniform_int(0, 10));
+        edges.push_back({static_cast<double>(u), static_cast<double>(v), cap});
+        net.add_edge(u, v, cap);
+      }
+    }
+  double flow = net.max_flow(0, nodes - 1);
+  double cut = brute_force_max_flow(nodes, edges, 0, nodes - 1);
+  EXPECT_NEAR(flow, cut, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFlowTest, ::testing::Range(0, 40));
+
+TEST(LowerBounds, TrivialFeasible) {
+  // One edge [1, 3] from s to t: any flow in the interval works.
+  std::vector<BoundedEdge> edges{{0, 1, 1.0, 3.0}};
+  auto flows = feasible_flow_with_lower_bounds(2, edges, 0, 1);
+  ASSERT_TRUE(flows.has_value());
+  EXPECT_GE((*flows)[0], 1.0 - 1e-9);
+  EXPECT_LE((*flows)[0], 3.0 + 1e-9);
+}
+
+TEST(LowerBounds, InfeasibleWhenBoundExceedsDownstream) {
+  // s -> a with lower bound 5, a -> t with capacity 3.
+  std::vector<BoundedEdge> edges{{0, 1, 5.0, 10.0}, {1, 2, 0.0, 3.0}};
+  EXPECT_FALSE(feasible_flow_with_lower_bounds(3, edges, 0, 2).has_value());
+}
+
+TEST(LowerBounds, RespectsAllBounds) {
+  // Diamond with asymmetric lower bounds.
+  std::vector<BoundedEdge> edges{
+      {0, 1, 2.0, 5.0}, {0, 2, 0.0, 5.0}, {1, 3, 0.0, 5.0},
+      {2, 3, 1.0, 5.0},
+  };
+  auto flows = feasible_flow_with_lower_bounds(4, edges, 0, 3);
+  ASSERT_TRUE(flows.has_value());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_GE((*flows)[i], edges[i].lower - 1e-9) << "edge " << i;
+    EXPECT_LE((*flows)[i], edges[i].upper + 1e-9) << "edge " << i;
+  }
+  // Conservation at the interior nodes.
+  EXPECT_NEAR((*flows)[0], (*flows)[2], 1e-9);
+  EXPECT_NEAR((*flows)[1], (*flows)[3], 1e-9);
+}
+
+TEST(LowerBounds, ExactEdgeValue) {
+  // lower == upper pins the edge exactly.
+  std::vector<BoundedEdge> edges{
+      {0, 1, 4.0, 4.0}, {1, 2, 0.0, 10.0},
+  };
+  auto flows = feasible_flow_with_lower_bounds(3, edges, 0, 2);
+  ASSERT_TRUE(flows.has_value());
+  EXPECT_NEAR((*flows)[0], 4.0, 1e-9);
+  EXPECT_NEAR((*flows)[1], 4.0, 1e-9);
+}
+
+TEST(LowerBounds, ValidatesInput) {
+  std::vector<BoundedEdge> bad{{0, 1, 3.0, 2.0}};
+  EXPECT_THROW(feasible_flow_with_lower_bounds(2, bad, 0, 1),
+               util::ContractError);
+}
+
+Matrix kDemands3x2{{10, 0}, {10, 10}, {0, 10}};
+std::vector<double> kCaps2{10, 10};
+
+TEST(Transport, SaturatesFeasibleCaps) {
+  TransportNetwork net(kDemands3x2, kCaps2);
+  net.solve({5, 5, 5});
+  EXPECT_TRUE(net.saturated());
+  auto a = net.allocation();
+  for (int j = 0; j < 3; ++j) {
+    double sum = a[j][0] + a[j][1];
+    EXPECT_NEAR(sum, 5.0, 1e-9) << "job " << j;
+  }
+}
+
+TEST(Transport, DetectsInfeasibleCaps) {
+  TransportNetwork net(kDemands3x2, kCaps2);
+  net.solve({10, 10, 10});  // total 30 > capacity 20
+  EXPECT_FALSE(net.saturated());
+}
+
+TEST(Transport, SoloCeiling) {
+  TransportNetwork net(kDemands3x2, kCaps2);
+  EXPECT_DOUBLE_EQ(net.solo_ceiling(0), 10.0);
+  EXPECT_DOUBLE_EQ(net.solo_ceiling(1), 20.0);
+}
+
+TEST(Transport, JobsCanIncreaseDetection) {
+  TransportNetwork net(kDemands3x2, kCaps2);
+  net.solve({10, 0, 0});
+  ASSERT_TRUE(net.saturated());
+  auto can = net.jobs_can_increase();
+  EXPECT_FALSE(can[0]);  // job 0 consumed all of site 0, its only site
+  EXPECT_TRUE(can[1]);
+  EXPECT_TRUE(can[2]);
+}
+
+TEST(Transport, AggregatesFeasibleHelpers) {
+  EXPECT_TRUE(aggregates_feasible(kDemands3x2, kCaps2, {6, 7, 7}));
+  EXPECT_FALSE(aggregates_feasible(kDemands3x2, kCaps2, {11, 0, 0}));
+  auto alloc = allocation_for_aggregates(kDemands3x2, kCaps2, {5, 10, 5});
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_NEAR((*alloc)[1][0] + (*alloc)[1][1], 10.0, 1e-9);
+}
+
+TEST(Transport, ScaleTracksLargestValue) {
+  TransportNetwork net({{500.0}}, {200.0});
+  EXPECT_DOUBLE_EQ(net.scale(), 500.0);
+}
+
+TEST(Parametric, SymmetricThreeJobs) {
+  // All three jobs rise together and hit the joint capacity at t = 20/3.
+  TransportNetwork net(kDemands3x2, kCaps2);
+  std::vector<ParametricSource> sources(3, {0.0, 1.0});
+  auto res = solve_critical_level(net, kDemands3x2, kCaps2, sources, 0.0,
+                                  100.0, 1e-9);
+  EXPECT_NEAR(res.level, 20.0 / 3.0, 1e-6);
+  EXPECT_FALSE(res.segment_exhausted);
+  // Nobody can increase: the whole system is tight.
+  for (char c : res.can_increase) EXPECT_FALSE(c);
+}
+
+TEST(Parametric, AsymmetricFreezesOnlyBottleneckJobs) {
+  // Jobs 0 and 1 compete for site 0; job 2 owns site 1.
+  Matrix demands{{10, 0}, {10, 0}, {0, 10}};
+  TransportNetwork net(demands, kCaps2);
+  std::vector<ParametricSource> sources(3, {0.0, 1.0});
+  auto res = solve_critical_level(net, demands, kCaps2, sources, 0.0, 100.0,
+                                  1e-9);
+  EXPECT_NEAR(res.level, 5.0, 1e-6);
+  EXPECT_FALSE(res.can_increase[0]);
+  EXPECT_FALSE(res.can_increase[1]);
+  EXPECT_TRUE(res.can_increase[2]);
+}
+
+TEST(Parametric, RespectsFrozenSources) {
+  Matrix demands{{10, 0}, {10, 0}, {0, 10}};
+  TransportNetwork net(demands, kCaps2);
+  // Job 0 frozen at 2; jobs 1, 2 rise. Job 1 stops at 8 (site 0 leftover).
+  std::vector<ParametricSource> sources{{2.0, 0.0}, {0.0, 1.0}, {0.0, 1.0}};
+  auto res = solve_critical_level(net, demands, kCaps2, sources, 0.0, 100.0,
+                                  1e-9);
+  EXPECT_NEAR(res.level, 8.0, 1e-6);
+  EXPECT_FALSE(res.can_increase[1]);
+  EXPECT_TRUE(res.can_increase[2]);
+  EXPECT_NEAR(res.allocation[0][0], 2.0, 1e-6);
+  EXPECT_NEAR(res.allocation[1][0], 8.0, 1e-6);
+}
+
+TEST(Parametric, WeightedSlopes) {
+  // Job 0 with weight 3, job 1 with weight 1 sharing one site of 8:
+  // level t where 3t + t = 8 -> t = 2.
+  Matrix demands{{8}, {8}};
+  std::vector<double> caps{8};
+  TransportNetwork net(demands, caps);
+  std::vector<ParametricSource> sources{{0.0, 3.0}, {0.0, 1.0}};
+  auto res =
+      solve_critical_level(net, demands, caps, sources, 0.0, 100.0, 1e-9);
+  EXPECT_NEAR(res.level, 2.0, 1e-6);
+  EXPECT_NEAR(res.allocation[0][0], 6.0, 1e-6);
+  EXPECT_NEAR(res.allocation[1][0], 2.0, 1e-6);
+}
+
+TEST(Parametric, SegmentExhaustedWhenFeasibleThroughout) {
+  // Single job with demand 10; the segment [0, 0.5] never binds.
+  Matrix demands{{10}};
+  std::vector<double> caps{10};
+  TransportNetwork net(demands, caps);
+  std::vector<ParametricSource> sources{{0.0, 1.0}};
+  auto res = solve_critical_level(net, demands, caps, sources, 0.0, 0.5, 1e-9);
+  EXPECT_TRUE(res.segment_exhausted);
+  EXPECT_NEAR(res.level, 0.5, 1e-9);
+}
+
+TEST(Parametric, DemandCeilingBindsSingleJob) {
+  // Job 0 capped by its own demand (3) rather than capacity.
+  Matrix demands{{3}, {10}};
+  std::vector<double> caps{100};
+  TransportNetwork net(demands, caps);
+  std::vector<ParametricSource> sources(2, {0.0, 1.0});
+  auto res =
+      solve_critical_level(net, demands, caps, sources, 0.0, 200.0, 1e-9);
+  EXPECT_NEAR(res.level, 3.0, 1e-6);
+  EXPECT_FALSE(res.can_increase[0]);
+  EXPECT_TRUE(res.can_increase[1]);
+}
+
+class ParametricRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParametricRandomTest, LevelIsMaximalFeasible) {
+  util::Rng rng(static_cast<std::uint64_t>(100 + GetParam()));
+  const int n = 5, m = 3;
+  Matrix demands(n, std::vector<double>(m, 0.0));
+  std::vector<double> caps(m);
+  for (auto& c : caps) c = rng.uniform(5.0, 20.0);
+  for (auto& row : demands)
+    for (auto& d : row)
+      if (rng.bernoulli(0.7)) d = rng.uniform(0.0, 15.0);
+  // Ensure every job can receive something so t* > 0.
+  for (int j = 0; j < n; ++j)
+    demands[j][static_cast<std::size_t>(rng.uniform_index(m))] += 5.0;
+
+  TransportNetwork net(demands, caps);
+  std::vector<ParametricSource> sources(n, {0.0, 1.0});
+  auto res =
+      solve_critical_level(net, demands, caps, sources, 0.0, 1000.0, 1e-9);
+
+  // Feasible at the reported level...
+  std::vector<double> level_caps(n, res.level);
+  net.solve(level_caps);
+  EXPECT_TRUE(net.saturated(1e-7));
+  // ...but not slightly above it.
+  std::vector<double> above(n, res.level * (1.0 + 1e-4) + 1e-4);
+  net.solve(above);
+  EXPECT_FALSE(net.saturated(1e-9));
+  // And at least one job is pinned.
+  EXPECT_TRUE(std::any_of(res.can_increase.begin(), res.can_increase.end(),
+                          [](char c) { return !c; }));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParametricRandomTest, ::testing::Range(0, 30));
+
+
+TEST(MinCostFlow, SingleCheapPath) {
+  MinCostFlow net(3);
+  net.add_edge(0, 1, 5.0, 2.0);
+  net.add_edge(1, 2, 5.0, 3.0);
+  auto r = net.solve(0, 2);
+  EXPECT_DOUBLE_EQ(r.flow, 5.0);
+  EXPECT_DOUBLE_EQ(r.cost, 25.0);
+}
+
+TEST(MinCostFlow, PrefersCheaperParallelArc) {
+  MinCostFlow net(2);
+  EdgeId cheap = net.add_edge(0, 1, 3.0, 1.0);
+  EdgeId pricey = net.add_edge(0, 1, 3.0, 5.0);
+  auto r = net.solve(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(r.flow, 4.0);
+  EXPECT_DOUBLE_EQ(net.flow(cheap), 3.0);
+  EXPECT_DOUBLE_EQ(net.flow(pricey), 1.0);
+  EXPECT_DOUBLE_EQ(r.cost, 3.0 + 5.0);
+}
+
+TEST(MinCostFlow, NegativeCostsViaBellmanFord) {
+  // A rewarded arc must be used even though a zero-cost path exists.
+  MinCostFlow net(3);
+  EdgeId rewarded = net.add_edge(0, 1, 2.0, -4.0);
+  net.add_edge(1, 2, 2.0, 1.0);
+  net.add_edge(0, 2, 10.0, 0.0);
+  auto r = net.solve(0, 2, 5.0);
+  EXPECT_DOUBLE_EQ(r.flow, 5.0);
+  EXPECT_DOUBLE_EQ(net.flow(rewarded), 2.0);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0 * (-4.0 + 1.0) + 0.0);
+}
+
+TEST(MinCostFlow, RespectsFlowLimit) {
+  MinCostFlow net(2);
+  net.add_edge(0, 1, 10.0, 1.0);
+  auto r = net.solve(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(r.flow, 4.0);
+  EXPECT_DOUBLE_EQ(r.cost, 4.0);
+}
+
+TEST(MinCostFlow, StopsWhenDisconnected) {
+  MinCostFlow net(3);
+  net.add_edge(0, 1, 5.0, 1.0);
+  auto r = net.solve(0, 2);
+  EXPECT_DOUBLE_EQ(r.flow, 0.0);
+}
+
+TEST(MinCostFlow, MaxFlowValueMatchesDinic) {
+  // On the same random graphs, min-cost max-flow must push exactly the
+  // Dinic max-flow value.
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int nodes = 7;
+    FlowNetwork dinic(nodes);
+    MinCostFlow mcmf(nodes);
+    for (int u = 0; u < nodes; ++u)
+      for (int v = 0; v < nodes; ++v) {
+        if (u == v || !rng.bernoulli(0.4)) continue;
+        double cap = static_cast<double>(rng.uniform_int(0, 8));
+        double cost = static_cast<double>(rng.uniform_int(0, 5));
+        dinic.add_edge(u, v, cap);
+        mcmf.add_edge(u, v, cap, cost);
+      }
+    double expected = dinic.max_flow(0, nodes - 1);
+    auto r = mcmf.solve(0, nodes - 1);
+    EXPECT_NEAR(r.flow, expected, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(MinCostFlow, Validation) {
+  MinCostFlow net(2);
+  EXPECT_THROW(net.add_edge(0, 5, 1.0, 0.0), util::ContractError);
+  EXPECT_THROW(net.add_edge(0, 1, -1.0, 0.0), util::ContractError);
+  EXPECT_THROW(net.solve(0, 0), util::ContractError);
+}
+
+}  // namespace
+}  // namespace amf::flow

@@ -1,0 +1,166 @@
+// Tests for hierarchical (tenant → job) AMF: equivalence with flat AMF
+// in the degenerate hierarchies, the job-splitting immunity that
+// motivates it, tenant-level fairness, weighted tenants, and structural
+// invariants on random instances.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/amf.hpp"
+#include "core/hierarchy.hpp"
+#include "core/reference.hpp"
+#include "util/error.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace amf::core {
+namespace {
+
+TEST(Hierarchy, OneJobPerTenantMatchesFlatAmf) {
+  AllocationProblem p({{10, 0}, {10, 10}, {0, 10}}, {10, 10});
+  HierarchicalAmfAllocator hier({0, 1, 2});
+  AmfAllocator amf;
+  auto h = hier.allocate(p);
+  auto a = amf.allocate(p);
+  for (int j = 0; j < 3; ++j)
+    EXPECT_NEAR(h.aggregate(j), a.aggregate(j), 1e-6);
+  EXPECT_EQ(h.policy(), "H-AMF");
+}
+
+TEST(Hierarchy, SingleTenantMatchesFlatAmfAggregate) {
+  // With one tenant the tenant level is trivial and the inner AMF over
+  // the full capacity reproduces flat AMF.
+  AllocationProblem p({{10, 0}, {10, 10}, {0, 10}}, {10, 10});
+  HierarchicalAmfAllocator hier({0, 0, 0});
+  AmfAllocator amf;
+  auto h = hier.allocate(p);
+  auto a = amf.allocate(p);
+  for (int j = 0; j < 3; ++j)
+    EXPECT_NEAR(h.aggregate(j), a.aggregate(j), 1e-6);
+}
+
+TEST(Hierarchy, JobSplittingDoesNotPayAtTenantLevel) {
+  // One site of 12. Tenant A runs 3 identical jobs, tenant B runs 1.
+  // Flat AMF hands tenant A three quarters; hierarchical AMF splits the
+  // site evenly between the tenants.
+  Matrix d{{12}, {12}, {12}, {12}};
+  AllocationProblem p(d, {12});
+  AmfAllocator amf;
+  auto flat = amf.allocate(p);
+  EXPECT_NEAR(flat.aggregate(0) + flat.aggregate(1) + flat.aggregate(2),
+              9.0, 1e-6);
+
+  HierarchicalAmfAllocator hier({0, 0, 0, 1});
+  auto h = hier.allocate(p);
+  double tenant_a = h.aggregate(0) + h.aggregate(1) + h.aggregate(2);
+  EXPECT_NEAR(tenant_a, 6.0, 1e-6);
+  EXPECT_NEAR(h.aggregate(3), 6.0, 1e-6);
+  // Within tenant A the three identical jobs split evenly.
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(h.aggregate(j), 2.0, 1e-6);
+}
+
+TEST(Hierarchy, TenantLevelIsMaxMinFair) {
+  // The tenant aggregate vector must be max-min fair for the tenant
+  // problem (checked with the definitional oracle).
+  auto cfg = workload::property_sweep(42);
+  cfg.jobs = 9;
+  workload::Generator gen(cfg);
+  auto p = gen.generate();
+  std::vector<int> tenant_of{0, 0, 0, 1, 1, 1, 2, 2, 2};
+  HierarchicalAmfAllocator hier(tenant_of);
+  auto h = hier.allocate(p);
+
+  // Rebuild the tenant problem the allocator derives.
+  Matrix td(3, std::vector<double>(static_cast<std::size_t>(p.sites()), 0.0));
+  for (int j = 0; j < p.jobs(); ++j)
+    for (int s = 0; s < p.sites(); ++s)
+      td[static_cast<std::size_t>(tenant_of[static_cast<std::size_t>(j)])]
+        [static_cast<std::size_t>(s)] += p.demand(j, s);
+  for (auto& row : td)
+    for (int s = 0; s < p.sites(); ++s)
+      row[static_cast<std::size_t>(s)] =
+          std::min(row[static_cast<std::size_t>(s)], p.capacity(s));
+  AllocationProblem tenant_problem(td, p.capacities());
+  EXPECT_TRUE(
+      is_max_min_fair(tenant_problem, hier.last_tenant_aggregates()));
+}
+
+TEST(Hierarchy, TenantAggregatesEqualMemberSums) {
+  auto cfg = workload::property_sweep(77);
+  cfg.jobs = 8;
+  workload::Generator gen(cfg);
+  auto p = gen.generate();
+  std::vector<int> tenant_of{0, 1, 0, 1, 2, 2, 0, 1};
+  HierarchicalAmfAllocator hier(tenant_of);
+  auto h = hier.allocate(p);
+  ASSERT_TRUE(h.feasible_for(p));
+  std::vector<double> sums(3, 0.0);
+  for (int j = 0; j < p.jobs(); ++j)
+    sums[static_cast<std::size_t>(tenant_of[static_cast<std::size_t>(j)])] +=
+        h.aggregate(j);
+  for (int t = 0; t < 3; ++t)
+    EXPECT_NEAR(sums[static_cast<std::size_t>(t)],
+                hier.last_tenant_aggregates()[static_cast<std::size_t>(t)],
+                1e-5 * p.scale())
+        << "tenant " << t;
+}
+
+TEST(Hierarchy, WeightedTenants) {
+  // Two tenants with weights 3:1 on one site; demands ample.
+  Matrix d{{16}, {16}};
+  AllocationProblem p(d, {16});
+  HierarchicalAmfAllocator hier({0, 1}, {3.0, 1.0});
+  auto h = hier.allocate(p);
+  EXPECT_NEAR(h.aggregate(0), 12.0, 1e-6);
+  EXPECT_NEAR(h.aggregate(1), 4.0, 1e-6);
+}
+
+TEST(Hierarchy, EmptyTenantIsFine) {
+  // Tenant ids with a gap (tenant 1 has no jobs).
+  Matrix d{{10}, {10}};
+  AllocationProblem p(d, {10});
+  HierarchicalAmfAllocator hier({0, 2});
+  auto h = hier.allocate(p);
+  EXPECT_NEAR(h.aggregate(0), 5.0, 1e-6);
+  EXPECT_NEAR(h.aggregate(1), 5.0, 1e-6);
+}
+
+TEST(Hierarchy, Validation) {
+  EXPECT_THROW(HierarchicalAmfAllocator({-1}), util::ContractError);
+  EXPECT_THROW(HierarchicalAmfAllocator({0, 1}, {1.0}),
+               util::ContractError);
+  EXPECT_THROW(HierarchicalAmfAllocator({0}, {0.0}), util::ContractError);
+  HierarchicalAmfAllocator ok({0, 1});
+  AllocationProblem p({{1}}, {1});
+  EXPECT_THROW(ok.allocate(p), util::ContractError);  // size mismatch
+}
+
+class HierarchyRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HierarchyRandomTest, FeasibleAndConsistent) {
+  auto cfg = workload::property_sweep(
+      static_cast<std::uint64_t>(9100 + GetParam()));
+  workload::Generator gen(cfg);
+  auto p = gen.generate();
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<int> tenant_of(static_cast<std::size_t>(p.jobs()));
+  for (auto& t : tenant_of) t = static_cast<int>(rng.uniform_index(3));
+  HierarchicalAmfAllocator hier(tenant_of);
+  auto h = hier.allocate(p);
+  EXPECT_TRUE(h.feasible_for(p)) << "seed " << GetParam();
+  // Tenant totals must match the tenant-level allocation.
+  std::vector<double> sums(
+      static_cast<std::size_t>(hier.tenants()), 0.0);
+  for (int j = 0; j < p.jobs(); ++j)
+    sums[static_cast<std::size_t>(tenant_of[static_cast<std::size_t>(j)])] +=
+        h.aggregate(j);
+  for (int t = 0; t < hier.tenants(); ++t)
+    EXPECT_NEAR(sums[static_cast<std::size_t>(t)],
+                hier.last_tenant_aggregates()[static_cast<std::size_t>(t)],
+                1e-5 * p.scale());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchyRandomTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace amf::core

@@ -1,0 +1,196 @@
+// Tests for the problem model and the Allocation value type: validation,
+// derived quantities (solo ceilings, equal-split shares), misreport
+// copies, subsetting, CSV round-trips, and allocation feasibility checks.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+#include "util/error.hpp"
+
+namespace amf::core {
+namespace {
+
+AllocationProblem make_basic() {
+  Matrix d{{10, 0}, {10, 10}, {0, 10}};
+  Matrix w{{5, 0}, {3, 3}, {0, 8}};
+  return AllocationProblem(d, {10, 10}, w);
+}
+
+TEST(Problem, BasicAccessors) {
+  auto p = make_basic();
+  EXPECT_EQ(p.jobs(), 3);
+  EXPECT_EQ(p.sites(), 2);
+  EXPECT_DOUBLE_EQ(p.demand(1, 0), 10.0);
+  EXPECT_DOUBLE_EQ(p.workload(2, 1), 8.0);
+  EXPECT_DOUBLE_EQ(p.capacity(0), 10.0);
+  EXPECT_DOUBLE_EQ(p.weight(0), 1.0);
+  EXPECT_TRUE(p.has_workloads());
+}
+
+TEST(Problem, DerivedQuantities) {
+  auto p = make_basic();
+  EXPECT_DOUBLE_EQ(p.solo_ceiling(0), 10.0);
+  EXPECT_DOUBLE_EQ(p.solo_ceiling(1), 20.0);
+  EXPECT_DOUBLE_EQ(p.total_work(1), 6.0);
+  EXPECT_DOUBLE_EQ(p.total_capacity(), 20.0);
+  EXPECT_DOUBLE_EQ(p.scale(), 10.0);
+}
+
+TEST(Problem, EqualSplitShare) {
+  auto p = make_basic();
+  // Three unit-weight jobs: each entitled to C/3 per demanded site.
+  EXPECT_NEAR(p.equal_split_share(0), 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p.equal_split_share(1), 20.0 / 3.0, 1e-12);
+}
+
+TEST(Problem, EqualSplitShareRespectsDemandCaps) {
+  Matrix d{{1, 0}, {10, 10}};
+  AllocationProblem p(d, {10, 10});
+  // Job 0's demand (1) is below its 5-unit entitlement at site 0.
+  EXPECT_NEAR(p.equal_split_share(0), 1.0, 1e-12);
+}
+
+TEST(Problem, WeightedEqualSplitShare) {
+  Matrix d{{10}, {10}};
+  AllocationProblem p(d, {12}, {}, {2.0, 1.0});
+  EXPECT_NEAR(p.equal_split_share(0), 8.0, 1e-12);
+  EXPECT_NEAR(p.equal_split_share(1), 4.0, 1e-12);
+}
+
+TEST(Problem, ValidationRejectsBadShapes) {
+  EXPECT_THROW(AllocationProblem({{1, 2}}, {1}), util::ContractError);
+  EXPECT_THROW(AllocationProblem({{1}}, {}), util::ContractError);
+  EXPECT_THROW(AllocationProblem({{-1}}, {1}), util::ContractError);
+  EXPECT_THROW(AllocationProblem({{1}}, {-1}), util::ContractError);
+  // Workload width mismatch.
+  EXPECT_THROW(AllocationProblem({{1}}, {1}, {{1, 2}}), util::ContractError);
+  // Positive workload without demand.
+  EXPECT_THROW(AllocationProblem({{0}}, {1}, {{1}}), util::ContractError);
+  // Bad weights.
+  EXPECT_THROW(AllocationProblem({{1}}, {1}, {}, {0.0}),
+               util::ContractError);
+  EXPECT_THROW(AllocationProblem({{1}}, {1}, {}, {1.0, 2.0}),
+               util::ContractError);
+}
+
+TEST(Problem, ZeroJobsIsValid) {
+  AllocationProblem p(Matrix{}, {5.0});
+  EXPECT_EQ(p.jobs(), 0);
+  EXPECT_EQ(p.sites(), 1);
+}
+
+TEST(Problem, WithReportedDemands) {
+  auto p = make_basic();
+  auto lied = p.with_reported_demands(0, {3.0, 7.0});
+  EXPECT_DOUBLE_EQ(lied.demand(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(lied.demand(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(lied.demand(1, 0), 10.0);  // others untouched
+  EXPECT_FALSE(lied.has_workloads());         // probe copies drop workloads
+  // Original untouched.
+  EXPECT_DOUBLE_EQ(p.demand(0, 1), 0.0);
+}
+
+TEST(Problem, Subset) {
+  auto p = make_basic();
+  auto sub = p.subset({2, 0});
+  EXPECT_EQ(sub.jobs(), 2);
+  EXPECT_DOUBLE_EQ(sub.demand(0, 1), 10.0);  // old job 2
+  EXPECT_DOUBLE_EQ(sub.demand(1, 0), 10.0);  // old job 0
+  EXPECT_DOUBLE_EQ(sub.total_work(0), 8.0);
+}
+
+TEST(Problem, CsvRoundTrip) {
+  auto p = make_basic();
+  std::stringstream ss;
+  p.save(ss);
+  auto q = AllocationProblem::load(ss);
+  EXPECT_EQ(q.jobs(), p.jobs());
+  EXPECT_EQ(q.sites(), p.sites());
+  for (int j = 0; j < p.jobs(); ++j)
+    for (int s = 0; s < p.sites(); ++s) {
+      EXPECT_DOUBLE_EQ(q.demand(j, s), p.demand(j, s));
+      EXPECT_DOUBLE_EQ(q.workload(j, s), p.workload(j, s));
+    }
+  EXPECT_DOUBLE_EQ(q.capacity(1), 10.0);
+}
+
+TEST(Problem, CsvRoundTripWithoutWorkloads) {
+  AllocationProblem p({{1.5, 0.25}}, {3.0, 4.0}, {}, {2.0});
+  std::stringstream ss;
+  p.save(ss);
+  auto q = AllocationProblem::load(ss);
+  EXPECT_FALSE(q.has_workloads());
+  EXPECT_DOUBLE_EQ(q.demand(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(q.weight(0), 2.0);
+}
+
+TEST(Allocation, AggregatesAndUsage) {
+  Allocation a(Matrix{{1, 2}, {3, 4}}, "test");
+  EXPECT_EQ(a.jobs(), 2);
+  EXPECT_EQ(a.sites(), 2);
+  EXPECT_DOUBLE_EQ(a.aggregate(0), 3.0);
+  EXPECT_DOUBLE_EQ(a.aggregate(1), 7.0);
+  EXPECT_DOUBLE_EQ(a.site_usage(0), 4.0);
+  EXPECT_DOUBLE_EQ(a.site_usage(1), 6.0);
+  EXPECT_EQ(a.policy(), "test");
+}
+
+TEST(Allocation, FeasibilityCheck) {
+  auto p = make_basic();
+  Allocation good(Matrix{{5, 0}, {5, 5}, {0, 5}});
+  EXPECT_TRUE(good.feasible_for(p));
+  // Exceeds job 0's zero demand at site 1.
+  Allocation bad_demand(Matrix{{5, 1}, {0, 0}, {0, 0}});
+  EXPECT_FALSE(bad_demand.feasible_for(p));
+  // Exceeds site 0's capacity.
+  Allocation bad_cap(Matrix{{6, 0}, {6, 0}, {0, 0}});
+  EXPECT_FALSE(bad_cap.feasible_for(p));
+  // Negative share.
+  Allocation neg(Matrix{{-1, 0}, {0, 0}, {0, 0}});
+  EXPECT_FALSE(neg.feasible_for(p));
+  // Shape mismatch.
+  Allocation wrong(Matrix{{1, 1}});
+  EXPECT_FALSE(wrong.feasible_for(p));
+}
+
+TEST(Allocation, NormalizedAggregates) {
+  Matrix d{{10}, {10}};
+  AllocationProblem p(d, {10}, {}, {2.0, 1.0});
+  Allocation a(Matrix{{6}, {3}});
+  auto norm = a.normalized_aggregates(p);
+  EXPECT_DOUBLE_EQ(norm[0], 3.0);
+  EXPECT_DOUBLE_EQ(norm[1], 3.0);
+}
+
+TEST(Allocation, Utilization) {
+  auto p = make_basic();
+  Allocation a(Matrix{{5, 0}, {5, 5}, {0, 5}});
+  EXPECT_DOUBLE_EQ(a.utilization(p), 1.0);
+  Allocation half(Matrix{{5, 0}, {5, 0}, {0, 0}});
+  EXPECT_DOUBLE_EQ(half.utilization(p), 0.5);
+}
+
+TEST(Allocation, RejectsRaggedMatrix) {
+  EXPECT_THROW(Allocation(Matrix{{1, 2}, {3}}), util::ContractError);
+}
+
+
+TEST(Problem, LoadRejectsTruncatedFile) {
+  std::stringstream ss("2,2,0\n1,2\n");  // missing rows
+  EXPECT_THROW(AllocationProblem::load(ss), util::ContractError);
+}
+
+TEST(Problem, LoadRejectsRaggedRow) {
+  std::stringstream ss("1,2,0\n1\n3,4\n1\n");  // demand row too short
+  EXPECT_THROW(AllocationProblem::load(ss), util::ContractError);
+}
+
+TEST(Problem, LoadRejectsNegativeValues) {
+  std::stringstream ss("1,1,0\n-3\n5\n1\n");
+  EXPECT_THROW(AllocationProblem::load(ss), util::ContractError);
+}
+
+}  // namespace
+}  // namespace amf::core

@@ -1,0 +1,111 @@
+// Tests for integral slot rounding: exactness on already-integral
+// allocations, the largest-remainder behaviour, all structural
+// guarantees (integrality, caps, capacities, per-cell distance < 1), and
+// the bounded aggregate-fairness loss on random AMF allocations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/amf.hpp"
+#include "core/rounding.hpp"
+#include "util/error.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace amf::core {
+namespace {
+
+TEST(Rounding, IntegralInputUnchanged) {
+  AllocationProblem p({{5, 3}, {4, 6}}, {10, 10});
+  Allocation a(Matrix{{5, 3}, {4, 6}}, "AMF");
+  auto r = round_to_slots(p, a);
+  for (int j = 0; j < 2; ++j)
+    for (int s = 0; s < 2; ++s)
+      EXPECT_DOUBLE_EQ(r.share(j, s), a.share(j, s));
+  EXPECT_EQ(r.policy(), "AMF+slots");
+}
+
+TEST(Rounding, LargestRemainderWins) {
+  // 3 jobs at 3.33.. on a 10-site: two get 3, and the extra whole slot
+  // goes to... all remainders equal -> job 0 by the deterministic tie
+  // break; totals must be 10.
+  AllocationProblem p({{10}, {10}, {10}}, {10});
+  Allocation a(Matrix{{10.0 / 3}, {10.0 / 3}, {10.0 / 3}});
+  auto r = round_to_slots(p, a);
+  double total = r.aggregate(0) + r.aggregate(1) + r.aggregate(2);
+  EXPECT_DOUBLE_EQ(total, 10.0);
+  EXPECT_DOUBLE_EQ(r.aggregate(0), 4.0);  // tie break: lowest index
+  EXPECT_DOUBLE_EQ(r.aggregate(1), 3.0);
+  EXPECT_DOUBLE_EQ(r.aggregate(2), 3.0);
+}
+
+TEST(Rounding, ClearRemainderOrdering) {
+  AllocationProblem p({{10}, {10}}, {9});
+  Allocation a(Matrix{{4.9}, {4.1}});
+  auto r = round_to_slots(p, a);
+  EXPECT_DOUBLE_EQ(r.share(0, 0), 5.0);  // 0.9 remainder wins the slot
+  EXPECT_DOUBLE_EQ(r.share(1, 0), 4.0);
+}
+
+TEST(Rounding, RespectsDemandCap) {
+  // Job 0's demand is 4.5: its floor(4) cannot be topped up to 5.
+  AllocationProblem p({{4.5}, {10}}, {9});
+  Allocation a(Matrix{{4.4}, {4.4}});
+  auto r = round_to_slots(p, a);
+  EXPECT_LE(r.share(0, 0), 4.5);
+  EXPECT_DOUBLE_EQ(r.share(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(r.share(1, 0), 4.0);
+}
+
+TEST(Rounding, RespectsFractionalCapacity) {
+  // Capacity 9.7 floors to 9 whole slots.
+  AllocationProblem p({{10}, {10}}, {9.7});
+  Allocation a(Matrix{{4.85}, {4.85}});
+  auto r = round_to_slots(p, a);
+  EXPECT_LE(r.site_usage(0), 9.0 + 1e-12);
+}
+
+TEST(Rounding, ZeroJobs) {
+  AllocationProblem p(Matrix{}, {5.0});
+  auto r = round_to_slots(p, Allocation(Matrix{}));
+  EXPECT_EQ(r.jobs(), 0);
+}
+
+class RoundingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundingSweep, StructuralGuaranteesOnAmfAllocations) {
+  auto cfg = workload::property_sweep(
+      static_cast<std::uint64_t>(9900 + GetParam()));
+  workload::Generator gen(cfg);
+  auto p = gen.generate();
+  AmfAllocator amf;
+  auto fractional = amf.allocate(p);
+  auto r = round_to_slots(p, fractional);
+
+  for (int j = 0; j < p.jobs(); ++j) {
+    for (int s = 0; s < p.sites(); ++s) {
+      double v = r.share(j, s);
+      EXPECT_DOUBLE_EQ(v, std::floor(v)) << "not integral";
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, p.demand(j, s) + 1e-9);
+      EXPECT_LT(std::abs(v - fractional.share(j, s)), 1.0)
+          << "moved a full slot";
+    }
+    // Aggregate fairness loss bounded by the number of sites.
+    EXPECT_LT(std::abs(r.aggregate(j) - fractional.aggregate(j)),
+              static_cast<double>(p.sites()));
+  }
+  for (int s = 0; s < p.sites(); ++s)
+    EXPECT_LE(r.site_usage(s), std::floor(p.capacity(s) + 1e-9) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundingSweep, ::testing::Range(0, 20));
+
+TEST(Rounding, ValidatesShapes) {
+  AllocationProblem p({{10}}, {10});
+  Allocation wrong(Matrix{{1}, {2}});
+  EXPECT_THROW(round_to_slots(p, wrong), util::ContractError);
+}
+
+}  // namespace
+}  // namespace amf::core

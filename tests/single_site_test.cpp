@@ -1,0 +1,141 @@
+// Tests for the classic single-resource water-filling (the per-site
+// baseline's building block): exact values on known instances, the
+// water-filling structural form, weighted variants, and randomized
+// definitional checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/single_site.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace amf::core {
+namespace {
+
+TEST(WaterFill, EqualDemandsSplitEvenly) {
+  auto a = water_fill({10, 10, 10}, 9.0);
+  for (double v : a) EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+TEST(WaterFill, CapsSatisfiedWhenAbundant) {
+  auto a = water_fill({1, 2, 3}, 100.0);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(a[1], 2.0);
+  EXPECT_DOUBLE_EQ(a[2], 3.0);
+}
+
+TEST(WaterFill, ClassicTextbookExample) {
+  // Demands (2, 2.6, 4, 5) with capacity 10: levels freeze 2, then split
+  // the rest -> (2, 2.6, 2.7, 2.7).
+  auto a = water_fill({2.0, 2.6, 4.0, 5.0}, 10.0);
+  EXPECT_NEAR(a[0], 2.0, 1e-12);
+  EXPECT_NEAR(a[1], 2.6, 1e-12);
+  EXPECT_NEAR(a[2], 2.7, 1e-12);
+  EXPECT_NEAR(a[3], 2.7, 1e-12);
+}
+
+TEST(WaterFill, SmallDemandSaturatesFirst) {
+  auto a = water_fill({1.0, 10.0}, 6.0);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(a[1], 5.0);
+}
+
+TEST(WaterFill, ZeroCapacity) {
+  auto a = water_fill({3.0, 4.0}, 0.0);
+  EXPECT_DOUBLE_EQ(a[0], 0.0);
+  EXPECT_DOUBLE_EQ(a[1], 0.0);
+}
+
+TEST(WaterFill, ZeroDemandJobGetsNothing) {
+  auto a = water_fill({0.0, 5.0, 5.0}, 8.0);
+  EXPECT_DOUBLE_EQ(a[0], 0.0);
+  EXPECT_DOUBLE_EQ(a[1], 4.0);
+  EXPECT_DOUBLE_EQ(a[2], 4.0);
+}
+
+TEST(WaterFill, EmptyInput) {
+  auto a = water_fill(std::vector<double>{}, 5.0);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(WaterFill, WeightedSplitsProportionally) {
+  // Weights 1:3 over capacity 8, demands ample -> (2, 6).
+  auto a = water_fill({100, 100}, {1.0, 3.0}, 8.0);
+  EXPECT_NEAR(a[0], 2.0, 1e-12);
+  EXPECT_NEAR(a[1], 6.0, 1e-12);
+}
+
+TEST(WaterFill, WeightedWithBindingCap) {
+  // Weight-3 job capped at 4: remaining 6 goes to the weight-1 job (cap 10).
+  auto a = water_fill({10, 4}, {1.0, 3.0}, 10.0);
+  EXPECT_NEAR(a[1], 4.0, 1e-12);
+  EXPECT_NEAR(a[0], 6.0, 1e-12);
+}
+
+TEST(WaterLevel, InfiniteWhenUnderloaded) {
+  EXPECT_TRUE(std::isinf(water_level({1, 2}, {1, 1}, 10.0)));
+}
+
+TEST(WaterLevel, MatchesFillForm) {
+  std::vector<double> caps{2.0, 2.6, 4.0, 5.0};
+  std::vector<double> w(4, 1.0);
+  double level = water_level(caps, w, 10.0);
+  EXPECT_NEAR(level, 2.7, 1e-12);
+}
+
+TEST(WaterFill, Contracts) {
+  EXPECT_THROW(water_fill({1.0}, {1.0, 2.0}, 1.0), util::ContractError);
+  EXPECT_THROW(water_fill({-1.0}, {1.0}, 1.0), util::ContractError);
+  EXPECT_THROW(water_fill({1.0}, {0.0}, 1.0), util::ContractError);
+  EXPECT_THROW(water_fill({1.0}, {1.0}, -1.0), util::ContractError);
+}
+
+class WaterFillRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaterFillRandomTest, SatisfiesMaxMinDefinition) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 1 + rng.uniform_index(8);
+  std::vector<double> caps(n), weights(n);
+  for (auto& c : caps) c = rng.uniform(0.0, 10.0);
+  for (auto& w : weights) w = rng.uniform(0.1, 4.0);
+  double capacity = rng.uniform(0.0, 30.0);
+
+  auto a = water_fill(caps, weights, capacity);
+
+  // Feasibility.
+  double total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_GE(a[j], -1e-12);
+    EXPECT_LE(a[j], caps[j] + 1e-9);
+    total += a[j];
+  }
+  EXPECT_LE(total, capacity + 1e-9);
+
+  // Water-filling form: a[j] = min(cap, w·L) for a single level L.
+  double level = water_level(caps, weights, capacity);
+  for (std::size_t j = 0; j < n; ++j)
+    EXPECT_NEAR(a[j], std::min(caps[j], weights[j] * level), 1e-9);
+
+  // Pareto: either all caps are met or the capacity is exhausted.
+  double cap_total = std::accumulate(caps.begin(), caps.end(), 0.0);
+  if (cap_total > capacity + 1e-9) {
+    EXPECT_NEAR(total, capacity, 1e-9);
+  }
+
+  // Max-min: any job strictly below its cap sits at the common level —
+  // no one below the level could be raised without lowering someone
+  // weakly below them.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (a[j] < caps[j] - 1e-9 && std::isfinite(level)) {
+      EXPECT_NEAR(a[j] / weights[j], level, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaterFillRandomTest, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace amf::core

@@ -1,0 +1,371 @@
+// Tests for src/util: RNG determinism and distribution sanity, statistics
+// (Welford accumulator, fairness indices, percentiles, CDFs), CSV/table
+// formatting, and the parallel_for substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <atomic>
+#include <thread>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace amf::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_index(5);
+    ASSERT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), ContractError);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 3.0, 0.1);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, GammaMeanMatchesShape) {
+  Rng rng(29);
+  for (double shape : {0.5, 1.0, 3.0, 9.0}) {
+    double sum = 0.0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) sum += rng.gamma(shape);
+    EXPECT_NEAR(sum / trials, shape, 0.06 * shape + 0.03) << "shape " << shape;
+  }
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(31);
+  for (double alpha : {0.1, 1.0, 10.0}) {
+    auto x = rng.dirichlet(6, alpha);
+    EXPECT_EQ(x.size(), 6u);
+    double sum = std::accumulate(x.begin(), x.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    for (double xi : x) EXPECT_GE(xi, 0.0);
+  }
+}
+
+TEST(Rng, DirichletSmallAlphaIsSkewed) {
+  Rng rng(37);
+  // With alpha = 0.05 the largest coordinate should dominate on average.
+  double max_share = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    auto x = rng.dirichlet(4, 0.05);
+    max_share += *std::max_element(x.begin(), x.end());
+  }
+  EXPECT_GT(max_share / trials, 0.9);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.split();
+  // Parent and child should not generate identical sequences.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == child());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  ZipfSampler z(4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(z.pmf(i), 0.25, 1e-12);
+}
+
+TEST(ZipfSampler, PmfDecreasesWithRank) {
+  ZipfSampler z(10, 1.2);
+  for (std::size_t i = 0; i + 1 < 10; ++i) EXPECT_GT(z.pmf(i), z.pmf(i + 1));
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmf) {
+  Rng rng(47);
+  ZipfSampler z(5, 1.0);
+  std::vector<int> counts(5, 0);
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) ++counts[z(rng)];
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(static_cast<double>(counts[i]) / trials, z.pmf(i), 0.01);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler z(17, 0.8);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) sum += z.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Rng rng(53);
+  Accumulator whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.normal();
+    whole.add(v);
+    (i % 2 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Stats, JainIndexEqualIsOne) {
+  std::vector<double> x{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jain_index(x), 1.0);
+}
+
+TEST(Stats, JainIndexSingleWinner) {
+  // One job with everything among n: index = 1/n.
+  std::vector<double> x{10.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(jain_index(x), 0.25, 1e-12);
+}
+
+TEST(Stats, JainIndexEdgeCases) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+}
+
+TEST(Stats, MinMaxRatio) {
+  std::vector<double> x{2.0, 4.0, 8.0};
+  EXPECT_DOUBLE_EQ(min_max_ratio(x), 0.25);
+  std::vector<double> starved{0.0, 4.0};
+  EXPECT_DOUBLE_EQ(min_max_ratio(starved), 0.0);
+  std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(min_max_ratio(zeros), 1.0);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  std::vector<double> equal{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(equal), 0.0);
+  std::vector<double> x{1.0, 3.0};
+  // population stddev = 1, mean = 2.
+  EXPECT_NEAR(coefficient_of_variation(x), 0.5, 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> x{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(x, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(x, 50.0), 2.5);
+}
+
+TEST(Stats, PercentileContract) {
+  std::vector<double> empty;
+  EXPECT_THROW(percentile(empty, 50.0), ContractError);
+  std::vector<double> one{1.0};
+  EXPECT_THROW(percentile(one, 101.0), ContractError);
+}
+
+TEST(Stats, EmpiricalCdf) {
+  std::vector<double> x{1.0, 1.0, 2.0, 4.0};
+  auto cdf = empirical_cdf(x);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].second, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[1].second, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].second, 1.0);
+}
+
+TEST(Stats, GiniKnownValues) {
+  std::vector<double> equal{2.0, 2.0, 2.0, 2.0};
+  EXPECT_NEAR(gini(equal), 0.0, 1e-12);
+  std::vector<double> winner{0.0, 0.0, 0.0, 8.0};
+  EXPECT_NEAR(gini(winner), 0.75, 1e-12);  // (n-1)/n for a single winner
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  std::vector<double> x{-5.0, 0.5, 1.5, 99.0};
+  auto h = histogram(x, 0.0, 2.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);  // -5 clamped into first bucket, 0.5 in range
+  EXPECT_EQ(h[1], 2u);  // 1.5 in range, 99 clamped into last
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"x", "y"});
+  csv.row({"1", "2"});
+  csv.row_numeric({0.5, 1.25});
+  EXPECT_EQ(os.str(), "x,y\n1,2\n0.5,1.25\n");
+}
+
+TEST(Csv, RejectsWidthMismatch) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"x", "y"});
+  EXPECT_THROW(csv.row({"only-one"}), ContractError);
+}
+
+TEST(Csv, FormatsSpecialDoubles) {
+  EXPECT_EQ(CsvWriter::format(std::nan("")), "nan");
+  EXPECT_EQ(CsvWriter::format(INFINITY), "inf");
+  EXPECT_EQ(CsvWriter::format(-INFINITY), "-inf");
+  EXPECT_EQ(CsvWriter::format(2.0), "2");
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row({"a", "1"});
+  t.row_numeric("longer", {2.5});
+  std::ostringstream os;
+  t.print(os);
+  auto text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Parallel, RunsAllIterations) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; }, 4);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(100, [](std::size_t i) {
+        if (i == 37) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+}
+
+TEST(Parallel, ZeroIterationsIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ExecutesTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i)
+    futures.push_back(pool.submit([&count] { count++; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, FuturePropagatesException) {
+  ThreadPool pool(1);
+  auto f = pool.submit([] { throw std::logic_error("bad"); });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace amf::util

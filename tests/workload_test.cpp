@@ -1,0 +1,217 @@
+// Tests for the workload generators: determinism, structural validity of
+// generated instances, the skew knob's monotone effect on hot-site
+// concentration, demand-model semantics, trace generation, and scenarios.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+#include "workload/trace.hpp"
+
+namespace amf::workload {
+namespace {
+
+TEST(Generator, DeterministicForSameSeed) {
+  auto cfg = paper_default(1.0, 123);
+  Generator g1(cfg), g2(cfg);
+  auto p1 = g1.generate();
+  auto p2 = g2.generate();
+  ASSERT_EQ(p1.jobs(), p2.jobs());
+  for (int j = 0; j < p1.jobs(); ++j)
+    for (int s = 0; s < p1.sites(); ++s) {
+      EXPECT_DOUBLE_EQ(p1.demand(j, s), p2.demand(j, s));
+      EXPECT_DOUBLE_EQ(p1.workload(j, s), p2.workload(j, s));
+    }
+}
+
+TEST(Generator, SuccessiveInstancesDiffer) {
+  Generator gen(paper_default(1.0, 5));
+  auto p1 = gen.generate();
+  auto p2 = gen.generate();
+  bool any_diff = false;
+  for (int j = 0; j < p1.jobs() && !any_diff; ++j)
+    for (int s = 0; s < p1.sites(); ++s)
+      any_diff |= (p1.workload(j, s) != p2.workload(j, s));
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, StructuralValidity) {
+  auto cfg = paper_default(1.2, 9);
+  Generator gen(cfg);
+  auto p = gen.generate();
+  EXPECT_EQ(p.jobs(), cfg.jobs);
+  EXPECT_EQ(p.sites(), cfg.sites);
+  for (int j = 0; j < p.jobs(); ++j) {
+    int worked_sites = 0;
+    for (int s = 0; s < p.sites(); ++s) {
+      double w = p.workload(j, s);
+      EXPECT_GE(w, 0.0);
+      if (w > 0.0) {
+        ++worked_sites;
+        EXPECT_GT(p.demand(j, s), 0.0) << "work without demand";
+      }
+    }
+    EXPECT_GE(worked_sites, 1);
+    EXPECT_LE(worked_sites, cfg.sites_per_job_max);
+    EXPECT_GT(p.total_work(j), 0.0);
+  }
+}
+
+TEST(Generator, UncappedDemandEqualsCapacity) {
+  auto cfg = paper_default(0.5, 3);
+  cfg.demand_model = DemandModel::kUncapped;
+  Generator gen(cfg);
+  auto p = gen.generate();
+  for (int j = 0; j < p.jobs(); ++j)
+    for (int s = 0; s < p.sites(); ++s)
+      if (p.workload(j, s) > 0.0) {
+        EXPECT_DOUBLE_EQ(p.demand(j, s), p.capacity(s));
+      }
+}
+
+TEST(Generator, ProportionalDemandScalesWithWork) {
+  auto cfg = paper_default(0.5, 3);
+  cfg.demand_model = DemandModel::kProportionalToWork;
+  cfg.demand_factor = 2.0;
+  Generator gen(cfg);
+  auto p = gen.generate();
+  for (int j = 0; j < p.jobs(); ++j)
+    for (int s = 0; s < p.sites(); ++s)
+      if (p.workload(j, s) > 0.0) {
+        EXPECT_NEAR(p.demand(j, s),
+                    std::min(p.capacity(s), 2.0 * p.workload(j, s)), 1e-9);
+      }
+}
+
+TEST(Generator, ZipfSkewConcentratesWorkOnHotSites) {
+  auto measure_hot_share = [](double skew) {
+    auto cfg = paper_default(skew, 77);
+    cfg.jobs = 400;
+    Generator gen(cfg);
+    auto p = gen.generate();
+    std::vector<double> site_work(static_cast<std::size_t>(p.sites()), 0.0);
+    double total = 0.0;
+    for (int j = 0; j < p.jobs(); ++j)
+      for (int s = 0; s < p.sites(); ++s) {
+        site_work[static_cast<std::size_t>(s)] += p.workload(j, s);
+        total += p.workload(j, s);
+      }
+    return *std::max_element(site_work.begin(), site_work.end()) / total;
+  };
+  double uniform = measure_hot_share(0.0);
+  double skewed = measure_hot_share(1.5);
+  EXPECT_LT(uniform, 0.25);
+  EXPECT_GT(skewed, 0.3);
+  EXPECT_GT(skewed, uniform * 1.5);
+}
+
+TEST(Generator, CapacityJitterStaysInBand) {
+  auto cfg = paper_default(1.0, 13);
+  cfg.capacity_jitter = 0.4;
+  Generator gen(cfg);
+  auto p = gen.generate();
+  for (int s = 0; s < p.sites(); ++s) {
+    EXPECT_GE(p.capacity(s), cfg.capacity_per_site * 0.6 - 1e-9);
+    EXPECT_LE(p.capacity(s), cfg.capacity_per_site * 1.4 + 1e-9);
+  }
+}
+
+TEST(Generator, SizeDistributionsRoughlyHitMean) {
+  for (auto dist : {SizeDistribution::kUniform, SizeDistribution::kLognormal,
+                    SizeDistribution::kPareto}) {
+    auto cfg = paper_default(0.5, 17);
+    cfg.size_distribution = dist;
+    cfg.mean_job_work = 80.0;
+    Generator gen(cfg);
+    util::Rng rng(99);
+    double sum = 0.0;
+    const int trials = 30000;
+    for (int i = 0; i < trials; ++i) sum += gen.draw_job_work(rng);
+    EXPECT_NEAR(sum / trials, 80.0, 12.0)
+        << "distribution " << static_cast<int>(dist);
+  }
+}
+
+TEST(Generator, ValidatesConfig) {
+  auto cfg = paper_default();
+  cfg.sites = 0;
+  EXPECT_THROW(Generator{cfg}, util::ContractError);
+  cfg = paper_default();
+  cfg.sites_per_job_max = 0;
+  EXPECT_THROW(Generator{cfg}, util::ContractError);
+  cfg = paper_default();
+  cfg.capacity_jitter = 1.5;
+  EXPECT_THROW(Generator{cfg}, util::ContractError);
+  cfg = paper_default();
+  cfg.zipf_skew = -0.1;
+  EXPECT_THROW(Generator{cfg}, util::ContractError);
+}
+
+TEST(Trace, ArrivalsSortedAndLoadRoughlyMatches) {
+  auto cfg = paper_default(1.0, 19);
+  Generator gen(cfg);
+  auto trace = generate_trace(gen, 0.8, 400);
+  ASSERT_EQ(trace.jobs.size(), 400u);
+  for (std::size_t i = 1; i < trace.jobs.size(); ++i)
+    EXPECT_GE(trace.jobs[i].arrival, trace.jobs[i - 1].arrival);
+  EXPECT_NEAR(trace.offered_load(), 0.8, 0.25);
+}
+
+TEST(Trace, JobsHaveConsistentShapes) {
+  auto cfg = paper_default(1.0, 23);
+  Generator gen(cfg);
+  auto trace = generate_trace(gen, 0.5, 50);
+  EXPECT_EQ(trace.capacities.size(), static_cast<std::size_t>(cfg.sites));
+  for (const auto& job : trace.jobs) {
+    EXPECT_EQ(job.workloads.size(), trace.capacities.size());
+    EXPECT_EQ(job.demands.size(), trace.capacities.size());
+    double total =
+        std::accumulate(job.workloads.begin(), job.workloads.end(), 0.0);
+    EXPECT_GT(total, 0.0);
+  }
+}
+
+TEST(Trace, EmptyLoadValidation) {
+  auto cfg = paper_default(1.0, 29);
+  Generator gen(cfg);
+  EXPECT_THROW(generate_trace(gen, 0.0, 10), util::ContractError);
+  EXPECT_THROW(generate_trace(gen, 0.5, -1), util::ContractError);
+  auto empty = generate_trace(gen, 0.5, 0);
+  EXPECT_TRUE(empty.jobs.empty());
+  EXPECT_DOUBLE_EQ(empty.offered_load(), 0.0);
+}
+
+TEST(Scenario, PresetsAreValidGeneratorConfigs) {
+  for (const auto& sc : all_scenarios()) {
+    EXPECT_FALSE(sc.name.empty());
+    Generator gen(sc.config);  // construction validates
+    auto p = gen.generate();
+    EXPECT_EQ(p.jobs(), sc.config.jobs);
+  }
+}
+
+TEST(Scenario, PaperDefaultShape) {
+  auto cfg = paper_default(1.3, 1);
+  EXPECT_EQ(cfg.jobs, 100);
+  EXPECT_EQ(cfg.sites, 10);
+  EXPECT_DOUBLE_EQ(cfg.zipf_skew, 1.3);
+  EXPECT_EQ(cfg.demand_model, DemandModel::kUncapped);
+}
+
+
+TEST(Trace, LoadRejectsTruncatedFile) {
+  std::stringstream ss("3,2\n10,10\n0,1,1,1,2,2\n");  // 1 of 3 jobs
+  EXPECT_THROW(load_trace(ss), util::ContractError);
+}
+
+TEST(Trace, LoadRejectsWrongWidth) {
+  std::stringstream ss("1,2\n10,10\n0,1,1,1\n");  // row too short
+  EXPECT_THROW(load_trace(ss), util::ContractError);
+}
+
+}  // namespace
+}  // namespace amf::workload

@@ -1,0 +1,88 @@
+// amf_generate — synthetic instance/trace generator for the CLI suite.
+//
+//   amf_generate problem [--jobs N] [--sites M] [--skew Z] [--seed S]
+//                        [--demand-model uncapped|proportional]
+//   amf_generate trace   [--jobs N] [--sites M] [--skew Z] [--seed S]
+//                        [--load L]
+//
+// Writes the instance (AllocationProblem CSV) or trace (trace CSV) to
+// stdout, in the formats read by amf_solve and accepted by
+// workload::load_trace — completing the generate → solve → simulate
+// pipeline from the shell.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "amf.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: amf_generate problem|trace [--jobs N] [--sites M] "
+               "[--skew Z] [--seed S] [--load L] "
+               "[--demand-model uncapped|proportional]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amf;
+  if (argc < 2) return usage();
+  std::string mode = argv[1];
+  if (mode != "problem" && mode != "trace") return usage();
+
+  int jobs = 100, sites = 10;
+  double skew = 1.0, load = 0.8;
+  std::uint64_t seed = 42;
+  auto demand_model = workload::DemandModel::kUncapped;
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atof(argv[++i]);
+      return true;
+    };
+    double v = 0.0;
+    if (std::strcmp(argv[i], "--jobs") == 0 && next(&v)) {
+      jobs = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--sites") == 0 && next(&v)) {
+      sites = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--skew") == 0 && next(&v)) {
+      skew = v;
+    } else if (std::strcmp(argv[i], "--load") == 0 && next(&v)) {
+      load = v;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && next(&v)) {
+      seed = static_cast<std::uint64_t>(v);
+    } else if (std::strcmp(argv[i], "--demand-model") == 0 && i + 1 < argc) {
+      std::string model = argv[++i];
+      if (model == "uncapped")
+        demand_model = workload::DemandModel::kUncapped;
+      else if (model == "proportional")
+        demand_model = workload::DemandModel::kProportionalToWork;
+      else
+        return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    auto cfg = workload::paper_default(skew, seed);
+    cfg.jobs = jobs;
+    cfg.sites = sites;
+    cfg.sites_per_job_max = std::min(cfg.sites_per_job_max, sites);
+    cfg.demand_model = demand_model;
+    workload::Generator generator(cfg);
+    if (mode == "problem") {
+      generator.generate().save(std::cout);
+    } else {
+      auto trace = workload::generate_trace(generator, load, jobs);
+      workload::save_trace(trace, std::cout);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "amf_generate: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

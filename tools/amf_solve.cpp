@@ -1,0 +1,133 @@
+// amf_solve — command-line allocator.
+//
+//   amf_solve [--policy amf|eamf|psmf] [--addon] [--report] [--explain]
+//             < problem.csv
+//
+// Reads an AllocationProblem in the library's CSV format (see
+// AllocationProblem::save: a `jobs,sites,has_workloads` header, demand
+// rows, capacity row, optional workload rows, weight row) from stdin and
+// prints the allocation matrix as CSV to stdout. `--report` appends
+// fairness/property diagnostics as '#' comment lines on stderr-free
+// stdout, so the matrix remains machine-readable.
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "amf.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: amf_solve [--policy amf|eamf|psmf] [--addon] "
+               "[--report] [--explain] < problem.csv\n"
+               "  problem.csv: AllocationProblem CSV "
+               "(header jobs,sites,has_workloads; demand rows; capacities; "
+               "optional workloads; weights)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amf;
+  std::string policy_name = "amf";
+  bool use_addon = false, report = false, explain = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      policy_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--addon") == 0) {
+      use_addon = true;
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      report = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else {
+      return usage();
+    }
+  }
+
+  std::unique_ptr<core::Allocator> policy;
+  core::AmfAllocator* amf_for_trace = nullptr;
+  if (policy_name == "amf") {
+    auto amf = std::make_unique<core::AmfAllocator>();
+    amf_for_trace = amf.get();
+    policy = std::move(amf);
+  } else if (policy_name == "eamf")
+    policy = std::make_unique<core::EnhancedAmfAllocator>();
+  else if (policy_name == "psmf")
+    policy = std::make_unique<core::PerSiteMaxMin>();
+  else
+    return usage();
+
+  try {
+    auto problem = core::AllocationProblem::load(std::cin);
+    auto allocation = policy->allocate(problem);
+    if (use_addon) {
+      if (!problem.has_workloads()) {
+        std::cerr << "amf_solve: --addon requires workloads in the input\n";
+        return 1;
+      }
+      core::JctAddon addon;
+      allocation = addon.optimize(problem, allocation);
+    }
+
+    // Allocation matrix, one row per job, plus the aggregate column.
+    std::vector<std::string> header{"job"};
+    for (int s = 0; s < problem.sites(); ++s)
+      header.push_back("site" + std::to_string(s));
+    header.push_back("aggregate");
+    util::CsvWriter csv(std::cout, header);
+    for (int j = 0; j < problem.jobs(); ++j) {
+      std::vector<std::string> row{std::to_string(j)};
+      for (int s = 0; s < problem.sites(); ++s)
+        row.push_back(util::CsvWriter::format(allocation.share(j, s)));
+      row.push_back(util::CsvWriter::format(allocation.aggregate(j)));
+      csv.row(row);
+    }
+
+    if (report) {
+      auto fairness = core::fairness_report(problem, allocation);
+      std::cout << "# policy " << allocation.policy() << "\n"
+                << "# jain " << fairness.jain << " min_max "
+                << fairness.min_max << " utilization "
+                << fairness.utilization << "\n"
+                << "# pareto_efficient "
+                << core::is_pareto_efficient(problem, allocation)
+                << " envy_free " << core::is_envy_free(problem, allocation)
+                << " sharing_incentive "
+                << core::satisfies_sharing_incentive(problem, allocation)
+                << "\n"
+                << "# max_min_fair_aggregates "
+                << core::is_max_min_fair(problem, allocation.aggregates())
+                << "\n";
+      if (problem.has_workloads()) {
+        auto jct = core::jct_report(problem, allocation);
+        std::cout << "# jct_mean " << jct.mean << " jct_p95 " << jct.p95
+                  << " jct_unbounded " << jct.unbounded << "\n";
+      }
+    }
+
+    if (explain) {
+      if (amf_for_trace == nullptr) {
+        std::cerr << "amf_solve: --explain is only available for "
+                     "--policy amf\n";
+        return 1;
+      }
+      const auto& trace = amf_for_trace->last_fill_trace();
+      std::cout << "# explanation: freeze round and water level per job "
+                   "(same round = same bottleneck)\n";
+      for (int j = 0; j < problem.jobs(); ++j)
+        std::cout << "# job " << j << " round "
+                  << trace.freeze_round[static_cast<std::size_t>(j)]
+                  << " level "
+                  << trace.freeze_level[static_cast<std::size_t>(j)]
+                  << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "amf_solve: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
