@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_multiresource.dir/e1_multiresource.cpp.o"
+  "CMakeFiles/bench_e1_multiresource.dir/e1_multiresource.cpp.o.d"
+  "bench_e1_multiresource"
+  "bench_e1_multiresource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_multiresource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f12_locality.dir/f12_locality.cpp.o"
+  "CMakeFiles/bench_f12_locality.dir/f12_locality.cpp.o.d"
+  "bench_f12_locality"
+  "bench_f12_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f12_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

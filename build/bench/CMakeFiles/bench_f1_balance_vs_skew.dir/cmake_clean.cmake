@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_balance_vs_skew.dir/f1_balance_vs_skew.cpp.o"
+  "CMakeFiles/bench_f1_balance_vs_skew.dir/f1_balance_vs_skew.cpp.o.d"
+  "bench_f1_balance_vs_skew"
+  "bench_f1_balance_vs_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_balance_vs_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

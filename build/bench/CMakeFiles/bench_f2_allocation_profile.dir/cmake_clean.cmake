@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_allocation_profile.dir/f2_allocation_profile.cpp.o"
+  "CMakeFiles/bench_f2_allocation_profile.dir/f2_allocation_profile.cpp.o.d"
+  "bench_f2_allocation_profile"
+  "bench_f2_allocation_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_allocation_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f2_allocation_profile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_jct_tail.dir/f4_jct_tail.cpp.o"
+  "CMakeFiles/bench_f4_jct_tail.dir/f4_jct_tail.cpp.o.d"
+  "bench_f4_jct_tail"
+  "bench_f4_jct_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_jct_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_jct_cdf.dir/f5_jct_cdf.cpp.o"
+  "CMakeFiles/bench_f5_jct_cdf.dir/f5_jct_cdf.cpp.o.d"
+  "bench_f5_jct_cdf"
+  "bench_f5_jct_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_jct_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_addon_ablation.dir/f6_addon_ablation.cpp.o"
+  "CMakeFiles/bench_f6_addon_ablation.dir/f6_addon_ablation.cpp.o.d"
+  "bench_f6_addon_ablation"
+  "bench_f6_addon_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_addon_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_sharing_incentive.dir/f8_sharing_incentive.cpp.o"
+  "CMakeFiles/bench_f8_sharing_incentive.dir/f8_sharing_incentive.cpp.o.d"
+  "bench_f8_sharing_incentive"
+  "bench_f8_sharing_incentive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_sharing_incentive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_properties.dir/t1_properties.cpp.o"
+  "CMakeFiles/bench_t1_properties.dir/t1_properties.cpp.o.d"
+  "bench_t1_properties"
+  "bench_t1_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

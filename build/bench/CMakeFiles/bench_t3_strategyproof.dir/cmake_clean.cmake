@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_strategyproof.dir/t3_strategyproof.cpp.o"
+  "CMakeFiles/bench_t3_strategyproof.dir/t3_strategyproof.cpp.o.d"
+  "bench_t3_strategyproof"
+  "bench_t3_strategyproof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_strategyproof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_scheduler.dir/dynamic_scheduler.cpp.o"
+  "CMakeFiles/dynamic_scheduler.dir/dynamic_scheduler.cpp.o.d"
+  "dynamic_scheduler"
+  "dynamic_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_strategyproof.dir/federation_strategyproof.cpp.o"
+  "CMakeFiles/federation_strategyproof.dir/federation_strategyproof.cpp.o.d"
+  "federation_strategyproof"
+  "federation_strategyproof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_strategyproof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

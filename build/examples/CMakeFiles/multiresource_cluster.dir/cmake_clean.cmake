@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiresource_cluster.dir/multiresource_cluster.cpp.o"
+  "CMakeFiles/multiresource_cluster.dir/multiresource_cluster.cpp.o.d"
+  "multiresource_cluster"
+  "multiresource_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiresource_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cpp" "src/core/CMakeFiles/amf_core.dir/allocation.cpp.o" "gcc" "src/core/CMakeFiles/amf_core.dir/allocation.cpp.o.d"
+  "/root/repo/src/core/amf.cpp" "src/core/CMakeFiles/amf_core.dir/amf.cpp.o" "gcc" "src/core/CMakeFiles/amf_core.dir/amf.cpp.o.d"
+  "/root/repo/src/core/eamf.cpp" "src/core/CMakeFiles/amf_core.dir/eamf.cpp.o" "gcc" "src/core/CMakeFiles/amf_core.dir/eamf.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/core/CMakeFiles/amf_core.dir/hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/amf_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/core/jct.cpp" "src/core/CMakeFiles/amf_core.dir/jct.cpp.o" "gcc" "src/core/CMakeFiles/amf_core.dir/jct.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/amf_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/amf_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/persite.cpp" "src/core/CMakeFiles/amf_core.dir/persite.cpp.o" "gcc" "src/core/CMakeFiles/amf_core.dir/persite.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/amf_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/amf_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/properties.cpp" "src/core/CMakeFiles/amf_core.dir/properties.cpp.o" "gcc" "src/core/CMakeFiles/amf_core.dir/properties.cpp.o.d"
+  "/root/repo/src/core/reference.cpp" "src/core/CMakeFiles/amf_core.dir/reference.cpp.o" "gcc" "src/core/CMakeFiles/amf_core.dir/reference.cpp.o.d"
+  "/root/repo/src/core/rounding.cpp" "src/core/CMakeFiles/amf_core.dir/rounding.cpp.o" "gcc" "src/core/CMakeFiles/amf_core.dir/rounding.cpp.o.d"
+  "/root/repo/src/core/single_site.cpp" "src/core/CMakeFiles/amf_core.dir/single_site.cpp.o" "gcc" "src/core/CMakeFiles/amf_core.dir/single_site.cpp.o.d"
+  "/root/repo/src/core/stability.cpp" "src/core/CMakeFiles/amf_core.dir/stability.cpp.o" "gcc" "src/core/CMakeFiles/amf_core.dir/stability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/amf_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/amf_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

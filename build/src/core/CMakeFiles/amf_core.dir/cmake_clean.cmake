@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amf_core.dir/allocation.cpp.o"
+  "CMakeFiles/amf_core.dir/allocation.cpp.o.d"
+  "CMakeFiles/amf_core.dir/amf.cpp.o"
+  "CMakeFiles/amf_core.dir/amf.cpp.o.d"
+  "CMakeFiles/amf_core.dir/eamf.cpp.o"
+  "CMakeFiles/amf_core.dir/eamf.cpp.o.d"
+  "CMakeFiles/amf_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/amf_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/amf_core.dir/jct.cpp.o"
+  "CMakeFiles/amf_core.dir/jct.cpp.o.d"
+  "CMakeFiles/amf_core.dir/metrics.cpp.o"
+  "CMakeFiles/amf_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/amf_core.dir/persite.cpp.o"
+  "CMakeFiles/amf_core.dir/persite.cpp.o.d"
+  "CMakeFiles/amf_core.dir/problem.cpp.o"
+  "CMakeFiles/amf_core.dir/problem.cpp.o.d"
+  "CMakeFiles/amf_core.dir/properties.cpp.o"
+  "CMakeFiles/amf_core.dir/properties.cpp.o.d"
+  "CMakeFiles/amf_core.dir/reference.cpp.o"
+  "CMakeFiles/amf_core.dir/reference.cpp.o.d"
+  "CMakeFiles/amf_core.dir/rounding.cpp.o"
+  "CMakeFiles/amf_core.dir/rounding.cpp.o.d"
+  "CMakeFiles/amf_core.dir/single_site.cpp.o"
+  "CMakeFiles/amf_core.dir/single_site.cpp.o.d"
+  "CMakeFiles/amf_core.dir/stability.cpp.o"
+  "CMakeFiles/amf_core.dir/stability.cpp.o.d"
+  "libamf_core.a"
+  "libamf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

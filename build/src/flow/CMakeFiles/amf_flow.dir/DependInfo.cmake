@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/lower_bounds.cpp" "src/flow/CMakeFiles/amf_flow.dir/lower_bounds.cpp.o" "gcc" "src/flow/CMakeFiles/amf_flow.dir/lower_bounds.cpp.o.d"
+  "/root/repo/src/flow/mincost.cpp" "src/flow/CMakeFiles/amf_flow.dir/mincost.cpp.o" "gcc" "src/flow/CMakeFiles/amf_flow.dir/mincost.cpp.o.d"
+  "/root/repo/src/flow/network.cpp" "src/flow/CMakeFiles/amf_flow.dir/network.cpp.o" "gcc" "src/flow/CMakeFiles/amf_flow.dir/network.cpp.o.d"
+  "/root/repo/src/flow/parametric.cpp" "src/flow/CMakeFiles/amf_flow.dir/parametric.cpp.o" "gcc" "src/flow/CMakeFiles/amf_flow.dir/parametric.cpp.o.d"
+  "/root/repo/src/flow/transport.cpp" "src/flow/CMakeFiles/amf_flow.dir/transport.cpp.o" "gcc" "src/flow/CMakeFiles/amf_flow.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/amf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

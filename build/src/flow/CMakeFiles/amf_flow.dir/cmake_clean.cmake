@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amf_flow.dir/lower_bounds.cpp.o"
+  "CMakeFiles/amf_flow.dir/lower_bounds.cpp.o.d"
+  "CMakeFiles/amf_flow.dir/mincost.cpp.o"
+  "CMakeFiles/amf_flow.dir/mincost.cpp.o.d"
+  "CMakeFiles/amf_flow.dir/network.cpp.o"
+  "CMakeFiles/amf_flow.dir/network.cpp.o.d"
+  "CMakeFiles/amf_flow.dir/parametric.cpp.o"
+  "CMakeFiles/amf_flow.dir/parametric.cpp.o.d"
+  "CMakeFiles/amf_flow.dir/transport.cpp.o"
+  "CMakeFiles/amf_flow.dir/transport.cpp.o.d"
+  "libamf_flow.a"
+  "libamf_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amf_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amf_lp.dir/simplex.cpp.o"
+  "CMakeFiles/amf_lp.dir/simplex.cpp.o.d"
+  "libamf_lp.a"
+  "libamf_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amf_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multiresource/drf.cpp" "src/multiresource/CMakeFiles/amf_multiresource.dir/drf.cpp.o" "gcc" "src/multiresource/CMakeFiles/amf_multiresource.dir/drf.cpp.o.d"
+  "/root/repo/src/multiresource/problem.cpp" "src/multiresource/CMakeFiles/amf_multiresource.dir/problem.cpp.o" "gcc" "src/multiresource/CMakeFiles/amf_multiresource.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/amf_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amf_multiresource.dir/drf.cpp.o"
+  "CMakeFiles/amf_multiresource.dir/drf.cpp.o.d"
+  "CMakeFiles/amf_multiresource.dir/problem.cpp.o"
+  "CMakeFiles/amf_multiresource.dir/problem.cpp.o.d"
+  "libamf_multiresource.a"
+  "libamf_multiresource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amf_multiresource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

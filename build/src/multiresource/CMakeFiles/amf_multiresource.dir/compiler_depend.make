@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for amf_multiresource.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/amf_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/amf_sim.dir/engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/amf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/amf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/amf_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/amf_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

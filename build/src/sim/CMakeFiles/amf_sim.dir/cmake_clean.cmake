@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amf_sim.dir/engine.cpp.o"
+  "CMakeFiles/amf_sim.dir/engine.cpp.o.d"
+  "libamf_sim.a"
+  "libamf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amf_util.dir/csv.cpp.o"
+  "CMakeFiles/amf_util.dir/csv.cpp.o.d"
+  "CMakeFiles/amf_util.dir/parallel.cpp.o"
+  "CMakeFiles/amf_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/amf_util.dir/rng.cpp.o"
+  "CMakeFiles/amf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/amf_util.dir/stats.cpp.o"
+  "CMakeFiles/amf_util.dir/stats.cpp.o.d"
+  "CMakeFiles/amf_util.dir/table.cpp.o"
+  "CMakeFiles/amf_util.dir/table.cpp.o.d"
+  "libamf_util.a"
+  "libamf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

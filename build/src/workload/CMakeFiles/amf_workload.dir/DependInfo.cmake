@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/amf_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/amf_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/workload/CMakeFiles/amf_workload.dir/scenario.cpp.o" "gcc" "src/workload/CMakeFiles/amf_workload.dir/scenario.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/amf_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/amf_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/amf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/amf_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/amf_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

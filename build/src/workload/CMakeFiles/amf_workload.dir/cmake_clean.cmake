@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amf_workload.dir/generator.cpp.o"
+  "CMakeFiles/amf_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/amf_workload.dir/scenario.cpp.o"
+  "CMakeFiles/amf_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/amf_workload.dir/trace.cpp.o"
+  "CMakeFiles/amf_workload.dir/trace.cpp.o.d"
+  "libamf_workload.a"
+  "libamf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

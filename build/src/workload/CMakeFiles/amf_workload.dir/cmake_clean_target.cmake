@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamf_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amf.dir/amf_test.cpp.o"
+  "CMakeFiles/test_amf.dir/amf_test.cpp.o.d"
+  "test_amf"
+  "test_amf.pdb"
+  "test_amf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

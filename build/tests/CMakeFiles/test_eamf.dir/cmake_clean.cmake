@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eamf.dir/eamf_test.cpp.o"
+  "CMakeFiles/test_eamf.dir/eamf_test.cpp.o.d"
+  "test_eamf"
+  "test_eamf.pdb"
+  "test_eamf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eamf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jct.dir/jct_test.cpp.o"
+  "CMakeFiles/test_jct.dir/jct_test.cpp.o.d"
+  "test_jct"
+  "test_jct.pdb"
+  "test_jct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

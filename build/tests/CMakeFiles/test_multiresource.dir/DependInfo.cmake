@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/multiresource_test.cpp" "tests/CMakeFiles/test_multiresource.dir/multiresource_test.cpp.o" "gcc" "tests/CMakeFiles/test_multiresource.dir/multiresource_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/amf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/amf_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/amf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/amf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/amf_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiresource/CMakeFiles/amf_multiresource.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_single_site.dir/single_site_test.cpp.o"
+  "CMakeFiles/test_single_site.dir/single_site_test.cpp.o.d"
+  "test_single_site"
+  "test_single_site.pdb"
+  "test_single_site[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_single_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_single_site[1]_include.cmake")
+include("/root/repo/build/tests/test_problem[1]_include.cmake")
+include("/root/repo/build/tests/test_amf[1]_include.cmake")
+include("/root/repo/build/tests/test_eamf[1]_include.cmake")
+include("/root/repo/build/tests/test_jct[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_lp[1]_include.cmake")
+include("/root/repo/build/tests/test_multiresource[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_stability[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_rounding[1]_include.cmake")
+add_test(cli_pipeline "sh" "-c" "/root/repo/build/tools/amf_generate problem --jobs 6 --sites 3 --seed 3 | /root/repo/build/tools/amf_solve --policy amf --report | grep -q 'max_min_fair_aggregates 1'")
+set_tests_properties(cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_pipeline_eamf_addon "sh" "-c" "/root/repo/build/tools/amf_generate problem --jobs 5 --sites 2 --seed 9 --demand-model proportional | /root/repo/build/tools/amf_solve --policy eamf --addon --report | grep -q 'sharing_incentive 1'")
+set_tests_properties(cli_pipeline_eamf_addon PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_simulate "sh" "-c" "/root/repo/build/tools/amf_simulate --jobs 15 --load 0.5 --policy psmf --batch | grep -q mean_jct")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_input "sh" "-c" "echo garbage | /root/repo/build/tools/amf_solve 2>/dev/null; test \$? -eq 1")
+set_tests_properties(cli_rejects_bad_input PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_explain "sh" "-c" "/root/repo/build/tools/amf_generate problem --jobs 4 --sites 2 --seed 5 | /root/repo/build/tools/amf_solve --explain | grep -q 'round'")
+set_tests_properties(cli_explain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;39;add_test;/root/repo/tests/CMakeLists.txt;0;")

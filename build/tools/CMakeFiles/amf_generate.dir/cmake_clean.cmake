@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amf_generate.dir/amf_generate.cpp.o"
+  "CMakeFiles/amf_generate.dir/amf_generate.cpp.o.d"
+  "amf_generate"
+  "amf_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amf_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

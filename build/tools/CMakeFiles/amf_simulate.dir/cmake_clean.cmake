@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amf_simulate.dir/amf_simulate.cpp.o"
+  "CMakeFiles/amf_simulate.dir/amf_simulate.cpp.o.d"
+  "amf_simulate"
+  "amf_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amf_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amf_solve.dir/amf_solve.cpp.o"
+  "CMakeFiles/amf_solve.dir/amf_solve.cpp.o.d"
+  "amf_solve"
+  "amf_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amf_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
