@@ -4,21 +4,41 @@
 #   ./scripts/run_all_experiments.sh [build_dir] [out_dir]
 #
 # Each bench binary is deterministic, so re-running reproduces the
-# committed numbers exactly on the same platform.
-set -eu
+# committed numbers exactly on the same platform. A bench failure does
+# not abort the sweep: every failure is reported, the summary counts
+# run/failed, and the script exits non-zero if anything failed.
+set -u
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-results}"
 mkdir -p "$OUT_DIR"
 
+ran=0
+failed=0
+failed_names=""
 for bench in "$BUILD_DIR"/bench/bench_*; do
   [ -f "$bench" ] && [ -x "$bench" ] || continue
   name=$(basename "$bench")
   echo "running $name ..."
   if [ "$name" = "bench_runtime" ]; then
-    "$bench" --benchmark_format=csv > "$OUT_DIR/$name.csv" 2>/dev/null
+    # google-benchmark prints its human table to stderr in csv mode;
+    # keep it visible so failures aren't swallowed.
+    set -- --benchmark_format=csv
   else
-    "$bench" > "$OUT_DIR/$name.csv"
+    set --
+  fi
+  if "$bench" "$@" > "$OUT_DIR/$name.csv"; then
+    ran=$((ran + 1))
+  else
+    echo "FAILED: $name (exit $?)" >&2
+    failed=$((failed + 1))
+    failed_names="$failed_names $name"
+    rm -f "$OUT_DIR/$name.csv"
   fi
 done
-echo "wrote $(ls "$OUT_DIR" | wc -l) result files to $OUT_DIR/"
+
+echo "ran $ran benches, $failed failed; wrote $(ls "$OUT_DIR" | wc -l) result files to $OUT_DIR/"
+if [ "$failed" -gt 0 ]; then
+  echo "failed benches:$failed_names" >&2
+  exit 1
+fi

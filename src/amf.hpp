@@ -22,6 +22,7 @@
 #include "core/problem.hpp"
 #include "core/properties.hpp"
 #include "core/reference.hpp"
+#include "core/robust.hpp"
 #include "core/rounding.hpp"
 #include "core/single_site.hpp"
 #include "core/stability.hpp"
@@ -29,6 +30,7 @@
 #include "multiresource/drf.hpp"
 #include "multiresource/problem.hpp"
 #include "sim/engine.hpp"
+#include "workload/faults.hpp"
 #include "workload/generator.hpp"
 #include "workload/scenario.hpp"
 #include "workload/trace.hpp"

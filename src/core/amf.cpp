@@ -109,6 +109,13 @@ Allocation progressive_fill(const AllocationProblem& problem,
 
     auto res = flow::solve_critical_level(net, d, caps, sources, t_lo,
                                           seg_end, eps, method, stats);
+    // Iteration-capped solves are usable (bisection closed the bracket and
+    // re-certified feasibility); a degenerate one returned an allocation
+    // that must not be trusted — surface it as non-convergence so a
+    // resilience wrapper can retry with a looser eps or another solver.
+    AMF_ASSERT(res.status != flow::LevelStatus::kDegenerate,
+               "critical-level solve degenerate: progressive filling "
+               "cannot converge at this tolerance");
     ++round_counter;
     level = res.level;
 
@@ -173,6 +180,7 @@ Allocation AmfAllocator::allocate(const AllocationProblem& problem) const {
   auto allocation = progressive_fill(problem, zero_floors, name(), eps_,
                                      method_, &stats, &last_trace_);
   last_flow_solves_ = stats.flow_solves;
+  last_status_ = stats.worst;
   return allocation;
 }
 

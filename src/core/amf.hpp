@@ -52,11 +52,17 @@ class AmfAllocator final : public Allocator {
   /// Explanation of the last allocate() call (same thread-safety caveat).
   const FillTrace& last_fill_trace() const { return last_trace_; }
 
+  /// Worst level-solve status observed during the last allocate() call.
+  /// kIterationCapped results are feasible but lower-confidence — a
+  /// resilience wrapper may choose to re-solve (same caveat as above).
+  flow::LevelStatus last_status() const { return last_status_; }
+
  private:
   double eps_;
   flow::LevelMethod method_;
   mutable int last_flow_solves_ = 0;
   mutable FillTrace last_trace_;
+  mutable flow::LevelStatus last_status_ = flow::LevelStatus::kConverged;
 };
 
 /// Progressive-filling engine shared by AMF and E-AMF.

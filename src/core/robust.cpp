@@ -1,0 +1,113 @@
+#include "core/robust.hpp"
+
+#include <utility>
+
+#include "core/reference.hpp"
+#include "flow/transport.hpp"
+#include "util/error.hpp"
+
+namespace amf::core {
+
+const char* to_string(FallbackTier tier) {
+  switch (tier) {
+    case FallbackTier::kPrimary:
+      return "primary";
+    case FallbackTier::kRelaxedEps:
+      return "relaxed-eps";
+    case FallbackTier::kBisection:
+      return "bisection";
+    case FallbackTier::kReferenceLp:
+      return "reference-lp";
+    case FallbackTier::kPerSite:
+      return "per-site";
+  }
+  return "?";
+}
+
+RobustAllocator::RobustAllocator(const Allocator& primary, RobustConfig config)
+    : primary_(primary),
+      config_(config),
+      relaxed_(config.relaxed_eps, flow::LevelMethod::kCutNewton),
+      bisection_(config.relaxed_eps, flow::LevelMethod::kBisection) {
+  AMF_REQUIRE(config.relaxed_eps > 0.0, "relaxed_eps must be positive");
+  AMF_REQUIRE(config.feasibility_eps > 0.0,
+              "feasibility_eps must be positive");
+}
+
+std::string RobustAllocator::name() const {
+  return "Robust(" + primary_.name() + ")";
+}
+
+namespace {
+
+/// Tier 4: the LP leximin oracle produces aggregates; the transportation
+/// network materializes a per-site split for them. Shares no code with
+/// the parametric flow path that tiers 1-3 rely on.
+Allocation lp_tier(const AllocationProblem& problem) {
+  auto aggregates = lp_max_min_aggregates(problem);
+  // LP-tolerance slack can leave the aggregates a hair outside the
+  // polytope; shave them until the flow realization accepts.
+  for (double shave : {0.0, 1e-9, 1e-7}) {
+    std::vector<double> target(aggregates);
+    for (double& a : target) a *= (1.0 - shave);
+    auto realized = flow::allocation_for_aggregates(
+        problem.demands(), problem.capacities(), target);
+    if (realized.has_value())
+      return Allocation(std::move(*realized), "Robust/reference-lp");
+  }
+  throw util::InternalError("LP aggregates not realizable as an allocation");
+}
+
+}  // namespace
+
+Allocation RobustAllocator::allocate(const AllocationProblem& problem) const {
+  struct Tier {
+    FallbackTier id;
+    const Allocator* policy;  // null for the LP tier
+  };
+  const Tier tiers[] = {
+      {FallbackTier::kPrimary, &primary_},
+      {FallbackTier::kRelaxedEps, &relaxed_},
+      {FallbackTier::kBisection, &bisection_},
+      {FallbackTier::kReferenceLp, nullptr},
+      {FallbackTier::kPerSite, &persite_},
+  };
+
+  for (const Tier& tier : tiers) {
+    const auto idx = static_cast<std::size_t>(tier.id);
+    const bool is_last = tier.id == FallbackTier::kPerSite;
+    try {
+      Allocation result = tier.policy != nullptr
+                              ? tier.policy->allocate(problem)
+                              : lp_tier(problem);
+      if (config_.escalate_on_iteration_cap && !is_last) {
+        const auto* amf = dynamic_cast<const AmfAllocator*>(tier.policy);
+        if (amf != nullptr &&
+            amf->last_status() != flow::LevelStatus::kConverged) {
+          ++stats_.failures[idx];
+          stats_.last_error = "iteration-capped level solve";
+          continue;
+        }
+      }
+      // Audit before accepting: a tier that silently returns an
+      // infeasible matrix is as broken as one that throws.
+      if (!result.feasible_for(problem, config_.feasibility_eps)) {
+        AMF_ASSERT(!is_last, "per-site fallback produced an infeasible "
+                             "allocation");
+        ++stats_.failures[idx];
+        stats_.last_error = "infeasible allocation from tier";
+        continue;
+      }
+      ++stats_.served[idx];
+      stats_.last = tier.id;
+      return result;
+    } catch (const util::InternalError& e) {
+      if (is_last) throw;  // nothing below the per-site tier
+      ++stats_.failures[idx];
+      stats_.last_error = e.what();
+    }
+  }
+  AMF_ASSERT(false, "fallback chain exhausted");  // unreachable
+}
+
+}  // namespace amf::core

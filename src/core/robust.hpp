@@ -1,0 +1,100 @@
+// robust.hpp — graceful degradation for the allocator pipeline.
+//
+// An online scheduler cannot afford an allocator that throws: every
+// reallocation point must produce *some* feasible allocation, even when
+// the primary solver hits a numerical corner. RobustAllocator wraps any
+// policy in a fixed fallback chain, ordered from highest fidelity to
+// unconditional availability:
+//
+//   1. the wrapped policy itself;
+//   2. AMF re-solved with a relaxed flow tolerance (most non-convergence
+//      is tolerance-induced degeneracy; loosening eps usually cures it);
+//   3. AMF with the bisection level method (slower, but immune to the
+//      cut-Newton degeneracies);
+//   4. the LP reference solver (sequential leximin on the simplex
+//      substrate — shares no code with the flow path);
+//   5. per-site max-min (closed-form water-filling; cannot fail).
+//
+// A tier is rejected when it throws InternalError (solver bug or
+// non-convergence), reports a non-converged status, or returns an
+// infeasible allocation; ContractError (malformed input) propagates —
+// feeding the chain a broken problem is a caller bug, not a solver one.
+// Every decision is recorded in a FallbackStats counter so operators can
+// see which tier served each allocation event.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/allocation.hpp"
+#include "core/amf.hpp"
+#include "core/persite.hpp"
+
+namespace amf::core {
+
+/// The tiers of the degradation chain, in escalation order.
+enum class FallbackTier {
+  kPrimary = 0,
+  kRelaxedEps = 1,
+  kBisection = 2,
+  kReferenceLp = 3,
+  kPerSite = 4,
+};
+inline constexpr int kFallbackTierCount = 5;
+
+/// Human-readable tier name ("primary", "relaxed-eps", ...).
+const char* to_string(FallbackTier tier);
+
+/// Per-tier service/failure counters across the wrapper's lifetime.
+struct FallbackStats {
+  std::array<long, kFallbackTierCount> served{};    ///< events served by tier
+  std::array<long, kFallbackTierCount> failures{};  ///< tier attempts rejected
+  FallbackTier last = FallbackTier::kPrimary;       ///< tier of the last event
+  std::string last_error;  ///< what the most recent failing tier reported
+
+  /// Total allocation events served by the chain.
+  long calls() const {
+    long total = 0;
+    for (long s : served) total += s;
+    return total;
+  }
+  /// Events served by any tier below the primary.
+  long degraded_calls() const { return calls() - served[0]; }
+};
+
+struct RobustConfig {
+  /// Flow tolerance of the relaxed-eps and bisection retry tiers.
+  double relaxed_eps = 1e-6;
+  /// Treat an iteration-capped (but feasible) primary AMF solve as
+  /// non-convergence and escalate. Off = accept the lower-confidence
+  /// result.
+  bool escalate_on_iteration_cap = false;
+  /// Relative tolerance of the post-hoc feasibility audit applied to
+  /// every tier's output before it is accepted.
+  double feasibility_eps = 1e-6;
+};
+
+/// Wraps a policy in the fallback chain above. The wrapped policy must
+/// outlive the wrapper.
+class RobustAllocator final : public Allocator {
+ public:
+  explicit RobustAllocator(const Allocator& primary, RobustConfig config = {});
+
+  /// Never throws InternalError: walks the chain until a tier produces a
+  /// feasible allocation (the per-site tier always does).
+  Allocation allocate(const AllocationProblem& problem) const override;
+  std::string name() const override;
+
+  const FallbackStats& fallback_stats() const { return stats_; }
+  void reset_stats() const { stats_ = FallbackStats{}; }
+
+ private:
+  const Allocator& primary_;
+  RobustConfig config_;
+  AmfAllocator relaxed_;
+  AmfAllocator bisection_;
+  PerSiteMaxMin persite_;
+  mutable FallbackStats stats_;
+};
+
+}  // namespace amf::core

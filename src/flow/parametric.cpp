@@ -49,6 +49,7 @@ CriticalLevel solve_critical_level(
   double t = t_hi;
   double known_feasible = t_lo;  // bisection lower bracket
   bool found = false;
+  LevelStatus status = LevelStatus::kConverged;
   constexpr int kMaxNewton = 64;
 
   if (method == LevelMethod::kBisection) {
@@ -66,8 +67,7 @@ CriticalLevel solve_critical_level(
         (feasible_at(mid) ? lo : hi) = mid;
       }
       t = lo;
-      bool ok = feasible_at(t);
-      AMF_ASSERT(ok, "bisection bracket lost feasibility");
+      if (!feasible_at(t)) status = LevelStatus::kDegenerate;
       found = true;
     }
   }
@@ -112,8 +112,7 @@ CriticalLevel solve_critical_level(
     if (t - known_feasible <= t_tol) {
       t = known_feasible;
       // The caller guaranteed feasibility here; solve to materialize it.
-      bool ok = feasible_at(t);
-      AMF_ASSERT(ok, "level segment start must be feasible");
+      if (!feasible_at(t)) status = LevelStatus::kDegenerate;
       found = true;
       break;
     }
@@ -121,7 +120,9 @@ CriticalLevel solve_critical_level(
 
   if (!found) {
     // Newton exhausted its budget (possible only under severe floating-
-    // point degeneracy): finish with plain bisection.
+    // point degeneracy): finish with plain bisection. The result is still
+    // usable but reported as iteration-capped so callers can distrust it.
+    status = LevelStatus::kIterationCapped;
     double lo = known_feasible, hi = t;
     for (int i = 0; i < 80 && hi - lo > t_tol; ++i) {
       double mid = 0.5 * (lo + hi);
@@ -131,11 +132,13 @@ CriticalLevel solve_critical_level(
         hi = mid;
     }
     t = lo;
-    bool ok = feasible_at(t);
-    AMF_ASSERT(ok, "bisection bracket lost feasibility");
+    if (!feasible_at(t)) status = LevelStatus::kDegenerate;
   }
 
+  if (stats != nullptr) stats->observe(status);
+
   CriticalLevel result;
+  result.status = status;
   result.level = t;
   result.segment_exhausted = (t >= t_hi - t_tol);
   // A slightly looser threshold for the freezing decision keeps jobs with a

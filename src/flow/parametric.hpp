@@ -31,13 +31,32 @@ struct ParametricSource {
 /// the naive alternative kept for the ablation study (bench F10).
 enum class LevelMethod { kCutNewton, kBisection };
 
+/// Convergence quality of one critical-level solve. Surfaced as data (not
+/// a throw) so a resilience-minded caller can decide to retry with a
+/// looser tolerance or hand off to a fallback solver.
+enum class LevelStatus {
+  kConverged,        ///< landed on the critical level cleanly
+  kIterationCapped,  ///< Newton budget exhausted; bisection closed the
+                     ///< bracket, result valid but lower-confidence
+  kDegenerate,       ///< a bracket/contract invariant failed numerically;
+                     ///< the returned allocation must not be trusted
+};
+
 /// Optional instrumentation collected by solve_critical_level.
 struct LevelSolveStats {
   int flow_solves = 0;  ///< max-flow computations performed
+  /// Worst status observed across all solves feeding this stats object.
+  LevelStatus worst = LevelStatus::kConverged;
+
+  void observe(LevelStatus s) {
+    if (static_cast<int>(s) > static_cast<int>(worst)) worst = s;
+  }
 };
 
 /// Result of a critical-level solve on one affine segment [t_lo, t_hi].
 struct CriticalLevel {
+  /// Convergence quality of this solve (see LevelStatus).
+  LevelStatus status = LevelStatus::kConverged;
   /// The largest feasible level within the segment.
   double level = 0.0;
   /// True when the whole segment is feasible (level == t_hi and nothing

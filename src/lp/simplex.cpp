@@ -12,9 +12,13 @@ namespace {
 
 /// Dense two-phase tableau. Columns: [structural | slack/surplus |
 /// artificial | rhs]. basis_[i] is the column basic in row i.
+/// Outcome of one optimize() run on the tableau.
+enum class PivotOutcome { kOptimal, kUnbounded, kIterationLimit };
+
 class Tableau {
  public:
-  Tableau(const LinearProgram& program, double eps) : eps_(eps) {
+  Tableau(const LinearProgram& program, double eps, long max_iterations)
+      : eps_(eps), budget_(max_iterations) {
     const int n = program.variables;
     AMF_REQUIRE(n >= 0, "negative variable count");
     AMF_REQUIRE(program.objective.empty() ||
@@ -78,26 +82,38 @@ class Tableau {
     }
   }
 
-  /// Phase 1: drive artificial infeasibility to zero. False = infeasible.
-  bool phase1() {
-    if (art_begin_ == cols_) return true;  // no artificials at all
+  /// Phase 1: drive artificial infeasibility to zero.
+  LpStatus phase1() {
+    if (art_begin_ == cols_) return LpStatus::kOptimal;  // no artificials
     std::vector<double> cost(static_cast<std::size_t>(cols_), 0.0);
     for (int j = art_begin_; j < cols_; ++j)
       cost[static_cast<std::size_t>(j)] = -1.0;  // maximize -(sum of artificials)
-    optimize(cost, /*allow_artificial_entering=*/false);
+    // The phase-1 objective is bounded by construction, so the only
+    // non-optimal outcome here is running out of pivots.
+    if (optimize(cost, /*allow_artificial_entering=*/false) ==
+        PivotOutcome::kIterationLimit)
+      return LpStatus::kIterationLimit;
     double infeasibility = 0.0;
     for (std::size_t i = 0; i < tab_.size(); ++i)
       if (basis_[i] >= art_begin_) infeasibility += rhs(i);
-    if (infeasibility > feas_tol()) return false;
+    if (infeasibility > feas_tol()) return LpStatus::kInfeasible;
     drive_out_artificials();
-    return true;
+    return LpStatus::kOptimal;
   }
 
-  /// Phase 2. Returns false when unbounded.
-  bool phase2(const std::vector<double>& objective) {
+  /// Phase 2 on a feasible basis.
+  LpStatus phase2(const std::vector<double>& objective) {
     std::vector<double> cost(static_cast<std::size_t>(cols_), 0.0);
     for (std::size_t j = 0; j < objective.size(); ++j) cost[j] = objective[j];
-    return optimize(cost, /*allow_artificial_entering=*/false);
+    switch (optimize(cost, /*allow_artificial_entering=*/false)) {
+      case PivotOutcome::kOptimal:
+        return LpStatus::kOptimal;
+      case PivotOutcome::kUnbounded:
+        return LpStatus::kUnbounded;
+      case PivotOutcome::kIterationLimit:
+        break;
+    }
+    return LpStatus::kIterationLimit;
   }
 
   std::vector<double> solution() const {
@@ -113,18 +129,19 @@ class Tableau {
   double feas_tol() const { return eps_ * 1024.0; }
 
   /// Primal simplex: Dantzig pricing with a permanent switch to Bland's
-  /// rule (guaranteed termination) after a burn-in. Returns false when an
-  /// improving column has no blocking row (unbounded).
-  bool optimize(const std::vector<double>& cost, bool allow_artificial_entering) {
+  /// rule (guaranteed termination) after a burn-in. The pivot budget is
+  /// shared across calls (both phases); exhausting it is reported as a
+  /// status, not a throw, so callers can fall back to another solver.
+  PivotOutcome optimize(const std::vector<double>& cost,
+                        bool allow_artificial_entering) {
     const int entering_limit =
         allow_artificial_entering ? cols_ : (art_begin_ == cols_ ? cols_ : art_begin_);
     long iterations = 0;
     const long bland_after = 4096;
-    const long hard_cap = 1000000;
     std::vector<double> reduced(static_cast<std::size_t>(cols_), 0.0);
     for (;;) {
-      AMF_ASSERT(++iterations < hard_cap, "simplex iteration cap exceeded");
-      const bool bland = iterations > bland_after;
+      if (--budget_ < 0) return PivotOutcome::kIterationLimit;
+      const bool bland = ++iterations > bland_after;
 
       // Reduced costs: rc_j = c_j - c_B · column_j.
       for (int j = 0; j < entering_limit; ++j)
@@ -152,7 +169,7 @@ class Tableau {
           }
         }
       }
-      if (enter < 0) return true;  // optimal
+      if (enter < 0) return PivotOutcome::kOptimal;
 
       // Ratio test (Bland tie-break on the leaving basis index).
       std::size_t leave = tab_.size();
@@ -169,7 +186,7 @@ class Tableau {
           }
         }
       }
-      if (leave == tab_.size()) return false;  // unbounded
+      if (leave == tab_.size()) return PivotOutcome::kUnbounded;
       pivot(leave, enter);
     }
   }
@@ -212,6 +229,7 @@ class Tableau {
   }
 
   double eps_;
+  long budget_ = kDefaultMaxIterations;
   std::vector<Row> rows_;
   std::vector<std::vector<double>> tab_;
   std::vector<int> basis_;
@@ -222,21 +240,18 @@ class Tableau {
 
 }  // namespace
 
-LpResult solve(const LinearProgram& program, double eps) {
+LpResult solve(const LinearProgram& program, double eps,
+               long max_iterations) {
   AMF_REQUIRE(eps > 0.0, "eps must be positive");
-  Tableau tableau(program, eps);
+  AMF_REQUIRE(max_iterations > 0, "iteration budget must be positive");
+  Tableau tableau(program, eps, max_iterations);
   LpResult result;
-  if (!tableau.phase1()) {
-    result.status = LpStatus::kInfeasible;
-    return result;
-  }
+  result.status = tableau.phase1();
+  if (result.status != LpStatus::kOptimal) return result;
   std::vector<double> objective(program.objective);
   objective.resize(static_cast<std::size_t>(program.variables), 0.0);
-  if (!tableau.phase2(objective)) {
-    result.status = LpStatus::kUnbounded;
-    return result;
-  }
-  result.status = LpStatus::kOptimal;
+  result.status = tableau.phase2(objective);
+  if (result.status != LpStatus::kOptimal) return result;
   result.x = tableau.solution();
   result.objective = 0.0;
   for (std::size_t j = 0; j < result.x.size(); ++j)

@@ -31,7 +31,11 @@ struct LinearProgram {
   std::vector<Row> rows;
 };
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+/// Solver outcome. kIterationLimit means the pivot budget ran out before
+/// optimality was proven — the result carries no usable solution, but the
+/// condition is surfaced as a status (not a throw) so callers can react:
+/// retry with a looser tolerance, or fall back to another solver.
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
 struct LpResult {
   LpStatus status = LpStatus::kInfeasible;
@@ -39,8 +43,15 @@ struct LpResult {
   std::vector<double> x;  // primal solution (valid when kOptimal)
 };
 
-/// Solves the LP. `eps` is the pivot/feasibility tolerance.
-LpResult solve(const LinearProgram& program, double eps = 1e-9);
+/// Default pivot budget: far above anything the allocators' LPs need
+/// (Bland's rule guarantees termination; the cap guards degenerate
+/// cycling caused by floating-point noise).
+inline constexpr long kDefaultMaxIterations = 1'000'000;
+
+/// Solves the LP. `eps` is the pivot/feasibility tolerance;
+/// `max_iterations` bounds the total pivot count across both phases.
+LpResult solve(const LinearProgram& program, double eps = 1e-9,
+               long max_iterations = kDefaultMaxIterations);
 
 /// Convenience: is {rows, x >= 0} feasible? Returns a witness if so.
 bool feasible(int variables, const std::vector<Row>& rows,

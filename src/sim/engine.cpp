@@ -21,6 +21,9 @@ struct ActiveJob {
   double total_work = 0.0;
   std::vector<double> remaining;  // per site
   std::vector<double> demands;    // original caps, per site
+  /// Uncommitted progress per site: work processed there since the part's
+  /// last loss point. What an outage (partially) destroys.
+  std::vector<double> processed;
   double weight = 1.0;
 
   bool done(double tol) const {
@@ -30,6 +33,66 @@ struct ActiveJob {
   }
 };
 
+/// Trace contract checks at the Simulator::run boundary: a malformed
+/// trace must throw ContractError before touching the event loop.
+void validate_trace(const workload::Trace& trace) {
+  const int m = static_cast<int>(trace.capacities.size());
+  AMF_REQUIRE(m > 0, "trace needs at least one site");
+  for (double c : trace.capacities)
+    AMF_REQUIRE(std::isfinite(c) && c >= 0.0,
+                "trace capacities must be finite, >= 0");
+  for (const auto& job : trace.jobs) {
+    AMF_REQUIRE(static_cast<int>(job.workloads.size()) == m,
+                "trace job workload width mismatch");
+    AMF_REQUIRE(static_cast<int>(job.demands.size()) == m,
+                "trace job demand width mismatch");
+    AMF_REQUIRE(std::isfinite(job.arrival) && job.arrival >= 0.0,
+                "trace arrivals must be finite, >= 0");
+    AMF_REQUIRE(std::isfinite(job.weight) && job.weight > 0.0,
+                "trace job weights must be finite, > 0");
+    for (int s = 0; s < m; ++s) {
+      const double w = job.workloads[static_cast<std::size_t>(s)];
+      const double d = job.demands[static_cast<std::size_t>(s)];
+      AMF_REQUIRE(std::isfinite(w) && w >= 0.0,
+                  "trace workloads must be finite, >= 0");
+      AMF_REQUIRE(std::isfinite(d) && d >= 0.0,
+                  "trace demands must be finite, >= 0");
+      AMF_REQUIRE(w == 0.0 || d > 0.0,
+                  "positive trace workload requires positive demand cap");
+    }
+  }
+  for (std::size_t i = 1; i < trace.jobs.size(); ++i)
+    AMF_REQUIRE(trace.jobs[i].arrival >= trace.jobs[i - 1].arrival,
+                "trace must be sorted by arrival");
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const auto& ev = trace.events[i];
+    AMF_REQUIRE(std::isfinite(ev.time) && ev.time >= 0.0,
+                "fault event times must be finite, >= 0");
+    AMF_REQUIRE(ev.site >= 0 && ev.site < m,
+                "fault event site index out of range");
+    AMF_REQUIRE(std::isfinite(ev.capacity_factor) &&
+                    ev.capacity_factor >= 0.0 && ev.capacity_factor <= 1.0,
+                "fault capacity factor must be finite, in [0, 1]");
+    switch (ev.kind) {
+      case workload::SiteEventKind::kOutage:
+        AMF_REQUIRE(ev.capacity_factor == 0.0,
+                    "outage events must carry capacity factor 0");
+        break;
+      case workload::SiteEventKind::kDegrade:
+        AMF_REQUIRE(ev.capacity_factor > 0.0 && ev.capacity_factor < 1.0,
+                    "degrade events must carry a factor in (0, 1)");
+        break;
+      case workload::SiteEventKind::kRecover:
+        AMF_REQUIRE(ev.capacity_factor > 0.0,
+                    "recover events must carry a factor in (0, 1]");
+        break;
+    }
+    if (i > 0)
+      AMF_REQUIRE(ev.time >= trace.events[i - 1].time,
+                  "fault events must be sorted by time");
+  }
+}
+
 }  // namespace
 
 Simulator::Simulator(const core::Allocator& policy, SimulatorConfig config)
@@ -37,20 +100,13 @@ Simulator::Simulator(const core::Allocator& policy, SimulatorConfig config)
   AMF_REQUIRE(config.eps > 0.0, "eps must be positive");
   AMF_REQUIRE(config.migration_penalty >= 0.0,
               "migration penalty must be >= 0");
+  AMF_REQUIRE(config.loss_factor >= 0.0 && config.loss_factor <= 1.0,
+              "loss factor must be in [0, 1]");
 }
 
 std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
   const int m = static_cast<int>(trace.capacities.size());
-  AMF_REQUIRE(m > 0, "trace needs at least one site");
-  for (const auto& job : trace.jobs) {
-    AMF_REQUIRE(static_cast<int>(job.workloads.size()) == m,
-                "trace job workload width mismatch");
-    AMF_REQUIRE(static_cast<int>(job.demands.size()) == m,
-                "trace job demand width mismatch");
-  }
-  for (std::size_t i = 1; i < trace.jobs.size(); ++i)
-    AMF_REQUIRE(trace.jobs[i].arrival >= trace.jobs[i - 1].arrival,
-                "trace must be sorted by arrival");
+  validate_trace(trace);
 
   stats_ = RunStats{};
   double work_scale = 1.0;
@@ -67,6 +123,54 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
   std::size_t next_arrival = 0;
   double clock = 0.0;
   double busy_area = 0.0;  // ∫ used-capacity dt
+  double cap_area = 0.0;   // ∫ surviving-capacity dt
+
+  // Fault state: per-site capacity factor and surviving capacity. On a
+  // fault-free trace none of this is ever touched, so the engine's
+  // numerical path (and output) is identical to the fault-unaware one.
+  std::vector<double> avail(static_cast<std::size_t>(m), 1.0);
+  std::vector<double> eff_cap = trace.capacities;
+  double eff_total = total_capacity;
+  std::vector<double> down_since(static_cast<std::size_t>(m), -1.0);
+  double latency_sum = 0.0;
+  std::size_t next_event = 0;
+
+  // Applies every fault event due at the current clock: rescale the
+  // site's surviving capacity, destroy uncommitted progress on outages,
+  // and account recovery episodes.
+  auto apply_due_events = [&] {
+    while (next_event < trace.events.size() &&
+           trace.events[next_event].time <= clock + 1e-12) {
+      const auto& ev = trace.events[next_event];
+      const auto s = static_cast<std::size_t>(ev.site);
+      if (ev.kind == workload::SiteEventKind::kOutage &&
+          config_.loss_factor > 0.0) {
+        for (auto& job : active) {
+          double& r = job.remaining[s];
+          if (r <= work_tol) continue;  // committed part: safe
+          const double lost = config_.loss_factor * job.processed[s];
+          r += lost;
+          stats_.work_lost += lost;
+          job.processed[s] = 0.0;
+        }
+      } else if (ev.kind == workload::SiteEventKind::kOutage) {
+        // Perfect checkpointing: progress survives, the loss point moves.
+        for (auto& job : active) job.processed[s] = 0.0;
+      }
+      if (down_since[s] < 0.0 && ev.capacity_factor < 1.0)
+        down_since[s] = ev.time;
+      if (down_since[s] >= 0.0 && ev.capacity_factor >= 1.0) {
+        latency_sum += ev.time - down_since[s];
+        ++stats_.recoveries;
+        down_since[s] = -1.0;
+      }
+      avail[s] = ev.capacity_factor;
+      eff_cap[s] = trace.capacities[s] * ev.capacity_factor;
+      eff_total = std::accumulate(eff_cap.begin(), eff_cap.end(), 0.0);
+      ++stats_.fault_events;
+      ++next_event;
+    }
+  };
 
   core::JctAddon addon(config_.eps);
   core::StabilityAddon stability(config_.eps);
@@ -83,6 +187,7 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
       job.arrival = spec.arrival;
       job.remaining = spec.workloads;
       job.demands = spec.demands;
+      job.processed.assign(static_cast<std::size_t>(m), 0.0);
       job.weight = spec.weight;
       job.total_work = std::accumulate(spec.workloads.begin(),
                                        spec.workloads.end(), 0.0);
@@ -100,14 +205,28 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
   };
 
   while (!active.empty() || next_arrival < trace.jobs.size()) {
+    apply_due_events();
     if (active.empty()) {
-      clock = trace.jobs[next_arrival].arrival;
+      // Idle until the next arrival, processing any fault events that
+      // fire in between so the availability integral stays exact.
+      const double t_next = trace.jobs[next_arrival].arrival;
+      while (next_event < trace.events.size() &&
+             trace.events[next_event].time <= t_next + 1e-12) {
+        const double t_ev = std::max(clock, trace.events[next_event].time);
+        cap_area += eff_total * (t_ev - clock);
+        clock = t_ev;
+        apply_due_events();
+      }
+      cap_area += eff_total * std::max(0.0, t_next - clock);
+      clock = std::max(clock, t_next);
       admit_due();
       continue;
     }
 
     // Build the residual allocation problem: demand caps are zeroed at
-    // sites whose part already drained (no point holding resources there).
+    // sites whose part already drained (no point holding resources there)
+    // and masked to the surviving capacity at impaired sites, so the
+    // policy only places work where it can actually run.
     const int n = static_cast<int>(active.size());
     core::Matrix demands(static_cast<std::size_t>(n)),
         workloads(static_cast<std::size_t>(n));
@@ -117,15 +236,24 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
       auto& drow = demands[static_cast<std::size_t>(j)];
       drow.assign(static_cast<std::size_t>(m), 0.0);
       for (int s = 0; s < m; ++s)
-        if (job.remaining[static_cast<std::size_t>(s)] > work_tol)
-          drow[static_cast<std::size_t>(s)] =
-              job.demands[static_cast<std::size_t>(s)];
-      workloads[static_cast<std::size_t>(j)] = job.remaining;
-      for (auto& w : workloads[static_cast<std::size_t>(j)])
-        if (w <= work_tol) w = 0.0;
+        if (job.remaining[static_cast<std::size_t>(s)] > work_tol) {
+          double cap = job.demands[static_cast<std::size_t>(s)];
+          if (avail[static_cast<std::size_t>(s)] < 1.0)
+            cap = std::min(cap, eff_cap[static_cast<std::size_t>(s)]);
+          drow[static_cast<std::size_t>(s)] = cap;
+        }
+      auto& wrow = workloads[static_cast<std::size_t>(j)];
+      wrow = job.remaining;
+      for (int s = 0; s < m; ++s) {
+        auto& w = wrow[static_cast<std::size_t>(s)];
+        // Workload at a dark site is hidden from the allocator (it cannot
+        // be served there until recovery); the engine still tracks it.
+        if (w <= work_tol || drow[static_cast<std::size_t>(s)] == 0.0)
+          w = 0.0;
+      }
       weights[static_cast<std::size_t>(j)] = job.weight;
     }
-    core::AllocationProblem problem(std::move(demands), trace.capacities,
+    core::AllocationProblem problem(std::move(demands), eff_cap,
                                     std::move(workloads), std::move(weights));
     core::Allocation alloc = policy_.allocate(problem);
     if (config_.use_jct_addon) alloc = addon.optimize(problem, alloc);
@@ -165,10 +293,13 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
     }
     ++stats_.events;
 
-    // Next event: earliest site-part completion or next arrival.
+    // Next event: earliest site-part completion, next arrival, or next
+    // fault event.
     double dt = kInf;
     if (next_arrival < trace.jobs.size())
       dt = trace.jobs[next_arrival].arrival - clock;
+    if (next_event < trace.events.size())
+      dt = std::min(dt, trace.events[next_event].time - clock);
     for (int j = 0; j < n; ++j) {
       const auto& job = active[static_cast<std::size_t>(j)];
       for (int s = 0; s < m; ++s) {
@@ -179,7 +310,8 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
       }
     }
     AMF_ASSERT(std::isfinite(dt) && dt >= 0.0,
-               "simulation stalled: no progress and no arrivals");
+               "simulation stalled: no progress, no arrivals and no "
+               "pending fault events (permanent outage with work left?)");
 
     // Advance time, drain work.
     double used = 0.0;
@@ -190,12 +322,15 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
         if (r <= work_tol) continue;
         double rate = alloc.share(j, s);
         used += rate;
+        if (rate > 0.0)
+          job.processed[static_cast<std::size_t>(s)] += rate * dt;
         double left = r - rate * dt;
         job.remaining[static_cast<std::size_t>(s)] =
             left <= work_tol ? 0.0 : left;
       }
     }
     busy_area += used * dt;
+    cap_area += eff_total * dt;
     if (n >= 2) {
       jain_area += util::jain_index(alloc.aggregates()) * dt;
       jain_time += dt;
@@ -220,6 +355,9 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
   stats_.avg_utilization =
       (clock > 0.0 && total_capacity > 0.0) ? busy_area / (clock * total_capacity)
                                             : 0.0;
+  stats_.avail_utilization = cap_area > 0.0 ? busy_area / cap_area : 0.0;
+  stats_.mean_recovery_latency =
+      stats_.recoveries > 0 ? latency_sum / stats_.recoveries : 0.0;
   return records;
 }
 

@@ -3,10 +3,22 @@
 //
 // Jobs arrive over time, each carrying per-site workloads and demand
 // caps. The simulator holds rates constant between events; at every event
-// (arrival, or completion of some job's site-part) it re-runs the
-// configured allocation policy on the remaining work of the active jobs —
-// exactly the recompute-on-change operation of a cluster scheduler. Site
-// parts drain independently; a job completes when its last part does.
+// (arrival, completion of some job's site-part, or a timed site fault) it
+// re-runs the configured allocation policy on the remaining work of the
+// active jobs — exactly the recompute-on-change operation of a cluster
+// scheduler. Site parts drain independently; a job completes when its
+// last part does.
+//
+// Fault semantics (trace.events): each SiteEvent rescales one site's
+// usable capacity. While a site is impaired, demand caps at that site are
+// masked to the surviving capacity (zero during a full outage), so the
+// policy reallocates the displaced jobs elsewhere. An outage additionally
+// destroys the *uncommitted* progress of every unfinished site-part
+// there: `loss_factor` of the work processed at the site since the part's
+// last loss point re-enters the job's remaining workload (completed parts
+// are committed and never reopen). A permanently dark site with pending
+// work and no recovery event stalls the simulation and is reported as an
+// error.
 //
 // The engine is exact: the next event time is computed in closed form
 // from the current rates, so no time-stepping error is introduced.
@@ -48,6 +60,23 @@ struct RunStats {
   /// (weighted by interval length, over intervals with >= 2 active jobs):
   /// the dynamic counterpart of the paper's balance metric.
   double time_avg_jain = 1.0;
+  /// Fault events (outage / degradation / recovery) processed before the
+  /// last job completed.
+  int fault_events = 0;
+  /// Work units destroyed by outages (uncommitted progress × loss factor)
+  /// that had to be re-processed.
+  double work_lost = 0.0;
+  /// Completed failure episodes: a site leaving full health and later
+  /// returning to capacity factor 1.
+  int recoveries = 0;
+  /// Mean wall-clock length of the completed failure episodes.
+  double mean_recovery_latency = 0.0;
+  /// Availability-weighted utilization: work processed divided by the
+  /// capacity that actually survived the fault schedule, ∫ used dt /
+  /// ∫ surviving-capacity dt. Equals avg_utilization on a fault-free
+  /// trace; under faults it measures how well the policy exploits what
+  /// capacity was left.
+  double avail_utilization = 0.0;
 };
 
 struct SimulatorConfig {
@@ -64,6 +93,11 @@ struct SimulatorConfig {
   /// churn cost real completion time — the regime where the stability
   /// add-on pays off in JCT, not just in churn (bench F11).
   double migration_penalty = 0.0;
+  /// Fraction of a site-part's uncommitted progress destroyed when its
+  /// site suffers an outage: 0 models perfect checkpointing (displaced
+  /// work resumes elsewhere unharmed), 1 models losing everything since
+  /// the part started (or since its last outage).
+  double loss_factor = 1.0;
   /// Flow tolerance handed to allocators that accept one.
   double eps = 1e-9;
 };

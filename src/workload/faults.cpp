@@ -1,0 +1,77 @@
+#include "workload/faults.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace amf::workload {
+
+FaultInjector::FaultInjector(FaultInjectorConfig config)
+    : config_(config), rng_(config.seed) {
+  AMF_REQUIRE(config.mtbf > 0.0, "mtbf must be positive");
+  AMF_REQUIRE(config.mttr > 0.0, "mttr must be positive");
+  AMF_REQUIRE(config.degrade_prob >= 0.0 && config.degrade_prob <= 1.0,
+              "degrade_prob must be in [0, 1]");
+  AMF_REQUIRE(config.degraded_factor > 0.0 && config.degraded_factor < 1.0,
+              "degraded_factor must be in (0, 1)");
+}
+
+std::vector<SiteEvent> FaultInjector::schedule(int sites, double horizon) {
+  AMF_REQUIRE(sites > 0, "fault schedule needs at least one site");
+  AMF_REQUIRE(horizon >= 0.0, "horizon must be >= 0");
+
+  std::vector<SiteEvent> events;
+  for (int s = 0; s < sites; ++s) {
+    double clock = rng_.exponential(1.0 / config_.mtbf);
+    while (clock < horizon) {
+      SiteEvent fail;
+      fail.time = clock;
+      fail.site = s;
+      if (rng_.bernoulli(config_.degrade_prob)) {
+        fail.kind = SiteEventKind::kDegrade;
+        fail.capacity_factor = config_.degraded_factor;
+      } else {
+        fail.kind = SiteEventKind::kOutage;
+        fail.capacity_factor = 0.0;
+      }
+      events.push_back(fail);
+
+      // The matching recovery is emitted unconditionally (possibly beyond
+      // the horizon): a schedule must never leave a site dark forever.
+      clock += rng_.exponential(1.0 / config_.mttr);
+      SiteEvent repair;
+      repair.time = clock;
+      repair.site = s;
+      repair.kind = SiteEventKind::kRecover;
+      repair.capacity_factor = 1.0;
+      events.push_back(repair);
+
+      clock += rng_.exponential(1.0 / config_.mtbf);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SiteEvent& a, const SiteEvent& b) {
+                     return a.time < b.time;
+                   });
+  return events;
+}
+
+void FaultInjector::inject(Trace& trace, double horizon) {
+  AMF_REQUIRE(!trace.capacities.empty(), "trace needs at least one site");
+  if (horizon <= 0.0) {
+    double span = trace.jobs.empty() ? 0.0 : trace.jobs.back().arrival;
+    double total_work = 0.0;
+    for (const auto& job : trace.jobs)
+      total_work += std::accumulate(job.workloads.begin(),
+                                    job.workloads.end(), 0.0);
+    double capacity = std::accumulate(trace.capacities.begin(),
+                                      trace.capacities.end(), 0.0);
+    double tail = capacity > 0.0 ? total_work / capacity : 0.0;
+    horizon = span + tail;
+  }
+  trace.events =
+      schedule(static_cast<int>(trace.capacities.size()), horizon);
+}
+
+}  // namespace amf::workload

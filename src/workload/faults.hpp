@@ -1,0 +1,61 @@
+// faults.hpp — seeded site-failure schedule generation (MTBF/MTTR model).
+//
+// Real multi-site schedulers spend most of their complexity on machines
+// that disappear and come back; the fault injector grows the trace model
+// in that direction. Each site alternates between healthy and failed
+// states: up-times are exponential with mean `mtbf`, repair times
+// exponential with mean `mttr` (a classic alternating-renewal
+// availability model, steady-state availability mtbf/(mtbf+mttr)). A
+// failure is a full outage or, with probability `degrade_prob`, a partial
+// degradation that leaves `degraded_factor` of the capacity usable.
+//
+// Every failure drawn inside the horizon emits its matching recovery even
+// when the repair completes after the horizon, so a generated schedule
+// never strands a site permanently dark — any trace it decorates stays
+// runnable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace amf::workload {
+
+struct FaultInjectorConfig {
+  /// Mean healthy time between failures, per site (time units of the
+  /// trace). Smaller = more hostile environment.
+  double mtbf = 200.0;
+  /// Mean time to repair one failure.
+  double mttr = 20.0;
+  /// Probability that a failure only degrades the site instead of taking
+  /// it fully down.
+  double degrade_prob = 0.0;
+  /// Surviving capacity fraction of a degradation event (in (0, 1)).
+  double degraded_factor = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic fault-schedule generator (same config = same schedule).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorConfig config);
+
+  /// Fault schedule over [0, horizon) for `sites` sites, sorted by time.
+  /// Advances the internal RNG (call repeatedly for independent draws).
+  std::vector<SiteEvent> schedule(int sites, double horizon);
+
+  /// Generates a schedule and attaches it to the trace. `horizon` <= 0
+  /// auto-sizes to the arrival span plus a drain tail of one expected
+  /// busy period (total work / total capacity).
+  void inject(Trace& trace, double horizon = 0.0);
+
+  const FaultInjectorConfig& config() const { return config_; }
+
+ private:
+  FaultInjectorConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace amf::workload

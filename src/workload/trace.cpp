@@ -71,7 +71,7 @@ std::vector<double> read_csv_row(std::istream& in, std::size_t expected) {
 void save_trace(const Trace& trace, std::ostream& out) {
   using util::CsvWriter;
   const std::size_t m = trace.capacities.size();
-  out << trace.jobs.size() << ',' << m << '\n';
+  out << trace.jobs.size() << ',' << m << ',' << trace.events.size() << '\n';
   auto emit = [&out](const std::vector<double>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i) out << ',';
@@ -88,12 +88,19 @@ void save_trace(const Trace& trace, std::ostream& out) {
     row.insert(row.end(), job.demands.begin(), job.demands.end());
     emit(row);
   }
+  for (const auto& ev : trace.events)
+    emit({ev.time, static_cast<double>(ev.site),
+          static_cast<double>(ev.kind), ev.capacity_factor});
 }
 
 Trace load_trace(std::istream& in) {
-  auto header = read_csv_row(in, 2);
+  auto header = read_csv_row(in, 0);
+  AMF_REQUIRE(header.size() == 2 || header.size() == 3,
+              "trace header must be jobs,sites[,events]");
   auto count = static_cast<std::size_t>(header[0]);
   auto m = static_cast<std::size_t>(header[1]);
+  auto event_count =
+      header.size() == 3 ? static_cast<std::size_t>(header[2]) : 0;
   Trace trace;
   trace.capacities = read_csv_row(in, m);
   trace.jobs.reserve(count);
@@ -105,6 +112,18 @@ Trace load_trace(std::istream& in) {
     job.workloads.assign(row.begin() + 2, row.begin() + 2 + static_cast<std::ptrdiff_t>(m));
     job.demands.assign(row.begin() + 2 + static_cast<std::ptrdiff_t>(m), row.end());
     trace.jobs.push_back(std::move(job));
+  }
+  trace.events.reserve(event_count);
+  for (std::size_t i = 0; i < event_count; ++i) {
+    auto row = read_csv_row(in, 4);
+    SiteEvent ev;
+    ev.time = row[0];
+    ev.site = static_cast<int>(row[1]);
+    const int kind = static_cast<int>(row[2]);
+    AMF_REQUIRE(kind >= 0 && kind <= 2, "trace event kind must be 0, 1 or 2");
+    ev.kind = static_cast<SiteEventKind>(kind);
+    ev.capacity_factor = row[3];
+    trace.events.push_back(ev);
   }
   return trace;
 }

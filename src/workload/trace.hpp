@@ -21,10 +21,31 @@ struct TraceJob {
   double weight = 1.0;
 };
 
+/// Kind of a timed change to a site's usable capacity.
+enum class SiteEventKind {
+  kOutage,   ///< the site goes fully dark (capacity factor 0)
+  kDegrade,  ///< partial capacity loss (factor in (0, 1))
+  kRecover,  ///< capacity restored (factor in (0, 1]; 1 = full health)
+};
+
+/// One timed fault-schedule entry: at `time`, site `site`'s usable
+/// capacity becomes `capacity_factor` times its nominal capacity. The
+/// factor is absolute (not cumulative), so an outage followed by a
+/// recovery with factor 1 restores the site exactly.
+struct SiteEvent {
+  double time = 0.0;
+  int site = 0;
+  SiteEventKind kind = SiteEventKind::kOutage;
+  double capacity_factor = 0.0;
+};
+
 /// A full trace over a fixed site set.
 struct Trace {
   std::vector<double> capacities;
-  std::vector<TraceJob> jobs;  // sorted by arrival
+  std::vector<TraceJob> jobs;    // sorted by arrival
+  std::vector<SiteEvent> events; // fault schedule, sorted by time
+
+  bool has_faults() const { return !events.empty(); }
 
   /// Offered load: total work arriving per unit time divided by total
   /// capacity (1.0 = saturation on average).
@@ -37,8 +58,11 @@ struct Trace {
 /// generator's config; capacities are drawn once for the whole trace.
 Trace generate_trace(Generator& generator, double load, int count);
 
-/// CSV round-trip: header `jobs,sites`, a capacity row, then per job one
-/// row `arrival,weight,workloads...,demands...`.
+/// CSV round-trip: header `jobs,sites,events`, a capacity row, per job
+/// one row `arrival,weight,workloads...,demands...`, then per fault event
+/// one row `time,site,kind,capacity_factor` (kind encoded 0/1/2 as in
+/// SiteEventKind). Traces written by older versions (two-field header, no
+/// event rows) load as fault-free.
 void save_trace(const Trace& trace, std::ostream& out);
 Trace load_trace(std::istream& in);
 

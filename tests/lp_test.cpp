@@ -251,5 +251,29 @@ TEST_P(SimplexRandomFeasibility, WitnessActuallySatisfiesRows) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomFeasibility,
                          ::testing::Range(0, 40));
 
+TEST(Simplex, IterationBudgetSurfacesAsStatus) {
+  // A healthy LP starved of pivots must report kIterationLimit instead
+  // of throwing: the caller decides whether to retry or fall back.
+  LinearProgram p;
+  p.variables = 3;
+  p.objective = {3, 5, 4};
+  p.rows = {row({1, 1, 1}, RowType::kLe, 10), row({2, 1, 0}, RowType::kLe, 8),
+            row({0, 1, 3}, RowType::kLe, 9)};
+  auto starved = solve(p, 1e-9, 1);
+  EXPECT_EQ(starved.status, LpStatus::kIterationLimit);
+  // With the default budget the same LP solves normally.
+  auto r = solve(p);
+  EXPECT_EQ(r.status, LpStatus::kOptimal);
+}
+
+TEST(Simplex, RejectsNonPositiveIterationBudget) {
+  LinearProgram p;
+  p.variables = 1;
+  p.objective = {1};
+  p.rows = {row({1}, RowType::kLe, 1)};
+  EXPECT_THROW(solve(p, 1e-9, 0), util::ContractError);
+  EXPECT_THROW(solve(p, 1e-9, -5), util::ContractError);
+}
+
 }  // namespace
 }  // namespace amf::lp

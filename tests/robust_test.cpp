@@ -1,0 +1,143 @@
+// Tests for the RobustAllocator graceful-degradation chain: healthy
+// primaries pass straight through, failing tiers are rejected and
+// recorded, infeasible output is caught by the post-hoc audit, and
+// caller bugs (ContractError) are never swallowed.
+#include <gtest/gtest.h>
+
+#include "core/amf.hpp"
+#include "core/persite.hpp"
+#include "core/robust.hpp"
+#include "util/error.hpp"
+
+namespace amf::core {
+namespace {
+
+AllocationProblem small_problem() {
+  Matrix demands{{5.0, 5.0}, {5.0, 5.0}};
+  std::vector<double> capacities{10.0, 10.0};
+  Matrix workloads{{10.0, 10.0}, {10.0, 10.0}};
+  return AllocationProblem(std::move(demands), std::move(capacities),
+                           std::move(workloads));
+}
+
+/// A primary that always reports a solver failure.
+class ThrowingAllocator final : public Allocator {
+ public:
+  Allocation allocate(const AllocationProblem&) const override {
+    throw util::InternalError("synthetic solver failure");
+  }
+  std::string name() const override { return "Throwing"; }
+};
+
+/// A primary that returns an allocation violating every demand cap.
+class InfeasibleAllocator final : public Allocator {
+ public:
+  Allocation allocate(const AllocationProblem& p) const override {
+    Matrix shares(static_cast<std::size_t>(p.jobs()),
+                  std::vector<double>(static_cast<std::size_t>(p.sites()),
+                                      1e6));
+    return Allocation(std::move(shares), name());
+  }
+  std::string name() const override { return "Infeasible"; }
+};
+
+/// A primary that blames the caller.
+class ContractThrowingAllocator final : public Allocator {
+ public:
+  Allocation allocate(const AllocationProblem&) const override {
+    throw util::ContractError("caller handed us garbage");
+  }
+  std::string name() const override { return "ContractThrowing"; }
+};
+
+TEST(RobustAllocator, HealthyPrimaryServesEverything) {
+  AmfAllocator amf;
+  RobustAllocator robust(amf);
+  auto problem = small_problem();
+  for (int i = 0; i < 3; ++i) {
+    auto alloc = robust.allocate(problem);
+    EXPECT_TRUE(alloc.feasible_for(problem));
+  }
+  const auto& st = robust.fallback_stats();
+  EXPECT_EQ(st.calls(), 3);
+  EXPECT_EQ(st.served[0], 3);
+  EXPECT_EQ(st.degraded_calls(), 0);
+  EXPECT_EQ(st.last, FallbackTier::kPrimary);
+}
+
+TEST(RobustAllocator, InternalErrorFallsThroughToNextTier) {
+  ThrowingAllocator broken;
+  RobustAllocator robust(broken);
+  auto problem = small_problem();
+  auto alloc = robust.allocate(problem);
+  EXPECT_TRUE(alloc.feasible_for(problem));
+  const auto& st = robust.fallback_stats();
+  EXPECT_EQ(st.failures[0], 1);
+  EXPECT_EQ(st.served[1], 1);  // relaxed-eps AMF rescues the event
+  EXPECT_EQ(st.degraded_calls(), 1);
+  EXPECT_EQ(st.last, FallbackTier::kRelaxedEps);
+  EXPECT_NE(st.last_error.find("synthetic solver failure"),
+            std::string::npos);
+}
+
+TEST(RobustAllocator, InfeasibleOutputIsRejectedByTheAudit) {
+  InfeasibleAllocator cheat;
+  RobustAllocator robust(cheat);
+  auto problem = small_problem();
+  auto alloc = robust.allocate(problem);
+  EXPECT_TRUE(alloc.feasible_for(problem));
+  const auto& st = robust.fallback_stats();
+  EXPECT_EQ(st.failures[0], 1);
+  EXPECT_EQ(st.degraded_calls(), 1);
+}
+
+TEST(RobustAllocator, ContractErrorPropagates) {
+  ContractThrowingAllocator picky;
+  RobustAllocator robust(picky);
+  auto problem = small_problem();
+  EXPECT_THROW(robust.allocate(problem), util::ContractError);
+}
+
+TEST(RobustAllocator, MatchesPrimaryWhenPrimaryIsHealthy) {
+  // Wrapping must not change the answer on the happy path.
+  AmfAllocator amf;
+  RobustAllocator robust(amf);
+  auto problem = small_problem();
+  auto direct = amf.allocate(problem);
+  auto wrapped = robust.allocate(problem);
+  ASSERT_EQ(direct.jobs(), wrapped.jobs());
+  for (int j = 0; j < direct.jobs(); ++j)
+    for (int s = 0; s < direct.sites(); ++s)
+      EXPECT_EQ(direct.share(j, s), wrapped.share(j, s));
+}
+
+TEST(RobustAllocator, NameAndStatsReset) {
+  AmfAllocator amf;
+  RobustAllocator robust(amf);
+  EXPECT_EQ(robust.name(), "Robust(AMF)");
+  robust.allocate(small_problem());
+  EXPECT_EQ(robust.fallback_stats().calls(), 1);
+  robust.reset_stats();
+  EXPECT_EQ(robust.fallback_stats().calls(), 0);
+}
+
+TEST(RobustAllocator, PerSiteTierIsTheUnconditionalBackstop) {
+  // Give the chain a problem every AMF variant can solve but verify the
+  // per-site tier alone also yields a feasible answer, so the chain's
+  // terminal tier can never leave an event unserved.
+  PerSiteMaxMin persite;
+  auto problem = small_problem();
+  auto alloc = persite.allocate(problem);
+  EXPECT_TRUE(alloc.feasible_for(problem));
+}
+
+TEST(FallbackTier, NamesAreStable) {
+  EXPECT_STREQ(to_string(FallbackTier::kPrimary), "primary");
+  EXPECT_STREQ(to_string(FallbackTier::kRelaxedEps), "relaxed-eps");
+  EXPECT_STREQ(to_string(FallbackTier::kBisection), "bisection");
+  EXPECT_STREQ(to_string(FallbackTier::kReferenceLp), "reference-lp");
+  EXPECT_STREQ(to_string(FallbackTier::kPerSite), "per-site");
+}
+
+}  // namespace
+}  // namespace amf::core

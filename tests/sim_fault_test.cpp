@@ -1,0 +1,347 @@
+// Tests for the fault-tolerant execution path: outage/degrade/recover
+// semantics with hand-computable timings, work-loss accounting (exact
+// conservation at loss_factor = 0 and exact destruction otherwise), the
+// fault-schedule injector, and the trace validation the simulator applies
+// at its run() boundary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/amf.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+#include "workload/faults.hpp"
+#include "workload/scenario.hpp"
+
+namespace amf::sim {
+namespace {
+
+using workload::SiteEvent;
+using workload::SiteEventKind;
+
+// One 20-work job alone on a 10-capacity site; fault-free completion 2.0.
+workload::Trace captive_trace() {
+  workload::Trace trace;
+  trace.capacities = {10.0};
+  workload::TraceJob job;
+  job.arrival = 0.0;
+  job.workloads = {20.0};
+  job.demands = {10.0};
+  trace.jobs.push_back(job);
+  return trace;
+}
+
+SiteEvent event(double time, int site, SiteEventKind kind, double factor) {
+  SiteEvent ev;
+  ev.time = time;
+  ev.site = site;
+  ev.kind = kind;
+  ev.capacity_factor = factor;
+  return ev;
+}
+
+TEST(SimulatorFaults, OutageWithCheckpointingOnlyDelays) {
+  // Outage at t=1 (10 of 20 units done), recovery at t=1.5. With
+  // loss_factor 0 the progress survives: the job just idles 0.5 and
+  // finishes at 2.5 instead of 2.0.
+  auto trace = captive_trace();
+  trace.events = {event(1.0, 0, SiteEventKind::kOutage, 0.0),
+                  event(1.5, 0, SiteEventKind::kRecover, 1.0)};
+  core::AmfAllocator amf;
+  SimulatorConfig cfg;
+  cfg.loss_factor = 0.0;
+  Simulator sim(amf, cfg);
+  auto records = sim.run(trace);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NEAR(records[0].completion, 2.5, 1e-9);
+  EXPECT_DOUBLE_EQ(sim.stats().work_lost, 0.0);
+  EXPECT_EQ(sim.stats().fault_events, 2);
+  EXPECT_EQ(sim.stats().recoveries, 1);
+  EXPECT_NEAR(sim.stats().mean_recovery_latency, 0.5, 1e-9);
+  // All processed work was useful: busy 20 over a surviving-capacity
+  // area of 20 (the dark half-unit contributes none).
+  EXPECT_NEAR(sim.stats().avail_utilization, 1.0, 1e-9);
+  EXPECT_NEAR(sim.stats().avg_utilization, 20.0 / 25.0, 1e-9);
+}
+
+TEST(SimulatorFaults, OutageDestroysUncommittedProgress) {
+  // Same schedule with loss_factor 1: the 10 units processed before the
+  // outage are destroyed and must be re-run — completion 3.5.
+  auto trace = captive_trace();
+  trace.events = {event(1.0, 0, SiteEventKind::kOutage, 0.0),
+                  event(1.5, 0, SiteEventKind::kRecover, 1.0)};
+  core::AmfAllocator amf;
+  SimulatorConfig cfg;
+  cfg.loss_factor = 1.0;
+  Simulator sim(amf, cfg);
+  auto records = sim.run(trace);
+  EXPECT_NEAR(records[0].completion, 3.5, 1e-9);
+  EXPECT_NEAR(sim.stats().work_lost, 10.0, 1e-9);
+  // 30 units flowed through a site that offered 30 while up.
+  EXPECT_NEAR(sim.stats().avail_utilization, 1.0, 1e-9);
+  EXPECT_NEAR(sim.stats().avg_utilization, 30.0 / 35.0, 1e-9);
+}
+
+TEST(SimulatorFaults, PartialLossFactorScalesExactly) {
+  auto trace = captive_trace();
+  trace.events = {event(1.0, 0, SiteEventKind::kOutage, 0.0),
+                  event(1.5, 0, SiteEventKind::kRecover, 1.0)};
+  core::AmfAllocator amf;
+  SimulatorConfig cfg;
+  cfg.loss_factor = 0.5;
+  Simulator sim(amf, cfg);
+  auto records = sim.run(trace);
+  // Loses 5 of the 10 processed units: 15 remain at t=1.5 -> done at 3.0.
+  EXPECT_NEAR(records[0].completion, 3.0, 1e-9);
+  EXPECT_NEAR(sim.stats().work_lost, 5.0, 1e-9);
+}
+
+TEST(SimulatorFaults, SecondOutageOnlyLosesProgressSinceTheFirst) {
+  // The loss point resets at each outage: outage at t=1 (10 lost), then
+  // at t=3 only the 10 units processed since t=1.5 are lost again.
+  auto trace = captive_trace();
+  trace.events = {event(1.0, 0, SiteEventKind::kOutage, 0.0),
+                  event(1.5, 0, SiteEventKind::kRecover, 1.0),
+                  event(3.0, 0, SiteEventKind::kOutage, 0.0),
+                  event(3.5, 0, SiteEventKind::kRecover, 1.0)};
+  core::AmfAllocator amf;
+  SimulatorConfig cfg;
+  cfg.loss_factor = 1.0;
+  Simulator sim(amf, cfg);
+  auto records = sim.run(trace);
+  // t=1: 10 done, all lost -> 20 remain. t=1.5..3: 15 done, lost again
+  // -> 5 + 15 = 20 remain at t=3.5 -> completion 5.5. Only the 15 units
+  // since the t=1.5 resume are destroyed the second time, not all 25.
+  EXPECT_NEAR(records[0].completion, 5.5, 1e-9);
+  EXPECT_NEAR(sim.stats().work_lost, 25.0, 1e-9);
+  EXPECT_EQ(sim.stats().recoveries, 2);
+}
+
+TEST(SimulatorFaults, DegradationSlowsWithoutDestroyingWork) {
+  // Degrade to half capacity at t=1: 10 units remain, rate drops to 5.
+  auto trace = captive_trace();
+  trace.events = {event(1.0, 0, SiteEventKind::kDegrade, 0.5)};
+  core::AmfAllocator amf;
+  SimulatorConfig cfg;
+  cfg.loss_factor = 1.0;  // must not matter: only outages destroy work
+  Simulator sim(amf, cfg);
+  auto records = sim.run(trace);
+  EXPECT_NEAR(records[0].completion, 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sim.stats().work_lost, 0.0);
+  EXPECT_EQ(sim.stats().recoveries, 0);  // never returned to full health
+}
+
+TEST(SimulatorFaults, OutageOnlyAffectsJobsUsingTheSite) {
+  // Two single-site-capable jobs on different sites; when job 1's site
+  // dies, job 0 is unaffected and job 1 waits for the recovery.
+  workload::Trace trace;
+  trace.capacities = {10.0, 10.0};
+  workload::TraceJob a, b;
+  a.arrival = b.arrival = 0.0;
+  a.workloads = {10.0, 0.0};
+  a.demands = {10.0, 0.0};
+  b.workloads = {0.0, 10.0};
+  b.demands = {0.0, 10.0};
+  trace.jobs = {a, b};
+  trace.events = {event(0.5, 1, SiteEventKind::kOutage, 0.0),
+                  event(1.5, 1, SiteEventKind::kRecover, 1.0)};
+  core::AmfAllocator amf;
+  SimulatorConfig cfg;
+  cfg.loss_factor = 0.0;
+  Simulator sim(amf, cfg);
+  auto records = sim.run(trace);
+  EXPECT_NEAR(records[0].completion, 1.0, 1e-9);  // untouched
+  EXPECT_NEAR(records[1].completion, 2.0, 1e-9);  // +1.0 of dark time
+}
+
+TEST(SimulatorFaults, ZeroEventScheduleMatchesFaultFreeRun) {
+  // The fault machinery must be inert when the schedule is empty: same
+  // records and stats bit for bit.
+  auto scenario = workload::paper_default(1.2, 77);
+  workload::Generator gen(scenario);
+  auto trace = workload::generate_trace(gen, 0.8, 30);
+  core::AmfAllocator amf;
+  Simulator plain(amf);
+  auto base = plain.run(trace);
+  SimulatorConfig cfg;
+  cfg.loss_factor = 0.3;  // irrelevant without events
+  Simulator faulty(amf, cfg);
+  auto same = faulty.run(trace);
+  ASSERT_EQ(base.size(), same.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].completion, same[i].completion);
+    EXPECT_EQ(base[i].total_work, same[i].total_work);
+  }
+  EXPECT_EQ(plain.stats().makespan, faulty.stats().makespan);
+  EXPECT_EQ(plain.stats().events, faulty.stats().events);
+  EXPECT_EQ(faulty.stats().fault_events, 0);
+  EXPECT_EQ(faulty.stats().avail_utilization, faulty.stats().avg_utilization);
+}
+
+TEST(SimulatorFaults, InjectedScheduleConservesWorkAtZeroLoss) {
+  // End-to-end: a generated trace under an aggressive injected fault
+  // schedule still completes every job, and with checkpointing no work
+  // is ever lost.
+  auto scenario = workload::paper_default(1.5, 11);
+  workload::Generator gen(scenario);
+  auto trace = workload::generate_trace(gen, 0.9, 40);
+  workload::FaultInjectorConfig fcfg;
+  fcfg.mtbf = 8.0;
+  fcfg.mttr = 3.0;
+  fcfg.seed = 4;
+  workload::FaultInjector injector(fcfg);
+  injector.inject(trace);
+  ASSERT_TRUE(trace.has_faults());
+  core::AmfAllocator amf;
+  SimulatorConfig cfg;
+  cfg.loss_factor = 0.0;
+  Simulator sim(amf, cfg);
+  auto records = sim.run(trace);
+  ASSERT_EQ(records.size(), trace.jobs.size());
+  EXPECT_DOUBLE_EQ(sim.stats().work_lost, 0.0);
+  double trace_work = 0.0;
+  for (const auto& j : trace.jobs)
+    trace_work += std::accumulate(j.workloads.begin(), j.workloads.end(), 0.0);
+  double record_work = 0.0;
+  for (const auto& r : records) record_work += r.total_work;
+  EXPECT_NEAR(record_work, trace_work, 1e-6 * trace_work);
+}
+
+TEST(SimulatorFaults, LossyRunReprocessesExactlyTheLostWork) {
+  // With loss_factor 1 the busy-capacity area exceeds the offered work
+  // by exactly work_lost (every destroyed unit is run twice).
+  auto scenario = workload::paper_default(1.5, 11);
+  workload::Generator gen(scenario);
+  auto trace = workload::generate_trace(gen, 0.9, 40);
+  workload::FaultInjectorConfig fcfg;
+  fcfg.mtbf = 8.0;
+  fcfg.mttr = 3.0;
+  fcfg.seed = 4;
+  workload::FaultInjector injector(fcfg);
+  injector.inject(trace);
+  core::AmfAllocator amf;
+  SimulatorConfig cfg;
+  cfg.loss_factor = 1.0;
+  Simulator sim(amf, cfg);
+  auto records = sim.run(trace);
+  EXPECT_GT(sim.stats().work_lost, 0.0);
+  double trace_work = 0.0;
+  for (const auto& j : trace.jobs)
+    trace_work += std::accumulate(j.workloads.begin(), j.workloads.end(), 0.0);
+  double busy_area = sim.stats().avg_utilization * sim.stats().makespan *
+                     std::accumulate(trace.capacities.begin(),
+                                     trace.capacities.end(), 0.0);
+  EXPECT_NEAR(busy_area, trace_work + sim.stats().work_lost,
+              1e-6 * busy_area);
+}
+
+TEST(FaultInjector, DeterministicSortedAndAlwaysRecovers) {
+  workload::FaultInjectorConfig fcfg;
+  fcfg.mtbf = 10.0;
+  fcfg.mttr = 5.0;
+  fcfg.seed = 123;
+  auto a = workload::FaultInjector(fcfg).schedule(4, 100.0);
+  auto b = workload::FaultInjector(fcfg).schedule(4, 100.0);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  std::vector<int> balance(4, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].site, b[i].site);
+    if (i > 0) {
+      EXPECT_GE(a[i].time, a[i - 1].time);
+    }
+    if (a[i].kind == SiteEventKind::kRecover)
+      --balance[static_cast<std::size_t>(a[i].site)];
+    else
+      ++balance[static_cast<std::size_t>(a[i].site)];
+  }
+  // Every failure has its matching recovery: no site ends dark.
+  for (int x : balance) EXPECT_EQ(x, 0);
+}
+
+TEST(FaultInjector, RejectsBadConfig) {
+  workload::FaultInjectorConfig bad;
+  bad.mtbf = 0.0;
+  EXPECT_THROW(workload::FaultInjector{bad}, util::ContractError);
+  bad = {};
+  bad.mttr = -1.0;
+  EXPECT_THROW(workload::FaultInjector{bad}, util::ContractError);
+  bad = {};
+  bad.degrade_prob = 1.5;
+  EXPECT_THROW(workload::FaultInjector{bad}, util::ContractError);
+}
+
+// --- run() boundary validation -----------------------------------------
+
+TEST(SimulatorValidation, RejectsMalformedTraces) {
+  core::AmfAllocator amf;
+  Simulator sim(amf);
+
+  auto t = captive_trace();
+  t.jobs[0].arrival = -1.0;
+  EXPECT_THROW(sim.run(t), util::ContractError);
+
+  t = captive_trace();
+  t.jobs[0].workloads[0] = std::nan("");
+  EXPECT_THROW(sim.run(t), util::ContractError);
+
+  t = captive_trace();
+  t.jobs[0].demands = {10.0, 3.0};  // width mismatch
+  EXPECT_THROW(sim.run(t), util::ContractError);
+
+  t = captive_trace();
+  t.jobs[0].weight = 0.0;
+  EXPECT_THROW(sim.run(t), util::ContractError);
+
+  t = captive_trace();
+  t.capacities[0] = -5.0;
+  EXPECT_THROW(sim.run(t), util::ContractError);
+
+  // Unsorted arrivals.
+  t = captive_trace();
+  auto early = t.jobs[0];
+  auto late = t.jobs[0];
+  late.arrival = 2.0;
+  t.jobs = {late, early};
+  EXPECT_THROW(sim.run(t), util::ContractError);
+}
+
+TEST(SimulatorValidation, RejectsMalformedEvents) {
+  core::AmfAllocator amf;
+  Simulator sim(amf);
+
+  auto t = captive_trace();
+  t.events = {event(1.0, 7, SiteEventKind::kOutage, 0.0)};  // bad site
+  EXPECT_THROW(sim.run(t), util::ContractError);
+
+  t = captive_trace();
+  t.events = {event(1.0, 0, SiteEventKind::kOutage, 0.5)};  // outage != 0
+  EXPECT_THROW(sim.run(t), util::ContractError);
+
+  t = captive_trace();
+  t.events = {event(1.0, 0, SiteEventKind::kDegrade, 0.0)};  // not in (0,1)
+  EXPECT_THROW(sim.run(t), util::ContractError);
+
+  t = captive_trace();
+  t.events = {event(1.0, 0, SiteEventKind::kRecover, 1.5)};  // > 1
+  EXPECT_THROW(sim.run(t), util::ContractError);
+
+  t = captive_trace();  // unsorted events
+  t.events = {event(2.0, 0, SiteEventKind::kOutage, 0.0),
+              event(1.0, 0, SiteEventKind::kRecover, 1.0)};
+  EXPECT_THROW(sim.run(t), util::ContractError);
+}
+
+TEST(SimulatorValidation, RejectsBadLossFactor) {
+  core::AmfAllocator amf;
+  SimulatorConfig cfg;
+  cfg.loss_factor = -0.1;
+  EXPECT_THROW(Simulator(amf, cfg), util::ContractError);
+  cfg.loss_factor = 1.1;
+  EXPECT_THROW(Simulator(amf, cfg), util::ContractError);
+}
+
+}  // namespace
+}  // namespace amf::sim

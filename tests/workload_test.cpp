@@ -203,6 +203,53 @@ TEST(Scenario, PaperDefaultShape) {
 }
 
 
+TEST(Trace, SaveLoadRoundTripsFaultSchedule) {
+  Trace trace;
+  trace.capacities = {10.0, 5.0};
+  TraceJob job;
+  job.arrival = 0.5;
+  job.workloads = {4.0, 2.0};
+  job.demands = {3.0, 3.0};
+  trace.jobs.push_back(job);
+  trace.events = {{1.0, 1, SiteEventKind::kOutage, 0.0},
+                  {1.5, 0, SiteEventKind::kDegrade, 0.25},
+                  {2.0, 1, SiteEventKind::kRecover, 1.0}};
+  std::stringstream ss;
+  save_trace(trace, ss);
+  auto loaded = load_trace(ss);
+  ASSERT_EQ(loaded.events.size(), trace.events.size());
+  EXPECT_TRUE(loaded.has_faults());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.events[i].time, trace.events[i].time);
+    EXPECT_EQ(loaded.events[i].site, trace.events[i].site);
+    EXPECT_EQ(loaded.events[i].kind, trace.events[i].kind);
+    EXPECT_DOUBLE_EQ(loaded.events[i].capacity_factor,
+                     trace.events[i].capacity_factor);
+  }
+}
+
+TEST(Trace, LegacyTwoFieldHeaderLoadsFaultFree) {
+  std::stringstream ss("1,2\n10,10\n0,1,1,1,2,2\n");
+  auto trace = load_trace(ss);
+  EXPECT_EQ(trace.jobs.size(), 1u);
+  EXPECT_FALSE(trace.has_faults());
+}
+
+TEST(Trace, LoadRejectsMalformedEvents) {
+  // Unknown event kind code.
+  std::stringstream bad_kind("1,2,1\n10,10\n0,1,1,1,2,2\n1.0,0,7,0\n");
+  EXPECT_THROW(load_trace(bad_kind), util::ContractError);
+  // Event row too narrow.
+  std::stringstream narrow("1,2,1\n10,10\n0,1,1,1,2,2\n1.0,0\n");
+  EXPECT_THROW(load_trace(narrow), util::ContractError);
+  // Header promises an event that never appears.
+  std::stringstream missing("1,2,1\n10,10\n0,1,1,1,2,2\n");
+  EXPECT_THROW(load_trace(missing), util::ContractError);
+  // Four-field header is not a valid shape.
+  std::stringstream wide_header("1,2,0,9\n10,10\n0,1,1,1,2,2\n");
+  EXPECT_THROW(load_trace(wide_header), util::ContractError);
+}
+
 TEST(Trace, LoadRejectsTruncatedFile) {
   std::stringstream ss("3,2\n10,10\n0,1,1,1,2,2\n");  // 1 of 3 jobs
   EXPECT_THROW(load_trace(ss), util::ContractError);

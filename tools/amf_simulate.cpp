@@ -2,11 +2,18 @@
 //
 //   amf_simulate [--policy amf|eamf|psmf] [--addon] [--jobs N]
 //                [--sites M] [--skew Z] [--load L] [--seed S] [--batch]
+//                [--faults] [--mtbf T] [--mttr T] [--loss F]
 //
 // Generates a synthetic arrival trace with the library's workload
 // generator, executes it through the discrete-event simulator under the
 // chosen policy, and prints one CSV row per job (arrival, completion,
 // JCT, work) followed by '#' summary lines.
+//
+// With --faults, a seeded MTBF/MTTR fault schedule is injected into the
+// trace (site outages and recoveries), the policy runs inside the
+// RobustAllocator graceful-degradation chain, and the summary reports
+// work lost, availability-weighted utilization, recovery latency and
+// which fallback tier served the allocation events.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -22,7 +29,7 @@ namespace {
 int usage() {
   std::cerr << "usage: amf_simulate [--policy amf|eamf|psmf] [--addon] "
                "[--jobs N] [--sites M] [--skew Z] [--load L] [--seed S] "
-               "[--batch]\n";
+               "[--batch] [--faults] [--mtbf T] [--mttr T] [--loss F]\n";
   return 2;
 }
 
@@ -31,9 +38,10 @@ int usage() {
 int main(int argc, char** argv) {
   using namespace amf;
   std::string policy_name = "amf";
-  bool use_addon = false, batch = false;
+  bool use_addon = false, batch = false, faults = false;
   int jobs = 100, sites = 10;
   double skew = 1.0, load = 0.8;
+  double mtbf = 200.0, mttr = 20.0, loss = 1.0;
   std::uint64_t seed = 42;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](double* out) {
@@ -59,6 +67,14 @@ int main(int argc, char** argv) {
       if (!next(&skew)) return usage();
     } else if (std::strcmp(argv[i], "--load") == 0) {
       if (!next(&load)) return usage();
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = true;
+    } else if (std::strcmp(argv[i], "--mtbf") == 0) {
+      if (!next(&mtbf)) return usage();
+    } else if (std::strcmp(argv[i], "--mttr") == 0) {
+      if (!next(&mttr)) return usage();
+    } else if (std::strcmp(argv[i], "--loss") == 0) {
+      if (!next(&loss)) return usage();
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       double v;
       if (!next(&v)) return usage();
@@ -86,10 +102,24 @@ int main(int argc, char** argv) {
     auto trace = workload::generate_trace(generator, load, jobs);
     if (batch)
       for (auto& j : trace.jobs) j.arrival = 0.0;
+    if (faults) {
+      workload::FaultInjectorConfig fault_cfg;
+      fault_cfg.mtbf = mtbf;
+      fault_cfg.mttr = mttr;
+      fault_cfg.seed = seed + 0x5eed;
+      workload::FaultInjector injector(fault_cfg);
+      injector.inject(trace);
+    }
 
     sim::SimulatorConfig sim_cfg;
     sim_cfg.use_jct_addon = use_addon;
-    sim::Simulator simulator(*policy, sim_cfg);
+    sim_cfg.loss_factor = loss;
+    // Under faults the allocator runs inside the graceful-degradation
+    // chain: a solver corner case must never kill the whole simulation.
+    core::RobustAllocator robust(*policy);
+    const core::Allocator& active_policy =
+        faults ? static_cast<const core::Allocator&>(robust) : *policy;
+    sim::Simulator simulator(active_policy, sim_cfg);
     auto records = simulator.run(trace);
 
     util::CsvWriter csv(std::cout,
@@ -113,6 +143,22 @@ int main(int argc, char** argv) {
                 << simulator.stats().makespan << " events "
                 << simulator.stats().events << " avg_utilization "
                 << simulator.stats().avg_utilization << "\n";
+      if (faults) {
+        const auto& st = simulator.stats();
+        std::cout << "# faults mtbf " << mtbf << " mttr " << mttr << " loss "
+                  << loss << " fault_events " << st.fault_events
+                  << " work_lost " << st.work_lost << " recoveries "
+                  << st.recoveries << " mean_recovery_latency "
+                  << st.mean_recovery_latency << " avail_utilization "
+                  << st.avail_utilization << "\n";
+        const auto& fb = robust.fallback_stats();
+        std::cout << "# fallback";
+        for (int t = 0; t < core::kFallbackTierCount; ++t)
+          std::cout << ' '
+                    << core::to_string(static_cast<core::FallbackTier>(t))
+                    << ' ' << fb.served[static_cast<std::size_t>(t)];
+        std::cout << " degraded_calls " << fb.degraded_calls() << "\n";
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "amf_simulate: " << e.what() << "\n";
