@@ -31,17 +31,19 @@ int main() {
     workload::Generator gen(cfg);
     auto problem = gen.generate();
 
-    auto time_one = [&](const core::AmfAllocator& allocator) {
+    auto time_one = [&](const core::AmfAllocator& allocator,
+                        core::SolveReport& report) {
       auto start = std::chrono::steady_clock::now();
-      auto allocation = allocator.allocate(problem);
+      auto allocation = allocator.allocate_with_report(problem, report);
       auto stop = std::chrono::steady_clock::now();
       return std::pair(
           std::chrono::duration<double, std::milli>(stop - start).count(),
           allocation);
     };
 
-    auto [newton_ms, newton_alloc] = time_one(newton);
-    auto [bisect_ms, bisect_alloc] = time_one(bisection);
+    core::SolveReport newton_report, bisect_report;
+    auto [newton_ms, newton_alloc] = time_one(newton, newton_report);
+    auto [bisect_ms, bisect_alloc] = time_one(bisection, bisect_report);
     double max_diff = 0.0;
     for (int j = 0; j < jobs; ++j)
       max_diff = std::max(max_diff,
@@ -49,11 +51,11 @@ int main() {
                                    bisect_alloc.aggregate(j)));
 
     csv.row({util::CsvWriter::format(jobs), "cut-newton",
-             util::CsvWriter::format(newton.last_flow_solves()),
+             util::CsvWriter::format(newton_report.flow_solves),
              util::CsvWriter::format(newton_ms),
              util::CsvWriter::format(max_diff)});
     csv.row({util::CsvWriter::format(jobs), "bisection",
-             util::CsvWriter::format(bisection.last_flow_solves()),
+             util::CsvWriter::format(bisect_report.flow_solves),
              util::CsvWriter::format(bisect_ms),
              util::CsvWriter::format(max_diff)});
   }

@@ -61,7 +61,8 @@ int main() {
   };
 
   show(psmf.allocate(problem));
-  auto amf_alloc = amf.allocate(problem);
+  core::SolveReport amf_report;
+  auto amf_alloc = amf.allocate_with_report(problem, amf_report);
   show(amf_alloc);
   show(eamf.allocate(problem));
 
@@ -77,7 +78,7 @@ int main() {
   // Why did each job get what it got? The fill trace names the round
   // (bottleneck group) and water level at which each job froze.
   std::cout << "\n=== Explanation (progressive-filling trace) ===\n";
-  const auto& trace = amf.last_fill_trace();
+  const auto& trace = amf_report.trace;
   util::Table explain({"job", "frozen in round", "water level"});
   for (int j = 0; j < problem.jobs(); ++j)
     explain.row(

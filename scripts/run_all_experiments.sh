@@ -24,6 +24,9 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
     # google-benchmark prints its human table to stderr in csv mode;
     # keep it visible so failures aren't swallowed.
     set -- --benchmark_format=csv
+  elif [ "$name" = "bench_f14_incremental" ]; then
+    # F14 also emits a machine-readable summary next to its CSV.
+    set -- --json "$OUT_DIR/BENCH_incremental.json"
   else
     set --
   fi

@@ -2,9 +2,16 @@
 
 #include <numeric>
 
+#include "core/workspace.hpp"
 #include "util/error.hpp"
 
 namespace amf::core {
+
+Allocation Allocator::allocate(const AllocationProblem& problem,
+                               SolverWorkspace& workspace) const {
+  workspace.report().reset();
+  return allocate(problem);
+}
 
 Allocation::Allocation(Matrix shares, std::string policy)
     : shares_(std::move(shares)), policy_(std::move(policy)) {

@@ -51,7 +51,13 @@ class Allocation {
   std::string policy_;
 };
 
+class SolverWorkspace;
+
 /// Common interface of all allocation policies.
+///
+/// Allocators are const and thread-safe: a single instance may serve
+/// concurrent allocate() calls. Warm-start state and per-call
+/// instrumentation live in a caller-owned SolverWorkspace.
 class Allocator {
  public:
   virtual ~Allocator() = default;
@@ -59,6 +65,14 @@ class Allocator {
   /// Computes an allocation for the instance. Implementations must return
   /// feasible allocations and are deterministic.
   virtual Allocation allocate(const AllocationProblem& problem) const = 0;
+
+  /// Workspace-aware overload for online solve streams: implementations
+  /// that support warm starting reuse the workspace's persistent state and
+  /// fill workspace.report(). Results are identical to the stateless
+  /// overload (bit-for-bit for the in-tree implementations). The default
+  /// resets the report and delegates to the stateless overload.
+  virtual Allocation allocate(const AllocationProblem& problem,
+                              SolverWorkspace& workspace) const;
 
   /// Short policy name used in reports ("AMF", "E-AMF", "PSMF", ...).
   virtual std::string name() const = 0;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <set>
 
+#include "core/workspace.hpp"
 #include "flow/parametric.hpp"
 #include "util/error.hpp"
 
@@ -22,7 +24,9 @@ Allocation progressive_fill(const AllocationProblem& problem,
                             const std::vector<double>& floors,
                             const std::string& policy_name, double eps,
                             flow::LevelMethod method,
-                            flow::LevelSolveStats* stats, FillTrace* trace) {
+                            flow::LevelSolveStats* stats, FillTrace* trace,
+                            flow::TransportSystem* external_net,
+                            std::vector<flow::LevelHint>* hints) {
   const int n = problem.jobs();
   if (trace != nullptr) {
     trace->freeze_round.assign(static_cast<std::size_t>(n), 0);
@@ -36,14 +40,25 @@ Allocation progressive_fill(const AllocationProblem& problem,
   if (n == 0)
     return Allocation(Matrix{}, policy_name);
 
-  const Matrix& d = problem.demands();
-  const auto& caps = problem.capacities();
-  flow::TransportNetwork net(d, caps);
+  std::optional<flow::TransportNetwork> local_net;
+  if (external_net == nullptr)
+    local_net.emplace(problem.demands(), problem.capacities());
+  flow::TransportSystem& net =
+      external_net != nullptr ? *external_net : *local_net;
+  AMF_REQUIRE(net.jobs() == n && net.sites() == problem.sites(),
+              "transport system shape != problem shape");
   const double scale = net.scale();
   const double tol = eps * scale;
 
-  net.solve(floors, eps);
-  AMF_REQUIRE(net.saturated(eps), "floors must be jointly feasible");
+  // All-zero floors are trivially feasible (the zero flow attains them);
+  // skipping the probe keeps any flow a persistent network carried over
+  // from a previous solve available for warm-started level probes.
+  bool positive_floor = false;
+  for (double f : floors) positive_floor = positive_floor || f > 0.0;
+  if (positive_floor) {
+    net.probe(floors, eps);
+    AMF_REQUIRE(net.saturated(eps), "floors must be jointly feasible");
+  }
 
   std::vector<char> frozen(static_cast<std::size_t>(n), 0);
   std::vector<double> value(static_cast<std::size_t>(n), 0.0);
@@ -107,8 +122,14 @@ Allocation progressive_fill(const AllocationProblem& problem,
       }
     }
 
-    auto res = flow::solve_critical_level(net, d, caps, sources, t_lo,
-                                          seg_end, eps, method, stats);
+    flow::LevelHint* hint = nullptr;
+    if (hints != nullptr) {
+      if (hints->size() <= static_cast<std::size_t>(round_counter))
+        hints->resize(static_cast<std::size_t>(round_counter) + 1);
+      hint = &(*hints)[static_cast<std::size_t>(round_counter)];
+    }
+    auto res = flow::solve_critical_level(net, sources, t_lo, seg_end, eps,
+                                          method, stats, hint);
     // Iteration-capped solves are usable (bisection closed the bracket and
     // re-certified feasibility); a degenerate one returned an allocation
     // that must not be trusted — surface it as non-convergence so a
@@ -174,13 +195,40 @@ Allocation progressive_fill(const AllocationProblem& problem,
 }
 
 Allocation AmfAllocator::allocate(const AllocationProblem& problem) const {
+  SolveReport report;
+  return allocate_with_report(problem, report);
+}
+
+Allocation AmfAllocator::allocate_with_report(const AllocationProblem& problem,
+                                              SolveReport& report) const {
+  report.reset();
   std::vector<double> zero_floors(static_cast<std::size_t>(problem.jobs()),
                                   0.0);
   flow::LevelSolveStats stats;
   auto allocation = progressive_fill(problem, zero_floors, name(), eps_,
-                                     method_, &stats, &last_trace_);
-  last_flow_solves_ = stats.flow_solves;
-  last_status_ = stats.worst;
+                                     method_, &stats, &report.trace);
+  report.flow_solves = stats.flow_solves;
+  report.status = stats.worst;
+  return allocation;
+}
+
+Allocation AmfAllocator::allocate(const AllocationProblem& problem,
+                                  SolverWorkspace& workspace) const {
+  SolveReport& report = workspace.report();
+  report.reset();
+  if (!workspace.primed()) workspace.prime(problem);
+  flow::LevelSolveStats stats;
+  std::vector<double> zero_floors(static_cast<std::size_t>(problem.jobs()),
+                                  0.0);
+  auto allocation = progressive_fill(
+      problem, zero_floors, name(), eps_, method_, &stats, &report.trace,
+      &workspace.transport(),
+      workspace.exact_realization() ? nullptr : &workspace.level_hints());
+  report.flow_solves = stats.flow_solves;
+  report.status = stats.worst;
+  report.warm = true;
+  workspace.record_solution(allocation);
+  workspace.maybe_compact();
   return allocation;
 }
 

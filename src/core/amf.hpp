@@ -11,20 +11,10 @@
 #pragma once
 
 #include "core/allocation.hpp"
+#include "core/report.hpp"
 #include "flow/parametric.hpp"
 
 namespace amf::core {
-
-/// Diagnostic trace of one progressive-filling run: which round froze
-/// each job and at what weight-normalized water level — the "why did my
-/// job get exactly this much" explanation. Jobs frozen in the same round
-/// share a bottleneck (a tight set of sites); later rounds freeze at
-/// weakly higher levels.
-struct FillTrace {
-  std::vector<int> freeze_round;     ///< per job; 0 = structurally zero
-  std::vector<double> freeze_level;  ///< per job: aggregate / weight
-  int rounds = 0;                    ///< total filling rounds executed
-};
 
 /// The AMF allocator.
 ///
@@ -32,6 +22,10 @@ struct FillTrace {
 /// per-site split returned is the one realized by the final max-flow
 /// (combine with JctAddon to pick a completion-time-optimized split for
 /// the same aggregates).
+///
+/// Instances are const and thread-safe: per-call diagnostics go into a
+/// caller-owned SolveReport (allocate_with_report) or the workspace's
+/// report, never into allocator members.
 class AmfAllocator final : public Allocator {
  public:
   /// `eps`: relative tolerance of all flow computations; `method`:
@@ -43,26 +37,23 @@ class AmfAllocator final : public Allocator {
       : eps_(eps), method_(method) {}
 
   Allocation allocate(const AllocationProblem& problem) const override;
+
+  /// Warm path: reuses the workspace's persistent network (priming it
+  /// from `problem` if needed) and fills workspace.report(). Bit-for-bit
+  /// identical to the stateless overload.
+  Allocation allocate(const AllocationProblem& problem,
+                      SolverWorkspace& workspace) const override;
+
+  /// Stateless solve with instrumentation: fills `report` with the solve
+  /// count, convergence status and filling trace of this call.
+  Allocation allocate_with_report(const AllocationProblem& problem,
+                                  SolveReport& report) const;
+
   std::string name() const override { return "AMF"; }
-
-  /// Max-flow solve count of the last allocate() call (instrumentation
-  /// for the F10 ablation; not thread-safe across concurrent calls).
-  int last_flow_solves() const { return last_flow_solves_; }
-
-  /// Explanation of the last allocate() call (same thread-safety caveat).
-  const FillTrace& last_fill_trace() const { return last_trace_; }
-
-  /// Worst level-solve status observed during the last allocate() call.
-  /// kIterationCapped results are feasible but lower-confidence — a
-  /// resilience wrapper may choose to re-solve (same caveat as above).
-  flow::LevelStatus last_status() const { return last_status_; }
 
  private:
   double eps_;
   flow::LevelMethod method_;
-  mutable int last_flow_solves_ = 0;
-  mutable FillTrace last_trace_;
-  mutable flow::LevelStatus last_status_ = flow::LevelStatus::kConverged;
 };
 
 /// Progressive-filling engine shared by AMF and E-AMF.
@@ -71,10 +62,22 @@ class AmfAllocator final : public Allocator {
 /// lower floors (each job's aggregate is at least its floor). `floors`
 /// must be jointly feasible — equal-split floors always are; pass zeros
 /// for plain AMF. Returns the allocation realizing the fair aggregates.
+///
+/// `net`, when given, is a pre-built transportation system presenting
+/// exactly this problem's demand/capacity values (e.g. a primed
+/// SolverWorkspace's persistent network); filling then skips the network
+/// construction. Null builds a fresh network — same results either way.
+///
+/// `hints`, when given, carries one LevelHint per filling round across
+/// calls: each round's Newton descent starts from the cut the same round
+/// ended on last time. Only pass this for relaxed-realization solves —
+/// hinted levels can differ from the cold descent's in the last ulps.
 Allocation progressive_fill(
     const AllocationProblem& problem, const std::vector<double>& floors,
     const std::string& policy_name, double eps,
     flow::LevelMethod method = flow::LevelMethod::kCutNewton,
-    flow::LevelSolveStats* stats = nullptr, FillTrace* trace = nullptr);
+    flow::LevelSolveStats* stats = nullptr, FillTrace* trace = nullptr,
+    flow::TransportSystem* net = nullptr,
+    std::vector<flow::LevelHint>* hints = nullptr);
 
 }  // namespace amf::core

@@ -25,6 +25,7 @@ class EnhancedAmfAllocator final : public Allocator {
  public:
   explicit EnhancedAmfAllocator(double eps = 1e-9) : eps_(eps) {}
 
+  using Allocator::allocate;
   Allocation allocate(const AllocationProblem& problem) const override;
   std::string name() const override { return "E-AMF"; }
 

@@ -31,6 +31,7 @@ class HierarchicalAmfAllocator final : public Allocator {
                            std::vector<double> tenant_weights = {},
                            double eps = 1e-9);
 
+  using Allocator::allocate;
   Allocation allocate(const AllocationProblem& problem) const override;
   std::string name() const override { return "H-AMF"; }
 

@@ -1,24 +1,41 @@
 #include "core/persite.hpp"
 
 #include "core/single_site.hpp"
+#include "core/workspace.hpp"
 
 namespace amf::core {
 
-Allocation PerSiteMaxMin::allocate(const AllocationProblem& problem) const {
+Allocation PerSiteMaxMin::allocate_into(
+    const AllocationProblem& problem,
+    std::vector<double>& caps_scratch) const {
   const int n = problem.jobs();
   const int m = problem.sites();
   Matrix shares(static_cast<std::size_t>(n),
                 std::vector<double>(static_cast<std::size_t>(m), 0.0));
-  std::vector<double> caps(static_cast<std::size_t>(n));
+  caps_scratch.resize(static_cast<std::size_t>(n));
   for (int s = 0; s < m; ++s) {
     for (int j = 0; j < n; ++j)
-      caps[static_cast<std::size_t>(j)] = problem.demand(j, s);
-    auto site_alloc = water_fill(caps, problem.weights(), problem.capacity(s));
+      caps_scratch[static_cast<std::size_t>(j)] = problem.demand(j, s);
+    auto site_alloc =
+        water_fill(caps_scratch, problem.weights(), problem.capacity(s));
     for (int j = 0; j < n; ++j)
       shares[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
           site_alloc[static_cast<std::size_t>(j)];
   }
   return Allocation(std::move(shares), name());
+}
+
+Allocation PerSiteMaxMin::allocate(const AllocationProblem& problem) const {
+  std::vector<double> caps;
+  return allocate_into(problem, caps);
+}
+
+Allocation PerSiteMaxMin::allocate(const AllocationProblem& problem,
+                                   SolverWorkspace& workspace) const {
+  workspace.report().reset();
+  workspace.report().warm = true;
+  return allocate_into(
+      problem, workspace.scratch(static_cast<std::size_t>(problem.jobs())));
 }
 
 }  // namespace amf::core

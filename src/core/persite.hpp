@@ -15,7 +15,17 @@ namespace amf::core {
 class PerSiteMaxMin final : public Allocator {
  public:
   Allocation allocate(const AllocationProblem& problem) const override;
+
+  /// Workspace overload: reuses the workspace's scratch buffer for the
+  /// per-site cap column (identical results, fewer allocations).
+  Allocation allocate(const AllocationProblem& problem,
+                      SolverWorkspace& workspace) const override;
+
   std::string name() const override { return "PSMF"; }
+
+ private:
+  Allocation allocate_into(const AllocationProblem& problem,
+                           std::vector<double>& caps_scratch) const;
 };
 
 }  // namespace amf::core

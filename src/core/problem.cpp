@@ -146,6 +146,145 @@ AllocationProblem AllocationProblem::subset(
                            std::move(wt));
 }
 
+ProblemDelta ProblemDelta::job_arrived(std::vector<double> demands,
+                                       std::vector<double> workloads,
+                                       double weight,
+                                       std::vector<double> ceiling) {
+  ProblemDelta d;
+  d.kind = Kind::kJobArrived;
+  d.demand_row = std::move(demands);
+  d.workload_row = std::move(workloads);
+  d.demand_ceiling = std::move(ceiling);
+  d.weight = weight;
+  return d;
+}
+
+ProblemDelta ProblemDelta::job_departed(int job) {
+  ProblemDelta d;
+  d.kind = Kind::kJobDeparted;
+  d.job = job;
+  return d;
+}
+
+ProblemDelta ProblemDelta::site_capacity(int site, double value) {
+  ProblemDelta d;
+  d.kind = Kind::kSiteCapacity;
+  d.site = site;
+  d.value = value;
+  return d;
+}
+
+ProblemDelta ProblemDelta::demand_set(int job, int site, double value) {
+  ProblemDelta d;
+  d.kind = Kind::kDemandSet;
+  d.job = job;
+  d.site = site;
+  d.value = value;
+  return d;
+}
+
+ProblemDelta ProblemDelta::workload_set(int job, int site, double value) {
+  ProblemDelta d;
+  d.kind = Kind::kWorkloadSet;
+  d.job = job;
+  d.site = site;
+  d.value = value;
+  return d;
+}
+
+AllocationProblem AllocationProblem::apply(const ProblemDelta& delta) const& {
+  AllocationProblem copy = *this;
+  return std::move(copy).apply(delta);
+}
+
+AllocationProblem AllocationProblem::apply(const ProblemDelta& delta) && {
+  // The instance was valid on entry; each branch re-validates exactly the
+  // entries it touches, so the result is valid without an O(n·m) pass.
+  const auto m = capacities_.size();
+  switch (delta.kind) {
+    case ProblemDelta::Kind::kJobArrived: {
+      AMF_REQUIRE(delta.demand_row.size() == m,
+                  "delta demand row width != site count");
+      for (double d : delta.demand_row)
+        AMF_REQUIRE(d >= 0.0 && std::isfinite(d),
+                    "demands must be finite, >= 0");
+      AMF_REQUIRE(delta.weight > 0.0 && std::isfinite(delta.weight),
+                  "weights must be finite, > 0");
+      const bool track_work = !workloads_.empty() || demands_.empty();
+      if (!delta.workload_row.empty()) {
+        AMF_REQUIRE(delta.workload_row.size() == m,
+                    "delta workload row width != site count");
+        AMF_REQUIRE(track_work,
+                    "workload row for a problem without workloads");
+        for (std::size_t s = 0; s < m; ++s) {
+          double w = delta.workload_row[s];
+          AMF_REQUIRE(w >= 0.0 && std::isfinite(w),
+                      "workloads must be finite, >= 0");
+          AMF_REQUIRE(w == 0.0 || delta.demand_row[s] > 0.0,
+                      "positive workload requires positive demand cap");
+        }
+        workloads_.push_back(delta.workload_row);
+      } else if (!workloads_.empty()) {
+        workloads_.emplace_back(m, 0.0);
+      }
+      demands_.push_back(delta.demand_row);
+      weights_.push_back(delta.weight);
+      break;
+    }
+    case ProblemDelta::Kind::kJobDeparted: {
+      AMF_REQUIRE(delta.job >= 0 && delta.job < jobs(),
+                  "delta job index out of range");
+      const auto j = static_cast<std::size_t>(delta.job);
+      demands_.erase(demands_.begin() + static_cast<std::ptrdiff_t>(j));
+      if (!workloads_.empty())
+        workloads_.erase(workloads_.begin() + static_cast<std::ptrdiff_t>(j));
+      weights_.erase(weights_.begin() + static_cast<std::ptrdiff_t>(j));
+      break;
+    }
+    case ProblemDelta::Kind::kSiteCapacity: {
+      AMF_REQUIRE(delta.site >= 0 && delta.site < sites(),
+                  "delta site index out of range");
+      AMF_REQUIRE(delta.value >= 0.0 && std::isfinite(delta.value),
+                  "capacities must be finite, >= 0");
+      capacities_[static_cast<std::size_t>(delta.site)] = delta.value;
+      break;
+    }
+    case ProblemDelta::Kind::kDemandSet: {
+      AMF_REQUIRE(delta.job >= 0 && delta.job < jobs(),
+                  "delta job index out of range");
+      AMF_REQUIRE(delta.site >= 0 && delta.site < sites(),
+                  "delta site index out of range");
+      AMF_REQUIRE(delta.value >= 0.0 && std::isfinite(delta.value),
+                  "demands must be finite, >= 0");
+      AMF_REQUIRE(delta.value > 0.0 || workloads_.empty() ||
+                      workloads_[static_cast<std::size_t>(delta.job)]
+                                [static_cast<std::size_t>(delta.site)] == 0.0,
+                  "positive workload requires positive demand cap");
+      demands_[static_cast<std::size_t>(delta.job)]
+              [static_cast<std::size_t>(delta.site)] = delta.value;
+      break;
+    }
+    case ProblemDelta::Kind::kWorkloadSet: {
+      AMF_REQUIRE(!workloads_.empty(),
+                  "workload delta on a problem without workloads");
+      AMF_REQUIRE(delta.job >= 0 && delta.job < jobs(),
+                  "delta job index out of range");
+      AMF_REQUIRE(delta.site >= 0 && delta.site < sites(),
+                  "delta site index out of range");
+      AMF_REQUIRE(delta.value >= 0.0 && std::isfinite(delta.value),
+                  "workloads must be finite, >= 0");
+      AMF_REQUIRE(delta.value == 0.0 ||
+                      demands_[static_cast<std::size_t>(delta.job)]
+                              [static_cast<std::size_t>(delta.site)] > 0.0,
+                  "positive workload requires positive demand cap");
+      workloads_[static_cast<std::size_t>(delta.job)]
+                [static_cast<std::size_t>(delta.site)] = delta.value;
+      break;
+    }
+  }
+  return std::move(*this);
+}
+
 void AllocationProblem::save(std::ostream& out) const {
   using util::CsvWriter;
   out << jobs() << ',' << sites() << ',' << (has_workloads() ? 1 : 0) << '\n';

@@ -17,6 +17,42 @@ namespace amf::core {
 
 using Matrix = flow::Matrix;
 
+/// One elementary change to a problem between two online solve events.
+/// Deltas are the currency of the incremental pipeline: the simulator
+/// feeds them to both AllocationProblem::apply (value semantics) and
+/// SolverWorkspace::apply (persistent flow-network topology), keeping the
+/// two views consistent without rebuilding either.
+struct ProblemDelta {
+  enum class Kind {
+    kJobArrived,   ///< append a job row (demands / optional workloads / weight)
+    kJobDeparted,  ///< erase a job row, preserving the order of the rest
+    kSiteCapacity, ///< set C[site] = value
+    kDemandSet,    ///< set d[job][site] = value
+    kWorkloadSet,  ///< set w[job][site] = value
+  };
+
+  Kind kind = Kind::kDemandSet;
+  int job = -1;
+  int site = -1;
+  double value = 0.0;
+  double weight = 1.0;
+  std::vector<double> demand_row;    ///< kJobArrived: initial demands
+  std::vector<double> workload_row;  ///< kJobArrived: initial workloads (may be empty)
+  /// kJobArrived: per-site ceiling on any demand this job may ever report
+  /// (>= demand_row). Decides which arcs a persistent network reserves so
+  /// later unmasking needs no rebuild. Empty = demand_row itself.
+  std::vector<double> demand_ceiling;
+
+  static ProblemDelta job_arrived(std::vector<double> demands,
+                                  std::vector<double> workloads = {},
+                                  double weight = 1.0,
+                                  std::vector<double> ceiling = {});
+  static ProblemDelta job_departed(int job);
+  static ProblemDelta site_capacity(int site, double value);
+  static ProblemDelta demand_set(int job, int site, double value);
+  static ProblemDelta workload_set(int job, int site, double value);
+};
+
 /// An immutable-after-validation allocation problem instance.
 class AllocationProblem {
  public:
@@ -67,6 +103,14 @@ class AllocationProblem {
 
   /// A copy restricted to the given jobs (order preserved).
   AllocationProblem subset(const std::vector<int>& job_indices) const;
+
+  /// The instance after one delta, validating only what changed (O(1) for
+  /// scalar deltas, O(m) for arrivals — never a full O(n·m) revalidation).
+  /// The lvalue overload copies; the rvalue overload reuses this
+  /// instance's buffers, so a solve loop that owns its problem pays only
+  /// for the changed entries: `p = std::move(p).apply(delta)`.
+  AllocationProblem apply(const ProblemDelta& delta) const&;
+  AllocationProblem apply(const ProblemDelta& delta) &&;
 
   /// CSV round-trip: header line `jobs,sites` then one row per job of
   /// demands, then capacities, then optional workloads and weights.

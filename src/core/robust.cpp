@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/reference.hpp"
+#include "core/workspace.hpp"
 #include "flow/transport.hpp"
 #include "util/error.hpp"
 
@@ -61,6 +62,16 @@ Allocation lp_tier(const AllocationProblem& problem) {
 }  // namespace
 
 Allocation RobustAllocator::allocate(const AllocationProblem& problem) const {
+  return allocate_impl(problem, nullptr);
+}
+
+Allocation RobustAllocator::allocate(const AllocationProblem& problem,
+                                     SolverWorkspace& workspace) const {
+  return allocate_impl(problem, &workspace);
+}
+
+Allocation RobustAllocator::allocate_impl(const AllocationProblem& problem,
+                                          SolverWorkspace* workspace) const {
   struct Tier {
     FallbackTier id;
     const Allocator* policy;  // null for the LP tier
@@ -77,17 +88,31 @@ Allocation RobustAllocator::allocate(const AllocationProblem& problem) const {
     const auto idx = static_cast<std::size_t>(tier.id);
     const bool is_last = tier.id == FallbackTier::kPerSite;
     try {
-      Allocation result = tier.policy != nullptr
-                              ? tier.policy->allocate(problem)
-                              : lp_tier(problem);
-      if (config_.escalate_on_iteration_cap && !is_last) {
-        const auto* amf = dynamic_cast<const AmfAllocator*>(tier.policy);
-        if (amf != nullptr &&
-            amf->last_status() != flow::LevelStatus::kConverged) {
-          ++stats_.failures[idx];
-          stats_.last_error = "iteration-capped level solve";
-          continue;
-        }
+      flow::LevelStatus status = flow::LevelStatus::kConverged;
+      Allocation result;
+      if (tier.policy == nullptr) {
+        result = lp_tier(problem);
+      } else if (workspace != nullptr) {
+        // A network warmed under another tier's parameters must not leak
+        // into this tier's solve.
+        if (workspace->serving_tier != static_cast<int>(tier.id))
+          workspace->invalidate();
+        result = tier.policy->allocate(problem, *workspace);
+        status = workspace->report().status;
+      } else if (const auto* amf =
+                     dynamic_cast<const AmfAllocator*>(tier.policy)) {
+        SolveReport report;
+        result = amf->allocate_with_report(problem, report);
+        status = report.status;
+      } else {
+        result = tier.policy->allocate(problem);
+      }
+      if (config_.escalate_on_iteration_cap && !is_last &&
+          dynamic_cast<const AmfAllocator*>(tier.policy) != nullptr &&
+          status != flow::LevelStatus::kConverged) {
+        ++stats_.failures[idx];
+        stats_.last_error = "iteration-capped level solve";
+        continue;
       }
       // Audit before accepting: a tier that silently returns an
       // infeasible matrix is as broken as one that throws.
@@ -100,6 +125,8 @@ Allocation RobustAllocator::allocate(const AllocationProblem& problem) const {
       }
       ++stats_.served[idx];
       stats_.last = tier.id;
+      if (workspace != nullptr)
+        workspace->serving_tier = static_cast<int>(tier.id);
       return result;
     } catch (const util::InternalError& e) {
       if (is_last) throw;  // nothing below the per-site tier

@@ -83,12 +83,23 @@ class RobustAllocator final : public Allocator {
   /// Never throws InternalError: walks the chain until a tier produces a
   /// feasible allocation (the per-site tier always does).
   Allocation allocate(const AllocationProblem& problem) const override;
+
+  /// Workspace-aware chain walk. The workspace is invalidated whenever the
+  /// serving tier differs from the one that served the previous call, so a
+  /// network warmed under one tier's solve parameters is never reused by
+  /// another tier.
+  Allocation allocate(const AllocationProblem& problem,
+                      SolverWorkspace& workspace) const override;
+
   std::string name() const override;
 
   const FallbackStats& fallback_stats() const { return stats_; }
   void reset_stats() const { stats_ = FallbackStats{}; }
 
  private:
+  Allocation allocate_impl(const AllocationProblem& problem,
+                           SolverWorkspace* workspace) const;
+
   const Allocator& primary_;
   RobustConfig config_;
   AmfAllocator relaxed_;

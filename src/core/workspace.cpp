@@ -1,0 +1,127 @@
+#include "core/workspace.hpp"
+
+#include <algorithm>
+
+#include "core/allocation.hpp"
+#include "util/error.hpp"
+
+namespace amf::core {
+
+void SolverWorkspace::prime(const AllocationProblem& problem,
+                            const Matrix* arc_ceilings) {
+  const int n = problem.jobs();
+  const int m = problem.sites();
+  if (arc_ceilings != nullptr)
+    AMF_REQUIRE(static_cast<int>(arc_ceilings->size()) == n,
+                "arc ceiling height != job count");
+  transport_.emplace(problem.capacities());
+  rows_.clear();
+  rows_.reserve(static_cast<std::size_t>(n));
+  std::vector<int> sites;
+  std::vector<double> demands;
+  for (int j = 0; j < n; ++j) {
+    sites.clear();
+    demands.clear();
+    const auto& drow = problem.demands()[static_cast<std::size_t>(j)];
+    const std::vector<double>* ceil =
+        arc_ceilings != nullptr
+            ? &(*arc_ceilings)[static_cast<std::size_t>(j)]
+            : nullptr;
+    if (ceil != nullptr)
+      AMF_REQUIRE(static_cast<int>(ceil->size()) == m,
+                  "arc ceiling width != site count");
+    for (int s = 0; s < m; ++s) {
+      double d = drow[static_cast<std::size_t>(s)];
+      double reserve = ceil != nullptr
+                           ? std::max((*ceil)[static_cast<std::size_t>(s)], d)
+                           : d;
+      if (reserve > 0.0) {
+        sites.push_back(s);
+        demands.push_back(d);
+      }
+    }
+    rows_.push_back(transport_->add_job(sites, demands));
+  }
+  transport_->set_active(rows_);
+  transport_->set_exact_realization(exact_realization_);
+  previous_aggregates_.clear();
+}
+
+void SolverWorkspace::apply(const ProblemDelta& delta) {
+  if (!primed()) return;
+  switch (delta.kind) {
+    case ProblemDelta::Kind::kJobArrived: {
+      const int m = transport_->sites();
+      AMF_REQUIRE(static_cast<int>(delta.demand_row.size()) == m,
+                  "delta demand row width != site count");
+      std::vector<int> sites;
+      std::vector<double> demands;
+      for (int s = 0; s < m; ++s) {
+        double d = delta.demand_row[static_cast<std::size_t>(s)];
+        double reserve =
+            delta.demand_ceiling.empty()
+                ? d
+                : std::max(delta.demand_ceiling[static_cast<std::size_t>(s)],
+                           d);
+        if (reserve > 0.0) {
+          sites.push_back(s);
+          demands.push_back(d);
+        }
+      }
+      rows_.push_back(transport_->add_job(sites, demands));
+      transport_->set_active(rows_);
+      break;
+    }
+    case ProblemDelta::Kind::kJobDeparted: {
+      AMF_REQUIRE(delta.job >= 0 &&
+                      delta.job < static_cast<int>(rows_.size()),
+                  "delta job index out of range");
+      transport_->remove_job(rows_[static_cast<std::size_t>(delta.job)]);
+      rows_.erase(rows_.begin() + delta.job);
+      transport_->set_active(rows_);
+      break;
+    }
+    case ProblemDelta::Kind::kSiteCapacity:
+      transport_->set_site_capacity(delta.site, delta.value);
+      break;
+    case ProblemDelta::Kind::kDemandSet: {
+      AMF_REQUIRE(delta.job >= 0 &&
+                      delta.job < static_cast<int>(rows_.size()),
+                  "delta job index out of range");
+      if (!transport_->set_demand(rows_[static_cast<std::size_t>(delta.job)],
+                                  delta.site, delta.value)) {
+        // A positive demand on an arc the topology never reserved: the
+        // persistent network cannot represent it. Fall back to a rebuild
+        // at the next allocate instead of surfacing an error.
+        invalidate();
+      }
+      break;
+    }
+    case ProblemDelta::Kind::kWorkloadSet:
+      break;  // workloads are invisible to the flow network
+  }
+}
+
+void SolverWorkspace::invalidate() {
+  transport_.reset();
+  rows_.clear();
+  previous_aggregates_.clear();
+  level_hints_.clear();
+}
+
+void SolverWorkspace::record_solution(const Allocation& allocation) {
+  previous_aggregates_ = allocation.aggregates();
+}
+
+void SolverWorkspace::maybe_compact() {
+  if (!primed()) return;
+  // Dead rows cost O(1) per Dinic BFS phase each, every solve, so they are
+  // expelled eagerly: compacting at a 25% dead fraction still amortizes to
+  // O(1) rebuild work per departure while keeping the network near its
+  // live size.
+  const int dead = transport_->total_rows() - transport_->live_rows();
+  if (transport_->total_rows() >= 16 && dead * 4 >= transport_->total_rows())
+    transport_->compact();
+}
+
+}  // namespace amf::core

@@ -1,0 +1,116 @@
+// workspace.hpp — reusable solver state for online reallocation.
+//
+// A SolverWorkspace owns everything an allocator can profitably keep
+// between related solves: the persistent-topology transportation network,
+// the previous solution, scratch buffers, and the per-call SolveReport.
+// Allocators stay const and stateless — all warm-start state lives here,
+// one workspace per solve stream (one simulator, one thread).
+//
+// Lifecycle:
+//   * prime(problem[, ceilings]) builds the persistent network from a
+//     problem snapshot; `ceilings` reserves arcs for demands that are
+//     currently masked to zero but may become positive later.
+//   * apply(delta) keeps the network in sync with
+//     AllocationProblem::apply(delta) — the caller applies each delta to
+//     both, in the same order.
+//   * allocate(problem, workspace) on a primed workspace reuses the
+//     network; results are bit-identical to the stateless path.
+//   * invalidate() drops all warm state; the next allocate re-primes.
+//     A delta the network cannot represent (a positive demand on an
+//     unreserved arc) auto-invalidates instead of failing.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/report.hpp"
+#include "flow/parametric.hpp"
+#include "flow/transport.hpp"
+
+namespace amf::core {
+
+class Allocation;
+
+/// Mutable cross-call solver state. Not thread-safe: use one workspace
+/// per concurrent solve stream.
+class SolverWorkspace {
+ public:
+  SolverWorkspace() = default;
+
+  /// Per-call instrumentation of the most recent allocate() through this
+  /// workspace. Reset at the start of every such call.
+  SolveReport& report() { return report_; }
+  const SolveReport& report() const { return report_; }
+
+  /// True when the persistent network is built and in sync.
+  bool primed() const { return transport_.has_value(); }
+
+  /// Builds the persistent network from `problem`. When `arc_ceilings`
+  /// (n×m, entrywise >= the problem's demands) is given, arcs are
+  /// reserved wherever the ceiling is positive, so demands masked to zero
+  /// today can be raised later without a rebuild.
+  void prime(const AllocationProblem& problem,
+             const Matrix* arc_ceilings = nullptr);
+
+  /// Mirrors a delta already applied (or about to be applied) to the
+  /// problem. No-op when unprimed; auto-invalidates on a delta the
+  /// persistent topology cannot represent.
+  void apply(const ProblemDelta& delta);
+
+  /// Drops all warm state (network, row map, previous solution).
+  void invalidate();
+
+  /// The persistent network. Only valid when primed().
+  flow::IncrementalTransport& transport() { return *transport_; }
+
+  /// Aggregates of the last recorded solution (empty before the first).
+  const std::vector<double>& previous_aggregates() const {
+    return previous_aggregates_;
+  }
+  void record_solution(const Allocation& allocation);
+
+  /// Rebuilds the network without its dead (departed-job) rows once they
+  /// dominate. Safe to call any time; bit-for-bit neutral.
+  void maybe_compact();
+
+  /// Realization contract for allocations produced through this workspace.
+  /// Exact (the default): every result is bit-identical to the stateless
+  /// path — warm starts are restricted to reads that are max-flow
+  /// invariants. Relaxed: results are max-min optimal with identical job
+  /// aggregates (within flow tolerance), but the per-site split may be any
+  /// vertex of the optimum face, and cross-solve level hints accelerate
+  /// the Newton descent. Substantially faster; not replay-exact.
+  void set_exact_realization(bool exact) {
+    exact_realization_ = exact;
+    if (primed()) transport_->set_exact_realization(exact);
+  }
+  bool exact_realization() const { return exact_realization_; }
+
+  /// Per-round critical-level hints carried across solves (relaxed
+  /// realization only; see flow::LevelHint).
+  std::vector<flow::LevelHint>& level_hints() { return level_hints_; }
+
+  /// Scratch vector of length n, reused across calls (contents undefined).
+  std::vector<double>& scratch(std::size_t n) {
+    scratch_.resize(n);
+    return scratch_;
+  }
+
+  /// Bookkeeping slot for RobustAllocator: index of the fallback tier
+  /// that served the previous call (-1 = none). The chain invalidates the
+  /// workspace whenever the serving tier changes, so a network primed by
+  /// one tier's solve parameters is never warm-reused by another's.
+  int serving_tier = -1;
+
+ private:
+  std::optional<flow::IncrementalTransport> transport_;
+  std::vector<int> rows_;  ///< problem row -> persistent network row id
+  std::vector<double> previous_aggregates_;
+  std::vector<double> scratch_;
+  std::vector<flow::LevelHint> level_hints_;
+  SolveReport report_;
+  bool exact_realization_ = true;
+};
+
+}  // namespace amf::core

@@ -52,6 +52,41 @@ void FlowNetwork::set_capacity(EdgeId e, double capacity) {
   orig_[static_cast<std::size_t>(e) / 2] = capacity;
 }
 
+void FlowNetwork::raise_capacity(EdgeId e, double capacity) {
+  AMF_REQUIRE(e >= 0 && e < static_cast<EdgeId>(to_.size()) && (e % 2) == 0,
+              "raise_capacity: not a forward arc id");
+  double& orig = orig_[static_cast<std::size_t>(e) / 2];
+  AMF_REQUIRE(capacity >= orig, "raise_capacity: capacity decrease");
+  residual_[static_cast<std::size_t>(e)] += capacity - orig;
+  orig = capacity;
+}
+
+void FlowNetwork::cancel_flow(EdgeId e, double amount) {
+  AMF_REQUIRE(e >= 0 && e < static_cast<EdgeId>(to_.size()) && (e % 2) == 0,
+              "cancel_flow: not a forward arc id");
+  AMF_REQUIRE(amount >= 0.0, "cancel_flow: negative amount");
+  residual_[static_cast<std::size_t>(e)] += amount;
+  residual_[static_cast<std::size_t>(e) + 1] -= amount;
+}
+
+void FlowNetwork::rebase_capacity(EdgeId e, double capacity) {
+  AMF_REQUIRE(e >= 0 && e < static_cast<EdgeId>(to_.size()) && (e % 2) == 0,
+              "rebase_capacity: not a forward arc id");
+  AMF_REQUIRE(capacity >= 0.0, "rebase_capacity: negative capacity");
+  orig_[static_cast<std::size_t>(e) / 2] = capacity;
+  residual_[static_cast<std::size_t>(e)] =
+      std::max(0.0, capacity - residual_[static_cast<std::size_t>(e) + 1]);
+}
+
+void FlowNetwork::set_flow(EdgeId e, double flow) {
+  AMF_REQUIRE(e >= 0 && e < static_cast<EdgeId>(to_.size()) && (e % 2) == 0,
+              "set_flow: not a forward arc id");
+  AMF_REQUIRE(flow >= 0.0, "set_flow: negative flow");
+  residual_[static_cast<std::size_t>(e)] =
+      std::max(0.0, orig_[static_cast<std::size_t>(e) / 2] - flow);
+  residual_[static_cast<std::size_t>(e) + 1] = flow;
+}
+
 void FlowNetwork::reset_flow() {
   for (std::size_t e = 0; e < to_.size(); e += 2) {
     residual_[e] = orig_[e / 2];

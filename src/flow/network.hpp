@@ -50,6 +50,30 @@ class FlowNetwork {
   /// reset_flow(); flows already pushed are not adjusted.
   void set_capacity(EdgeId e, double capacity);
 
+  /// Raises the capacity of forward arc `e` to `capacity` (>= its current
+  /// value) with immediate effect: the extra headroom is added to the arc's
+  /// residual, preserving all flow already pushed. The basis of warm-started
+  /// monotone re-solves — follow with max_flow to augment on top.
+  void raise_capacity(EdgeId e, double capacity);
+
+  /// Removes `amount` (>= 0) of flow from forward arc `e` with immediate
+  /// effect: forward residual grows, reverse residual shrinks. The caller
+  /// must restore conservation by cancelling the same amount on the other
+  /// arcs of the path (warm-restart primitive; see IncrementalTransport).
+  void cancel_flow(EdgeId e, double amount);
+
+  /// Sets the capacity of forward arc `e` with immediate effect, keeping
+  /// the flow already on the arc: the forward residual becomes
+  /// capacity - flow (clamped at zero against rounding dust). The caller
+  /// must have cancelled any flow above the new capacity first.
+  void rebase_capacity(EdgeId e, double capacity);
+
+  /// Overwrites the flow on forward arc `e` (0 <= flow <= capacity):
+  /// reverse residual becomes `flow`, forward residual the remaining
+  /// headroom. Used to transplant a flow onto a rebuilt network; the
+  /// caller is responsible for conservation across arcs.
+  void set_flow(EdgeId e, double flow);
+
   /// Clears all flow (residuals return to capacities).
   void reset_flow();
 

@@ -20,10 +20,9 @@ std::vector<double> caps_at(const std::vector<ParametricSource>& sources,
 }  // namespace
 
 CriticalLevel solve_critical_level(
-    TransportNetwork& net, const Matrix& demands,
-    const std::vector<double>& capacities,
-    const std::vector<ParametricSource>& sources, double t_lo, double t_hi,
-    double eps, LevelMethod method, LevelSolveStats* stats) {
+    TransportSystem& net, const std::vector<ParametricSource>& sources,
+    double t_lo, double t_hi, double eps, LevelMethod method,
+    LevelSolveStats* stats, LevelHint* hint) {
   const int n = net.jobs();
   const int m = net.sites();
   AMF_REQUIRE(static_cast<int>(sources.size()) == n,
@@ -41,7 +40,10 @@ CriticalLevel solve_critical_level(
   }
 
   auto feasible_at = [&](double t) {
-    net.solve(caps_at(sources, t), eps);
+    // A probe only feeds saturated()/min_cut()/jobs_can_increase(), all
+    // flow-state invariants, so the network may warm-start it. The
+    // allocation itself is materialized by the caller with a full solve().
+    net.probe(caps_at(sources, t), eps);
     if (stats != nullptr) ++stats->flow_solves;
     return net.saturated(eps);
   };
@@ -51,6 +53,38 @@ CriticalLevel solve_critical_level(
   bool found = false;
   LevelStatus status = LevelStatus::kConverged;
   constexpr int kMaxNewton = 64;
+
+  if (hint != nullptr && hint->valid && method == LevelMethod::kCutNewton &&
+      static_cast<int>(hint->site_in_source_side.size()) == m) {
+    // Start the descent at the hinted cut's bound instead of t_hi. Each
+    // job joins the side that makes the cut tighter, judged at the hint's
+    // reference level: source side (contributing its crossing demand arcs)
+    // when those are cheaper than its cap, sink side (contributing cap(t))
+    // otherwise. Either way the cut's capacity bounds total demand, so the
+    // computed level is >= the critical one regardless of hint staleness.
+    double cut_slope = 0.0, cut_fixed = 0.0;
+    for (int s = 0; s < m; ++s)
+      if (hint->site_in_source_side[static_cast<std::size_t>(s)])
+        cut_fixed += net.site_capacity(s);
+    for (int j = 0; j < n; ++j) {
+      double cross = 0.0;
+      net.add_row_demand_across(j, hint->site_in_source_side, cross);
+      const auto& src = sources[static_cast<std::size_t>(j)];
+      if (src.fixed + src.slope * hint->t_ref <= cross) {
+        cut_slope += src.slope;
+        cut_fixed += src.fixed;
+      } else {
+        cut_fixed += cross;
+      }
+    }
+    const double dslope = slope_total - cut_slope;
+    if (dslope > eps * std::max(1.0, slope_total)) {
+      const double t_h = (cut_fixed - fixed_total) / dslope;
+      if (t_h > t_lo + t_tol && t_h < t_hi - t_tol) t = t_h;
+    }
+  }
+  MinCut last_cut;
+  bool cut_read = false;
 
   if (method == LevelMethod::kBisection) {
     // Ablation baseline: plain bisection, no cut analysis. It must close
@@ -80,6 +114,10 @@ CriticalLevel solve_critical_level(
     // Read the binding min cut and jump to where its value meets demand.
     auto cut = net.min_cut(eps);
     double cut_slope = 0.0, cut_fixed = 0.0;
+    if (hint != nullptr) {
+      last_cut.site_in_source_side = cut.site_in_source_side;
+      cut_read = true;
+    }
     for (int j = 0; j < n; ++j) {
       if (!cut.job_in_source_side[static_cast<std::size_t>(j)]) {
         // Source arc of j is cut: contributes cap_j(t).
@@ -87,15 +125,12 @@ CriticalLevel solve_critical_level(
         cut_fixed += sources[static_cast<std::size_t>(j)].fixed;
       } else {
         // Job is on the source side: its crossing demand arcs are cut.
-        for (int s = 0; s < m; ++s)
-          if (!cut.site_in_source_side[static_cast<std::size_t>(s)])
-            cut_fixed += demands[static_cast<std::size_t>(j)]
-                                [static_cast<std::size_t>(s)];
+        net.add_row_demand_across(j, cut.site_in_source_side, cut_fixed);
       }
     }
     for (int s = 0; s < m; ++s)
       if (cut.site_in_source_side[static_cast<std::size_t>(s)])
-        cut_fixed += capacities[static_cast<std::size_t>(s)];
+        cut_fixed += net.site_capacity(s);
 
     // Solve cut_slope·t' + cut_fixed = slope_total·t' + fixed_total.
     double dslope = slope_total - cut_slope;
@@ -137,6 +172,16 @@ CriticalLevel solve_critical_level(
 
   if (stats != nullptr) stats->observe(status);
 
+  if (hint != nullptr) {
+    if (cut_read) {
+      hint->site_in_source_side = std::move(last_cut.site_in_source_side);
+      hint->valid = true;
+    }
+    // No cut read means the first probe already succeeded — the stored
+    // cut (if any) is still the binding one; only the level moved.
+    if (hint->valid) hint->t_ref = t;
+  }
+
   CriticalLevel result;
   result.status = status;
   result.level = t;
@@ -144,7 +189,6 @@ CriticalLevel solve_critical_level(
   // A slightly looser threshold for the freezing decision keeps jobs with a
   // numerically negligible residual path from staying unfrozen forever.
   result.can_increase = net.jobs_can_increase(eps * 16.0);
-  result.allocation = net.allocation();
   return result;
 }
 

@@ -53,6 +53,24 @@ struct LevelSolveStats {
   }
 };
 
+/// Cross-solve warm-start hint for solve_critical_level: the site set of
+/// the binding min cut a previous, related solve ended on, plus the level
+/// it bound (`t_ref`, used to pick each job's side of the cut when
+/// re-evaluating it under new sources). The capacity of *any* cut upper-
+/// bounds total demand, so a stale hint is still a sound starting level —
+/// at worst the descent takes its normal course; when the cut still binds
+/// (the common case in an online event stream) the first probe lands on
+/// the critical level and the solve finishes with a single max flow and no
+/// cut extraction. The landed-on level can differ from the cold descent's
+/// in the last ulps (ties between binding cuts break differently), so
+/// hints are reserved for relaxed-realization solves, never replay-exact
+/// ones.
+struct LevelHint {
+  bool valid = false;
+  std::vector<char> site_in_source_side;
+  double t_ref = 0.0;
+};
+
 /// Result of a critical-level solve on one affine segment [t_lo, t_hi].
 struct CriticalLevel {
   /// Convergence quality of this solve (see LevelStatus).
@@ -66,22 +84,25 @@ struct CriticalLevel {
   /// (Residual path to the sink exists.) Jobs with `false` are the ones a
   /// progressive-filling caller must freeze.
   std::vector<char> can_increase;
-  /// Allocation matrix realizing the caps at `level`.
-  Matrix allocation;
 };
 
 /// Finds the largest t in [t_lo, t_hi] such that source caps cap_j(t) are
-/// simultaneously realizable (max flow saturates all source arcs).
+/// simultaneously realizable (max flow saturates all source arcs). On
+/// return `net` holds the solve at `level`; read net.allocation() for the
+/// realizing matrix.
 ///
-/// Preconditions: the caps at t_lo are feasible; `net` was built from
-/// `demands`/`capacities`; slopes are non-negative. Throws InternalError
-/// if the t_lo feasibility contract is violated beyond tolerance.
+/// Preconditions: the caps at t_lo are feasible; slopes are non-negative.
+/// Demand and site-capacity values are read from `net` itself (the system
+/// is the single source of truth, enabling persistent-topology reuse).
+///
+/// `hint`, when non-null, warm-starts the Newton descent from the hinted
+/// cut's bound (kCutNewton only) and is updated on return with the cut
+/// this solve ended on. See LevelHint for the soundness argument and the
+/// replay-exactness caveat.
 CriticalLevel solve_critical_level(
-    TransportNetwork& net, const Matrix& demands,
-    const std::vector<double>& capacities,
-    const std::vector<ParametricSource>& sources, double t_lo, double t_hi,
-    double eps = FlowNetwork::kDefaultEps,
+    TransportSystem& net, const std::vector<ParametricSource>& sources,
+    double t_lo, double t_hi, double eps = FlowNetwork::kDefaultEps,
     LevelMethod method = LevelMethod::kCutNewton,
-    LevelSolveStats* stats = nullptr);
+    LevelSolveStats* stats = nullptr, LevelHint* hint = nullptr);
 
 }  // namespace amf::flow

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "core/stability.hpp"
+#include "core/workspace.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -24,6 +27,13 @@ struct ActiveJob {
   /// Uncommitted progress per site: work processed there since the part's
   /// last loss point. What an outage (partially) destroys.
   std::vector<double> processed;
+  /// Sites where this job can ever have residual work (initial workload
+  /// above tolerance). Work only moves between sites in this list
+  /// (migration penalties and outage losses re-inflate existing residual
+  /// parts, never create new ones), so every per-site engine loop can
+  /// iterate it instead of all m sites. The skipped sites contribute
+  /// exact zeros, so sparse iteration is bit-identical to dense.
+  std::vector<int> sites;
   double weight = 1.0;
 
   bool done(double tol) const {
@@ -31,6 +41,14 @@ struct ActiveJob {
       if (r > tol) return false;
     return true;
   }
+};
+
+/// Previous event's placement of one job: the share row the policy chose
+/// plus its aggregate as the Allocation constructor computed it (stored,
+/// not recomputed, so the incremental churn path reuses the exact double).
+struct PrevPlacement {
+  std::vector<double> shares;
+  double aggregate = 0.0;
 };
 
 /// Trace contract checks at the Simulator::run boundary: a malformed
@@ -135,6 +153,39 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
   double latency_sum = 0.0;
   std::size_t next_event = 0;
 
+  // Incremental solve state: one problem instance plus one persistent
+  // solver workspace, both mutated by the same delta stream. Row j of the
+  // live problem always describes active[j].
+  const bool inc = config_.incremental;
+  std::optional<core::AllocationProblem> live;
+  core::SolverWorkspace ws;
+  if (inc) {
+    live.emplace(core::Matrix{}, eff_cap);
+    ws.set_exact_realization(config_.exact_replay);
+  }
+  auto apply_delta = [&](core::ProblemDelta delta) {
+    ws.apply(delta);  // before the problem consumes the delta's buffers
+    *live = std::move(*live).apply(delta);
+  };
+
+  // The demand cap row j of the allocation problem carries for site s:
+  // zero once the part there drained (no point holding resources there),
+  // masked to the surviving capacity at impaired sites so the policy only
+  // places work where it can actually run.
+  auto desired_demand = [&](const ActiveJob& job, int s) {
+    const auto su = static_cast<std::size_t>(s);
+    if (job.remaining[su] <= work_tol) return 0.0;
+    double cap = job.demands[su];
+    if (avail[su] < 1.0) cap = std::min(cap, eff_cap[su]);
+    return cap;
+  };
+  // Workload at a dark site is hidden from the allocator (it cannot be
+  // served there until recovery); the engine still tracks it.
+  auto desired_workload = [&](const ActiveJob& job, int s, double demand_cap) {
+    const double r = job.remaining[static_cast<std::size_t>(s)];
+    return (r > work_tol && demand_cap != 0.0) ? r : 0.0;
+  };
+
   // Applies every fault event due at the current clock: rescale the
   // site's surviving capacity, destroy uncommitted progress on outages,
   // and account recovery episodes.
@@ -167,6 +218,8 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
       avail[s] = ev.capacity_factor;
       eff_cap[s] = trace.capacities[s] * ev.capacity_factor;
       eff_total = std::accumulate(eff_cap.begin(), eff_cap.end(), 0.0);
+      if (inc)
+        apply_delta(core::ProblemDelta::site_capacity(ev.site, eff_cap[s]));
       ++stats_.fault_events;
       ++next_event;
     }
@@ -176,7 +229,7 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
   core::StabilityAddon stability(config_.eps);
   // Previous event's per-site shares, keyed by job id (for churn
   // accounting and the stability add-on).
-  std::unordered_map<int, std::vector<double>> prev_shares;
+  std::unordered_map<int, PrevPlacement> prev_shares;
 
   auto admit_due = [&] {
     while (next_arrival < trace.jobs.size() &&
@@ -191,6 +244,9 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
       job.weight = spec.weight;
       job.total_work = std::accumulate(spec.workloads.begin(),
                                        spec.workloads.end(), 0.0);
+      for (int s = 0; s < m; ++s)
+        if (spec.workloads[static_cast<std::size_t>(s)] > work_tol)
+          job.sites.push_back(s);
       auto& rec = records[next_arrival];
       rec.id = job.id;
       rec.arrival = spec.arrival;
@@ -199,12 +255,28 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
         rec.completion = spec.arrival;  // empty job: completes on arrival
       } else {
         active.push_back(std::move(job));
+        if (inc) {
+          const ActiveJob& jb = active.back();
+          std::vector<double> drow(static_cast<std::size_t>(m), 0.0);
+          std::vector<double> wrow(static_cast<std::size_t>(m), 0.0);
+          std::vector<double> ceiling(static_cast<std::size_t>(m), 0.0);
+          for (int s : jb.sites) {
+            const auto su = static_cast<std::size_t>(s);
+            ceiling[su] = jb.demands[su];  // reserve for post-fault unmasking
+            drow[su] = desired_demand(jb, s);
+            wrow[su] = desired_workload(jb, s, drow[su]);
+          }
+          apply_delta(core::ProblemDelta::job_arrived(
+              std::move(drow), std::move(wrow), jb.weight,
+              std::move(ceiling)));
+        }
       }
       ++next_arrival;
     }
   };
 
   while (!active.empty() || next_arrival < trace.jobs.size()) {
+    if (config_.max_events > 0 && stats_.events >= config_.max_events) break;
     apply_due_events();
     if (active.empty()) {
       // Idle until the next arrival, processing any fault events that
@@ -223,73 +295,148 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
       continue;
     }
 
-    // Build the residual allocation problem: demand caps are zeroed at
-    // sites whose part already drained (no point holding resources there)
-    // and masked to the surviving capacity at impaired sites, so the
-    // policy only places work where it can actually run.
     const int n = static_cast<int>(active.size());
-    core::Matrix demands(static_cast<std::size_t>(n)),
-        workloads(static_cast<std::size_t>(n));
-    std::vector<double> weights(static_cast<std::size_t>(n));
-    for (int j = 0; j < n; ++j) {
-      const auto& job = active[static_cast<std::size_t>(j)];
-      auto& drow = demands[static_cast<std::size_t>(j)];
-      drow.assign(static_cast<std::size_t>(m), 0.0);
-      for (int s = 0; s < m; ++s)
-        if (job.remaining[static_cast<std::size_t>(s)] > work_tol) {
-          double cap = job.demands[static_cast<std::size_t>(s)];
-          if (avail[static_cast<std::size_t>(s)] < 1.0)
-            cap = std::min(cap, eff_cap[static_cast<std::size_t>(s)]);
-          drow[static_cast<std::size_t>(s)] = cap;
+    std::optional<core::AllocationProblem> scratch_problem;
+    if (inc) {
+      // Sync pass: bring the live problem's demand/workload entries up to
+      // date with the drained and fault-masked state. Only entries that
+      // actually changed turn into deltas; when lowering a demand cap to
+      // zero the workload entry must be cleared first (a positive
+      // workload with a zero cap is a contract violation).
+      for (int j = 0; j < n; ++j) {
+        const auto& job = active[static_cast<std::size_t>(j)];
+        for (int s : job.sites) {
+          const double want_d = desired_demand(job, s);
+          const double want_w = desired_workload(job, s, want_d);
+          if (want_w == 0.0 && live->workload(j, s) != 0.0)
+            apply_delta(core::ProblemDelta::workload_set(j, s, 0.0));
+          if (live->demand(j, s) != want_d)
+            apply_delta(core::ProblemDelta::demand_set(j, s, want_d));
+          if (want_w != 0.0 && live->workload(j, s) != want_w)
+            apply_delta(core::ProblemDelta::workload_set(j, s, want_w));
         }
-      auto& wrow = workloads[static_cast<std::size_t>(j)];
-      wrow = job.remaining;
-      for (int s = 0; s < m; ++s) {
-        auto& w = wrow[static_cast<std::size_t>(s)];
-        // Workload at a dark site is hidden from the allocator (it cannot
-        // be served there until recovery); the engine still tracks it.
-        if (w <= work_tol || drow[static_cast<std::size_t>(s)] == 0.0)
-          w = 0.0;
       }
-      weights[static_cast<std::size_t>(j)] = job.weight;
+    } else {
+      // From-scratch path: build the residual allocation problem anew.
+      core::Matrix demands(static_cast<std::size_t>(n)),
+          workloads(static_cast<std::size_t>(n));
+      std::vector<double> weights(static_cast<std::size_t>(n));
+      for (int j = 0; j < n; ++j) {
+        const auto& job = active[static_cast<std::size_t>(j)];
+        auto& drow = demands[static_cast<std::size_t>(j)];
+        drow.assign(static_cast<std::size_t>(m), 0.0);
+        for (int s = 0; s < m; ++s)
+          drow[static_cast<std::size_t>(s)] = desired_demand(job, s);
+        auto& wrow = workloads[static_cast<std::size_t>(j)];
+        wrow.assign(static_cast<std::size_t>(m), 0.0);
+        for (int s = 0; s < m; ++s)
+          wrow[static_cast<std::size_t>(s)] = desired_workload(
+              job, s, drow[static_cast<std::size_t>(s)]);
+        weights[static_cast<std::size_t>(j)] = job.weight;
+      }
+      scratch_problem.emplace(std::move(demands), eff_cap,
+                              std::move(workloads), std::move(weights));
     }
-    core::AllocationProblem problem(std::move(demands), eff_cap,
-                                    std::move(workloads), std::move(weights));
-    core::Allocation alloc = policy_.allocate(problem);
+    const core::AllocationProblem& problem = inc ? *live : *scratch_problem;
+
+    core::Allocation alloc;
+    if (inc) {
+      if (!ws.primed()) {
+        // First event, or the workspace dropped its network (fallback
+        // tier switch, unrepresentable delta): re-prime with full arc
+        // ceilings so future fault unmasking stays incremental.
+        core::Matrix ceilings(static_cast<std::size_t>(n),
+                              std::vector<double>(static_cast<std::size_t>(m),
+                                                  0.0));
+        for (int j = 0; j < n; ++j) {
+          const auto& job = active[static_cast<std::size_t>(j)];
+          for (int s : job.sites)
+            ceilings[static_cast<std::size_t>(j)][static_cast<std::size_t>(
+                s)] = job.demands[static_cast<std::size_t>(s)];
+        }
+        ws.prime(problem, &ceilings);
+      }
+      alloc = policy_.allocate(problem, ws);
+    } else {
+      alloc = policy_.allocate(problem);
+    }
     if (config_.use_jct_addon) alloc = addon.optimize(problem, alloc);
 
-    // Previous placement of the current active set (zeros for arrivals).
-    core::Matrix prev_matrix(static_cast<std::size_t>(n),
-                             std::vector<double>(static_cast<std::size_t>(m),
-                                                 0.0));
-    for (int j = 0; j < n; ++j) {
-      auto it = prev_shares.find(active[static_cast<std::size_t>(j)].id);
-      if (it != prev_shares.end())
-        prev_matrix[static_cast<std::size_t>(j)] = it->second;
-    }
-    core::Allocation prev_alloc(prev_matrix);
-    if (config_.use_stability_addon)
-      alloc = stability.optimize(problem, alloc, prev_alloc);
-    stats_.total_churn += core::StabilityAddon::churn(alloc, prev_alloc);
-    if (config_.migration_penalty > 0.0) {
-      // Withdrawing allocation from an unfinished part costs progress.
+    if (!inc || config_.use_stability_addon) {
+      // Previous placement of the current active set (zeros for
+      // arrivals), materialized densely: the stability add-on needs the
+      // full matrix, and the from-scratch path keeps its original shape.
+      core::Matrix prev_matrix(
+          static_cast<std::size_t>(n),
+          std::vector<double>(static_cast<std::size_t>(m), 0.0));
       for (int j = 0; j < n; ++j) {
-        auto& job = active[static_cast<std::size_t>(j)];
-        for (int s = 0; s < m; ++s) {
-          double r = job.remaining[static_cast<std::size_t>(s)];
-          if (r <= work_tol) continue;
-          double withdrawn = prev_alloc.share(j, s) - alloc.share(j, s);
-          if (withdrawn > 0.0)
-            job.remaining[static_cast<std::size_t>(s)] =
-                r + config_.migration_penalty * withdrawn;
+        auto it = prev_shares.find(active[static_cast<std::size_t>(j)].id);
+        if (it != prev_shares.end())
+          prev_matrix[static_cast<std::size_t>(j)] = it->second.shares;
+      }
+      core::Allocation prev_alloc(prev_matrix);
+      if (config_.use_stability_addon)
+        alloc = stability.optimize(problem, alloc, prev_alloc);
+      stats_.total_churn += core::StabilityAddon::churn(alloc, prev_alloc);
+      if (config_.migration_penalty > 0.0) {
+        // Withdrawing allocation from an unfinished part costs progress.
+        for (int j = 0; j < n; ++j) {
+          auto& job = active[static_cast<std::size_t>(j)];
+          for (int s : job.sites) {
+            double r = job.remaining[static_cast<std::size_t>(s)];
+            if (r <= work_tol) continue;
+            double withdrawn = prev_alloc.share(j, s) - alloc.share(j, s);
+            if (withdrawn > 0.0)
+              job.remaining[static_cast<std::size_t>(s)] =
+                  r + config_.migration_penalty * withdrawn;
+          }
         }
       }
-    }
-    for (int j = 0; j < n; ++j) {
-      stats_.aggregate_drift +=
-          std::abs(alloc.aggregate(j) - prev_alloc.aggregate(j));
-      prev_shares[active[static_cast<std::size_t>(j)].id] =
-          alloc.shares()[static_cast<std::size_t>(j)];
+      for (int j = 0; j < n; ++j) {
+        stats_.aggregate_drift +=
+            std::abs(alloc.aggregate(j) - prev_alloc.aggregate(j));
+        prev_shares[active[static_cast<std::size_t>(j)].id] = {
+            alloc.shares()[static_cast<std::size_t>(j)], alloc.aggregate(j)};
+      }
+    } else {
+      // Sparse accounting: shares (current and previous) are zero outside
+      // a job's site list, so churn, migration and drift only need the
+      // list entries. Summation order matches the dense path — same jobs
+      // ascending, same sites ascending, skipped terms exactly zero.
+      double churn = 0.0;
+      for (int j = 0; j < n; ++j) {
+        auto& job = active[static_cast<std::size_t>(j)];
+        auto it = prev_shares.find(job.id);
+        const PrevPlacement* prev =
+            it != prev_shares.end() ? &it->second : nullptr;
+        for (int s : job.sites) {
+          const double before =
+              prev != nullptr ? prev->shares[static_cast<std::size_t>(s)]
+                              : 0.0;
+          churn += std::abs(alloc.share(j, s) - before);
+        }
+        if (config_.migration_penalty > 0.0 && prev != nullptr) {
+          for (int s : job.sites) {
+            double r = job.remaining[static_cast<std::size_t>(s)];
+            if (r <= work_tol) continue;
+            double withdrawn = prev->shares[static_cast<std::size_t>(s)] -
+                               alloc.share(j, s);
+            if (withdrawn > 0.0)
+              job.remaining[static_cast<std::size_t>(s)] =
+                  r + config_.migration_penalty * withdrawn;
+          }
+        }
+      }
+      stats_.total_churn += churn;
+      for (int j = 0; j < n; ++j) {
+        auto it = prev_shares.find(active[static_cast<std::size_t>(j)].id);
+        const double prev_aggregate =
+            it != prev_shares.end() ? it->second.aggregate : 0.0;
+        stats_.aggregate_drift +=
+            std::abs(alloc.aggregate(j) - prev_aggregate);
+        prev_shares[active[static_cast<std::size_t>(j)].id] = {
+            alloc.shares()[static_cast<std::size_t>(j)], alloc.aggregate(j)};
+      }
     }
     ++stats_.events;
 
@@ -302,7 +449,7 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
       dt = std::min(dt, trace.events[next_event].time - clock);
     for (int j = 0; j < n; ++j) {
       const auto& job = active[static_cast<std::size_t>(j)];
-      for (int s = 0; s < m; ++s) {
+      for (int s : job.sites) {
         double r = job.remaining[static_cast<std::size_t>(s)];
         if (r <= work_tol) continue;
         double rate = alloc.share(j, s);
@@ -317,7 +464,7 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
     double used = 0.0;
     for (int j = 0; j < n; ++j) {
       auto& job = active[static_cast<std::size_t>(j)];
-      for (int s = 0; s < m; ++s) {
+      for (int s : job.sites) {
         double r = job.remaining[static_cast<std::size_t>(s)];
         if (r <= work_tol) continue;
         double rate = alloc.share(j, s);
@@ -337,16 +484,22 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
     }
     clock += dt;
 
-    // Retire finished jobs.
+    // Retire finished jobs. Row indices shift as rows are erased; the
+    // departure deltas carry the index at erase time, matching the
+    // order-preserving erase on `active`.
+    int row = 0;
     for (auto it = active.begin(); it != active.end();) {
       if (it->done(work_tol)) {
         records[static_cast<std::size_t>(it->id)].completion = clock;
         prev_shares.erase(it->id);
+        if (inc) apply_delta(core::ProblemDelta::job_departed(row));
         it = active.erase(it);
       } else {
         ++it;
+        ++row;
       }
     }
+    if (inc) ws.maybe_compact();
     admit_due();
   }
 

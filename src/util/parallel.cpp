@@ -8,6 +8,24 @@
 
 namespace amf::util {
 
+namespace {
+std::atomic<std::size_t> g_shared_threads{0};
+std::atomic<bool> g_shared_created{false};
+}  // namespace
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(g_shared_threads.load());
+  g_shared_created.store(true);
+  return pool;
+}
+
+void ThreadPool::set_shared_threads(std::size_t threads) {
+  AMF_REQUIRE(!g_shared_created.load(),
+              "set_shared_threads must run before the shared pool's "
+              "first use");
+  g_shared_threads.store(threads);
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(threads);
@@ -53,7 +71,7 @@ void ThreadPool::worker_loop() {
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads) {
   if (n == 0) return;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  if (threads == 0) threads = ThreadPool::shared().size();
   threads = std::min(threads, n);
   if (threads == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
@@ -84,11 +102,15 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads - 1);
-  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(run);
+  // The helpers go to the shared pool; the calling thread joins in and,
+  // thanks to the shared chunk counter, can drain every chunk by itself
+  // if the pool is busy (or if this is a nested call from a pool worker).
+  std::vector<std::future<void>> helpers;
+  helpers.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t)
+    helpers.push_back(ThreadPool::shared().submit(run));
   run();
-  for (auto& t : pool) t.join();
+  for (auto& h : helpers) h.get();
   if (first_error) std::rethrow_exception(first_error);
 }
 

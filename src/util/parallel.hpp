@@ -31,6 +31,18 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// The process-wide pool every parallel_for call shares, so nested and
+  /// repeated sweeps reuse one set of workers instead of spawning
+  /// transient threads per call. Created on first use with the size set
+  /// by set_shared_threads (default: hardware concurrency); lives until
+  /// process exit.
+  static ThreadPool& shared();
+
+  /// Sizes the shared pool (0 = hardware concurrency). Must be called
+  /// before the pool's first use — typically from main, e.g. to honor a
+  /// --threads command-line flag.
+  static void set_shared_threads(std::size_t threads);
+
  private:
   void worker_loop();
 
@@ -41,10 +53,12 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Runs body(i) for i in [0, n) across a transient pool of `threads`
-/// workers (0 = hardware concurrency). Exceptions from any iteration are
-/// rethrown on the calling thread (first one wins). Iterations are chunked
-/// contiguously to keep per-task overhead low.
+/// Runs body(i) for i in [0, n) on the shared pool, using at most
+/// `threads` workers (0 = the pool's size). Exceptions from any iteration
+/// are rethrown on the calling thread (first one wins). Iterations are
+/// chunked contiguously to keep per-task overhead low. Safe to call from
+/// inside a pool worker: the calling thread always participates and the
+/// shared chunk counter lets it finish alone if the pool is saturated.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 

@@ -356,8 +356,9 @@ TEST(AmfLpDifferential, WeightedInstancesAgreeToo) {
 TEST(FillTrace, SymmetricJobsFreezeTogether) {
   AllocationProblem p({{10, 0}, {10, 10}, {0, 10}}, {10, 10});
   AmfAllocator amf;
-  amf.allocate(p);
-  const auto& trace = amf.last_fill_trace();
+  SolveReport report;
+  amf.allocate_with_report(p, report);
+  const auto& trace = report.trace;
   ASSERT_EQ(trace.freeze_round.size(), 3u);
   EXPECT_EQ(trace.rounds, 1);
   for (int j = 0; j < 3; ++j) {
@@ -372,8 +373,9 @@ TEST(FillTrace, BottleneckRoundsOrdered) {
   // private-site job continues to round 2 at level 10.
   AllocationProblem p({{10, 0}, {10, 0}, {0, 10}}, {10, 10});
   AmfAllocator amf;
-  amf.allocate(p);
-  const auto& trace = amf.last_fill_trace();
+  SolveReport report;
+  amf.allocate_with_report(p, report);
+  const auto& trace = report.trace;
   EXPECT_EQ(trace.rounds, 2);
   EXPECT_EQ(trace.freeze_round[0], 1);
   EXPECT_EQ(trace.freeze_round[1], 1);
@@ -385,8 +387,9 @@ TEST(FillTrace, BottleneckRoundsOrdered) {
 TEST(FillTrace, StructurallyZeroJobsAreRoundZero) {
   AllocationProblem p({{0, 0}, {10, 10}}, {10, 10});
   AmfAllocator amf;
-  amf.allocate(p);
-  const auto& trace = amf.last_fill_trace();
+  SolveReport report;
+  amf.allocate_with_report(p, report);
+  const auto& trace = report.trace;
   EXPECT_EQ(trace.freeze_round[0], 0);
   EXPECT_DOUBLE_EQ(trace.freeze_level[0], 0.0);
   EXPECT_GE(trace.freeze_round[1], 1);
@@ -398,8 +401,9 @@ TEST(FillTrace, LevelsMatchAggregatesOnRandomInstances) {
     auto cfg = workload::property_sweep(9500 + seed);
     workload::Generator gen(cfg);
     auto p = gen.generate();
-    auto a = amf.allocate(p);
-    const auto& trace = amf.last_fill_trace();
+    SolveReport report;
+    auto a = amf.allocate_with_report(p, report);
+    const auto& trace = report.trace;
     for (int j = 0; j < p.jobs(); ++j) {
       EXPECT_NEAR(trace.freeze_level[static_cast<std::size_t>(j)] *
                       p.weight(j),

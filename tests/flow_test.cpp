@@ -257,7 +257,7 @@ TEST(Transport, AggregatesFeasibleHelpers) {
 }
 
 TEST(Transport, ScaleTracksLargestValue) {
-  TransportNetwork net({{500.0}}, {200.0});
+  TransportNetwork net(Matrix{{500.0}}, {200.0});
   EXPECT_DOUBLE_EQ(net.scale(), 500.0);
 }
 
@@ -265,8 +265,7 @@ TEST(Parametric, SymmetricThreeJobs) {
   // All three jobs rise together and hit the joint capacity at t = 20/3.
   TransportNetwork net(kDemands3x2, kCaps2);
   std::vector<ParametricSource> sources(3, {0.0, 1.0});
-  auto res = solve_critical_level(net, kDemands3x2, kCaps2, sources, 0.0,
-                                  100.0, 1e-9);
+  auto res = solve_critical_level(net, sources, 0.0, 100.0, 1e-9);
   EXPECT_NEAR(res.level, 20.0 / 3.0, 1e-6);
   EXPECT_FALSE(res.segment_exhausted);
   // Nobody can increase: the whole system is tight.
@@ -278,8 +277,7 @@ TEST(Parametric, AsymmetricFreezesOnlyBottleneckJobs) {
   Matrix demands{{10, 0}, {10, 0}, {0, 10}};
   TransportNetwork net(demands, kCaps2);
   std::vector<ParametricSource> sources(3, {0.0, 1.0});
-  auto res = solve_critical_level(net, demands, kCaps2, sources, 0.0, 100.0,
-                                  1e-9);
+  auto res = solve_critical_level(net, sources, 0.0, 100.0, 1e-9);
   EXPECT_NEAR(res.level, 5.0, 1e-6);
   EXPECT_FALSE(res.can_increase[0]);
   EXPECT_FALSE(res.can_increase[1]);
@@ -291,13 +289,13 @@ TEST(Parametric, RespectsFrozenSources) {
   TransportNetwork net(demands, kCaps2);
   // Job 0 frozen at 2; jobs 1, 2 rise. Job 1 stops at 8 (site 0 leftover).
   std::vector<ParametricSource> sources{{2.0, 0.0}, {0.0, 1.0}, {0.0, 1.0}};
-  auto res = solve_critical_level(net, demands, kCaps2, sources, 0.0, 100.0,
-                                  1e-9);
+  auto res = solve_critical_level(net, sources, 0.0, 100.0, 1e-9);
   EXPECT_NEAR(res.level, 8.0, 1e-6);
   EXPECT_FALSE(res.can_increase[1]);
   EXPECT_TRUE(res.can_increase[2]);
-  EXPECT_NEAR(res.allocation[0][0], 2.0, 1e-6);
-  EXPECT_NEAR(res.allocation[1][0], 8.0, 1e-6);
+  auto alloc = net.allocation();
+  EXPECT_NEAR(alloc[0][0], 2.0, 1e-6);
+  EXPECT_NEAR(alloc[1][0], 8.0, 1e-6);
 }
 
 TEST(Parametric, WeightedSlopes) {
@@ -307,11 +305,11 @@ TEST(Parametric, WeightedSlopes) {
   std::vector<double> caps{8};
   TransportNetwork net(demands, caps);
   std::vector<ParametricSource> sources{{0.0, 3.0}, {0.0, 1.0}};
-  auto res =
-      solve_critical_level(net, demands, caps, sources, 0.0, 100.0, 1e-9);
+  auto res = solve_critical_level(net, sources, 0.0, 100.0, 1e-9);
   EXPECT_NEAR(res.level, 2.0, 1e-6);
-  EXPECT_NEAR(res.allocation[0][0], 6.0, 1e-6);
-  EXPECT_NEAR(res.allocation[1][0], 2.0, 1e-6);
+  auto alloc = net.allocation();
+  EXPECT_NEAR(alloc[0][0], 6.0, 1e-6);
+  EXPECT_NEAR(alloc[1][0], 2.0, 1e-6);
 }
 
 TEST(Parametric, SegmentExhaustedWhenFeasibleThroughout) {
@@ -320,7 +318,7 @@ TEST(Parametric, SegmentExhaustedWhenFeasibleThroughout) {
   std::vector<double> caps{10};
   TransportNetwork net(demands, caps);
   std::vector<ParametricSource> sources{{0.0, 1.0}};
-  auto res = solve_critical_level(net, demands, caps, sources, 0.0, 0.5, 1e-9);
+  auto res = solve_critical_level(net, sources, 0.0, 0.5, 1e-9);
   EXPECT_TRUE(res.segment_exhausted);
   EXPECT_NEAR(res.level, 0.5, 1e-9);
 }
@@ -331,8 +329,7 @@ TEST(Parametric, DemandCeilingBindsSingleJob) {
   std::vector<double> caps{100};
   TransportNetwork net(demands, caps);
   std::vector<ParametricSource> sources(2, {0.0, 1.0});
-  auto res =
-      solve_critical_level(net, demands, caps, sources, 0.0, 200.0, 1e-9);
+  auto res = solve_critical_level(net, sources, 0.0, 200.0, 1e-9);
   EXPECT_NEAR(res.level, 3.0, 1e-6);
   EXPECT_FALSE(res.can_increase[0]);
   EXPECT_TRUE(res.can_increase[1]);
@@ -355,8 +352,7 @@ TEST_P(ParametricRandomTest, LevelIsMaximalFeasible) {
 
   TransportNetwork net(demands, caps);
   std::vector<ParametricSource> sources(n, {0.0, 1.0});
-  auto res =
-      solve_critical_level(net, demands, caps, sources, 0.0, 1000.0, 1e-9);
+  auto res = solve_critical_level(net, sources, 0.0, 1000.0, 1e-9);
 
   // Feasible at the reported level...
   std::vector<double> level_caps(n, res.level);

@@ -1,0 +1,360 @@
+// Randomized equivalence suite for the incremental solve pipeline.
+//
+// The incremental engine's contract has two strengths, and both are
+// exercised here against the from-scratch path on randomized inputs:
+//
+//   * exact replay (the default): allocations, simulation records and run
+//     statistics are bit-for-bit identical to rebuilding the problem and
+//     the flow network at every event — across arrival/completion delta
+//     sequences, fault schedules, and replay budgets;
+//   * relaxed realization: per-job aggregates agree within flow tolerance
+//     and the progressive-filling structure (freeze rounds) is identical,
+//     while the per-site split may be any vertex of the optimum face.
+//
+// Also covered: workspace reuse across RobustAllocator tier fallbacks —
+// a network warmed under one tier must never leak into another tier's
+// results, and returning to the primary tier must restore exactness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/amf.hpp"
+#include "core/problem.hpp"
+#include "core/robust.hpp"
+#include "core/workspace.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+#include "workload/faults.hpp"
+#include "workload/scenario.hpp"
+
+namespace amf {
+namespace {
+
+struct SimOutcome {
+  std::vector<sim::JobRecord> records;
+  sim::RunStats stats;
+};
+
+SimOutcome run_sim(const core::Allocator& policy, const workload::Trace& trace,
+                   sim::SimulatorConfig cfg) {
+  sim::Simulator simulator(policy, cfg);
+  SimOutcome out;
+  out.records = simulator.run(trace);
+  out.stats = simulator.stats();
+  return out;
+}
+
+/// Bit-for-bit comparison of two runs — the exact-replay contract.
+void expect_bitwise(const SimOutcome& a, const SimOutcome& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].id, b.records[i].id);
+    EXPECT_DOUBLE_EQ(a.records[i].completion, b.records[i].completion);
+  }
+  EXPECT_EQ(a.stats.events, b.stats.events);
+  EXPECT_DOUBLE_EQ(a.stats.makespan, b.stats.makespan);
+  EXPECT_DOUBLE_EQ(a.stats.avg_utilization, b.stats.avg_utilization);
+  EXPECT_DOUBLE_EQ(a.stats.total_churn, b.stats.total_churn);
+  EXPECT_DOUBLE_EQ(a.stats.aggregate_drift, b.stats.aggregate_drift);
+  EXPECT_DOUBLE_EQ(a.stats.time_avg_jain, b.stats.time_avg_jain);
+  EXPECT_EQ(a.stats.fault_events, b.stats.fault_events);
+  EXPECT_DOUBLE_EQ(a.stats.work_lost, b.stats.work_lost);
+  EXPECT_EQ(a.stats.recoveries, b.stats.recoveries);
+  EXPECT_DOUBLE_EQ(a.stats.avail_utilization, b.stats.avail_utilization);
+}
+
+TEST(IncrementalEngine, BitwiseEqualAcrossRandomTraces) {
+  core::AmfAllocator amf;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    auto cfg = workload::paper_default(0.8 + 0.2 * static_cast<double>(seed),
+                                       900 + seed);
+    workload::Generator gen(cfg);
+    auto trace = workload::generate_trace(gen, 0.8, 45);
+    sim::SimulatorConfig cold_cfg, inc_cfg;
+    cold_cfg.incremental = false;
+    inc_cfg.incremental = true;
+    expect_bitwise(run_sim(amf, trace, cold_cfg), run_sim(amf, trace, inc_cfg));
+  }
+}
+
+TEST(IncrementalEngine, BitwiseEqualUnderFaultSchedules) {
+  core::AmfAllocator amf;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto cfg = workload::paper_default(1.1, 950 + seed);
+    workload::Generator gen(cfg);
+    auto trace = workload::generate_trace(gen, 0.9, 35);
+    workload::FaultInjectorConfig fc;
+    fc.mtbf = 40.0;
+    fc.mttr = 6.0;
+    fc.degrade_prob = 0.4;
+    fc.seed = 77 + seed;
+    workload::FaultInjector injector(fc);
+    injector.inject(trace);
+    ASSERT_TRUE(trace.has_faults());
+    sim::SimulatorConfig cold_cfg, inc_cfg;
+    cold_cfg.incremental = false;
+    inc_cfg.incremental = true;
+    expect_bitwise(run_sim(amf, trace, cold_cfg), run_sim(amf, trace, inc_cfg));
+  }
+}
+
+TEST(IncrementalEngine, BitwiseEqualOnEventCappedPrefix) {
+  // The replay budget must truncate both engines at the same point with
+  // identical prefix statistics.
+  core::AmfAllocator amf;
+  auto cfg = workload::paper_default(1.0, 971);
+  workload::Generator gen(cfg);
+  auto trace = workload::generate_trace(gen, 0.9, 60);
+  sim::SimulatorConfig cold_cfg, inc_cfg;
+  cold_cfg.incremental = false;
+  cold_cfg.max_events = 40;
+  inc_cfg.incremental = true;
+  inc_cfg.max_events = 40;
+  auto cold = run_sim(amf, trace, cold_cfg);
+  auto inc = run_sim(amf, trace, inc_cfg);
+  EXPECT_EQ(cold.stats.events, 40);
+  expect_bitwise(cold, inc);
+}
+
+TEST(IncrementalEngine, RelaxedRealizationPreservesRunAggregates) {
+  // Relaxed replay may realize different per-site splits, but the event
+  // count is an aggregate invariant and makespan/utilization must agree
+  // to a tight tolerance on a full replay.
+  core::AmfAllocator amf;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto cfg = workload::paper_default(1.0, 980 + seed);
+    workload::Generator gen(cfg);
+    auto trace = workload::generate_trace(gen, 0.85, 40);
+    sim::SimulatorConfig cold_cfg, fast_cfg;
+    cold_cfg.incremental = false;
+    fast_cfg.incremental = true;
+    fast_cfg.exact_replay = false;
+    auto cold = run_sim(amf, trace, cold_cfg);
+    auto fast = run_sim(amf, trace, fast_cfg);
+    EXPECT_EQ(cold.stats.events, fast.stats.events);
+    EXPECT_NEAR(cold.stats.makespan, fast.stats.makespan,
+                1e-6 * cold.stats.makespan);
+    EXPECT_NEAR(cold.stats.avg_utilization, fast.stats.avg_utilization, 1e-6);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allocator-level delta sequences: one problem + one workspace mutated by
+// random arrival / departure / drain / capacity deltas, checked against a
+// stateless solve of the identical instance after every step.
+
+core::AllocationProblem random_problem(std::mt19937_64& rng, int jobs,
+                                       int sites) {
+  std::uniform_int_distribution<int> fanout(2, 4);
+  std::uniform_int_distribution<int> site_pick(0, sites - 1);
+  std::uniform_real_distribution<double> demand(1.0, 8.0);
+  std::uniform_real_distribution<double> capacity(6.0, 16.0);
+  core::Matrix demands(static_cast<std::size_t>(jobs),
+                       std::vector<double>(static_cast<std::size_t>(sites)));
+  for (auto& row : demands) {
+    int k = fanout(rng);
+    for (int i = 0; i < k; ++i)
+      row[static_cast<std::size_t>(site_pick(rng))] = demand(rng);
+  }
+  std::vector<double> caps(static_cast<std::size_t>(sites));
+  for (auto& c : caps) c = capacity(rng);
+  return core::AllocationProblem(std::move(demands), std::move(caps));
+}
+
+/// One random structural or numeric delta against the current problem.
+core::ProblemDelta random_delta(std::mt19937_64& rng,
+                                const core::AllocationProblem& problem) {
+  std::uniform_int_distribution<int> kind(0, 5);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const int n = problem.jobs();
+  const int m = problem.sites();
+  switch (kind(rng)) {
+    case 0: {  // arrival
+      std::uniform_int_distribution<int> site_pick(0, m - 1);
+      std::uniform_real_distribution<double> demand(1.0, 8.0);
+      std::vector<double> row(static_cast<std::size_t>(m), 0.0);
+      int k = 2 + kind(rng) % 3;
+      for (int i = 0; i < k; ++i)
+        row[static_cast<std::size_t>(site_pick(rng))] = demand(rng);
+      return core::ProblemDelta::job_arrived(row, {}, 1.0, row);
+    }
+    case 1: {  // departure
+      if (n <= 3) return random_delta(rng, problem);
+      std::uniform_int_distribution<int> job_pick(0, n - 1);
+      return core::ProblemDelta::job_departed(job_pick(rng));
+    }
+    case 2: {  // site capacity rescale (fault / recovery)
+      std::uniform_int_distribution<int> site_pick(0, m - 1);
+      int s = site_pick(rng);
+      double factor = 0.3 + 1.2 * unit(rng);
+      return core::ProblemDelta::site_capacity(
+          s, factor * problem.capacities()[static_cast<std::size_t>(s)]);
+    }
+    default: {  // demand drain on an existing positive arc
+      std::uniform_int_distribution<int> job_pick(0, n - 1);
+      for (int tries = 0; tries < 32; ++tries) {
+        int j = job_pick(rng);
+        const auto& row = problem.demands()[static_cast<std::size_t>(j)];
+        for (int s = 0; s < m; ++s) {
+          if (row[static_cast<std::size_t>(s)] > 0.0) {
+            return core::ProblemDelta::demand_set(
+                j, s, unit(rng) * row[static_cast<std::size_t>(s)]);
+          }
+        }
+      }
+      return random_delta(rng, problem);
+    }
+  }
+}
+
+TEST(WorkspaceDeltas, ExactRealizationMatchesStatelessBitwise) {
+  core::AmfAllocator amf;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    std::mt19937_64 rng(1234 + seed);
+    auto problem = random_problem(rng, 14, 6);
+    core::SolverWorkspace ws;
+    for (int step = 0; step < 25; ++step) {
+      auto warm = amf.allocate(problem, ws);
+      auto cold = amf.allocate(problem);
+      ASSERT_EQ(warm.jobs(), cold.jobs());
+      for (int j = 0; j < warm.jobs(); ++j)
+        for (int s = 0; s < warm.sites(); ++s)
+          EXPECT_DOUBLE_EQ(warm.share(j, s), cold.share(j, s))
+              << "seed " << seed << " step " << step << " job " << j
+              << " site " << s;
+      auto delta = random_delta(rng, problem);
+      problem = std::move(problem).apply(delta);
+      ws.apply(delta);
+    }
+  }
+}
+
+TEST(WorkspaceDeltas, RelaxedRealizationKeepsAggregatesAndFreezeRounds) {
+  core::AmfAllocator amf;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    std::mt19937_64 rng(4321 + seed);
+    auto problem = random_problem(rng, 14, 6);
+    core::SolverWorkspace ws;
+    ws.set_exact_realization(false);
+    for (int step = 0; step < 25; ++step) {
+      auto warm = amf.allocate(problem, ws);
+      core::SolveReport cold_report;
+      auto cold = amf.allocate_with_report(problem, cold_report);
+      ASSERT_EQ(warm.jobs(), cold.jobs());
+      double scale = 1.0;
+      for (double c : problem.capacities()) scale = std::max(scale, c);
+      for (int j = 0; j < warm.jobs(); ++j)
+        EXPECT_NEAR(warm.aggregate(j), cold.aggregate(j), 1e-6 * scale)
+            << "seed " << seed << " step " << step << " job " << j;
+      // The filling structure — which jobs freeze in which round — is an
+      // aggregate property and must survive the relaxed realization.
+      EXPECT_EQ(ws.report().trace.freeze_round, cold_report.trace.freeze_round)
+          << "seed " << seed << " step " << step;
+      auto delta = random_delta(rng, problem);
+      problem = std::move(problem).apply(delta);
+      ws.apply(delta);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RobustAllocator tier fallback: the workspace must not leak warm state
+// across tiers, and must warm-start correctly again once a tier settles.
+
+/// Delegates to AMF, but throws InternalError while `armed` is set — the
+/// switch that forces RobustAllocator onto its fallback tiers on demand.
+class FlakyPrimary final : public core::Allocator {
+ public:
+  explicit FlakyPrimary(const bool* armed) : armed_(armed) {}
+
+  core::Allocation allocate(
+      const core::AllocationProblem& problem) const override {
+    if (*armed_) throw util::InternalError("synthetic primary failure");
+    return amf_.allocate(problem);
+  }
+  core::Allocation allocate(const core::AllocationProblem& problem,
+                            core::SolverWorkspace& workspace) const override {
+    if (*armed_) throw util::InternalError("synthetic primary failure");
+    return amf_.allocate(problem, workspace);
+  }
+  std::string name() const override { return "flaky-amf"; }
+
+ private:
+  const bool* armed_;
+  core::AmfAllocator amf_;
+};
+
+TEST(RobustWorkspace, TierFallbackInvalidatesAndRecoversWarmState) {
+  std::mt19937_64 rng(777);
+  auto problem = random_problem(rng, 12, 5);
+  bool armed = false;
+  FlakyPrimary primary(&armed);
+  core::RobustAllocator robust(primary);
+  core::AmfAllocator amf;
+  core::SolverWorkspace ws;
+
+  auto expect_matches_stateless = [&](const core::Allocation& got,
+                                      const core::Allocator& reference) {
+    auto want = reference.allocate(problem);
+    ASSERT_EQ(got.jobs(), want.jobs());
+    for (int j = 0; j < got.jobs(); ++j)
+      for (int s = 0; s < got.sites(); ++s)
+        EXPECT_DOUBLE_EQ(got.share(j, s), want.share(j, s));
+  };
+
+  // Healthy primary: warm path, bit-identical to stateless AMF.
+  expect_matches_stateless(robust.allocate(problem, ws), amf);
+  EXPECT_EQ(robust.fallback_stats().last, core::FallbackTier::kPrimary);
+
+  // Mutate, then fail the primary: the relaxed-eps tier serves, and its
+  // result must match a stateless solve at that tier's parameters — any
+  // warm state primed under the primary must not bleed through.
+  auto delta = random_delta(rng, problem);
+  problem = std::move(problem).apply(delta);
+  ws.apply(delta);
+  armed = true;
+  core::AmfAllocator relaxed(core::RobustConfig{}.relaxed_eps);
+  expect_matches_stateless(robust.allocate(problem, ws), relaxed);
+  EXPECT_EQ(robust.fallback_stats().last, core::FallbackTier::kRelaxedEps);
+
+  // Primary heals: the chain returns to tier 0 and must again be
+  // bit-identical to stateless AMF despite the tier bounce in between.
+  armed = false;
+  expect_matches_stateless(robust.allocate(problem, ws), amf);
+  EXPECT_EQ(robust.fallback_stats().last, core::FallbackTier::kPrimary);
+
+  // And the re-primed workspace keeps warm-serving correctly under
+  // further deltas.
+  for (int step = 0; step < 5; ++step) {
+    auto d = random_delta(rng, problem);
+    problem = std::move(problem).apply(d);
+    ws.apply(d);
+    expect_matches_stateless(robust.allocate(problem, ws), amf);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace realization contract at the transport level.
+
+TEST(WorkspaceRealization, ExactModeStaysBitIdenticalAfterToggle) {
+  // Toggling relaxed mode on and back off must restore the exact
+  // contract for subsequent solves (hints are advisory, never required).
+  std::mt19937_64 rng(31);
+  auto problem = random_problem(rng, 10, 5);
+  core::AmfAllocator amf;
+  core::SolverWorkspace ws;
+  amf.allocate(problem, ws);
+  ws.set_exact_realization(false);
+  amf.allocate(problem, ws);
+  ws.set_exact_realization(true);
+  auto warm = amf.allocate(problem, ws);
+  auto cold = amf.allocate(problem);
+  for (int j = 0; j < warm.jobs(); ++j)
+    for (int s = 0; s < warm.sites(); ++s)
+      EXPECT_DOUBLE_EQ(warm.share(j, s), cold.share(j, s));
+}
+
+}  // namespace
+}  // namespace amf

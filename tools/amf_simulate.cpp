@@ -3,6 +3,7 @@
 //   amf_simulate [--policy amf|eamf|psmf] [--addon] [--jobs N]
 //                [--sites M] [--skew Z] [--load L] [--seed S] [--batch]
 //                [--faults] [--mtbf T] [--mttr T] [--loss F]
+//                [--threads N] [--cold]
 //
 // Generates a synthetic arrival trace with the library's workload
 // generator, executes it through the discrete-event simulator under the
@@ -22,6 +23,7 @@
 
 #include "amf.hpp"
 #include "util/csv.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -29,7 +31,14 @@ namespace {
 int usage() {
   std::cerr << "usage: amf_simulate [--policy amf|eamf|psmf] [--addon] "
                "[--jobs N] [--sites M] [--skew Z] [--load L] [--seed S] "
-               "[--batch] [--faults] [--mtbf T] [--mttr T] [--loss F]\n";
+               "[--batch] [--faults] [--mtbf T] [--mttr T] [--loss F] "
+               "[--threads N] [--cold]\n"
+               "  --threads N  size of the shared worker pool "
+               "(0 = hardware concurrency)\n"
+               "  --cold       rebuild the allocation problem and flow "
+               "network at every event\n"
+               "               instead of the incremental delta pipeline "
+               "(identical results)\n";
   return 2;
 }
 
@@ -38,8 +47,8 @@ int usage() {
 int main(int argc, char** argv) {
   using namespace amf;
   std::string policy_name = "amf";
-  bool use_addon = false, batch = false, faults = false;
-  int jobs = 100, sites = 10;
+  bool use_addon = false, batch = false, faults = false, cold = false;
+  int jobs = 100, sites = 10, threads = 1;
   double skew = 1.0, load = 0.8;
   double mtbf = 200.0, mttr = 20.0, loss = 1.0;
   std::uint64_t seed = 42;
@@ -79,6 +88,12 @@ int main(int argc, char** argv) {
       double v;
       if (!next(&v)) return usage();
       seed = static_cast<std::uint64_t>(v);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      double v;
+      if (!next(&v) || v < 0) return usage();
+      threads = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--cold") == 0) {
+      cold = true;
     } else {
       return usage();
     }
@@ -93,6 +108,11 @@ int main(int argc, char** argv) {
     policy = std::make_unique<core::PerSiteMaxMin>();
   else
     return usage();
+
+  // Size the process-wide pool before anything touches it. The single
+  // trace run here is serial either way; the flag exists so scripted
+  // sweeps spawning this tool inherit a predictable thread budget.
+  util::ThreadPool::set_shared_threads(static_cast<std::size_t>(threads));
 
   try {
     auto cfg = workload::paper_default(skew, seed);
@@ -114,6 +134,7 @@ int main(int argc, char** argv) {
     sim::SimulatorConfig sim_cfg;
     sim_cfg.use_jct_addon = use_addon;
     sim_cfg.loss_factor = loss;
+    sim_cfg.incremental = !cold;
     // Under faults the allocator runs inside the graceful-degradation
     // chain: a solver corner case must never kill the whole simulation.
     core::RobustAllocator robust(*policy);

@@ -63,7 +63,11 @@ int main(int argc, char** argv) {
 
   try {
     auto problem = core::AllocationProblem::load(std::cin);
-    auto allocation = policy->allocate(problem);
+    core::SolveReport amf_report;
+    auto allocation =
+        amf_for_trace != nullptr
+            ? amf_for_trace->allocate_with_report(problem, amf_report)
+            : policy->allocate(problem);
     if (use_addon) {
       if (!problem.has_workloads()) {
         std::cerr << "amf_solve: --addon requires workloads in the input\n";
@@ -115,7 +119,7 @@ int main(int argc, char** argv) {
                      "--policy amf\n";
         return 1;
       }
-      const auto& trace = amf_for_trace->last_fill_trace();
+      const auto& trace = amf_report.trace;
       std::cout << "# explanation: freeze round and water level per job "
                    "(same round = same bottleneck)\n";
       for (int j = 0; j < problem.jobs(); ++j)
