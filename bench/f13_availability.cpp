@@ -72,7 +72,8 @@ int main() {
         if (fb.calls() != simulator.stats().events) {
           std::cerr << "F13: FallbackStats served " << fb.calls()
                     << " events but the simulator reallocated "
-                    << simulator.stats().events << " times\n";
+                    << simulator.stats().events << " times ("
+                    << fb.summary() << ")\n";
           return 1;
         }
         total_events += simulator.stats().events;

@@ -3,12 +3,17 @@
 
 Usage:
     python3 scripts/plot_results.py [results_dir] [out_dir]
+    python3 scripts/plot_results.py --metrics metrics.json [out_dir]
 
-Creates one PNG per figure under out_dir (default: results/plots). Only
-matplotlib is required; figures it cannot find are skipped with a note,
-so partial result directories are fine.
+The first form creates one PNG per figure under out_dir (default:
+results/plots). The second consumes a metrics snapshot written by
+`amf_simulate --metrics-out` and plots the observability series: fallback
+tier counts and the warm-start / serving-tier timeline over event index.
+Only matplotlib is required; figures it cannot find are skipped with a
+note, so partial result directories are fine.
 """
 import csv
+import json
 import os
 import sys
 from collections import defaultdict
@@ -80,7 +85,74 @@ FIGURES = [
 ]
 
 
+# Tier indices match core::FallbackTier.
+TIER_NAMES = ["primary", "relaxed-eps", "bisection", "reference-lp",
+              "per-site"]
+
+
+def plot_metrics(metrics_path, out_dir):
+    """Observability plots from an amf_simulate --metrics-out snapshot."""
+    with open(metrics_path) as fh:
+        snap = json.load(fh)
+    os.makedirs(out_dir, exist_ok=True)
+
+    counters = snap.get("counters", {})
+    tiers = [
+        (name, counters.get(f"amf_core_fallback_served_{name.replace('-', '_')}", 0))
+        for name in TIER_NAMES
+    ]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.bar([t[0] for t in tiers], [t[1] for t in tiers])
+    warm_rate = snap.get("gauges", {}).get("amf_core_warm_hit_rate")
+    title = "Fallback tier counts"
+    if warm_rate is not None:
+        title += f" (warm-start hit rate {warm_rate:.1%})"
+    ax.set_title(title)
+    ax.set_ylabel("events served")
+    ax.grid(True, axis="y", alpha=0.3)
+    fig.tight_layout()
+    out_png = os.path.join(out_dir, "metrics_fallback_tiers.png")
+    fig.savefig(out_png, dpi=150)
+    plt.close(fig)
+    print(f"wrote {out_png}")
+
+    events = snap.get("events", [])
+    if not events:
+        print("no per-event series in snapshot; skipping timeline plot")
+        return
+    idx = [e["index"] for e in events]
+    fig, (ax1, ax2) = plt.subplots(2, 1, figsize=(7, 5), sharex=True)
+    # Running warm-start hit rate over event index.
+    warm_running, hits = [], 0
+    for i, e in enumerate(events):
+        hits += 1 if e["warm"] else 0
+        warm_running.append(hits / (i + 1))
+    ax1.plot(idx, warm_running, label="running warm hit rate")
+    ax1.set_ylabel("warm hit rate")
+    ax1.set_ylim(-0.05, 1.05)
+    ax1.grid(True, alpha=0.3)
+    ax1.legend()
+    ax2.step(idx, [e["tier"] for e in events], where="post",
+             label="serving tier")
+    ax2.set_yticks(range(-1, len(TIER_NAMES)))
+    ax2.set_yticklabels(["(none)"] + TIER_NAMES)
+    ax2.set_xlabel("event index")
+    ax2.grid(True, alpha=0.3)
+    ax2.legend()
+    fig.tight_layout()
+    out_png = os.path.join(out_dir, "metrics_event_timeline.png")
+    fig.savefig(out_png, dpi=150)
+    plt.close(fig)
+    print(f"wrote {out_png}")
+
+
 def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "--metrics":
+        if len(sys.argv) < 3:
+            sys.exit("usage: plot_results.py --metrics metrics.json [out_dir]")
+        out_dir = sys.argv[3] if len(sys.argv) > 3 else "results/plots"
+        plot_metrics(sys.argv[2], out_dir)
+        return
     results = sys.argv[1] if len(sys.argv) > 1 else "results"
     out_dir = sys.argv[2] if len(sys.argv) > 2 else os.path.join(
         results, "plots")

@@ -27,6 +27,8 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
   elif [ "$name" = "bench_f14_incremental" ]; then
     # F14 also emits a machine-readable summary next to its CSV.
     set -- --json "$OUT_DIR/BENCH_incremental.json"
+  elif [ "$name" = "bench_f15_obs_overhead" ]; then
+    set -- --json "$OUT_DIR/BENCH_obs.json"
   else
     set --
   fi

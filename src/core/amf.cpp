@@ -7,6 +7,8 @@
 
 #include "core/workspace.hpp"
 #include "flow/parametric.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace amf::core {
@@ -16,6 +18,30 @@ namespace {
 /// Source cap of job j at level t given its floor: max(floor, weight·t).
 double cap_at(double floor, double weight, double t) {
   return std::max(floor, weight * t);
+}
+
+struct FillCounters {
+  obs::Counter fills;
+  obs::Counter rounds;
+  obs::Counter warm_allocs;
+  obs::Counter cold_allocs;
+  FillCounters() {
+    auto& reg = obs::Registry::global();
+    fills = reg.counter("amf_core_fills", "progressive-fill invocations");
+    rounds = reg.counter("amf_core_fill_rounds",
+                         "freeze rounds across all progressive fills");
+    warm_allocs = reg.counter(
+        "amf_core_alloc_warm",
+        "workspace allocates served by an already-primed network");
+    cold_allocs = reg.counter(
+        "amf_core_alloc_cold",
+        "workspace allocates that had to prime (build) the network");
+  }
+};
+
+FillCounters& fill_counters() {
+  static FillCounters counters;
+  return counters;
 }
 
 }  // namespace
@@ -28,6 +54,7 @@ Allocation progressive_fill(const AllocationProblem& problem,
                             flow::TransportSystem* external_net,
                             std::vector<flow::LevelHint>* hints) {
   const int n = problem.jobs();
+  AMF_SPAN_ARG("core/progressive_fill", "jobs", n);
   if (trace != nullptr) {
     trace->freeze_round.assign(static_cast<std::size_t>(n), 0);
     trace->freeze_level.assign(static_cast<std::size_t>(n), 0.0);
@@ -186,6 +213,10 @@ Allocation progressive_fill(const AllocationProblem& problem,
     }
   }
 
+  FillCounters& counters = fill_counters();
+  counters.fills.add(1);
+  if (round_counter > 0) counters.rounds.add(round_counter);
+
   // Materialize the allocation realizing the frozen aggregates exactly.
   net.solve(value, eps);
   if (stats != nullptr) ++stats->flow_solves;
@@ -216,7 +247,10 @@ Allocation AmfAllocator::allocate(const AllocationProblem& problem,
                                   SolverWorkspace& workspace) const {
   SolveReport& report = workspace.report();
   report.reset();
-  if (!workspace.primed()) workspace.prime(problem);
+  AMF_SPAN("core/allocate");
+  const bool warm = workspace.primed();
+  (warm ? fill_counters().warm_allocs : fill_counters().cold_allocs).add(1);
+  if (!warm) workspace.prime(problem);
   flow::LevelSolveStats stats;
   std::vector<double> zero_floors(static_cast<std::size_t>(problem.jobs()),
                                   0.0);

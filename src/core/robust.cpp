@@ -1,5 +1,6 @@
 #include "core/robust.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/reference.hpp"
@@ -25,14 +26,100 @@ const char* to_string(FallbackTier tier) {
   return "?";
 }
 
+std::string FallbackStats::summary() const {
+  std::string out = "served=";
+  out += std::to_string(calls());
+  out += " degraded=";
+  out += std::to_string(degraded_calls());
+  for (int i = 0; i < kFallbackTierCount; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (served[idx] == 0 && failures[idx] == 0) continue;
+    out += " ";
+    out += to_string(static_cast<FallbackTier>(i));
+    out += ":";
+    out += std::to_string(served[idx]);
+    out += "/";
+    out += std::to_string(failures[idx]);
+  }
+  out += " last=";
+  out += to_string(last);
+  return out;
+}
+
+namespace {
+
+/// Registry metric name for a tier ('-' is not a legal Prometheus
+/// character, tier names use '_' in metrics).
+std::string tier_metric(const char* prefix, FallbackTier tier) {
+  std::string name = prefix;
+  for (const char* p = to_string(tier); *p != '\0'; ++p)
+    name.push_back(*p == '-' ? '_' : *p);
+  return name;
+}
+
+// The single counting mechanism for fallback decisions: registry counters,
+// incremented on each wrapper's own shard (so per-instance reads are exact
+// even when several wrappers coexist) and merged into the global scrape.
+struct FallbackCounters {
+  std::array<obs::Counter, kFallbackTierCount> served;
+  std::array<obs::Counter, kFallbackTierCount> failures;
+  obs::Counter tier_transitions;
+  FallbackCounters() {
+    auto& reg = obs::Registry::global();
+    for (int i = 0; i < kFallbackTierCount; ++i) {
+      const auto tier = static_cast<FallbackTier>(i);
+      const auto idx = static_cast<std::size_t>(i);
+      served[idx] =
+          reg.counter(tier_metric("amf_core_fallback_served_", tier),
+                      "allocation events served by this tier");
+      failures[idx] =
+          reg.counter(tier_metric("amf_core_fallback_failures_", tier),
+                      "tier attempts rejected (threw or failed the audit)");
+    }
+    tier_transitions =
+        reg.counter("amf_core_tier_transitions",
+                    "events whose serving tier differed from the previous "
+                    "event's");
+  }
+};
+
+FallbackCounters& fb_counters() {
+  static FallbackCounters counters;
+  return counters;
+}
+
+}  // namespace
+
 RobustAllocator::RobustAllocator(const Allocator& primary, RobustConfig config)
     : primary_(primary),
       config_(config),
       relaxed_(config.relaxed_eps, flow::LevelMethod::kCutNewton),
-      bisection_(config.relaxed_eps, flow::LevelMethod::kBisection) {
+      bisection_(config.relaxed_eps, flow::LevelMethod::kBisection),
+      telemetry_(std::make_shared<Telemetry>()) {
   AMF_REQUIRE(config.relaxed_eps > 0.0, "relaxed_eps must be positive");
   AMF_REQUIRE(config.feasibility_eps > 0.0,
               "feasibility_eps must be positive");
+  telemetry_->shard = obs::Registry::global().new_shard();
+}
+
+FallbackStats RobustAllocator::fallback_stats() const {
+  FallbackCounters& counters = fb_counters();
+  FallbackStats stats;
+  for (std::size_t i = 0; i < kFallbackTierCount; ++i) {
+    stats.served[i] =
+        static_cast<long>(counters.served[i].value_in(*telemetry_->shard));
+    stats.failures[i] =
+        static_cast<long>(counters.failures[i].value_in(*telemetry_->shard));
+  }
+  stats.last = telemetry_->last;
+  stats.last_error = telemetry_->last_error;
+  return stats;
+}
+
+void RobustAllocator::reset_stats() {
+  obs::Registry::global().retire(*telemetry_->shard);
+  telemetry_->last = FallbackTier::kPrimary;
+  telemetry_->last_error.clear();
 }
 
 std::string RobustAllocator::name() const {
@@ -84,6 +171,8 @@ Allocation RobustAllocator::allocate_impl(const AllocationProblem& problem,
       {FallbackTier::kPerSite, &persite_},
   };
 
+  FallbackCounters& counters = fb_counters();
+  Telemetry& telemetry = *telemetry_;
   for (const Tier& tier : tiers) {
     const auto idx = static_cast<std::size_t>(tier.id);
     const bool is_last = tier.id == FallbackTier::kPerSite;
@@ -110,8 +199,8 @@ Allocation RobustAllocator::allocate_impl(const AllocationProblem& problem,
       if (config_.escalate_on_iteration_cap && !is_last &&
           dynamic_cast<const AmfAllocator*>(tier.policy) != nullptr &&
           status != flow::LevelStatus::kConverged) {
-        ++stats_.failures[idx];
-        stats_.last_error = "iteration-capped level solve";
+        counters.failures[idx].add_to(*telemetry.shard, 1);
+        telemetry.last_error = "iteration-capped level solve";
         continue;
       }
       // Audit before accepting: a tier that silently returns an
@@ -119,19 +208,20 @@ Allocation RobustAllocator::allocate_impl(const AllocationProblem& problem,
       if (!result.feasible_for(problem, config_.feasibility_eps)) {
         AMF_ASSERT(!is_last, "per-site fallback produced an infeasible "
                              "allocation");
-        ++stats_.failures[idx];
-        stats_.last_error = "infeasible allocation from tier";
+        counters.failures[idx].add_to(*telemetry.shard, 1);
+        telemetry.last_error = "infeasible allocation from tier";
         continue;
       }
-      ++stats_.served[idx];
-      stats_.last = tier.id;
+      counters.served[idx].add_to(*telemetry.shard, 1);
+      if (telemetry.last != tier.id) counters.tier_transitions.add(1);
+      telemetry.last = tier.id;
       if (workspace != nullptr)
         workspace->serving_tier = static_cast<int>(tier.id);
       return result;
     } catch (const util::InternalError& e) {
       if (is_last) throw;  // nothing below the per-site tier
-      ++stats_.failures[idx];
-      stats_.last_error = e.what();
+      counters.failures[idx].add_to(*telemetry.shard, 1);
+      telemetry.last_error = e.what();
     }
   }
   AMF_ASSERT(false, "fallback chain exhausted");  // unreachable

@@ -19,16 +19,21 @@
 // non-convergence), reports a non-converged status, or returns an
 // infeasible allocation; ContractError (malformed input) propagates —
 // feeding the chain a broken problem is a caller bug, not a solver one.
-// Every decision is recorded in a FallbackStats counter so operators can
-// see which tier served each allocation event.
+// Every decision is counted in the obs metric registry
+// (amf_core_fallback_served_<tier> / amf_core_fallback_failures_<tier>) on
+// a per-instance shard, so operators see which tier served each event both
+// globally (Registry::global().snapshot()) and per wrapper
+// (fallback_stats(), an exact per-instance view).
 #pragma once
 
 #include <array>
+#include <memory>
 #include <string>
 
 #include "core/allocation.hpp"
 #include "core/amf.hpp"
 #include "core/persite.hpp"
+#include "obs/metrics.hpp"
 
 namespace amf::core {
 
@@ -45,7 +50,10 @@ inline constexpr int kFallbackTierCount = 5;
 /// Human-readable tier name ("primary", "relaxed-eps", ...).
 const char* to_string(FallbackTier tier);
 
-/// Per-tier service/failure counters across the wrapper's lifetime.
+/// Per-tier service/failure counters since construction (or the last
+/// reset_stats()).  A value snapshot built from the wrapper's registry
+/// shard by fallback_stats() — the counting itself lives in the metric
+/// registry, this struct is only the per-instance view of it.
 struct FallbackStats {
   std::array<long, kFallbackTierCount> served{};    ///< events served by tier
   std::array<long, kFallbackTierCount> failures{};  ///< tier attempts rejected
@@ -60,6 +68,11 @@ struct FallbackStats {
   }
   /// Events served by any tier below the primary.
   long degraded_calls() const { return calls() - served[0]; }
+
+  /// One-line operator summary: "tier:served/failures ..." for every tier
+  /// with activity, plus the serving tier of the last event.  The single
+  /// print path shared by tools and benches.
+  std::string summary() const;
 };
 
 struct RobustConfig {
@@ -93,19 +106,35 @@ class RobustAllocator final : public Allocator {
 
   std::string name() const override;
 
-  const FallbackStats& fallback_stats() const { return stats_; }
-  void reset_stats() const { stats_ = FallbackStats{}; }
+  /// Exact per-instance snapshot of this wrapper's tier counters (read
+  /// from its registry shard).
+  FallbackStats fallback_stats() const;
+
+  /// Restarts the per-instance counters from zero.  The shard's values are
+  /// folded into the registry's retired base first, so globally scraped
+  /// totals stay monotonic.
+  void reset_stats();
 
  private:
   Allocation allocate_impl(const AllocationProblem& problem,
                            SolverWorkspace* workspace) const;
+
+  // Mutable telemetry behind a shared_ptr: allocate() is const (Allocator
+  // interface), but counting happens on the pointee, which shared_ptr does
+  // not const-propagate to — no `mutable` members needed.  Not thread-safe,
+  // matching the allocator itself.
+  struct Telemetry {
+    std::shared_ptr<obs::Shard> shard;
+    FallbackTier last = FallbackTier::kPrimary;
+    std::string last_error;
+  };
 
   const Allocator& primary_;
   RobustConfig config_;
   AmfAllocator relaxed_;
   AmfAllocator bisection_;
   PerSiteMaxMin persite_;
-  mutable FallbackStats stats_;
+  std::shared_ptr<Telemetry> telemetry_;
 };
 
 }  // namespace amf::core

@@ -3,12 +3,41 @@
 #include <algorithm>
 
 #include "core/allocation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace amf::core {
 
+namespace {
+
+struct WorkspaceCounters {
+  obs::Counter primes;
+  obs::Counter deltas;
+  obs::Counter invalidations;
+  WorkspaceCounters() {
+    auto& reg = obs::Registry::global();
+    primes = reg.counter("amf_core_ws_prime",
+                         "workspace network builds from scratch");
+    deltas = reg.counter("amf_core_ws_deltas",
+                         "problem deltas applied to a primed workspace");
+    invalidations = reg.counter(
+        "amf_core_ws_invalidate",
+        "primed workspaces dropped (forcing a rebuild on next allocate)");
+  }
+};
+
+WorkspaceCounters& ws_counters() {
+  static WorkspaceCounters counters;
+  return counters;
+}
+
+}  // namespace
+
 void SolverWorkspace::prime(const AllocationProblem& problem,
                             const Matrix* arc_ceilings) {
+  AMF_SPAN_ARG("core/ws_prime", "jobs", problem.jobs());
+  ws_counters().primes.add(1);
   const int n = problem.jobs();
   const int m = problem.sites();
   if (arc_ceilings != nullptr)
@@ -49,6 +78,7 @@ void SolverWorkspace::prime(const AllocationProblem& problem,
 
 void SolverWorkspace::apply(const ProblemDelta& delta) {
   if (!primed()) return;
+  ws_counters().deltas.add(1);
   switch (delta.kind) {
     case ProblemDelta::Kind::kJobArrived: {
       const int m = transport_->sites();
@@ -103,6 +133,7 @@ void SolverWorkspace::apply(const ProblemDelta& delta) {
 }
 
 void SolverWorkspace::invalidate() {
+  if (primed()) ws_counters().invalidations.add(1);
   transport_.reset();
   rows_.clear();
   previous_aggregates_.clear();

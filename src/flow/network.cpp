@@ -4,9 +4,37 @@
 #include <limits>
 #include <queue>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace amf::flow {
+
+namespace {
+
+// Dinic work counters. Phases and paths are accumulated locally inside
+// max_flow and published with one shard add per call, so the inner loops
+// stay free of registry traffic.
+struct MaxFlowCounters {
+  obs::Counter calls;
+  obs::Counter phases;
+  obs::Counter paths;
+  MaxFlowCounters() {
+    auto& reg = obs::Registry::global();
+    calls = reg.counter("amf_flow_maxflow_calls",
+                        "Dinic max-flow invocations");
+    phases = reg.counter("amf_flow_maxflow_phases",
+                         "BFS level-graph phases across all max-flow calls");
+    paths = reg.counter("amf_flow_augmenting_paths",
+                        "augmenting paths pushed across all max-flow calls");
+  }
+};
+
+MaxFlowCounters& mf_counters() {
+  static MaxFlowCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 FlowNetwork::FlowNetwork(int node_count) {
   AMF_REQUIRE(node_count >= 0, "node count must be non-negative");
@@ -144,15 +172,23 @@ double FlowNetwork::max_flow(NodeId source, NodeId sink, double eps) {
   AMF_REQUIRE(sink >= 0 && sink < node_count(), "max_flow: bad sink");
   AMF_REQUIRE(source != sink, "max_flow: source == sink");
   double total = 0.0;
+  long long phases = 0;
+  long long paths = 0;
   while (bfs_levels(source, sink, eps)) {
+    ++phases;
     iter_.assign(adj_.size(), 0);
     for (;;) {
       double pushed = dfs_blocking(
           source, sink, std::numeric_limits<double>::infinity(), eps);
       if (pushed <= eps) break;
       total += pushed;
+      ++paths;
     }
   }
+  MaxFlowCounters& counters = mf_counters();
+  counters.calls.add(1);
+  counters.phases.add(phases);
+  counters.paths.add(paths);
   return total;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace amf::flow {
@@ -15,6 +17,38 @@ std::vector<double> caps_at(const std::vector<ParametricSource>& sources,
   for (std::size_t j = 0; j < sources.size(); ++j)
     caps[j] = std::max(0.0, sources[j].fixed + sources[j].slope * t);
   return caps;
+}
+
+// Level-solver counters, published once per solve_critical_level call.
+struct LevelCounters {
+  obs::Counter level_solves;
+  obs::Counter newton_iters;
+  obs::Counter bisection_steps;
+  obs::Counter probes;
+  obs::Counter hint_hits;
+  obs::Counter hint_misses;
+  LevelCounters() {
+    auto& reg = obs::Registry::global();
+    level_solves = reg.counter("amf_flow_level_solves",
+                               "critical water-level solves");
+    newton_iters = reg.counter("amf_flow_newton_iters",
+                               "Newton-on-min-cut iterations");
+    bisection_steps = reg.counter("amf_flow_bisection_steps",
+                                  "bisection refinement steps");
+    probes = reg.counter("amf_flow_probes",
+                         "feasibility probes issued by the level solver");
+    hint_hits = reg.counter(
+        "amf_flow_hint_hits",
+        "cut-hint warm starts whose first probe was already feasible");
+    hint_misses = reg.counter(
+        "amf_flow_hint_misses",
+        "cut-hint warm starts that still needed Newton descent");
+  }
+};
+
+LevelCounters& level_counters() {
+  static LevelCounters counters;
+  return counters;
 }
 
 }  // namespace
@@ -33,6 +67,11 @@ CriticalLevel solve_critical_level(
 
   const double t_tol = eps * std::max({1.0, std::abs(t_hi), std::abs(t_lo)});
 
+  AMF_SPAN_ARG("flow/critical_level", "jobs", n);
+  long long newton_iters = 0;
+  long long bisection_steps = 0;
+  long long probe_count = 0;
+
   double slope_total = 0.0, fixed_total = 0.0;
   for (const auto& src : sources) {
     slope_total += src.slope;
@@ -45,12 +84,15 @@ CriticalLevel solve_critical_level(
     // allocation itself is materialized by the caller with a full solve().
     net.probe(caps_at(sources, t), eps);
     if (stats != nullptr) ++stats->flow_solves;
+    ++probe_count;
     return net.saturated(eps);
   };
 
   double t = t_hi;
   double known_feasible = t_lo;  // bisection lower bracket
   bool found = false;
+  bool hint_applied = false;
+  bool hint_first_feasible = false;
   LevelStatus status = LevelStatus::kConverged;
   constexpr int kMaxNewton = 64;
 
@@ -80,7 +122,10 @@ CriticalLevel solve_critical_level(
     const double dslope = slope_total - cut_slope;
     if (dslope > eps * std::max(1.0, slope_total)) {
       const double t_h = (cut_fixed - fixed_total) / dslope;
-      if (t_h > t_lo + t_tol && t_h < t_hi - t_tol) t = t_h;
+      if (t_h > t_lo + t_tol && t_h < t_hi - t_tol) {
+        t = t_h;
+        hint_applied = true;
+      }
     }
   }
   MinCut last_cut;
@@ -97,6 +142,7 @@ CriticalLevel solve_critical_level(
       const double deep_tol = t_tol * 1e-3;
       double lo = t_lo, hi = t_hi;
       for (int it = 0; it < 200 && hi - lo > deep_tol; ++it) {
+        ++bisection_steps;
         double mid = 0.5 * (lo + hi);
         (feasible_at(mid) ? lo : hi) = mid;
       }
@@ -107,7 +153,11 @@ CriticalLevel solve_critical_level(
   }
 
   for (int iter = 0; !found && iter < kMaxNewton; ++iter) {
-    if (feasible_at(t)) {
+    AMF_SPAN("flow/newton_iter");
+    ++newton_iters;
+    const bool feasible = feasible_at(t);
+    if (iter == 0 && hint_applied) hint_first_feasible = feasible;
+    if (feasible) {
       found = true;
       break;
     }
@@ -160,6 +210,7 @@ CriticalLevel solve_critical_level(
     status = LevelStatus::kIterationCapped;
     double lo = known_feasible, hi = t;
     for (int i = 0; i < 80 && hi - lo > t_tol; ++i) {
+      ++bisection_steps;
       double mid = 0.5 * (lo + hi);
       if (feasible_at(mid))
         lo = mid;
@@ -171,6 +222,14 @@ CriticalLevel solve_critical_level(
   }
 
   if (stats != nullptr) stats->observe(status);
+
+  LevelCounters& counters = level_counters();
+  counters.level_solves.add(1);
+  if (newton_iters > 0) counters.newton_iters.add(newton_iters);
+  if (bisection_steps > 0) counters.bisection_steps.add(bisection_steps);
+  if (probe_count > 0) counters.probes.add(probe_count);
+  if (hint_applied)
+    (hint_first_feasible ? counters.hint_hits : counters.hint_misses).add(1);
 
   if (hint != nullptr) {
     if (cut_read) {

@@ -42,7 +42,11 @@ enum class LevelStatus {
                      ///< the returned allocation must not be trusted
 };
 
-/// Optional instrumentation collected by solve_critical_level.
+/// Optional instrumentation collected by solve_critical_level. This is the
+/// per-invocation view a caller threads through one solve; cumulative
+/// process-wide counts (solves, Newton iterations, bisection steps, probe
+/// flows, cut-hint hits/misses) live in the obs metric registry under
+/// amf_flow_* and need no stats object to be collected.
 struct LevelSolveStats {
   int flow_solves = 0;  ///< max-flow computations performed
   /// Worst status observed across all solves feeding this stats object.

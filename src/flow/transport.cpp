@@ -3,9 +3,56 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace amf::flow {
+
+namespace {
+
+// IncrementalTransport mutation/solve-path counters.  Value updates only
+// count when they actually change an arc (a no-op set is free and should
+// read as such in the metrics).
+struct IncCounters {
+  obs::Counter rows_added;
+  obs::Counter rows_masked;
+  obs::Counter compactions;
+  obs::Counter demand_updates;
+  obs::Counter capacity_updates;
+  obs::Counter memo_hits;
+  obs::Counter probe_warm;
+  obs::Counter probe_cold;
+  obs::Counter warm_solves;
+  IncCounters() {
+    auto& reg = obs::Registry::global();
+    rows_added = reg.counter("amf_flow_inc_rows_added",
+                             "job rows appended to IncrementalTransport");
+    rows_masked = reg.counter("amf_flow_inc_rows_masked",
+                              "job rows masked out on departure");
+    compactions = reg.counter("amf_flow_inc_compactions",
+                              "dead-row compaction rebuilds");
+    demand_updates = reg.counter("amf_flow_inc_demand_updates",
+                                 "in-place demand arc changes");
+    capacity_updates = reg.counter("amf_flow_inc_capacity_updates",
+                                   "in-place site capacity changes");
+    memo_hits = reg.counter("amf_flow_memo_hits",
+                            "solves/probes served from the last-caps memo");
+    probe_warm = reg.counter("amf_flow_probe_warm",
+                             "probes warm-started from the held flow");
+    probe_cold = reg.counter("amf_flow_probe_cold",
+                             "probes that fell back to a cold solve");
+    warm_solves = reg.counter("amf_flow_warm_solves",
+                              "monotone warm solves (raised caps in place)");
+  }
+};
+
+IncCounters& inc_counters() {
+  static IncCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 
 SparseDemands SparseDemands::from_dense(const Matrix& demands, int sites) {
@@ -236,6 +283,7 @@ int IncrementalTransport::add_job(const std::vector<int>& sites,
   }
   rows_.push_back(std::move(row));
   ++live_rows_;
+  inc_counters().rows_added.add(1);
   invalidate_caches();
   // New arcs carry no flow, so an existing conservative flow stays valid.
   return static_cast<int>(rows_.size()) - 1;
@@ -265,6 +313,7 @@ void IncrementalTransport::remove_job(int row) {
   auto it = std::find(active_.begin(), active_.end(), row);
   if (it != active_.end()) active_.erase(it);
   --live_rows_;
+  inc_counters().rows_masked.add(1);
   invalidate_caches();
 }
 
@@ -288,6 +337,7 @@ bool IncrementalTransport::set_demand(int row, int site, double value) {
           }
         }
         net_.rebase_capacity(e, value);
+        inc_counters().demand_updates.add(1);
         invalidate_caches();
       }
       return true;
@@ -337,6 +387,7 @@ void IncrementalTransport::set_site_capacity(int site, double value) {
       }
     }
     net_.rebase_capacity(e, value);
+    inc_counters().capacity_updates.add(1);
     invalidate_caches();
   }
 }
@@ -366,6 +417,8 @@ void IncrementalTransport::set_active(const std::vector<int>& rows) {
 }
 
 void IncrementalTransport::compact() {
+  AMF_SPAN_ARG("flow/compact", "live_rows", live_rows_);
+  inc_counters().compactions.add(1);
   // Dead rows were drained when removed, so a held conservative flow lives
   // entirely on surviving arcs and can be transplanted onto the rebuilt
   // network arc by arc, keeping warm probes possible across compactions.
@@ -441,8 +494,10 @@ double IncrementalTransport::solve(const std::vector<double>& source_caps,
   AMF_REQUIRE(static_cast<int>(source_caps.size()) == jobs(),
               "source cap vector length != number of active jobs");
   if (memo_valid_ && (canonical_ || !exact_) && eps == last_eps_ &&
-      source_caps == last_caps_)
+      source_caps == last_caps_) {
+    inc_counters().memo_hits.add(1);
     return last_flow_;  // network already holds a max flow for these caps
+  }
   last_total_ = 0.0;
   for (std::size_t j = 0; j < active_.size(); ++j) {
     double cap = source_caps[j];
@@ -465,12 +520,18 @@ double IncrementalTransport::probe(const std::vector<double>& source_caps,
                                    double eps) {
   AMF_REQUIRE(static_cast<int>(source_caps.size()) == jobs(),
               "source cap vector length != number of active jobs");
-  if (memo_valid_ && eps == last_eps_ && source_caps == last_caps_)
+  if (memo_valid_ && eps == last_eps_ && source_caps == last_caps_) {
+    inc_counters().memo_hits.add(1);
     return last_flow_;
+  }
   // Mutators keep the held flow conservative and capacity-respecting
   // (flow_valid_), so even across topology and value changes only the
   // source caps need retargeting before augmenting on top.
-  if (!flow_valid_ || eps != last_eps_) return solve(source_caps, eps);
+  if (!flow_valid_ || eps != last_eps_) {
+    inc_counters().probe_cold.add(1);
+    return solve(source_caps, eps);
+  }
+  inc_counters().probe_warm.add(1);
   const double flow_eps = eps * scale();
   for (std::size_t j = 0; j < active_.size(); ++j) {
     const Row& r = rows_[static_cast<std::size_t>(active_[j])];
@@ -522,6 +583,7 @@ double IncrementalTransport::solve_warm(const std::vector<double>& source_caps,
       }
   }
   if (!monotone) return solve(source_caps, eps);
+  inc_counters().warm_solves.add(1);
   for (std::size_t j = 0; j < active_.size(); ++j)
     net_.raise_capacity(rows_[static_cast<std::size_t>(active_[j])].source_arc,
                         source_caps[j]);

@@ -1,0 +1,178 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace amf::obs {
+
+namespace {
+
+/// Shortest round-trip decimal for a double; never emits inf/nan (JSON has
+/// no literal for them), callers must special-case those.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g form when it round-trips exactly.
+  char shorter[64];
+  std::snprintf(shorter, sizeof(shorter), "%g", v);
+  double back = 0.0;
+  if (std::sscanf(shorter, "%lf", &back) == 1 && back == v)
+    return std::string(shorter);
+  return std::string(buf);
+}
+
+void append_json_string(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string to_chrome_trace(std::span<const SpanEvent> events) {
+  std::string out;
+  out.reserve(128 + events.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& ev : events) {
+    if (ev.name == nullptr) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":";
+    append_json_string(&out, ev.name);
+    out += ",\"cat\":\"amf\",\"ph\":\"";
+    out += ev.instant() ? "i" : "X";
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.tid);
+    out += ",\"ts\":";
+    out += fmt_double(ev.ts_us);
+    if (ev.instant()) {
+      out += ",\"s\":\"g\"";
+    } else {
+      out += ",\"dur\":";
+      out += fmt_double(ev.dur_us);
+    }
+    if (ev.arg_name != nullptr) {
+      out += ",\"args\":{";
+      append_json_string(&out, ev.arg_name);
+      out += ":";
+      out += std::to_string(ev.arg);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string to_prometheus_text(const Snapshot& snap) {
+  std::string out;
+  for (const CounterSample& c : snap.counters) {
+    out += "# TYPE " + c.name + " counter\n";
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSample& g : snap.gauges) {
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " " + fmt_double(g.value) + "\n";
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      cumulative += h.buckets[i];
+      const double bound = Histogram::bucket_bound(i);
+      const std::string le =
+          std::isinf(bound) ? std::string("+Inf") : fmt_double(bound);
+      out += h.name + "_bucket{le=\"" + le +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += h.name + "_sum " + fmt_double(h.stats.sum()) + "\n";
+    out += h.name + "_count " + std::to_string(h.stats.count()) + "\n";
+  }
+  return out;
+}
+
+std::string to_metrics_json(const Snapshot& snap,
+                            std::string_view extra_json) {
+  std::string out = "{\n\"counters\": {";
+  bool first = true;
+  for (const CounterSample& c : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  ";
+    append_json_string(&out, c.name);
+    out += ": " + std::to_string(c.value);
+  }
+  out += "\n},\n\"gauges\": {";
+  first = true;
+  for (const GaugeSample& g : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  ";
+    append_json_string(&out, g.name);
+    out += ": " + fmt_double(g.value);
+  }
+  out += "\n},\n\"histograms\": {";
+  first = true;
+  for (const HistogramSample& h : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  ";
+    append_json_string(&out, h.name);
+    out += ": {\"count\": " + std::to_string(h.stats.count());
+    out += ", \"sum\": " + fmt_double(h.stats.sum());
+    out += ", \"mean\": " + fmt_double(h.stats.mean());
+    out += ", \"stddev\": " + fmt_double(h.stats.stddev());
+    out += ", \"min\": " + fmt_double(h.stats.min());
+    out += ", \"max\": " + fmt_double(h.stats.max());
+    out += ", \"buckets\": [";
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (i > 0) out += ",";
+      const double bound = Histogram::bucket_bound(i);
+      out += "{\"le\": ";
+      if (std::isinf(bound)) {
+        out += "\"+Inf\"";
+      } else {
+        out += fmt_double(bound);
+      }
+      out += ", \"count\": " + std::to_string(h.buckets[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n}";
+  if (!extra_json.empty()) {
+    out += ",\n";
+    out += extra_json;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace amf::obs

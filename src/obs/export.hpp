@@ -1,0 +1,35 @@
+// export.hpp — serializers for telemetry: Chrome trace-event JSON for spans
+// (loadable in Perfetto / chrome://tracing), and Prometheus text exposition
+// + a JSON snapshot for metrics.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace amf::obs {
+
+/// Chrome trace-event JSON object ({"traceEvents": [...]}).  Duration spans
+/// become "ph":"X" complete events (ts/dur in microseconds); instants become
+/// "ph":"i" global markers.  Events keep the order they were given — pass
+/// Tracer::events()/drain() output, which is sorted parent-first.
+std::string to_chrome_trace(std::span<const SpanEvent> events);
+
+/// Prometheus text exposition format (one # TYPE line per metric; histogram
+/// buckets are cumulative with the standard le labels and _sum/_count).
+std::string to_prometheus_text(const Snapshot& snap);
+
+/// JSON snapshot: {"counters": {...}, "gauges": {...}, "histograms": {...}}
+/// with per-histogram count/sum/mean/stddev/min/max and non-cumulative
+/// bucket counts.  `extra_json` (optional) is spliced in verbatim as one
+/// additional top-level member, e.g. "\"events\": [...]".
+std::string to_metrics_json(const Snapshot& snap,
+                            std::string_view extra_json = {});
+
+/// Writes content to path; returns false (no throw) on I/O failure.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace amf::obs

@@ -1,0 +1,277 @@
+// metrics.hpp — thread-safe metric registry: monotonic counters, gauges, and
+// fixed-bucket log-scale histograms.
+//
+// Design: the hot path (Counter::add, Histogram::observe) touches only a
+// per-thread shard — a chunked array of atomics owned by the calling thread —
+// so concurrent writers never contend.  A scrape (Registry::snapshot) merges
+// every shard under the registration mutex.  Histogram moments are kept as
+// raw Welford fields per shard and merged exactly with
+// util::Accumulator::from_moments + merge, so a multi-threaded run produces
+// the same count/mean/variance as a single-threaded one regardless of
+// interleaving.
+//
+// Shards come in two flavours:
+//   * thread shards — created lazily on a thread's first write through a
+//     handle (Registry::local_shard), cached in TLS keyed by a registry uid
+//     so a test-local registry that dies never leaves a matching stale entry;
+//   * instance shards — created explicitly (Registry::new_shard) for objects
+//     like core::RobustAllocator that need exact per-instance counts
+//     (Counter::add_to / value_in) while still feeding the global scrape.
+//
+// Retiring or resetting a shard folds its values into a registry-level base
+// first, so globally scraped counters stay monotonic across instance resets.
+//
+// The registry is always compiled in — only span tracing (span.hpp) honours
+// the AMF_OBS_ENABLED kill switch — because fallback accounting and the
+// bench gates depend on counters working in every build flavour.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace amf::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+std::string_view to_string(MetricKind kind);
+
+/// Number of histogram buckets (log2-spaced; the last bucket is +inf).
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+class Registry;
+class Shard;
+
+namespace detail {
+
+inline constexpr std::size_t kCounterChunkSize = 64;
+inline constexpr std::size_t kHistChunkSize = 8;
+inline constexpr std::size_t kMaxChunks = 64;
+
+struct CounterChunk {
+  std::array<std::atomic<long long>, kCounterChunkSize> cells{};
+};
+
+/// One histogram's per-shard state.  Buckets are plain atomic counts; the
+/// Welford moment fields are written only by the shard's owning thread and
+/// read (racily but tear-free) by scrapers.
+struct HistCell {
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  std::atomic<std::uint64_t> n{0};
+  std::atomic<double> mean{0.0};
+  std::atomic<double> m2{0.0};
+  std::atomic<double> min{0.0};
+  std::atomic<double> max{0.0};
+};
+
+struct HistChunk {
+  std::array<HistCell, kHistChunkSize> cells{};
+};
+
+}  // namespace detail
+
+/// Handle to a monotonic counter.  Cheap to copy; add() is lock-free.
+class Counter {
+ public:
+  Counter() = default;
+  /// Adds to the calling thread's shard of the owning registry.
+  void add(long long delta = 1);
+  /// Adds to an explicit (instance) shard instead of the thread shard.
+  void add_to(Shard& shard, long long delta = 1) const;
+  /// Exact value accumulated in one shard (per-instance view).
+  long long value_in(const Shard& shard) const;
+  /// Globally merged value (retired base + every live shard).
+  long long value() const;
+  bool valid() const { return reg_ != nullptr; }
+
+ private:
+  friend class Registry;
+  Counter(Registry* reg, std::uint32_t slot) : reg_(reg), slot_(slot) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+/// Handle to a last-write-wins gauge (one central cell, no sharding).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v);
+  double value() const;
+  bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::atomic<double>* cell) : cell_(cell) {}
+  std::atomic<double>* cell_ = nullptr;
+};
+
+/// Handle to a log-scale histogram.  Bucket i covers
+/// (bucket_bound(i-1), bucket_bound(i)] with bounds kScale * 2^i; the last
+/// bucket is +inf.  observe() also maintains Welford moments per shard.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = kHistogramBuckets;
+  /// Smallest finite bucket bound; tuned for latencies in milliseconds.
+  static constexpr double kScale = 1e-6;
+
+  /// Upper bound of bucket i (inclusive); +inf for the last bucket.
+  static double bucket_bound(std::size_t i);
+  /// Index of the bucket a sample falls into.
+  static std::size_t bucket_index(double x);
+
+  Histogram() = default;
+  void observe(double x);
+  void observe_in(Shard& shard, double x) const;
+  bool valid() const { return reg_ != nullptr; }
+
+ private:
+  friend class Registry;
+  Histogram(Registry* reg, std::uint32_t slot) : reg_(reg), slot_(slot) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+/// One writer's slice of the registry's metric cells.  Chunks are allocated
+/// on demand behind atomic pointers so a scrape can race with cell creation.
+class Shard {
+ public:
+  explicit Shard(int ordinal) : ordinal_(ordinal) {}
+  ~Shard();
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Registration order within the owning registry (stable thread id).
+  int ordinal() const { return ordinal_; }
+
+ private:
+  friend class Registry;
+  friend class Counter;
+  friend class Histogram;
+
+  std::atomic<long long>& counter_cell(std::uint32_t slot);
+  /// Read-side lookup: nullptr when the chunk was never touched.
+  const std::atomic<long long>* counter_cell_if(std::uint32_t slot) const;
+  detail::HistCell& hist_cell(std::uint32_t slot);
+  const detail::HistCell* hist_cell_if(std::uint32_t slot) const;
+
+  std::array<std::atomic<detail::CounterChunk*>, detail::kMaxChunks>
+      counter_chunks_{};
+  std::array<std::atomic<detail::HistChunk*>, detail::kMaxChunks>
+      hist_chunks_{};
+  int ordinal_ = 0;
+};
+
+struct CounterSample {
+  std::string name;
+  long long value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  util::Accumulator stats;
+};
+
+/// Point-in-time merged view of a registry, sorted by metric name.
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Lookup helpers; counters/gauges return 0 when the metric is absent.
+  long long counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  const HistogramSample* histogram(std::string_view name) const;
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry.  Intentionally leaked so worker threads that
+  /// outlive main() can still touch their shards during teardown.
+  static Registry& global();
+
+  /// Registration is idempotent by name; re-registering an existing name
+  /// with a different kind throws util::ContractError.
+  Counter counter(std::string_view name, std::string_view help = {});
+  Gauge gauge(std::string_view name, std::string_view help = {});
+  Histogram histogram(std::string_view name, std::string_view help = {});
+
+  /// Creates an instance shard (e.g. one per RobustAllocator).  The registry
+  /// co-owns it, so its values survive the instance and keep feeding scrapes.
+  std::shared_ptr<Shard> new_shard();
+
+  /// The calling thread's shard, created on first use.
+  Shard& local_shard();
+
+  /// Merged view: retired base + every shard, one entry per metric.
+  Snapshot snapshot() const;
+
+  /// Folds a shard's current values into the retired base and zeroes the
+  /// shard.  Globally scraped totals are unchanged (monotonicity preserved);
+  /// per-instance reads via value_in restart from zero.
+  void retire(Shard& shard);
+
+  /// Zeroes everything: retired bases, all shards, all gauges.  Metric
+  /// registrations (names, handles) stay valid.
+  void reset();
+
+  /// Number of registered metrics.
+  std::size_t size() const;
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct MetricInfo {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint32_t slot = 0;
+  };
+
+  struct HistBase {
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+    util::Accumulator stats;
+  };
+
+  std::uint32_t register_metric(std::string_view name, MetricKind kind,
+                                std::string_view help);
+  long long counter_value_locked(std::uint32_t slot) const;
+  /// Zeroes one shard; when fold is true its values move to the retired
+  /// bases first (so globally scraped totals are unchanged).
+  void drain_shard_locked(Shard& shard, bool fold);
+
+  mutable std::mutex mu_;
+  std::vector<MetricInfo> metrics_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+  std::vector<std::unique_ptr<std::atomic<double>>> gauges_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+  std::vector<long long> retired_counters_;
+  std::vector<HistBase> retired_hists_;
+  std::uint32_t n_counters_ = 0;
+  std::uint32_t n_gauges_ = 0;
+  std::uint32_t n_hists_ = 0;
+  std::uint64_t uid_ = 0;
+};
+
+}  // namespace amf::obs

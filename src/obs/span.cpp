@@ -1,0 +1,135 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace amf::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_uid{1};
+
+constexpr std::size_t kDefaultCapacity = 1 << 16;  // ~3 MiB per thread
+
+}  // namespace
+
+Tracer::Tracer()
+    : capacity_(kDefaultCapacity),
+      epoch_(std::chrono::steady_clock::now()),
+      uid_(g_next_tracer_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer* g = new Tracer();
+  return *g;
+}
+
+void Tracer::set_capacity(std::size_t events_per_thread) {
+  capacity_.store(std::max<std::size_t>(events_per_thread, 1),
+                  std::memory_order_relaxed);
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::Ring& Tracer::local_ring() {
+  struct CacheEntry {
+    std::uint64_t uid;
+    Ring* ring;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& e : cache) {
+    if (e.uid == uid_) return *e.ring;
+  }
+  std::shared_ptr<Ring> ring;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring = std::make_shared<Ring>(capacity_.load(std::memory_order_relaxed),
+                                  static_cast<int>(rings_.size()));
+    rings_.push_back(ring);
+  }
+  cache.push_back(CacheEntry{uid_, ring.get()});
+  return *ring;
+}
+
+void Tracer::record(const char* name, const char* arg_name, double ts_us,
+                    double dur_us, long long arg) {
+  if (!enabled()) return;
+  Ring& ring = local_ring();
+  const std::size_t size = ring.size.load(std::memory_order_relaxed);
+  if (size >= ring.buf.size()) {
+    ring.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SpanEvent& ev = ring.buf[size];
+  ev.name = name;
+  ev.arg_name = arg_name;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.arg = arg;
+  ev.tid = ring.tid;
+  ring.size.store(size + 1, std::memory_order_release);
+}
+
+void Tracer::instant(const char* name, const char* arg_name, long long arg) {
+  if (!enabled()) return;
+  record(name, arg_name, now_us(), -1.0, arg);
+}
+
+void Tracer::collect(std::vector<SpanEvent>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    const std::size_t n = ring->size.load(std::memory_order_acquire);
+    out->insert(out->end(), ring->buf.begin(),
+                ring->buf.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  // Sort so that an enclosing span sorts before the spans it contains:
+  // earlier start first, longer duration first on ties.
+  std::sort(out->begin(), out->end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;
+            });
+}
+
+std::vector<SpanEvent> Tracer::events() const {
+  std::vector<SpanEvent> out;
+  collect(&out);
+  return out;
+}
+
+std::vector<SpanEvent> Tracer::drain() {
+  std::vector<SpanEvent> out;
+  collect(&out);
+  clear();
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    ring->size.store(0, std::memory_order_relaxed);
+    ring->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& ring : rings_)
+    total += ring->size.load(std::memory_order_acquire);
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_)
+    total += ring->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace amf::obs

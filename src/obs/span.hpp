@@ -1,0 +1,159 @@
+// span.hpp — scoped spans with a compile-time kill switch.
+//
+// Usage in instrumented code:
+//
+//   AMF_SPAN("flow/critical_level");                 // scoped duration event
+//   AMF_SPAN_ARG("sim/event", "deltas", n_deltas);   // with one integer arg
+//   AMF_INSTANT("sim/fault");                        // zero-duration marker
+//
+// With AMF_OBS_ENABLED=0 (CMake option) the macros expand to nothing, so
+// instrumented hot loops carry zero cost.  With it on (the default), an
+// inactive tracer costs one relaxed atomic load and branch per span; an
+// active tracer appends to a preallocated per-thread ring (drop-newest when
+// full, counted in dropped()).  Span names must be string literals (or
+// otherwise outlive the tracer) — events store the pointer, not a copy.
+//
+// The tracer itself is always compiled so exporters and tools link in every
+// build flavour; only the macro call sites vanish under the kill switch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#ifndef AMF_OBS_ENABLED
+#define AMF_OBS_ENABLED 1
+#endif
+
+namespace amf::obs {
+
+struct SpanEvent {
+  const char* name = nullptr;
+  const char* arg_name = nullptr;  // nullptr when the event carries no arg
+  double ts_us = 0.0;              // start, microseconds since tracer epoch
+  double dur_us = 0.0;             // duration; < 0 marks an instant event
+  long long arg = 0;
+  int tid = 0;  // ring registration order, stable per thread
+
+  bool instant() const { return dur_us < 0.0; }
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide tracer used by the AMF_SPAN macros.  Leaked on purpose
+  /// (worker threads may close spans during static destruction).
+  static Tracer& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Per-thread ring capacity for rings created after this call.
+  void set_capacity(std::size_t events_per_thread);
+
+  /// Microseconds since the tracer's epoch (steady clock).
+  double now_us() const;
+
+  /// Appends a duration event; no-op when disabled.
+  void record(const char* name, const char* arg_name, double ts_us,
+              double dur_us, long long arg);
+  /// Appends an instant (zero-duration) marker; no-op when disabled.
+  void instant(const char* name, const char* arg_name = nullptr,
+               long long arg = 0);
+
+  /// All buffered events merged across threads, sorted by (ts, longest
+  /// first) so enclosing spans precede their children.  Call while writers
+  /// are quiescent for an exact picture.
+  std::vector<SpanEvent> events() const;
+  /// events() + clear() in one step.
+  std::vector<SpanEvent> drain();
+  void clear();
+
+  /// Events currently buffered / dropped because a ring filled up.
+  std::size_t recorded() const;
+  std::uint64_t dropped() const;
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap, int tid_in)
+        : buf(cap), tid(tid_in) {}
+    std::vector<SpanEvent> buf;
+    std::atomic<std::size_t> size{0};
+    std::atomic<std::uint64_t> dropped{0};
+    int tid;
+  };
+
+  Ring& local_ring();
+  void collect(std::vector<SpanEvent>* out) const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+  std::uint64_t uid_;
+};
+
+/// RAII duration span; emitted on destruction when tracing was enabled at
+/// construction.  set_arg() lets a loop publish a count known only at exit.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : ScopedSpan(name, nullptr, 0) {}
+  ScopedSpan(const char* name, const char* arg_name, long long arg) {
+    Tracer& tracer = Tracer::global();
+    if (tracer.enabled()) {
+      name_ = name;
+      arg_name_ = arg_name;
+      arg_ = arg;
+      ts_us_ = tracer.now_us();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      Tracer& tracer = Tracer::global();
+      tracer.record(name_, arg_name_, ts_us_, tracer.now_us() - ts_us_, arg_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_arg(long long arg) { arg_ = arg; }
+
+ private:
+  const char* name_ = nullptr;
+  const char* arg_name_ = nullptr;
+  double ts_us_ = 0.0;
+  long long arg_ = 0;
+};
+
+}  // namespace amf::obs
+
+#define AMF_OBS_CONCAT_INNER(a, b) a##b
+#define AMF_OBS_CONCAT(a, b) AMF_OBS_CONCAT_INNER(a, b)
+
+#if AMF_OBS_ENABLED
+#define AMF_SPAN(name) \
+  ::amf::obs::ScopedSpan AMF_OBS_CONCAT(amf_obs_span_, __LINE__)(name)
+#define AMF_SPAN_ARG(name, key, value)                             \
+  ::amf::obs::ScopedSpan AMF_OBS_CONCAT(amf_obs_span_, __LINE__)( \
+      name, key, static_cast<long long>(value))
+#define AMF_INSTANT(name) ::amf::obs::Tracer::global().instant(name)
+#define AMF_INSTANT_ARG(name, key, value) \
+  ::amf::obs::Tracer::global().instant(name, key, \
+                                       static_cast<long long>(value))
+#else
+#define AMF_SPAN(name) static_cast<void>(0)
+#define AMF_SPAN_ARG(name, key, value) static_cast<void>(0)
+#define AMF_INSTANT(name) static_cast<void>(0)
+#define AMF_INSTANT_ARG(name, key, value) static_cast<void>(0)
+#endif

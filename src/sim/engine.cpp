@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -10,6 +11,8 @@
 
 #include "core/stability.hpp"
 #include "core/workspace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -17,6 +20,33 @@ namespace amf::sim {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct SimCounters {
+  obs::Counter events;
+  obs::Counter fault_events;
+  obs::Counter deltas;
+  obs::Counter warm_events;
+  obs::Histogram alloc_ms;
+  SimCounters() {
+    auto& reg = obs::Registry::global();
+    events = reg.counter("amf_sim_events", "reallocation events processed");
+    fault_events = reg.counter("amf_sim_fault_events",
+                               "site fault events (outage/degrade/recover) "
+                               "applied");
+    deltas = reg.counter("amf_sim_deltas",
+                         "problem deltas fed to the incremental engine");
+    warm_events = reg.counter(
+        "amf_sim_warm_events",
+        "events whose workspace was still primed when they arrived");
+    alloc_ms = reg.histogram("amf_sim_alloc_ms",
+                             "per-event policy allocate wall time (ms)");
+  }
+};
+
+SimCounters& sim_counters() {
+  static SimCounters counters;
+  return counters;
+}
 
 struct ActiveJob {
   int id = 0;
@@ -127,6 +157,10 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
   validate_trace(trace);
 
   stats_ = RunStats{};
+  series_.clear();
+  auto& tracer = obs::Tracer::global();
+  const long long spans_base = tracer.recorded();
+  const long long dropped_base = tracer.dropped();
   double work_scale = 1.0;
   for (const auto& job : trace.jobs)
     for (double w : job.workloads) work_scale = std::max(work_scale, w);
@@ -163,9 +197,12 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
     live.emplace(core::Matrix{}, eff_cap);
     ws.set_exact_realization(config_.exact_replay);
   }
+  long long pending_deltas = 0;  // deltas since the last allocate call
   auto apply_delta = [&](core::ProblemDelta delta) {
     ws.apply(delta);  // before the problem consumes the delta's buffers
     *live = std::move(*live).apply(delta);
+    sim_counters().deltas.add(1);
+    ++pending_deltas;
   };
 
   // The demand cap row j of the allocation problem carries for site s:
@@ -220,6 +257,8 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
       eff_total = std::accumulate(eff_cap.begin(), eff_cap.end(), 0.0);
       if (inc)
         apply_delta(core::ProblemDelta::site_capacity(ev.site, eff_cap[s]));
+      AMF_INSTANT_ARG("sim/fault", "site", ev.site);
+      sim_counters().fault_events.add(1);
       ++stats_.fault_events;
       ++next_event;
     }
@@ -339,6 +378,18 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
     }
     const core::AllocationProblem& problem = inc ? *live : *scratch_problem;
 
+    // One span per reallocation event, carrying how many problem deltas
+    // it took to bring the live state up to date (0 on the scratch path).
+    // The span covers the allocate call and all per-event accounting, so
+    // every child span (core/allocate, flow/...) nests inside it.
+    AMF_SPAN_ARG("sim/event", "deltas", pending_deltas);
+    pending_deltas = 0;
+    EventSample sample;
+    sample.time = clock;
+    sample.warm = inc && ws.primed();
+    if (sample.warm) sim_counters().warm_events.add(1);
+    const auto alloc_begin = std::chrono::steady_clock::now();
+
     core::Allocation alloc;
     if (inc) {
       if (!ws.primed()) {
@@ -360,6 +411,14 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
     } else {
       alloc = policy_.allocate(problem);
     }
+    sample.alloc_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - alloc_begin)
+                          .count();
+    sample.tier = inc ? ws.serving_tier : -1;
+    stats_.alloc_ms += sample.alloc_ms;
+    sim_counters().alloc_ms.observe(sample.alloc_ms);
+    sim_counters().events.add(1);
+    series_.push_back(sample);
     if (config_.use_jct_addon) alloc = addon.optimize(problem, alloc);
 
     if (!inc || config_.use_stability_addon) {
@@ -511,6 +570,17 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
   stats_.avail_utilization = cap_area > 0.0 ? busy_area / cap_area : 0.0;
   stats_.mean_recovery_latency =
       stats_.recoveries > 0 ? latency_sum / stats_.recoveries : 0.0;
+  stats_.spans_recorded = tracer.recorded() - spans_base;
+  stats_.spans_dropped = tracer.dropped() - dropped_base;
+  if (stats_.events > 0) {
+    long long warm = 0;
+    for (const EventSample& s : series_) warm += s.warm ? 1 : 0;
+    obs::Registry::global()
+        .gauge("amf_core_warm_hit_rate",
+               "fraction of the last run's events served from a still-primed "
+               "workspace")
+        .set(static_cast<double>(warm) / stats_.events);
+  }
   return records;
 }
 

@@ -77,6 +77,28 @@ struct RunStats {
   /// trace; under faults it measures how well the policy exploits what
   /// capacity was left.
   double avail_utilization = 0.0;
+  /// Wall-clock milliseconds spent inside policy allocate calls (the
+  /// solver cost of the run, excluding engine bookkeeping).
+  double alloc_ms = 0.0;
+  /// Span events recorded (and dropped on ring overflow) by the global
+  /// tracer during this run. Zero when tracing is disabled at runtime or
+  /// compiled out (AMF_OBS_ENABLED=0).
+  long long spans_recorded = 0;
+  long long spans_dropped = 0;
+};
+
+/// One reallocation point of a run, in event order: the raw material for
+/// per-event observability plots (warm-start hit rate, serving-tier
+/// timelines, solver latency over time).
+struct EventSample {
+  double time = 0.0;      ///< simulation clock at the event
+  double alloc_ms = 0.0;  ///< wall time of the policy allocate call
+  /// The persistent workspace was still primed when the event arrived
+  /// (always false on the from-scratch path).
+  bool warm = false;
+  /// Serving fallback tier (core::FallbackTier) the workspace reported,
+  /// -1 when no tier wrote one (unwrapped policy or from-scratch path).
+  int tier = -1;
 };
 
 struct SimulatorConfig {
@@ -137,10 +159,14 @@ class Simulator {
 
   const RunStats& stats() const { return stats_; }
 
+  /// Per-event samples of the most recent run (cleared at each run()).
+  const std::vector<EventSample>& event_series() const { return series_; }
+
  private:
   const core::Allocator& policy_;
   SimulatorConfig config_;
   RunStats stats_;
+  std::vector<EventSample> series_;
 };
 
 }  // namespace amf::sim

@@ -22,6 +22,18 @@ void Accumulator::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+Accumulator Accumulator::from_moments(std::size_t n, double mean, double m2,
+                                      double min, double max) {
+  Accumulator acc;
+  if (n == 0) return acc;
+  acc.n_ = n;
+  acc.mean_ = mean;
+  acc.m2_ = m2;
+  acc.min_ = min;
+  acc.max_ = max;
+  return acc;
+}
+
 void Accumulator::merge(const Accumulator& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {

@@ -1,0 +1,330 @@
+// obs_test.cpp — metric registry, scoped-span tracer, and exporters.
+//
+// Registry tests use test-local Registry instances so counts are exact no
+// matter what other instrumented code ran in this process; tracer tests
+// use the global tracer (the macros are hard-wired to it) and clear it
+// around each check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "amf.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace amf;
+
+TEST(ObsCounter, AddAndIdempotentRegistration) {
+  obs::Registry reg;
+  auto c = reg.counter("amf_test_total", "help text");
+  EXPECT_TRUE(c.valid());
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name → same underlying slot, regardless of the handle.
+  auto again = reg.counter("amf_test_total");
+  EXPECT_EQ(again.value(), 42);
+  again.add(8);
+  EXPECT_EQ(c.value(), 50);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ObsCounter, KindMismatchThrows) {
+  obs::Registry reg;
+  reg.counter("amf_test_metric");
+  EXPECT_THROW(reg.gauge("amf_test_metric"), util::ContractError);
+  EXPECT_THROW(reg.histogram("amf_test_metric"), util::ContractError);
+  EXPECT_THROW(reg.counter(""), util::ContractError);
+}
+
+TEST(ObsGauge, LastWriteWins) {
+  obs::Registry reg;
+  auto g = reg.gauge("amf_test_gauge");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_EQ(g.value(), -2.25);
+  EXPECT_EQ(reg.snapshot().gauge("amf_test_gauge"), -2.25);
+}
+
+TEST(ObsHistogram, BucketIndexBounds) {
+  using H = obs::Histogram;
+  // Non-positive and tiny samples land in bucket 0.
+  EXPECT_EQ(H::bucket_index(0.0), 0u);
+  EXPECT_EQ(H::bucket_index(-3.0), 0u);
+  EXPECT_EQ(H::bucket_index(H::kScale), 0u);
+  // Huge samples land in the +inf bucket.
+  EXPECT_EQ(H::bucket_index(1e30), H::kNumBuckets - 1);
+  EXPECT_TRUE(std::isinf(H::bucket_bound(H::kNumBuckets - 1)));
+  // Bounds are monotone and inclusive: bound(i) itself falls in bucket i.
+  for (std::size_t i = 0; i + 1 < H::kNumBuckets; ++i) {
+    EXPECT_EQ(H::bucket_index(H::bucket_bound(i)), i) << "bucket " << i;
+    if (i + 2 < H::kNumBuckets) {
+      EXPECT_LT(H::bucket_bound(i), H::bucket_bound(i + 1));
+    }
+    // Just above the bound spills into the next bucket.
+    EXPECT_EQ(H::bucket_index(H::bucket_bound(i) * 1.001), i + 1);
+  }
+}
+
+TEST(ObsHistogram, MomentsMatchAccumulator) {
+  obs::Registry reg;
+  auto h = reg.histogram("amf_test_latency");
+  util::Accumulator expect;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 10.0}) {
+    h.observe(x);
+    expect.add(x);
+  }
+  const auto snap = reg.snapshot();
+  const auto* sample = snap.histogram("amf_test_latency");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->stats.count(), expect.count());
+  EXPECT_DOUBLE_EQ(sample->stats.mean(), expect.mean());
+  EXPECT_DOUBLE_EQ(sample->stats.stddev(), expect.stddev());
+  EXPECT_EQ(sample->stats.min(), 1.0);
+  EXPECT_EQ(sample->stats.max(), 10.0);
+  std::uint64_t total = 0;
+  for (std::uint64_t b : sample->buckets) total += b;
+  EXPECT_EQ(total, 5u);
+}
+
+// The documented determinism contract: a multi-threaded run merges to the
+// same count/mean/stddev as a single-threaded one, regardless of the
+// interleaving, because each shard's Welford moments are combined with
+// the exact pairwise merge.
+TEST(ObsRegistry, ThreadShardMergeIsDeterministic) {
+  obs::Registry reg;
+  auto c = reg.counter("amf_test_hits");
+  auto h = reg.histogram("amf_test_obs");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        c.add(1);
+        h.observe(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // The reference: the same per-thread moments combined with the same
+  // pairwise merge the registry uses. Every shard holds identical moments,
+  // so the scrape must reproduce this bit for bit no matter how the
+  // threads interleaved.
+  util::Accumulator single;
+  for (int i = 1; i <= kPerThread; ++i) single.add(static_cast<double>(i));
+  util::Accumulator expect;
+  for (int t = 0; t < kThreads; ++t) expect.merge(single);
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("amf_test_hits"), kThreads * kPerThread);
+  const auto* sample = snap.histogram("amf_test_obs");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->stats.count(), expect.count());
+  EXPECT_DOUBLE_EQ(sample->stats.mean(), expect.mean());
+  EXPECT_DOUBLE_EQ(sample->stats.stddev(), expect.stddev());
+  EXPECT_EQ(sample->stats.min(), 1.0);
+  EXPECT_EQ(sample->stats.max(), static_cast<double>(kPerThread));
+  std::uint64_t total = 0;
+  for (std::uint64_t b : sample->buckets) total += b;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(ObsRegistry, InstanceShardRetireKeepsGlobalMonotonic) {
+  obs::Registry reg;
+  auto c = reg.counter("amf_test_served");
+  auto shard = reg.new_shard();
+  c.add_to(*shard, 5);
+  EXPECT_EQ(c.value_in(*shard), 5);
+  EXPECT_EQ(c.value(), 5);
+
+  // Retiring restarts the per-instance view but the global total is folded
+  // into the retired base — a scrape never sees a counter go backwards.
+  reg.retire(*shard);
+  EXPECT_EQ(c.value_in(*shard), 0);
+  EXPECT_EQ(c.value(), 5);
+  c.add_to(*shard, 3);
+  EXPECT_EQ(c.value_in(*shard), 3);
+  EXPECT_EQ(c.value(), 8);
+
+  reg.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(c.value_in(*shard), 0);
+}
+
+TEST(ObsRegistry, SnapshotLookupOnAbsentMetrics) {
+  obs::Registry reg;
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("nope"), 0);
+  EXPECT_EQ(snap.gauge("nope"), 0.0);
+  EXPECT_EQ(snap.histogram("nope"), nullptr);
+}
+
+#if AMF_OBS_ENABLED
+TEST(ObsTracer, NestedSpansSortParentFirst) {
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    AMF_SPAN("test/outer");
+    {
+      AMF_SPAN_ARG("test/inner", "n", 7);
+    }
+    AMF_INSTANT_ARG("test/mark", "site", 3);
+  }
+  tracer.set_enabled(false);
+  auto events = tracer.drain();
+  EXPECT_EQ(tracer.recorded(), 0u);  // drain cleared the rings
+  ASSERT_EQ(events.size(), 3u);
+
+  const obs::SpanEvent* outer = nullptr;
+  const obs::SpanEvent* inner = nullptr;
+  const obs::SpanEvent* mark = nullptr;
+  for (const auto& ev : events) {
+    if (std::string(ev.name) == "test/outer") outer = &ev;
+    if (std::string(ev.name) == "test/inner") inner = &ev;
+    if (std::string(ev.name) == "test/mark") mark = &ev;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(mark, nullptr);
+  // Well-formed nesting: the inner span lies inside the outer's interval,
+  // and the sort puts the enclosing span first.
+  EXPECT_FALSE(outer->instant());
+  EXPECT_FALSE(inner->instant());
+  EXPECT_TRUE(mark->instant());
+  EXPECT_LE(outer->ts_us, inner->ts_us);
+  EXPECT_GE(outer->ts_us + outer->dur_us, inner->ts_us + inner->dur_us);
+  EXPECT_LT(outer - events.data(), inner - events.data());
+  EXPECT_EQ(std::string(inner->arg_name), "n");
+  EXPECT_EQ(inner->arg, 7);
+  EXPECT_EQ(mark->arg, 3);
+}
+
+TEST(ObsTracer, DisabledTracerRecordsNothing) {
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(false);
+  {
+    AMF_SPAN("test/ghost");
+    AMF_INSTANT("test/ghost_mark");
+  }
+  EXPECT_EQ(tracer.recorded(), 0u);
+}
+#endif  // AMF_OBS_ENABLED
+
+TEST(ObsExport, ChromeTraceRoundTrip) {
+  std::vector<obs::SpanEvent> events(3);
+  events[0] = {"outer", "jobs", 10.0, 50.0, 4, 0};
+  events[1] = {"inner", nullptr, 20.0, 5.0, 0, 0};
+  events[2] = {"mark", "site", 30.0, -1.0, 2, 1};
+  const std::string json = obs::to_chrome_trace(events);
+
+  // Structural well-formedness without a JSON library: balanced braces and
+  // brackets, and one object per event.
+  long braces = 0, brackets = 0;
+  for (char ch : json) {
+    braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"jobs\":4}"), std::string::npos);
+  // The instant renders as a global marker with no dur.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"g\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"site\":2}"), std::string::npos);
+}
+
+TEST(ObsExport, PrometheusTextMatchesRegistry) {
+  obs::Registry reg;
+  reg.counter("amf_test_events").add(7);
+  reg.gauge("amf_test_rate").set(0.5);
+  auto h = reg.histogram("amf_test_ms");
+  h.observe(1.0);
+  h.observe(2.0);
+  const std::string text = obs::to_prometheus_text(reg.snapshot());
+
+  EXPECT_NE(text.find("# TYPE amf_test_events counter\namf_test_events 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE amf_test_rate gauge\namf_test_rate 0.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE amf_test_ms histogram\n"), std::string::npos);
+  // Buckets are cumulative; the +Inf bucket equals _count.
+  EXPECT_NE(text.find("amf_test_ms_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("amf_test_ms_sum 3\n"), std::string::npos);
+  EXPECT_NE(text.find("amf_test_ms_count 2\n"), std::string::npos);
+}
+
+TEST(ObsExport, MetricsJsonSplicesExtraMember) {
+  obs::Registry reg;
+  reg.counter("amf_test_c").add(1);
+  const std::string json =
+      obs::to_metrics_json(reg.snapshot(), "\"events\": [1, 2]");
+  EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"amf_test_c\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"events\": [1, 2]"), std::string::npos);
+  long braces = 0;
+  for (char ch : json) braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+  EXPECT_EQ(braces, 0);
+}
+
+// End-to-end: a simulated run emits one sim/event span per reallocation
+// point (plus nested core/flow children) and a matching per-event series.
+TEST(ObsIntegration, SimulationSpansCoverEveryEvent) {
+  auto cfg = workload::paper_default(1.0, 11);
+  cfg.sites = 4;
+  cfg.sites_per_job_max = std::min(cfg.sites_per_job_max, 4);
+  workload::Generator generator(cfg);
+  auto trace = workload::generate_trace(generator, 0.8, 12);
+
+  core::AmfAllocator policy;
+  sim::Simulator simulator(policy, {});
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  simulator.run(trace);
+  tracer.set_enabled(false);
+  const auto events = tracer.drain();
+  const auto& stats = simulator.stats();
+
+  ASSERT_GT(stats.events, 0);
+  EXPECT_EQ(simulator.event_series().size(),
+            static_cast<std::size_t>(stats.events));
+#if AMF_OBS_ENABLED
+  int event_spans = 0;
+  int fill_spans = 0;
+  for (const auto& ev : events) {
+    if (std::string(ev.name) == "sim/event") ++event_spans;
+    if (std::string(ev.name) == "core/progressive_fill") ++fill_spans;
+  }
+  EXPECT_EQ(event_spans, stats.events);
+  EXPECT_EQ(fill_spans, stats.events);
+  EXPECT_EQ(stats.spans_recorded, static_cast<long long>(events.size()));
+  EXPECT_EQ(stats.spans_dropped, 0);
+#else
+  // Kill switch: the macros compiled out, so a run records nothing.
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(stats.spans_recorded, 0);
+#endif
+  // The engine's timing and series are tracing-independent.
+  EXPECT_GT(stats.alloc_ms, 0.0);
+  for (const auto& s : simulator.event_series()) EXPECT_GE(s.alloc_ms, 0.0);
+}
+
+}  // namespace

@@ -3,7 +3,8 @@
 //   amf_simulate [--policy amf|eamf|psmf] [--addon] [--jobs N]
 //                [--sites M] [--skew Z] [--load L] [--seed S] [--batch]
 //                [--faults] [--mtbf T] [--mttr T] [--loss F]
-//                [--threads N] [--cold]
+//                [--threads N] [--cold] [--trace-out F] [--metrics-out F]
+//                [--prom-out F]
 //
 // Generates a synthetic arrival trace with the library's workload
 // generator, executes it through the discrete-event simulator under the
@@ -15,11 +16,23 @@
 // RobustAllocator graceful-degradation chain, and the summary reports
 // work lost, availability-weighted utilization, recovery latency and
 // which fallback tier served the allocation events.
+//
+// Observability outputs: --trace-out enables scoped-span tracing and
+// writes a Chrome trace-event JSON (open in Perfetto / chrome://tracing);
+// --metrics-out writes the metric registry snapshot as JSON, including a
+// per-event series (time, solver latency, warm flag, serving tier);
+// --prom-out writes the same snapshot in Prometheus text format.
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 #include "amf.hpp"
 #include "util/csv.hpp"
@@ -32,14 +45,44 @@ int usage() {
   std::cerr << "usage: amf_simulate [--policy amf|eamf|psmf] [--addon] "
                "[--jobs N] [--sites M] [--skew Z] [--load L] [--seed S] "
                "[--batch] [--faults] [--mtbf T] [--mttr T] [--loss F] "
-               "[--threads N] [--cold]\n"
+               "[--threads N] [--cold] [--trace-out F] [--metrics-out F] "
+               "[--prom-out F]\n"
                "  --threads N  size of the shared worker pool "
                "(0 = hardware concurrency)\n"
                "  --cold       rebuild the allocation problem and flow "
                "network at every event\n"
                "               instead of the incremental delta pipeline "
-               "(identical results)\n";
+               "(identical results)\n"
+               "  --trace-out F    enable span tracing, write Chrome "
+               "trace-event JSON to F\n"
+               "  --metrics-out F  write the metric registry snapshot "
+               "(JSON, with per-event series) to F\n"
+               "  --prom-out F     write the snapshot in Prometheus text "
+               "format to F\n";
   return 2;
+}
+
+/// The per-event series spliced into the metrics JSON: one object per
+/// reallocation point, in event order.
+std::string event_series_json(const std::vector<amf::sim::EventSample>& s) {
+  std::string out = "\"events\": [";
+  char buf[64];
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"index\": ";
+    out += std::to_string(i);
+    std::snprintf(buf, sizeof buf, ", \"time\": %.17g", s[i].time);
+    out += buf;
+    std::snprintf(buf, sizeof buf, ", \"alloc_ms\": %.6g", s[i].alloc_ms);
+    out += buf;
+    out += ", \"warm\": ";
+    out += s[i].warm ? "true" : "false";
+    out += ", \"tier\": ";
+    out += std::to_string(s[i].tier);
+    out += "}";
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace
@@ -52,6 +95,7 @@ int main(int argc, char** argv) {
   double skew = 1.0, load = 0.8;
   double mtbf = 200.0, mttr = 20.0, loss = 1.0;
   std::uint64_t seed = 42;
+  std::string trace_out, metrics_out, prom_out;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](double* out) {
       if (i + 1 >= argc) return false;
@@ -94,6 +138,12 @@ int main(int argc, char** argv) {
       threads = static_cast<int>(v);
     } else if (std::strcmp(argv[i], "--cold") == 0) {
       cold = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--prom-out") == 0 && i + 1 < argc) {
+      prom_out = argv[++i];
     } else {
       return usage();
     }
@@ -141,7 +191,33 @@ int main(int argc, char** argv) {
     const core::Allocator& active_policy =
         faults ? static_cast<const core::Allocator&>(robust) : *policy;
     sim::Simulator simulator(active_policy, sim_cfg);
+    if (!trace_out.empty()) obs::Tracer::global().set_enabled(true);
     auto records = simulator.run(trace);
+
+    if (!trace_out.empty()) {
+      obs::Tracer::global().set_enabled(false);
+      auto spans = obs::Tracer::global().drain();
+      if (!obs::write_text_file(trace_out, obs::to_chrome_trace(spans))) {
+        std::cerr << "amf_simulate: cannot write " << trace_out << "\n";
+        return 1;
+      }
+    }
+    if (!metrics_out.empty() || !prom_out.empty()) {
+      const auto snap = obs::Registry::global().snapshot();
+      if (!metrics_out.empty() &&
+          !obs::write_text_file(
+              metrics_out,
+              obs::to_metrics_json(
+                  snap, event_series_json(simulator.event_series())))) {
+        std::cerr << "amf_simulate: cannot write " << metrics_out << "\n";
+        return 1;
+      }
+      if (!prom_out.empty() &&
+          !obs::write_text_file(prom_out, obs::to_prometheus_text(snap))) {
+        std::cerr << "amf_simulate: cannot write " << prom_out << "\n";
+        return 1;
+      }
+    }
 
     util::CsvWriter csv(std::cout,
                         {"job", "arrival", "completion", "jct", "work"});
@@ -164,6 +240,14 @@ int main(int argc, char** argv) {
                 << simulator.stats().makespan << " events "
                 << simulator.stats().events << " avg_utilization "
                 << simulator.stats().avg_utilization << "\n";
+      // Wall-clock solver time would break the byte-identical determinism
+      // contract of the default output, so the obs summary only appears
+      // when an observability export was asked for.
+      if (!trace_out.empty() || !metrics_out.empty() || !prom_out.empty()) {
+        std::cout << "# obs alloc_ms " << simulator.stats().alloc_ms
+                  << " spans " << simulator.stats().spans_recorded
+                  << " dropped " << simulator.stats().spans_dropped << "\n";
+      }
       if (faults) {
         const auto& st = simulator.stats();
         std::cout << "# faults mtbf " << mtbf << " mttr " << mttr << " loss "
@@ -172,13 +256,8 @@ int main(int argc, char** argv) {
                   << st.recoveries << " mean_recovery_latency "
                   << st.mean_recovery_latency << " avail_utilization "
                   << st.avail_utilization << "\n";
-        const auto& fb = robust.fallback_stats();
-        std::cout << "# fallback";
-        for (int t = 0; t < core::kFallbackTierCount; ++t)
-          std::cout << ' '
-                    << core::to_string(static_cast<core::FallbackTier>(t))
-                    << ' ' << fb.served[static_cast<std::size_t>(t)];
-        std::cout << " degraded_calls " << fb.degraded_calls() << "\n";
+        std::cout << "# fallback " << robust.fallback_stats().summary()
+                  << "\n";
       }
     }
   } catch (const std::exception& e) {
