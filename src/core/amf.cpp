@@ -9,6 +9,7 @@
 #include "flow/parametric.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 
 namespace amf::core {
@@ -52,7 +53,9 @@ Allocation progressive_fill(const AllocationProblem& problem,
                             flow::LevelMethod method,
                             flow::LevelSolveStats* stats, FillTrace* trace,
                             flow::TransportSystem* external_net,
-                            std::vector<flow::LevelHint>* hints) {
+                            std::vector<flow::LevelHint>* hints,
+                            const util::StopToken* stop) {
+  stop = util::effective_stop(stop);
   const int n = problem.jobs();
   AMF_SPAN_ARG("core/progressive_fill", "jobs", n);
   if (trace != nullptr) {
@@ -84,6 +87,14 @@ Allocation progressive_fill(const AllocationProblem& problem,
   for (double f : floors) positive_floor = positive_floor || f > 0.0;
   if (positive_floor) {
     net.probe(floors, eps);
+    if (stop != nullptr && stop->stop_requested() && !net.saturated(eps)) {
+      // The deadline fired inside the probe itself (the flow on the
+      // network is conservative, so the matrix is feasible): report an
+      // interrupted fill, not a floor-contract violation.
+      if (stats != nullptr)
+        stats->observe(flow::LevelStatus::kDeadlineExceeded);
+      return Allocation(net.allocation(), policy_name);
+    }
     AMF_REQUIRE(net.saturated(eps), "floors must be jointly feasible");
   }
 
@@ -125,9 +136,21 @@ Allocation progressive_fill(const AllocationProblem& problem,
     trace->rounds = round_counter;
   };
   std::vector<flow::ParametricSource> sources(static_cast<std::size_t>(n));
+  // Anytime exit: the flow currently on the network respects every demand
+  // cap and site capacity (max-flow invariants), so it is a feasible
+  // allocation, and every level frozen in a completed round is already
+  // realized in it. kDeadlineExceeded marks the result partial.
+  auto interrupted = [&]() {
+    if (stats != nullptr) stats->observe(flow::LevelStatus::kDeadlineExceeded);
+    FillCounters& counters = fill_counters();
+    counters.fills.add(1);
+    if (round_counter > 0) counters.rounds.add(round_counter);
+    return Allocation(net.allocation(), policy_name);
+  };
   // Termination: every loop iteration either freezes at least one job or
   // advances to the next segment, so at most n + |bounds| iterations run.
   while (unfrozen_count > 0) {
+    if (stop != nullptr && stop->stop_requested()) return interrupted();
     AMF_ASSERT(seg + 1 < bounds.size(), "ran out of level segments");
     const double seg_end = bounds[seg + 1];
     const double t_lo = std::max(level, bounds[seg]);
@@ -156,7 +179,9 @@ Allocation progressive_fill(const AllocationProblem& problem,
       hint = &(*hints)[static_cast<std::size_t>(round_counter)];
     }
     auto res = flow::solve_critical_level(net, sources, t_lo, seg_end, eps,
-                                          method, stats, hint);
+                                          method, stats, hint, stop);
+    if (res.status == flow::LevelStatus::kDeadlineExceeded)
+      return interrupted();
     // Iteration-capped solves are usable (bisection closed the bracket and
     // re-certified feasibility); a degenerate one returned an allocation
     // that must not be trusted — surface it as non-convergence so a
@@ -220,6 +245,13 @@ Allocation progressive_fill(const AllocationProblem& problem,
   // Materialize the allocation realizing the frozen aggregates exactly.
   net.solve(value, eps);
   if (stats != nullptr) ++stats->flow_solves;
+  if (stop != nullptr && stop->stop_requested() &&
+      !net.saturated(eps * 64.0)) {
+    // The deadline fired inside the final materialization: the flow is a
+    // feasible partial realization of the frozen aggregates.
+    if (stats != nullptr) stats->observe(flow::LevelStatus::kDeadlineExceeded);
+    return Allocation(net.allocation(), policy_name);
+  }
   AMF_ASSERT(net.saturated(eps * 64.0),
              "final frozen aggregates must be feasible");
   return Allocation(net.allocation(), policy_name);

@@ -72,12 +72,19 @@ class AmfAllocator final : public Allocator {
 /// calls: each round's Newton descent starts from the cut the same round
 /// ended on last time. Only pass this for relaxed-realization solves —
 /// hinted levels can differ from the cold descent's in the last ulps.
+///
+/// `stop` (explicit, else the ambient token) makes the fill *anytime*:
+/// when it fires, filling halts and the allocation currently realized by
+/// the network is returned — a feasible matrix in which every level
+/// frozen before the interrupt is already served — with
+/// `stats->worst == kDeadlineExceeded` marking the result partial.
 Allocation progressive_fill(
     const AllocationProblem& problem, const std::vector<double>& floors,
     const std::string& policy_name, double eps,
     flow::LevelMethod method = flow::LevelMethod::kCutNewton,
     flow::LevelSolveStats* stats = nullptr, FillTrace* trace = nullptr,
     flow::TransportSystem* net = nullptr,
-    std::vector<flow::LevelHint>* hints = nullptr);
+    std::vector<flow::LevelHint>* hints = nullptr,
+    const util::StopToken* stop = nullptr);
 
 }  // namespace amf::core

@@ -251,6 +251,9 @@ std::vector<double> lp_max_min_aggregates(const AllocationProblem& problem) {
       program.rows.push_back(std::move(row));
     }
     auto level_result = lp::solve(program);
+    if (level_result.status == lp::LpStatus::kDeadlineExceeded)
+      throw util::DeadlineExceeded(
+          "leximin level LP interrupted by its stop token");
     AMF_ASSERT(level_result.status == lp::LpStatus::kOptimal,
                "leximin level LP must stay feasible");
     const double level = level_result.objective;

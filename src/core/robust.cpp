@@ -1,9 +1,13 @@
 #include "core/robust.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
 #include <utility>
 
 #include "core/reference.hpp"
+#include "core/single_site.hpp"
 #include "core/workspace.hpp"
 #include "flow/transport.hpp"
 #include "util/error.hpp"
@@ -22,6 +26,8 @@ const char* to_string(FallbackTier tier) {
       return "reference-lp";
     case FallbackTier::kPerSite:
       return "per-site";
+    case FallbackTier::kSalvage:
+      return "salvage";
   }
   return "?";
 }
@@ -46,6 +52,18 @@ std::string FallbackStats::summary() const {
   return out;
 }
 
+void RobustConfig::validate() const {
+  AMF_REQUIRE(std::isfinite(relaxed_eps) && relaxed_eps > 0.0,
+              "relaxed_eps must be finite and positive");
+  AMF_REQUIRE(std::isfinite(feasibility_eps) && feasibility_eps > 0.0,
+              "feasibility_eps must be finite and positive");
+  AMF_REQUIRE(std::isfinite(time_budget_ms) && time_budget_ms >= 0.0,
+              "time_budget_ms must be finite and >= 0");
+  AMF_REQUIRE(std::isfinite(tier_budget_share) && tier_budget_share > 0.0 &&
+                  tier_budget_share <= 1.0,
+              "tier_budget_share must be in (0, 1]");
+}
+
 namespace {
 
 /// Registry metric name for a tier ('-' is not a legal Prometheus
@@ -63,7 +81,10 @@ std::string tier_metric(const char* prefix, FallbackTier tier) {
 struct FallbackCounters {
   std::array<obs::Counter, kFallbackTierCount> served;
   std::array<obs::Counter, kFallbackTierCount> failures;
+  std::array<obs::Counter, kFallbackTierCount> deadline_exceeded;
   obs::Counter tier_transitions;
+  obs::Counter deadline_events;
+  obs::Histogram budget_remaining;
   FallbackCounters() {
     auto& reg = obs::Registry::global();
     for (int i = 0; i < kFallbackTierCount; ++i) {
@@ -75,11 +96,22 @@ struct FallbackCounters {
       failures[idx] =
           reg.counter(tier_metric("amf_core_fallback_failures_", tier),
                       "tier attempts rejected (threw or failed the audit)");
+      deadline_exceeded[idx] =
+          reg.counter(tier_metric("amf_core_deadline_exceeded_", tier),
+                      "tier attempts interrupted by the event time budget");
     }
     tier_transitions =
         reg.counter("amf_core_tier_transitions",
                     "events whose serving tier differed from the previous "
                     "event's");
+    deadline_events =
+        reg.counter("amf_core_deadline_events",
+                    "allocation events in which at least one tier was "
+                    "deadline-interrupted");
+    budget_remaining =
+        reg.histogram("amf_core_budget_remaining_ms",
+                      "time-budget headroom (ms) left when the chain served "
+                      "a budgeted allocation event");
   }
 };
 
@@ -96,9 +128,7 @@ RobustAllocator::RobustAllocator(const Allocator& primary, RobustConfig config)
       relaxed_(config.relaxed_eps, flow::LevelMethod::kCutNewton),
       bisection_(config.relaxed_eps, flow::LevelMethod::kBisection),
       telemetry_(std::make_shared<Telemetry>()) {
-  AMF_REQUIRE(config.relaxed_eps > 0.0, "relaxed_eps must be positive");
-  AMF_REQUIRE(config.feasibility_eps > 0.0,
-              "feasibility_eps must be positive");
+  config.validate();
   telemetry_->shard = obs::Registry::global().new_shard();
 }
 
@@ -116,10 +146,23 @@ FallbackStats RobustAllocator::fallback_stats() const {
   return stats;
 }
 
+DeadlineStats RobustAllocator::deadline_stats() const {
+  FallbackCounters& counters = fb_counters();
+  DeadlineStats stats;
+  for (std::size_t i = 0; i < kFallbackTierCount; ++i)
+    stats.deadline_exceeded[i] = static_cast<long>(
+        counters.deadline_exceeded[i].value_in(*telemetry_->shard));
+  stats.deadline_events = telemetry_->deadline_events;
+  stats.worst_salvage_gap = telemetry_->worst_salvage_gap;
+  return stats;
+}
+
 void RobustAllocator::reset_stats() {
   obs::Registry::global().retire(*telemetry_->shard);
   telemetry_->last = FallbackTier::kPrimary;
   telemetry_->last_error.clear();
+  telemetry_->deadline_events = 0;
+  telemetry_->worst_salvage_gap = 0.0;
 }
 
 std::string RobustAllocator::name() const {
@@ -144,6 +187,55 @@ Allocation lp_tier(const AllocationProblem& problem) {
       return Allocation(std::move(*realized), "Robust/reference-lp");
   }
   throw util::InternalError("LP aggregates not realizable as an allocation");
+}
+
+/// Completes a deadline-interrupted partial fill into a full allocation:
+/// per-site water-filling distributes each site's residual capacity over
+/// the residual demands on top of the partial shares. The partial matrix
+/// already respects demands and capacities (flow invariants), so the sum
+/// does too — levels frozen before the interrupt are preserved, everyone
+/// else gets a closed-form fair top-up.
+Allocation complete_salvage(const AllocationProblem& problem,
+                            const Allocation& partial) {
+  const int n = problem.jobs();
+  const int m = problem.sites();
+  Matrix shares = partial.shares();
+  std::vector<double> residual(static_cast<std::size_t>(n));
+  for (int s = 0; s < m; ++s) {
+    double used = 0.0;
+    for (int j = 0; j < n; ++j)
+      used += shares[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+    const double cap_left = std::max(0.0, problem.capacity(s) - used);
+    for (int j = 0; j < n; ++j)
+      residual[static_cast<std::size_t>(j)] = std::max(
+          0.0, problem.demand(j, s) -
+                   shares[static_cast<std::size_t>(j)]
+                         [static_cast<std::size_t>(s)]);
+    auto extra = water_fill(residual, problem.weights(), cap_left);
+    for (int j = 0; j < n; ++j)
+      shares[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] +=
+          extra[static_cast<std::size_t>(j)];
+  }
+  return Allocation(std::move(shares), "Robust/salvage");
+}
+
+/// Relative fairness gap of a salvage allocation against the interrupted
+/// tier's last frozen level: how far the worst served job (among jobs
+/// that can receive anything at all) fell below it, clamped to [0, 1].
+double salvage_gap(const AllocationProblem& problem, const Allocation& alloc,
+                   double ref_level) {
+  if (ref_level <= 0.0) return 0.0;
+  const double tol = 1e-12 * std::max(1.0, problem.scale());
+  double min_level = std::numeric_limits<double>::infinity();
+  for (int j = 0; j < problem.jobs(); ++j) {
+    double reachable = 0.0;
+    for (int s = 0; s < problem.sites(); ++s)
+      reachable += std::min(problem.demand(j, s), problem.capacity(s));
+    if (reachable <= tol) continue;  // structurally-zero jobs excluded
+    min_level = std::min(min_level, alloc.aggregate(j) / problem.weight(j));
+  }
+  if (!std::isfinite(min_level)) return 0.0;
+  return std::clamp((ref_level - min_level) / ref_level, 0.0, 1.0);
 }
 
 }  // namespace
@@ -171,13 +263,101 @@ Allocation RobustAllocator::allocate_impl(const AllocationProblem& problem,
       {FallbackTier::kPerSite, &persite_},
   };
 
+  // The overall stop for this event: the config budget merged with any
+  // ambient deadline installed by the caller, plus whichever cancel flag
+  // exists (the config's wins over the ambient one).
+  const util::StopToken* ambient = util::ambient_stop();
+  util::Deadline overall = config_.time_budget_ms > 0.0
+                               ? util::Deadline::after_ms(config_.time_budget_ms)
+                               : util::Deadline::never();
+  if (ambient != nullptr)
+    overall = util::Deadline::earlier(overall, ambient->deadline());
+  util::CancelToken cancel = config_.cancel.valid()
+                                 ? config_.cancel
+                                 : (ambient != nullptr ? ambient->cancel()
+                                                       : util::CancelToken{});
+  const util::StopToken overall_stop{overall, cancel};
+  const bool budgeted = overall_stop.enabled();
+
+  // Best salvage candidate: the first feasible partial fill left behind by
+  // a deadline-interrupted AMF tier, with the highest level it froze.
+  struct SalvageCandidate {
+    bool has = false;
+    Allocation partial;
+    double ref_level = 0.0;
+  } salvage;
+  bool any_deadline = false;
+
   FallbackCounters& counters = fb_counters();
   Telemetry& telemetry = *telemetry_;
+
+  auto count_deadline = [&](std::size_t idx, const char* what) {
+    counters.failures[idx].add_to(*telemetry.shard, 1);
+    counters.deadline_exceeded[idx].add_to(*telemetry.shard, 1);
+    telemetry.last_error = what;
+    any_deadline = true;
+  };
+  auto serve = [&](FallbackTier id, Allocation result) {
+    const auto sidx = static_cast<std::size_t>(id);
+    counters.served[sidx].add_to(*telemetry.shard, 1);
+    if (telemetry.last != id) counters.tier_transitions.add(1);
+    telemetry.last = id;
+    if (any_deadline) {
+      counters.deadline_events.add_to(*telemetry.shard, 1);
+      ++telemetry.deadline_events;
+    }
+    if (!overall.unlimited())
+      counters.budget_remaining.observe_in(*telemetry.shard,
+                                           overall.remaining_ms());
+    if (workspace != nullptr) workspace->serving_tier = static_cast<int>(id);
+    return result;
+  };
+
   for (const Tier& tier : tiers) {
     const auto idx = static_cast<std::size_t>(tier.id);
     const bool is_last = tier.id == FallbackTier::kPerSite;
+
+    if (is_last && salvage.has) {
+      // The budget ran out with a feasible partial fill in hand: complete
+      // it closed-form instead of discarding the frozen levels.
+      Allocation completed = complete_salvage(problem, salvage.partial);
+      if (completed.feasible_for(problem, config_.feasibility_eps)) {
+        telemetry.worst_salvage_gap =
+            std::max(telemetry.worst_salvage_gap,
+                     salvage_gap(problem, completed, salvage.ref_level));
+        return serve(FallbackTier::kSalvage, std::move(completed));
+      }
+      counters.failures[static_cast<std::size_t>(FallbackTier::kSalvage)]
+          .add_to(*telemetry.shard, 1);
+      telemetry.last_error = "salvage completion failed the audit";
+    }
+
+    // Budget gate: once the overall budget is gone, budgeted tiers are
+    // skipped outright (the LP tier in particular builds its whole tableau
+    // before it first polls) and the chain falls through to salvage or the
+    // exempt per-site tier. A skipped tier never ran, so it is not counted
+    // as a failure.
+    if (!is_last && budgeted && overall_stop.stop_requested()) continue;
+
+    // Budgeted tiers run under a slice of the remaining budget, installed
+    // ambiently so it reaches the solvers through the virtual Allocator
+    // interface. The per-site tier is exempt: closed-form, never polls.
+    std::optional<util::ScopedStop> scoped;
+    util::StopToken tier_stop;
+    if (!is_last && budgeted) {
+      util::Deadline slice = overall;
+      if (!overall.unlimited())
+        slice = util::Deadline::earlier(
+            overall, util::Deadline::after_ms(overall.remaining_ms() *
+                                              config_.tier_budget_share));
+      tier_stop = util::StopToken{slice, cancel};
+      scoped.emplace(tier_stop);
+    }
+
     try {
       flow::LevelStatus status = flow::LevelStatus::kConverged;
+      const FillTrace* trace = nullptr;
+      SolveReport local_report;
       Allocation result;
       if (tier.policy == nullptr) {
         result = lp_tier(problem);
@@ -188,13 +368,29 @@ Allocation RobustAllocator::allocate_impl(const AllocationProblem& problem,
           workspace->invalidate();
         result = tier.policy->allocate(problem, *workspace);
         status = workspace->report().status;
+        trace = &workspace->report().trace;
       } else if (const auto* amf =
                      dynamic_cast<const AmfAllocator*>(tier.policy)) {
-        SolveReport report;
-        result = amf->allocate_with_report(problem, report);
-        status = report.status;
+        result = amf->allocate_with_report(problem, local_report);
+        status = local_report.status;
+        trace = &local_report.trace;
       } else {
         result = tier.policy->allocate(problem);
+      }
+      if (status == flow::LevelStatus::kDeadlineExceeded) {
+        // Interrupted tier = failed tier, but its partial fill may still
+        // be worth finishing if the whole budget runs out.
+        count_deadline(idx, "tier interrupted by the time budget");
+        // The network holds a partial fill; never reuse it warm.
+        if (workspace != nullptr) workspace->invalidate();
+        if (!salvage.has &&
+            result.feasible_for(problem, config_.feasibility_eps)) {
+          double ref = 0.0;
+          if (trace != nullptr)
+            for (double level : trace->freeze_level) ref = std::max(ref, level);
+          salvage = {true, std::move(result), ref};
+        }
+        continue;
       }
       if (config_.escalate_on_iteration_cap && !is_last &&
           dynamic_cast<const AmfAllocator*>(tier.policy) != nullptr &&
@@ -212,16 +408,23 @@ Allocation RobustAllocator::allocate_impl(const AllocationProblem& problem,
         telemetry.last_error = "infeasible allocation from tier";
         continue;
       }
-      counters.served[idx].add_to(*telemetry.shard, 1);
-      if (telemetry.last != tier.id) counters.tier_transitions.add(1);
-      telemetry.last = tier.id;
-      if (workspace != nullptr)
-        workspace->serving_tier = static_cast<int>(tier.id);
-      return result;
+      return serve(tier.id, std::move(result));
+    } catch (const util::DeadlineExceeded& e) {
+      if (is_last) throw;  // unreachable: the per-site tier never polls
+      count_deadline(idx, e.what());
+      if (workspace != nullptr) workspace->invalidate();
     } catch (const util::InternalError& e) {
       if (is_last) throw;  // nothing below the per-site tier
       counters.failures[idx].add_to(*telemetry.shard, 1);
       telemetry.last_error = e.what();
+      // A solver driven into a corner by its stop token can surface as an
+      // internal invariant failure; classify it as a deadline when the
+      // tier's own stop had fired.
+      if (budgeted && tier_stop.stop_requested()) {
+        counters.deadline_exceeded[idx].add_to(*telemetry.shard, 1);
+        any_deadline = true;
+        if (workspace != nullptr) workspace->invalidate();
+      }
     }
   }
   AMF_ASSERT(false, "fallback chain exhausted");  // unreachable

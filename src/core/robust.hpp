@@ -24,6 +24,22 @@
 // a per-instance shard, so operators see which tier served each event both
 // globally (Registry::global().snapshot()) and per wrapper
 // (fallback_stats(), an exact per-instance view).
+//
+// Deadlines (anytime operation). With `RobustConfig::time_budget_ms` set
+// (or an ambient util::StopToken installed around the call), the chain is
+// additionally *latency-bounded*: each tier runs under a sub-deadline of
+// `tier_budget_share` of the remaining budget — so successive tiers get
+// geometrically shrinking slices and some budget always remains for the
+// finishing pass — and a tier whose stop token fires is treated like a
+// failed tier (counted in amf_core_deadline_exceeded_<tier>). The
+// closed-form per-site tier is exempt: it never polls and always
+// completes. When the whole budget is exhausted mid-chain, the best
+// deadline-interrupted AMF result seen so far (its frozen levels are
+// feasible, only partial) is *salvaged* instead of discarded: per-site
+// water-filling distributes the residual capacity on the residual
+// demands, and the combined allocation is served as the pseudo-tier
+// kSalvage. Budget headroom at serve time is recorded in the
+// amf_core_budget_remaining_ms histogram.
 #pragma once
 
 #include <array>
@@ -34,18 +50,23 @@
 #include "core/amf.hpp"
 #include "core/persite.hpp"
 #include "obs/metrics.hpp"
+#include "util/deadline.hpp"
 
 namespace amf::core {
 
-/// The tiers of the degradation chain, in escalation order.
+/// The tiers of the degradation chain, in escalation order. kSalvage is
+/// not a tier the chain *tries* — it is the serve path used when the time
+/// budget runs out and a deadline-interrupted AMF tier left a feasible
+/// partial fill worth completing (see the header comment).
 enum class FallbackTier {
   kPrimary = 0,
   kRelaxedEps = 1,
   kBisection = 2,
   kReferenceLp = 3,
   kPerSite = 4,
+  kSalvage = 5,
 };
-inline constexpr int kFallbackTierCount = 5;
+inline constexpr int kFallbackTierCount = 6;
 
 /// Human-readable tier name ("primary", "relaxed-eps", ...).
 const char* to_string(FallbackTier tier);
@@ -85,6 +106,35 @@ struct RobustConfig {
   /// Relative tolerance of the post-hoc feasibility audit applied to
   /// every tier's output before it is accepted.
   double feasibility_eps = 1e-6;
+  /// Wall-clock budget for one allocate() call, in milliseconds. Zero =
+  /// unbudgeted (an ambient util::StopToken, if any, still applies). The
+  /// closed-form tiers always complete, so the serve latency can exceed
+  /// the budget by their (small, polling-free) cost.
+  double time_budget_ms = 0.0;
+  /// Fraction of the *remaining* budget granted to each budgeted tier, in
+  /// (0, 1]. 0.5 gives the primary half the budget, the relaxed retry a
+  /// quarter, and so on — later tiers are cheaper to interrupt and some
+  /// budget always survives for salvage.
+  double tier_budget_share = 0.5;
+  /// Optional external cancellation handle; when valid and cancelled, the
+  /// chain stops at the next poll exactly like an expired deadline.
+  util::CancelToken cancel;
+
+  /// Throws ContractError on non-finite or non-positive eps values, a
+  /// negative or non-finite budget, or a share outside (0, 1].
+  void validate() const;
+};
+
+/// Per-instance deadline telemetry (snapshot, like FallbackStats).
+struct DeadlineStats {
+  /// Tier attempts interrupted by the stop token, by tier.
+  std::array<long, kFallbackTierCount> deadline_exceeded{};
+  /// Events in which at least one tier was deadline-interrupted.
+  long deadline_events = 0;
+  /// Worst relative fairness gap of a served salvage allocation: how far
+  /// the minimum served level fell below the interrupted tier's last
+  /// frozen level, in [0, 1]. Zero when no salvage was ever served.
+  double worst_salvage_gap = 0.0;
 };
 
 /// Wraps a policy in the fallback chain above. The wrapped policy must
@@ -110,6 +160,9 @@ class RobustAllocator final : public Allocator {
   /// from its registry shard).
   FallbackStats fallback_stats() const;
 
+  /// Exact per-instance snapshot of the deadline telemetry.
+  DeadlineStats deadline_stats() const;
+
   /// Restarts the per-instance counters from zero.  The shard's values are
   /// folded into the registry's retired base first, so globally scraped
   /// totals stay monotonic.
@@ -127,6 +180,8 @@ class RobustAllocator final : public Allocator {
     std::shared_ptr<obs::Shard> shard;
     FallbackTier last = FallbackTier::kPrimary;
     std::string last_error;
+    long deadline_events = 0;
+    double worst_salvage_gap = 0.0;
   };
 
   const Allocator& primary_;

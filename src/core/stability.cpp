@@ -142,6 +142,8 @@ Allocation StabilityAddon::optimize_lp(const AllocationProblem& problem,
     }
 
   auto result = lp::solve(program, eps_);
+  if (result.status == lp::LpStatus::kDeadlineExceeded)
+    throw util::DeadlineExceeded("stability LP interrupted by its stop token");
   AMF_REQUIRE(result.status == lp::LpStatus::kOptimal,
               "target aggregates must be realizable");
 
@@ -204,6 +206,9 @@ Allocation StabilityAddon::optimize_mcmf(const AllocationProblem& problem,
 
   auto result = net.solve(source, sink,
                           std::numeric_limits<double>::infinity(), eps_);
+  if (!result.complete)
+    throw util::DeadlineExceeded(
+        "stability min-cost realization interrupted by its stop token");
   AMF_REQUIRE(result.flow >= total - eps_ * std::max(problem.scale(), total),
               "target aggregates must be realizable");
 

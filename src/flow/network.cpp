@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "obs/metrics.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 
 namespace amf::flow {
@@ -174,7 +175,13 @@ double FlowNetwork::max_flow(NodeId source, NodeId sink, double eps) {
   double total = 0.0;
   long long phases = 0;
   long long paths = 0;
-  while (bfs_levels(source, sink, eps)) {
+  // An ambient stop token bounds even one oversized max flow: polled
+  // between blocking-flow phases (path augmentations are atomic), an
+  // interrupted call returns a valid conservative flow that callers
+  // observe as unsaturated. No ambient token installed = no clock reads.
+  const util::StopToken* stop = util::ambient_stop();
+  while (!(stop != nullptr && stop->stop_requested()) &&
+         bfs_levels(source, sink, eps)) {
     ++phases;
     iter_.assign(adj_.size(), 0);
     for (;;) {

@@ -56,7 +56,8 @@ LevelCounters& level_counters() {
 CriticalLevel solve_critical_level(
     TransportSystem& net, const std::vector<ParametricSource>& sources,
     double t_lo, double t_hi, double eps, LevelMethod method,
-    LevelSolveStats* stats, LevelHint* hint) {
+    LevelSolveStats* stats, LevelHint* hint, const util::StopToken* stop) {
+  stop = util::effective_stop(stop);
   const int n = net.jobs();
   const int m = net.sites();
   AMF_REQUIRE(static_cast<int>(sources.size()) == n,
@@ -90,6 +91,9 @@ CriticalLevel solve_critical_level(
 
   double t = t_hi;
   double known_feasible = t_lo;  // bisection lower bracket
+  // Every probe is a full max flow, so a plain clock read per probe is
+  // already amortized; no stride poller needed at this granularity.
+  auto stop_now = [&] { return stop != nullptr && stop->stop_requested(); };
   bool found = false;
   bool hint_applied = false;
   bool hint_first_feasible = false;
@@ -136,24 +140,39 @@ CriticalLevel solve_critical_level(
     // the bracket well below the residual threshold used by the freezing
     // BFS, otherwise the leftover level gap leaks enough slack into the
     // binding cut that no job appears frozen.
-    if (feasible_at(t_hi)) {
+    if (stop_now()) {
+      t = known_feasible;
+      status = LevelStatus::kDeadlineExceeded;
+      found = true;
+    } else if (feasible_at(t_hi)) {
       found = true;
     } else {
       const double deep_tol = t_tol * 1e-3;
       double lo = t_lo, hi = t_hi;
       for (int it = 0; it < 200 && hi - lo > deep_tol; ++it) {
+        if (stop_now()) {
+          status = LevelStatus::kDeadlineExceeded;
+          break;
+        }
         ++bisection_steps;
         double mid = 0.5 * (lo + hi);
         (feasible_at(mid) ? lo : hi) = mid;
       }
       t = lo;
-      if (!feasible_at(t)) status = LevelStatus::kDegenerate;
+      if (status != LevelStatus::kDeadlineExceeded && !feasible_at(t))
+        status = LevelStatus::kDegenerate;
       found = true;
     }
   }
 
   for (int iter = 0; !found && iter < kMaxNewton; ++iter) {
     AMF_SPAN("flow/newton_iter");
+    if (stop_now()) {
+      t = known_feasible;
+      status = LevelStatus::kDeadlineExceeded;
+      found = true;
+      break;
+    }
     ++newton_iters;
     const bool feasible = feasible_at(t);
     if (iter == 0 && hint_applied) hint_first_feasible = feasible;
@@ -210,6 +229,10 @@ CriticalLevel solve_critical_level(
     status = LevelStatus::kIterationCapped;
     double lo = known_feasible, hi = t;
     for (int i = 0; i < 80 && hi - lo > t_tol; ++i) {
+      if (stop_now()) {
+        status = LevelStatus::kDeadlineExceeded;
+        break;
+      }
       ++bisection_steps;
       double mid = 0.5 * (lo + hi);
       if (feasible_at(mid))
@@ -218,7 +241,8 @@ CriticalLevel solve_critical_level(
         hi = mid;
     }
     t = lo;
-    if (!feasible_at(t)) status = LevelStatus::kDegenerate;
+    if (status != LevelStatus::kDeadlineExceeded && !feasible_at(t))
+      status = LevelStatus::kDegenerate;
   }
 
   if (stats != nullptr) stats->observe(status);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "flow/transport.hpp"
+#include "util/deadline.hpp"
 
 namespace amf::flow {
 
@@ -35,11 +36,15 @@ enum class LevelMethod { kCutNewton, kBisection };
 /// a throw) so a resilience-minded caller can decide to retry with a
 /// looser tolerance or hand off to a fallback solver.
 enum class LevelStatus {
-  kConverged,        ///< landed on the critical level cleanly
-  kIterationCapped,  ///< Newton budget exhausted; bisection closed the
-                     ///< bracket, result valid but lower-confidence
-  kDegenerate,       ///< a bracket/contract invariant failed numerically;
-                     ///< the returned allocation must not be trusted
+  kConverged,         ///< landed on the critical level cleanly
+  kIterationCapped,   ///< Newton budget exhausted; bisection closed the
+                      ///< bracket, result valid but lower-confidence
+  kDegenerate,        ///< a bracket/contract invariant failed numerically;
+                      ///< the returned allocation must not be trusted
+  kDeadlineExceeded,  ///< the stop token fired mid-solve; the returned
+                      ///< level is the best *known-feasible* one (a
+                      ///< conservative partial answer, never an
+                      ///< overestimate), not the critical level
 };
 
 /// Optional instrumentation collected by solve_critical_level. This is the
@@ -103,10 +108,17 @@ struct CriticalLevel {
 /// cut's bound (kCutNewton only) and is updated on return with the cut
 /// this solve ended on. See LevelHint for the soundness argument and the
 /// replay-exactness caveat.
+///
+/// `stop` (explicit, else the ambient token) is polled before every
+/// feasibility probe; when it fires the solve returns immediately with
+/// status kDeadlineExceeded and `level` set to the best level it had
+/// already proven feasible (at worst t_lo) — a conservative answer a
+/// caller can still act on.
 CriticalLevel solve_critical_level(
     TransportSystem& net, const std::vector<ParametricSource>& sources,
     double t_lo, double t_hi, double eps = FlowNetwork::kDefaultEps,
     LevelMethod method = LevelMethod::kCutNewton,
-    LevelSolveStats* stats = nullptr, LevelHint* hint = nullptr);
+    LevelSolveStats* stats = nullptr, LevelHint* hint = nullptr,
+    const util::StopToken* stop = nullptr);
 
 }  // namespace amf::flow

@@ -13,6 +13,7 @@
 #include "core/workspace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -150,6 +151,9 @@ Simulator::Simulator(const core::Allocator& policy, SimulatorConfig config)
               "migration penalty must be >= 0");
   AMF_REQUIRE(config.loss_factor >= 0.0 && config.loss_factor <= 1.0,
               "loss factor must be in [0, 1]");
+  AMF_REQUIRE(std::isfinite(config.event_budget_ms) &&
+                  config.event_budget_ms >= 0.0,
+              "event budget must be finite and >= 0");
 }
 
 std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
@@ -390,6 +394,18 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
     if (sample.warm) sim_counters().warm_events.add(1);
     const auto alloc_begin = std::chrono::steady_clock::now();
 
+    // Optional per-event time budget, installed ambiently so it reaches
+    // the policy's solvers through the virtual Allocator interface. Scoped
+    // to the allocate call only: the JCT/stability add-ons below run
+    // unbudgeted by design (their LP/flow substrate would otherwise throw
+    // DeadlineExceeded with no salvage path to catch it).
+    std::optional<util::StopToken> event_stop;
+    std::optional<util::ScopedStop> event_scope;
+    if (config_.event_budget_ms > 0.0) {
+      event_stop.emplace(util::Deadline::after_ms(config_.event_budget_ms));
+      event_scope.emplace(*event_stop);
+    }
+
     core::Allocation alloc;
     if (inc) {
       if (!ws.primed()) {
@@ -411,9 +427,13 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
     } else {
       alloc = policy_.allocate(problem);
     }
+    event_scope.reset();
     sample.alloc_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - alloc_begin)
                           .count();
+    if (config_.event_budget_ms > 0.0 &&
+        sample.alloc_ms > config_.event_budget_ms)
+      ++stats_.events_over_budget;
     sample.tier = inc ? ws.serving_tier : -1;
     stats_.alloc_ms += sample.alloc_ms;
     sim_counters().alloc_ms.observe(sample.alloc_ms);

@@ -85,6 +85,11 @@ struct RunStats {
   /// compiled out (AMF_OBS_ENABLED=0).
   long long spans_recorded = 0;
   long long spans_dropped = 0;
+  /// Events whose policy allocate call overran the configured
+  /// event_budget_ms (0 when unbudgeted). The call still returned a
+  /// feasible allocation — cooperative cancellation plus the robust
+  /// chain's salvage guarantee that — it just took longer than the slice.
+  int events_over_budget = 0;
 };
 
 /// One reallocation point of a run, in event order: the raw material for
@@ -145,6 +150,14 @@ struct SimulatorConfig {
   /// benchmarks compare engines on an identical event prefix of traces
   /// too long to replay in full.
   int max_events = 0;
+  /// Wall-clock budget (milliseconds) for each event's policy allocate
+  /// call, installed as the ambient util::StopToken around the call so it
+  /// reaches the solvers through the Allocator interface. 0 (the default)
+  /// = unbudgeted, and the event loop is byte-identical to earlier
+  /// releases. Pair with a RobustAllocator policy: the budget makes bare
+  /// solvers return *partial* allocations, which only the robust chain
+  /// knows how to complete (salvage) or replace (per-site).
+  double event_budget_ms = 0.0;
 };
 
 /// Discrete-event execution engine. The policy must outlive the simulator.

@@ -1,11 +1,66 @@
 #include "util/csv.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <istream>
 
 #include "util/error.hpp"
 
 namespace amf::util {
+
+namespace {
+
+std::string at_line(long line_number) {
+  return " (line " + std::to_string(line_number) + ")";
+}
+
+}  // namespace
+
+bool read_csv_line(std::istream& in, std::string& line, long line_number) {
+  line.clear();
+  if (!std::getline(in, line)) {
+    // Distinguish clean EOF from a stream that died mid-read.
+    AMF_REQUIRE(in.eof() || !in.bad(),
+                "CSV input stream failed" + at_line(line_number));
+    return false;
+  }
+  AMF_REQUIRE(line.size() <= kMaxCsvLineLength,
+              "CSV line exceeds " + std::to_string(kMaxCsvLineLength) +
+                  " bytes" + at_line(line_number));
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+double parse_csv_double(const std::string& cell, long line_number) {
+  AMF_REQUIRE(!cell.empty(), "empty CSV cell" + at_line(line_number));
+  const char* begin = cell.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(begin, &end);
+  AMF_REQUIRE(end == begin + cell.size() && errno != ERANGE,
+              "CSV cell '" + cell + "' is not a valid number" +
+                  at_line(line_number));
+  AMF_REQUIRE(std::isfinite(value),
+              "CSV cell '" + cell + "' is not finite" + at_line(line_number));
+  return value;
+}
+
+std::vector<double> parse_csv_doubles(const std::string& line,
+                                      long line_number) {
+  std::vector<double> row;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    const std::size_t len =
+        (comma == std::string::npos ? line.size() : comma) - start;
+    row.push_back(parse_csv_double(line.substr(start, len), line_number));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return row;
+}
 
 CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
     : out_(out), columns_(header.size()) {

@@ -1,15 +1,42 @@
-// csv.hpp — small CSV emitter for experiment output. Benches print their
+// csv.hpp — small CSV emitter for experiment output, plus the hardened
+// reader helpers every CSV-ingesting path uses. Benches print their
 // series to stdout in CSV so figures can be regenerated with any plotting
 // tool; CsvWriter handles quoting and column consistency.
+//
+// The readers treat their input as hostile: lines are length-capped
+// before anything is allocated for them, every cell must parse as a
+// complete *finite* double, and each ContractError names the 1-based line
+// number so a malformed trace points at the offending line instead of at
+// whatever solver first trips over the garbage.
 #pragma once
 
 #include <cstddef>
 #include <initializer_list>
+#include <iosfwd>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace amf::util {
+
+/// Ceiling on one line of CSV input accepted by read_csv_line: long
+/// enough for any trace this library writes, short enough that hostile
+/// input cannot drive unbounded allocation.
+inline constexpr std::size_t kMaxCsvLineLength = 1u << 20;  // 1 MiB
+
+/// Reads one line into `line` (strips a trailing '\r'). Returns false on
+/// clean EOF; throws ContractError naming `line_number` when the line
+/// exceeds kMaxCsvLineLength.
+bool read_csv_line(std::istream& in, std::string& line, long line_number);
+
+/// Parses one CSV cell as a double. Throws ContractError naming
+/// `line_number` when the cell is empty, has trailing garbage, overflows,
+/// or is not finite (NaN/Inf are data errors in every consumer here).
+double parse_csv_double(const std::string& cell, long line_number);
+
+/// Splits one CSV line on ',' and parses every cell via parse_csv_double.
+std::vector<double> parse_csv_doubles(const std::string& line,
+                                      long line_number);
 
 /// Streams rows of a fixed-width CSV table. The header row fixes the column
 /// count; subsequent rows must match it.

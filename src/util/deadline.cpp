@@ -1,0 +1,62 @@
+#include "util/deadline.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace amf::util {
+
+Deadline Deadline::after_ms(double ms) {
+  AMF_REQUIRE(std::isfinite(ms) && ms >= 0.0,
+              "deadline offset must be finite and >= 0");
+  Deadline d;
+  d.unlimited_ = false;
+  d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(ms));
+  return d;
+}
+
+Deadline Deadline::at(Clock::time_point when) {
+  Deadline d;
+  d.unlimited_ = false;
+  d.when_ = when;
+  return d;
+}
+
+Deadline Deadline::earlier(const Deadline& a, const Deadline& b) {
+  if (a.unlimited_) return b;
+  if (b.unlimited_) return a;
+  return a.when_ <= b.when_ ? a : b;
+}
+
+double Deadline::remaining_ms() const {
+  if (unlimited_) return std::numeric_limits<double>::infinity();
+  const double ms =
+      std::chrono::duration<double, std::milli>(when_ - Clock::now()).count();
+  return ms > 0.0 ? ms : 0.0;
+}
+
+CancelToken CancelToken::make() {
+  CancelToken token;
+  token.flag_ = std::make_shared<std::atomic<bool>>(false);
+  return token;
+}
+
+void CancelToken::request_cancel() const {
+  if (flag_ != nullptr) flag_->store(true, std::memory_order_relaxed);
+}
+
+namespace {
+thread_local const StopToken* g_ambient_stop = nullptr;
+}  // namespace
+
+const StopToken* ambient_stop() { return g_ambient_stop; }
+
+ScopedStop::ScopedStop(const StopToken& token) : previous_(g_ambient_stop) {
+  g_ambient_stop = &token;
+}
+
+ScopedStop::~ScopedStop() { g_ambient_stop = previous_; }
+
+}  // namespace amf::util

@@ -1,9 +1,9 @@
 #include "workload/trace.hpp"
 
+#include <cmath>
 #include <istream>
 #include <numeric>
 #include <ostream>
-#include <sstream>
 #include <string>
 
 #include "util/csv.hpp"
@@ -53,17 +53,40 @@ Trace generate_trace(Generator& generator, double load, int count) {
 
 namespace {
 
-std::vector<double> read_csv_row(std::istream& in, std::size_t expected) {
+/// Hardened row reader: length-capped line, every cell a finite double,
+/// every error a ContractError naming the 1-based line number. `line_no`
+/// is advanced past the consumed line.
+std::vector<double> read_csv_row(std::istream& in, std::size_t expected,
+                                 long& line_no) {
   std::string line;
-  AMF_REQUIRE(static_cast<bool>(std::getline(in, line)),
-              "truncated trace file");
-  std::vector<double> row;
-  std::stringstream ss(line);
-  std::string cell;
-  while (std::getline(ss, cell, ',')) row.push_back(std::stod(cell));
+  AMF_REQUIRE(util::read_csv_line(in, line, line_no),
+              "truncated trace file (line " + std::to_string(line_no) +
+                  " missing)");
+  auto row = util::parse_csv_doubles(line, line_no);
   AMF_REQUIRE(expected == 0 || row.size() == expected,
-              "trace file row width mismatch");
+              "trace file row width mismatch: expected " +
+                  std::to_string(expected) + " fields, got " +
+                  std::to_string(row.size()) + " (line " +
+                  std::to_string(line_no) + ")");
+  ++line_no;
   return row;
+}
+
+/// A header count must be an exact non-negative integer (a NaN or
+/// negative double cast to size_t is undefined behavior, and a fractional
+/// count is a malformed file, not a rounding choice for us to make).
+std::size_t header_count(double value, const char* what, long line_no) {
+  AMF_REQUIRE(value >= 0.0 && value == std::floor(value),
+              std::string(what) + " count must be a non-negative integer "
+                                  "(line " +
+                  std::to_string(line_no) + ")");
+  // Far above any real trace, far below allocation-bomb territory for the
+  // reserve() calls below.
+  constexpr double kMaxCount = 1e9;
+  AMF_REQUIRE(value <= kMaxCount,
+              std::string(what) + " count implausibly large (line " +
+                  std::to_string(line_no) + ")");
+  return static_cast<std::size_t>(value);
 }
 
 }  // namespace
@@ -94,35 +117,70 @@ void save_trace(const Trace& trace, std::ostream& out) {
 }
 
 Trace load_trace(std::istream& in) {
-  auto header = read_csv_row(in, 0);
+  long line_no = 1;
+  const long header_line = line_no;
+  auto header = read_csv_row(in, 0, line_no);
   AMF_REQUIRE(header.size() == 2 || header.size() == 3,
               "trace header must be jobs,sites[,events]");
-  auto count = static_cast<std::size_t>(header[0]);
-  auto m = static_cast<std::size_t>(header[1]);
-  auto event_count =
-      header.size() == 3 ? static_cast<std::size_t>(header[2]) : 0;
+  const std::size_t count = header_count(header[0], "job", header_line);
+  const std::size_t m = header_count(header[1], "site", header_line);
+  const std::size_t event_count =
+      header.size() == 3 ? header_count(header[2], "event", header_line) : 0;
+  AMF_REQUIRE(m > 0, "trace needs at least one site (line 1)");
+
   Trace trace;
-  trace.capacities = read_csv_row(in, m);
+  trace.capacities = read_csv_row(in, m, line_no);
+  for (double c : trace.capacities)
+    AMF_REQUIRE(c >= 0.0, "trace capacities must be >= 0 (line 2)");
   trace.jobs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    auto row = read_csv_row(in, 2 + 2 * m);
+    const long row_line = line_no;
+    auto row = read_csv_row(in, 2 + 2 * m, line_no);
     TraceJob job;
     job.arrival = row[0];
     job.weight = row[1];
-    job.workloads.assign(row.begin() + 2, row.begin() + 2 + static_cast<std::ptrdiff_t>(m));
-    job.demands.assign(row.begin() + 2 + static_cast<std::ptrdiff_t>(m), row.end());
+    AMF_REQUIRE(job.arrival >= 0.0,
+                "job arrival must be >= 0 (line " + std::to_string(row_line) +
+                    ")");
+    AMF_REQUIRE(job.weight > 0.0,
+                "job weight must be > 0 (line " + std::to_string(row_line) +
+                    ")");
+    job.workloads.assign(row.begin() + 2,
+                         row.begin() + 2 + static_cast<std::ptrdiff_t>(m));
+    job.demands.assign(row.begin() + 2 + static_cast<std::ptrdiff_t>(m),
+                       row.end());
+    for (std::size_t s = 0; s < m; ++s) {
+      AMF_REQUIRE(job.workloads[s] >= 0.0,
+                  "job workloads must be >= 0 (line " +
+                      std::to_string(row_line) + ")");
+      AMF_REQUIRE(job.demands[s] >= 0.0,
+                  "job demands must be >= 0 (line " +
+                      std::to_string(row_line) + ")");
+    }
     trace.jobs.push_back(std::move(job));
   }
   trace.events.reserve(event_count);
   for (std::size_t i = 0; i < event_count; ++i) {
-    auto row = read_csv_row(in, 4);
+    const long row_line = line_no;
+    auto row = read_csv_row(in, 4, line_no);
     SiteEvent ev;
     ev.time = row[0];
+    AMF_REQUIRE(ev.time >= 0.0,
+                "event time must be >= 0 (line " + std::to_string(row_line) +
+                    ")");
+    AMF_REQUIRE(row[1] >= 0.0 && row[1] == std::floor(row[1]) &&
+                    row[1] < static_cast<double>(m),
+                "event site index out of range (line " +
+                    std::to_string(row_line) + ")");
     ev.site = static_cast<int>(row[1]);
-    const int kind = static_cast<int>(row[2]);
-    AMF_REQUIRE(kind >= 0 && kind <= 2, "trace event kind must be 0, 1 or 2");
-    ev.kind = static_cast<SiteEventKind>(kind);
+    AMF_REQUIRE(row[2] == 0.0 || row[2] == 1.0 || row[2] == 2.0,
+                "trace event kind must be 0, 1 or 2 (line " +
+                    std::to_string(row_line) + ")");
+    ev.kind = static_cast<SiteEventKind>(static_cast<int>(row[2]));
     ev.capacity_factor = row[3];
+    AMF_REQUIRE(ev.capacity_factor >= 0.0 && ev.capacity_factor <= 1.0,
+                "event capacity factor must be in [0, 1] (line " +
+                    std::to_string(row_line) + ")");
     trace.events.push_back(ev);
   }
   return trace;

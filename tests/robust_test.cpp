@@ -137,6 +137,7 @@ TEST(FallbackTier, NamesAreStable) {
   EXPECT_STREQ(to_string(FallbackTier::kBisection), "bisection");
   EXPECT_STREQ(to_string(FallbackTier::kReferenceLp), "reference-lp");
   EXPECT_STREQ(to_string(FallbackTier::kPerSite), "per-site");
+  EXPECT_STREQ(to_string(FallbackTier::kSalvage), "salvage");
 }
 
 }  // namespace
