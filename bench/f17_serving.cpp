@@ -1,0 +1,256 @@
+// F17 — Serving throughput and latency: concurrency x batch window.
+//
+// Multi-threaded loadgen against a real amf_serve endpoint (loopback
+// TCP): C blocking clients share one session and each runs an
+// add_job / solve / finish_job loop. Solves use latest:true — the
+// freshest-state mode a polling scheduler would use — because strict
+// solves are barriers for later deltas and so coalesce only with
+// adjacent solves, while latest solves absorb the whole batch. The
+// sweep crosses client concurrency with the session's coalescing
+// window, reporting throughput plus solve-latency percentiles
+// (p50/p99/p999) and the amortization ratio (solves served per
+// allocator call — the batching win). The expected shape: at
+// concurrency, a small window trades a bounded latency increase for a
+// large drop in allocator invocations; the unbatched column (window 0)
+// is the latency floor.
+//
+//   bench_f17_serving [--smoke] [--json PATH]
+//
+// CSV goes to stdout; a machine-readable summary is written to PATH
+// (default BENCH_serving.json). Exits non-zero if any configuration
+// fails to complete its sweep or serves zero solves (the CI gate).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+double percentile(std::vector<double>* sorted, double q) {
+  if (sorted->empty()) return 0.0;
+  std::sort(sorted->begin(), sorted->end());
+  const double pos = q * static_cast<double>(sorted->size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted->size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return (*sorted)[lo] * (1.0 - frac) + (*sorted)[hi] * frac;
+}
+
+struct SweepResult {
+  int concurrency = 0;
+  double window_ms = 0.0;
+  long long requests = 0;
+  long long solves_ok = 0;
+  long long overloaded = 0;
+  double elapsed_s = 0.0;
+  double p50_ms = 0.0, p99_ms = 0.0, p999_ms = 0.0;
+  long long solve_calls = 0;   ///< allocator invocations (this config)
+  long long solves_served = 0; ///< solve responses (this config)
+};
+
+SweepResult run_config(int concurrency, double window_ms, int iterations,
+                       int sites, int base_jobs) {
+  using namespace amf;
+  svc::ServerConfig config;
+  config.tcp_port = 0;
+  config.session.batch_window_ms = window_ms;
+  svc::Server server(config);
+  server.start();
+
+  const std::string session = "load";
+  {
+    svc::Client setup =
+        svc::Client::connect_tcp("127.0.0.1", server.tcp_port());
+    setup.create_session(session,
+                         std::vector<double>(static_cast<std::size_t>(sites),
+                                             1000.0));
+    std::mt19937_64 rng(99);
+    std::uniform_real_distribution<double> demand(1.0, 80.0);
+    for (int j = 0; j < base_jobs; ++j) {
+      std::vector<double> d(static_cast<std::size_t>(sites));
+      for (double& x : d) x = demand(rng);
+      setup.add_job(session, d);
+    }
+  }
+
+  const auto before = obs::Registry::global().snapshot();
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(concurrency));
+  std::vector<long long> oks(static_cast<std::size_t>(concurrency), 0);
+  std::vector<long long> sheds(static_cast<std::size_t>(concurrency), 0);
+  std::vector<long long> sent(static_cast<std::size_t>(concurrency), 0);
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(concurrency));
+  const auto start = Clock::now();
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      svc::Client client =
+          svc::Client::connect_tcp("127.0.0.1", server.tcp_port());
+      std::mt19937_64 rng(1000 + static_cast<std::uint64_t>(c));
+      std::uniform_real_distribution<double> demand(1.0, 80.0);
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(iterations));
+      for (int i = 0; i < iterations; ++i) {
+        std::vector<double> d(static_cast<std::size_t>(sites));
+        for (double& x : d) x = demand(rng);
+        try {
+          const long long job = client.add_job(session, d);
+          ++sent[static_cast<std::size_t>(c)];
+          const auto t0 = Clock::now();
+          client.solve(session, /*budget_ms=*/0.0, /*latest=*/true);
+          mine.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                  .count());
+          ++sent[static_cast<std::size_t>(c)];
+          ++oks[static_cast<std::size_t>(c)];
+          client.finish_job(session, job);
+          ++sent[static_cast<std::size_t>(c)];
+        } catch (const svc::SvcError& e) {
+          if (e.code() == svc::ErrorCode::kOverloaded)
+            ++sheds[static_cast<std::size_t>(c)];
+          else
+            throw;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  const auto after = obs::Registry::global().snapshot();
+  server.trigger_drain();
+  server.wait_drained();
+
+  SweepResult out;
+  out.concurrency = concurrency;
+  out.window_ms = window_ms;
+  out.elapsed_s = elapsed;
+  std::vector<double> all;
+  for (int c = 0; c < concurrency; ++c) {
+    const std::size_t idx = static_cast<std::size_t>(c);
+    out.requests += sent[idx];
+    out.solves_ok += oks[idx];
+    out.overloaded += sheds[idx];
+    all.insert(all.end(), latencies[idx].begin(), latencies[idx].end());
+  }
+  out.p50_ms = percentile(&all, 0.50);
+  out.p99_ms = percentile(&all, 0.99);
+  out.p999_ms = percentile(&all, 0.999);
+  out.solve_calls = after.counter("amf_svc_solve_calls_total") -
+                    before.counter("amf_svc_solve_calls_total");
+  out.solves_served = after.counter("amf_svc_solves_served_total") -
+                      before.counter("amf_svc_solves_served_total");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_f17_serving [--smoke] [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  const int sites = 8;
+  const int base_jobs = smoke ? 12 : 32;
+  const int iterations = smoke ? 25 : 150;
+  const std::vector<int> concurrencies =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16};
+  const std::vector<double> windows =
+      smoke ? std::vector<double>{0.0, 2.0} : std::vector<double>{0.0, 2.0, 10.0};
+
+  std::cout << "# F17: serving throughput/latency, concurrency x batch "
+               "window (loopback TCP, one shared session)\n"
+            << "# "
+            << (smoke ? "smoke sweep" : "full sweep")
+            << ": add_job+solve(latest)+finish_job per iteration; latency "
+               "is the blocking solve round-trip\n"
+            << "concurrency,window_ms,requests,throughput_rps,p50_ms,p99_ms,"
+               "p999_ms,overloaded,solve_calls,solves_served,amortization\n";
+
+  std::vector<SweepResult> results;
+  bool gate_ok = true;
+  for (int c : concurrencies) {
+    for (double w : windows) {
+      SweepResult r = run_config(c, w, iterations, sites, base_jobs);
+      results.push_back(r);
+      const double rps =
+          r.elapsed_s > 0.0 ? static_cast<double>(r.requests) / r.elapsed_s
+                            : 0.0;
+      const double amortization =
+          r.solve_calls > 0 ? static_cast<double>(r.solves_served) /
+                                  static_cast<double>(r.solve_calls)
+                            : 0.0;
+      std::cout << r.concurrency << "," << fmt(r.window_ms) << ","
+                << r.requests << "," << fmt(rps) << "," << fmt(r.p50_ms)
+                << "," << fmt(r.p99_ms) << "," << fmt(r.p999_ms) << ","
+                << r.overloaded << "," << r.solve_calls << ","
+                << r.solves_served << "," << fmt(amortization) << "\n";
+      if (r.solves_ok <= 0 || r.solves_served <= 0) gate_ok = false;
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"f17_serving\",\n  \"smoke\": "
+       << (smoke ? "true" : "false") << ",\n  \"sites\": " << sites
+       << ",\n  \"base_jobs\": " << base_jobs
+       << ",\n  \"iterations_per_client\": " << iterations
+       << ",\n  \"configs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    json << "    {\"concurrency\": " << r.concurrency
+         << ", \"window_ms\": " << fmt(r.window_ms)
+         << ", \"requests\": " << r.requests
+         << ", \"elapsed_s\": " << fmt(r.elapsed_s)
+         << ", \"throughput_rps\": "
+         << fmt(r.elapsed_s > 0.0
+                    ? static_cast<double>(r.requests) / r.elapsed_s
+                    : 0.0)
+         << ", \"p50_ms\": " << fmt(r.p50_ms)
+         << ", \"p99_ms\": " << fmt(r.p99_ms)
+         << ", \"p999_ms\": " << fmt(r.p999_ms)
+         << ", \"overloaded\": " << r.overloaded
+         << ", \"solve_calls\": " << r.solve_calls
+         << ", \"solves_served\": " << r.solves_served << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"all_configs_served\": " << (gate_ok ? "true" : "false")
+       << "\n}\n";
+  std::ofstream out(json_path);
+  out << json.str();
+  std::cerr << "# wrote " << json_path << "\n";
+
+  if (!gate_ok) {
+    std::cerr << "# GATE FAILED: a configuration served no solves\n";
+    return 3;
+  }
+  return 0;
+}

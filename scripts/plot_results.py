@@ -116,6 +116,8 @@ def plot_metrics(metrics_path, out_dir):
     plt.close(fig)
     print(f"wrote {out_png}")
 
+    plot_serving_histograms(snap, out_dir)
+
     events = snap.get("events", [])
     if not events:
         print("no per-event series in snapshot; skipping timeline plot")
@@ -141,6 +143,45 @@ def plot_metrics(metrics_path, out_dir):
     ax2.legend()
     fig.tight_layout()
     out_png = os.path.join(out_dir, "metrics_event_timeline.png")
+    fig.savefig(out_png, dpi=150)
+    plt.close(fig)
+    print(f"wrote {out_png}")
+
+
+# Serving-path latency histograms from an amf_serve scrape
+# (`amf_client stats`) or any snapshot that carries amf_svc_* metrics.
+SERVING_HISTOGRAMS = [
+    ("amf_svc_queue_wait_ms", "queue wait (ms)"),
+    ("amf_svc_solve_ms", "allocator wall time (ms)"),
+    ("amf_svc_turnaround_ms", "solve turnaround (ms)"),
+    ("amf_svc_batch_size", "requests per batch"),
+]
+
+
+def plot_serving_histograms(snap, out_dir):
+    histograms = snap.get("histograms", {})
+    present = [(name, label) for name, label in SERVING_HISTOGRAMS
+               if histograms.get(name, {}).get("count", 0) > 0]
+    if not present:
+        return
+    fig, axes = plt.subplots(len(present), 1,
+                             figsize=(7, 2.2 * len(present)), squeeze=False)
+    for ax, (name, label) in zip(axes[:, 0], present):
+        hist = histograms[name]
+        buckets = [b for b in hist.get("buckets", []) if b["count"] > 0]
+        edges = [str(b["le"]) for b in buckets]
+        counts = [b["count"] for b in buckets]
+        ax.bar(range(len(buckets)), counts)
+        ax.set_xticks(range(len(buckets)))
+        ax.set_xticklabels(edges, rotation=45, fontsize=7)
+        ax.set_ylabel("samples")
+        ax.set_title(f"{label}: mean {hist.get('mean', 0):.3g}, "
+                     f"max {hist.get('max', 0):.3g} "
+                     f"(n={hist.get('count', 0)})", fontsize=9)
+        ax.grid(True, axis="y", alpha=0.3)
+    axes[-1, 0].set_xlabel("bucket upper bound (le)")
+    fig.tight_layout()
+    out_png = os.path.join(out_dir, "metrics_serving_latency.png")
     fig.savefig(out_png, dpi=150)
     plt.close(fig)
     print(f"wrote {out_png}")

@@ -29,6 +29,11 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
     set -- --json "$OUT_DIR/BENCH_incremental.json"
   elif [ "$name" = "bench_f15_obs_overhead" ]; then
     set -- --json "$OUT_DIR/BENCH_obs.json"
+  elif [ "$name" = "bench_f17_serving" ]; then
+    # The serving loadgen spins up real sockets and client threads; the
+    # smoke sweep keeps the full-suite run fast while still writing the
+    # machine-readable summary.
+    set -- --smoke --json "$OUT_DIR/BENCH_serving.json"
   else
     set --
   fi

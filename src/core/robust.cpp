@@ -427,7 +427,10 @@ Allocation RobustAllocator::allocate_impl(const AllocationProblem& problem,
       }
     }
   }
-  AMF_ASSERT(false, "fallback chain exhausted");  // unreachable
+  // Unreachable: the per-site tier either serves or rethrows. A plain
+  // throw (not AMF_ASSERT) so -Wreturn-type sees the function never
+  // falls through even at -O0.
+  throw util::InternalError("fallback chain exhausted");
 }
 
 }  // namespace amf::core

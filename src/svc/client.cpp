@@ -1,0 +1,127 @@
+#include "svc/client.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace amf::svc {
+
+Client::Client(Socket sock) : sock_(std::move(sock)), reader_(sock_.fd()) {}
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(amf::svc::connect_unix(path));
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  return Client(amf::svc::connect_tcp(host, port));
+}
+
+std::string Client::call_line(const std::string& line) {
+  std::string framed = line;
+  if (framed.empty() || framed.back() != '\n') framed += '\n';
+  AMF_REQUIRE(sock_.send_all(framed), "client send failed (connection dead)");
+  std::string response;
+  const LineReader::Status status = reader_.read_line(&response);
+  AMF_REQUIRE(status == LineReader::Status::kLine,
+              "connection closed before a response arrived");
+  return response;
+}
+
+Json Client::call(Op op, const std::string& session, Json body) {
+  Json req = body.is_object() ? std::move(body) : Json::object();
+  const long long id = ++next_id_;
+  req.set("v", Json(kProtocolVersion));
+  req.set("id", Json(id));
+  req.set("op", Json(std::string(to_string(op))));
+  if (!session.empty()) req.set("session", Json(session));
+  std::string line = req.dump();
+  line += '\n';
+  AMF_REQUIRE(sock_.send_all(line), "client send failed (connection dead)");
+
+  while (true) {
+    std::string response;
+    const LineReader::Status status = reader_.read_line(&response);
+    AMF_REQUIRE(status == LineReader::Status::kLine,
+                "connection closed before a response arrived");
+    Json parsed = Json::parse(response);
+    if (parsed.number_or("id", -1.0) != static_cast<double>(id)) continue;
+    if (!parsed.bool_or("ok", false)) {
+      const Json* error = parsed.find("error");
+      const std::string code =
+          error != nullptr ? error->string_or("code", "internal") : "internal";
+      const std::string message =
+          error != nullptr ? error->string_or("message", "") : response;
+      throw SvcError(parse_error_code(code), message);
+    }
+    return parsed;
+  }
+}
+
+Json Client::create_session(const std::string& name,
+                            const std::vector<double>& capacities,
+                            Json overrides) {
+  Json body = overrides.is_object() ? std::move(overrides) : Json::object();
+  body.set("capacities", to_json(capacities));
+  return call(Op::kCreateSession, name, std::move(body));
+}
+
+long long Client::add_job(const std::string& session,
+                          const std::vector<double>& demands,
+                          const std::vector<double>& workloads,
+                          double weight) {
+  Json body = Json::object();
+  body.set("demands", to_json(demands));
+  if (!workloads.empty()) body.set("workloads", to_json(workloads));
+  body.set("weight", Json(weight));
+  Json response = call(Op::kAddJob, session, std::move(body));
+  const Json* job = response.find("job");
+  AMF_REQUIRE(job != nullptr && job->is_number(),
+              "add_job response lacks a job id");
+  return static_cast<long long>(job->as_number());
+}
+
+void Client::finish_job(const std::string& session, long long job) {
+  Json body = Json::object();
+  body.set("job", Json(job));
+  call(Op::kFinishJob, session, std::move(body));
+}
+
+void Client::site_event(const std::string& session, int site, double factor) {
+  Json body = Json::object();
+  body.set("site", Json(static_cast<long long>(site)));
+  body.set("capacity_factor", Json(factor));
+  call(Op::kSiteEvent, session, std::move(body));
+}
+
+void Client::set_capacity(const std::string& session, int site, double value) {
+  Json body = Json::object();
+  body.set("site", Json(static_cast<long long>(site)));
+  body.set("value", Json(value));
+  call(Op::kSetCapacity, session, std::move(body));
+}
+
+Json Client::solve(const std::string& session, double budget_ms, bool latest) {
+  Json body = Json::object();
+  if (budget_ms > 0.0) body.set("budget_ms", Json(budget_ms));
+  if (latest) body.set("latest", Json(true));
+  return call(Op::kSolve, session, std::move(body));
+}
+
+Json Client::snapshot(const std::string& session) {
+  return call(Op::kSnapshot, session);
+}
+
+Json Client::stats(const std::string& format) {
+  Json body = Json::object();
+  body.set("format", Json(format));
+  return call(Op::kStats, "", std::move(body));
+}
+
+Json Client::drain() { return call(Op::kDrain, ""); }
+
+bool Client::ping() {
+  Json response = call(Op::kPing, "");
+  return response.bool_or("pong", false);
+}
+
+}  // namespace amf::svc

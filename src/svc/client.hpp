@@ -1,0 +1,71 @@
+// client.hpp — blocking client for the amf_serve protocol.
+//
+// One Client wraps one connection and issues one request at a time:
+// call() sends a line and blocks until the response with the matching id
+// arrives (responses to other ids on the same connection are skipped —
+// they belong to a different Client sharing the socket, which this
+// blocking client never does, so in practice the next line is the
+// answer). Typed error responses are rethrown as SvcError with the
+// server's code, so callers branch on code() — e.g. kOverloaded for
+// load-shedding backoff.
+//
+// The convenience wrappers mirror the protocol ops one-to-one and return
+// the full response object (envelope included), so callers can read
+// "seq", "job", "tier", "allocation" as documented in DESIGN.md §11.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "svc/net.hpp"
+#include "svc/proto.hpp"
+
+namespace amf::svc {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, int port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Sends one request (v and id are filled in; op-specific parameters
+  /// come from `body`, which may be a null Json for none) and blocks for
+  /// the matching response. Throws SvcError on a typed error response and
+  /// util::ContractError when the connection dies.
+  Json call(Op op, const std::string& session, Json body = Json());
+
+  /// Raw round-trip for tests and the --raw client mode: sends the line
+  /// verbatim (appending '\n' when missing) and returns the next response
+  /// line from the server, unparsed.
+  std::string call_line(const std::string& line);
+
+  // Protocol ops. All throw SvcError on typed errors.
+  Json create_session(const std::string& name,
+                      const std::vector<double>& capacities,
+                      Json overrides = Json());
+  /// Returns the job's stable handle.
+  long long add_job(const std::string& session,
+                    const std::vector<double>& demands,
+                    const std::vector<double>& workloads = {},
+                    double weight = 1.0);
+  void finish_job(const std::string& session, long long job);
+  void site_event(const std::string& session, int site, double factor);
+  void set_capacity(const std::string& session, int site, double value);
+  Json solve(const std::string& session, double budget_ms = 0.0,
+             bool latest = false);
+  Json snapshot(const std::string& session);
+  Json stats(const std::string& format = "json");
+  Json drain();
+  bool ping();
+
+ private:
+  explicit Client(Socket sock);
+
+  Socket sock_;
+  LineReader reader_;
+  long long next_id_ = 0;
+};
+
+}  // namespace amf::svc

@@ -1,0 +1,101 @@
+// json.hpp — minimal JSON value for the serving protocol.
+//
+// The wire format of amf_serve is line-delimited JSON, so the service
+// needs a parser as well as the writers the obs exporters already have.
+// This is a deliberately small recursive-descent implementation with the
+// properties the protocol needs and nothing more:
+//
+//   * numbers are IEEE doubles, printed with %.17g so allocation values
+//     round-trip bit-exactly through a snapshot or a solve response;
+//   * object members keep insertion order (responses are stable byte
+//     streams, so tests can compare them literally);
+//   * parse() throws util::ContractError on malformed input with a byte
+//     offset — a framing layer maps that to a typed protocol error;
+//   * depth and size are bounded (kMaxDepth, and the caller bounds line
+//     length), so a hostile client cannot stack-overflow the server.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace amf::svc {
+
+/// One JSON value. Value-semantic; copying deep-copies.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Nesting bound enforced by parse(); deeper input is a contract error.
+  static constexpr int kMaxDepth = 64;
+
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  ///< null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(int v) : type_(Type::kNumber), num_(v) {}
+  Json(long long v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Json(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed reads; throw util::ContractError on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Convenience typed getters with defaults (object members only).
+  double number_or(std::string_view key, double fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+
+  /// Appends/sets members. set() keeps insertion order; re-setting an
+  /// existing key overwrites in place.
+  void set(std::string key, Json value);
+  void push_back(Json value);
+
+  /// Serializes to a single line (no whitespace). Doubles use %.17g;
+  /// non-finite numbers serialize as null (JSON has no inf/nan).
+  std::string dump() const;
+  void dump_to(std::string* out) const;
+
+  /// Parses exactly one JSON value spanning the whole input (trailing
+  /// whitespace allowed). Throws util::ContractError on any syntax
+  /// error, trailing garbage, or nesting deeper than kMaxDepth.
+  static Json parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Escapes and appends `s` as a JSON string literal (with quotes).
+void append_json_string(std::string* out, std::string_view s);
+
+}  // namespace amf::svc

@@ -1,0 +1,193 @@
+#include "svc/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "svc/proto.hpp"
+#include "util/error.hpp"
+
+namespace amf::svc {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw util::ContractError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::send_all(std::string_view data) const {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::shutdown_both() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+LineReader::Status LineReader::read_line(std::string* out) {
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return Status::kLine;
+    }
+    if (buffer_.size() > kMaxLineBytes) return Status::kOversized;
+    if (eof_) return buffer_.empty() ? Status::kEof : Status::kError;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::kError;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Socket listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  AMF_REQUIRE(path.size() < sizeof addr.sun_path,
+              "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) fail_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    fail_errno("bind(" + path + ")");
+  if (::listen(sock.fd(), 64) != 0) fail_errno("listen(" + path + ")");
+  return sock;
+}
+
+Socket listen_tcp(int port, int* bound_port) {
+  AMF_REQUIRE(port >= 0 && port <= 65535, "tcp port out of range");
+  AMF_REQUIRE(bound_port != nullptr, "bound_port is required");
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) fail_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    fail_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  if (::listen(sock.fd(), 64) != 0) fail_errno("listen");
+
+  sockaddr_in actual{};
+  socklen_t len = sizeof actual;
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual), &len) !=
+      0)
+    fail_errno("getsockname");
+  *bound_port = ntohs(actual.sin_port);
+  return sock;
+}
+
+Socket accept_connection(const Socket& listener) {
+  while (true) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      // Latency over bandwidth: responses are single small lines.
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Socket();
+  }
+}
+
+Socket connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  AMF_REQUIRE(path.size() < sizeof addr.sun_path,
+              "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) fail_errno("socket(AF_UNIX)");
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0)
+    fail_errno("connect(" + path + ")");
+  return sock;
+}
+
+Socket connect_tcp(const std::string& host, int port) {
+  AMF_REQUIRE(port > 0 && port <= 65535, "tcp port out of range");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw util::ContractError("connect: invalid IPv4 address " + host);
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) fail_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0)
+    fail_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  return sock;
+}
+
+bool wait_readable(int fd, int wake_fd) {
+  pollfd fds[2];
+  fds[0].fd = fd;
+  fds[0].events = POLLIN;
+  fds[1].fd = wake_fd;
+  fds[1].events = POLLIN;
+  while (true) {
+    const int n = ::poll(fds, wake_fd >= 0 ? 2 : 1, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (wake_fd >= 0 && (fds[1].revents & (POLLIN | POLLERR | POLLHUP)) != 0)
+      return false;
+    if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) != 0) return true;
+  }
+}
+
+}  // namespace amf::svc

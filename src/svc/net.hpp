@@ -1,0 +1,85 @@
+// net.hpp — minimal POSIX stream-socket plumbing for the service.
+//
+// The service listens on a Unix-domain socket (the default: local,
+// filesystem-permissioned) or a loopback TCP port, and both ends frame
+// messages as '\n'-terminated lines (see proto.hpp). This header wraps
+// exactly the POSIX surface the server and client need: RAII fds,
+// EINTR-safe full writes (MSG_NOSIGNAL — a dead peer yields an error
+// return, never SIGPIPE), and a buffered line reader with the protocol's
+// hard line-length bound so a hostile peer cannot grow a buffer without
+// terminating a line.
+//
+// Setup failures (bind, listen, connect) throw util::ContractError with
+// the errno string; steady-state I/O failures are status returns, because
+// a disconnecting client is normal operation for a server.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace amf::svc {
+
+/// Move-only RAII file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes the whole buffer (EINTR-safe, SIGPIPE-free). False on any
+  /// error — the connection is then dead.
+  bool send_all(std::string_view data) const;
+
+  /// Half-closes both directions, unblocking any reader. Keeps the fd.
+  void shutdown_both() const;
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Buffered '\n'-line reader over a socket.
+class LineReader {
+ public:
+  enum class Status { kLine, kEof, kError, kOversized };
+
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Blocks until one full line (without the '\n') is available. kEof on
+  /// orderly close, kOversized when a line exceeds kMaxLineBytes (the
+  /// caller must drop the connection: framing is lost).
+  Status read_line(std::string* out);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// Binds + listens on a Unix-domain socket, replacing a stale file at
+/// `path`. Throws util::ContractError on failure (e.g. path too long).
+Socket listen_unix(const std::string& path);
+
+/// Binds + listens on loopback TCP. `port` 0 picks an ephemeral port;
+/// `*bound_port` (required) receives the actual one.
+Socket listen_tcp(int port, int* bound_port);
+
+/// Accepts one connection; invalid socket on error (listener closed).
+Socket accept_connection(const Socket& listener);
+
+Socket connect_unix(const std::string& path);
+Socket connect_tcp(const std::string& host, int port);
+
+/// Blocks until `fd` is readable or `wake_fd` has data (drain trigger).
+/// Returns false when the wait says shut down (wake_fd fired or error).
+bool wait_readable(int fd, int wake_fd);
+
+}  // namespace amf::svc

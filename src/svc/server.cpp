@@ -1,0 +1,319 @@
+#include "svc/server.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "util/error.hpp"
+
+namespace amf::svc {
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  int fds[2];
+  AMF_REQUIRE(::pipe(fds) == 0, "self-pipe creation failed");
+  wake_read_ = fds[0];
+  wake_write_ = fds[1];
+}
+
+Server::~Server() {
+  trigger_drain();
+  wait_drained();
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+}
+
+bool Server::Conn::write(const std::string& line) {
+  std::lock_guard<std::mutex> lock(write_mu);
+  return sock.send_all(line);
+}
+
+void Server::add_session(std::unique_ptr<Session> session) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const std::string& name = session->name();
+  if (!sessions_.emplace(name, std::move(session)).second)
+    throw SvcError(ErrorCode::kSessionExists,
+                   "session \"" + name + "\" already exists");
+}
+
+void Server::restore_from_file(const std::string& path) {
+  AMF_REQUIRE(!started_, "restore_from_file must run before start()");
+  std::ifstream in(path);
+  AMF_REQUIRE(in.good(), "cannot open restore file " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  Json root = Json::parse(text.str());
+  AMF_REQUIRE(root.is_object() &&
+                  root.number_or("v", 0.0) ==
+                      static_cast<double>(kProtocolVersion),
+              "restore file " + path + " is not a v" +
+                  std::to_string(kProtocolVersion) + " snapshot");
+  const Json* sessions = root.find("sessions");
+  AMF_REQUIRE(sessions != nullptr && sessions->is_array(),
+              "restore file has no sessions array");
+  for (const Json& entry : sessions->as_array()) {
+    const std::string name = entry.string_or("session", "");
+    AMF_REQUIRE(!name.empty(), "restore entry lacks a session name");
+    add_session(std::make_unique<Session>(name, problem_from_json(entry),
+                                          config_.session));
+  }
+}
+
+void Server::start() {
+  AMF_REQUIRE(!started_, "server already started");
+  if (!config_.unix_path.empty()) {
+    listener_ = listen_unix(config_.unix_path);
+  } else {
+    listener_ = listen_tcp(config_.tcp_port, &bound_port_);
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::trigger_drain() {
+  // Async-signal-safe: one write() to the self pipe, nothing else.
+  const char byte = 'd';
+  [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
+}
+
+void Server::accept_loop() {
+  while (wait_readable(listener_.fd(), wake_read_)) {
+    Socket conn_sock = accept_connection(listener_);
+    if (!conn_sock.valid()) break;
+    auto conn = std::make_shared<Conn>();
+    conn->sock = std::move(conn_sock);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (draining_.load(std::memory_order_acquire)) return;
+    conns_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn = std::move(conn)] { connection_loop(conn); });
+  }
+}
+
+void Server::connection_loop(std::shared_ptr<Conn> conn) {
+  LineReader reader(conn->sock.fd());
+  std::string line;
+  while (true) {
+    const LineReader::Status status = reader.read_line(&line);
+    if (status == LineReader::Status::kLine) {
+      if (line.empty()) continue;
+      handle_line(conn, line);
+      continue;
+    }
+    if (status == LineReader::Status::kOversized)
+      conn->write(error_line(0.0, ErrorCode::kBadRequest,
+                             "request line exceeds the protocol limit"));
+    break;  // kEof / kError / kOversized all end the connection
+  }
+  conn->sock.shutdown_both();
+}
+
+void Server::handle_line(const std::shared_ptr<Conn>& conn,
+                         const std::string& line) {
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const SvcError& e) {
+    conn->write(error_line(0.0, e.code(), e.what()));
+    return;
+  }
+  SvcMetrics::get().request_counter(req.op).add();
+
+  try {
+    switch (req.op) {
+      case Op::kPing: {
+        Json out = Json::object();
+        out.set("pong", Json(true));
+        conn->write(ok_line(req.id, out));
+        return;
+      }
+      case Op::kCreateSession:
+        handle_create_session(req, conn);
+        return;
+      case Op::kStats:
+        handle_stats(req, conn);
+        return;
+      case Op::kDrain: {
+        Json out = Json::object();
+        out.set("draining", Json(true));
+        conn->write(ok_line(req.id, out));
+        trigger_drain();
+        return;
+      }
+      default:
+        break;  // session ops
+    }
+
+    if (draining_.load(std::memory_order_acquire))
+      throw SvcError(ErrorCode::kDraining, "server is draining");
+    if (req.session.empty())
+      throw SvcError(ErrorCode::kBadRequest,
+                     std::string("op ") + to_string(req.op) +
+                         " needs a \"session\"");
+    Session* session = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      auto it = sessions_.find(req.session);
+      if (it == sessions_.end())
+        throw SvcError(ErrorCode::kNoSession,
+                       "no session \"" + req.session + "\"");
+      session = it->second.get();
+    }
+    // Sessions outlive connections: they are destroyed only by the
+    // drain, which first joins every connection thread.
+    const double id = req.id;
+    session->submit(req, [conn, id](std::string response) {
+      (void)id;
+      conn->write(response);
+    });
+  } catch (const SvcError& e) {
+    conn->write(error_line(req.id, e.code(), e.what()));
+  } catch (const std::exception& e) {
+    conn->write(error_line(req.id, ErrorCode::kInternal, e.what()));
+  }
+}
+
+void Server::handle_create_session(const Request& req,
+                                   const std::shared_ptr<Conn>& conn) {
+  if (draining_.load(std::memory_order_acquire))
+    throw SvcError(ErrorCode::kDraining, "server is draining");
+  if (req.session.empty())
+    throw SvcError(ErrorCode::kBadRequest,
+                   "create_session needs a \"session\" name");
+  SessionConfig cfg = config_.session;
+  cfg.batch_window_ms =
+      req.body.number_or("batch_window_ms", cfg.batch_window_ms);
+  cfg.default_budget_ms =
+      req.body.number_or("default_budget_ms", cfg.default_budget_ms);
+  cfg.policy = req.body.string_or("policy", cfg.policy);
+  if (!(cfg.batch_window_ms >= 0.0) || !(cfg.default_budget_ms >= 0.0))
+    throw SvcError(ErrorCode::kBadRequest,
+                   "window/budget overrides must be >= 0");
+
+  std::unique_ptr<Session> session;
+  long long sites = 0;
+  long long jobs = 0;
+  const Json* snapshot = req.body.find("snapshot");
+  if (snapshot != nullptr) {
+    ProblemSnapshot snap = problem_from_json(*snapshot);
+    sites = snap.problem.sites();
+    jobs = snap.problem.jobs();
+    session = std::make_unique<Session>(req.session, std::move(snap), cfg);
+  } else {
+    const Json* capacities = req.body.find("capacities");
+    if (capacities == nullptr)
+      throw SvcError(ErrorCode::kBadRequest,
+                     "create_session needs capacities (or a snapshot)");
+    auto caps = number_array(*capacities, -1, "capacities");
+    sites = static_cast<long long>(caps.size());
+    session = std::make_unique<Session>(req.session, std::move(caps), cfg);
+  }
+  add_session(std::move(session));
+  Json out = Json::object();
+  out.set("session", Json(req.session));
+  out.set("sites", Json(sites));
+  out.set("jobs", Json(jobs));
+  conn->write(ok_line(req.id, out));
+}
+
+void Server::handle_stats(const Request& req,
+                          const std::shared_ptr<Conn>& conn) {
+  const std::string format = req.body.string_or("format", "json");
+  Json out = Json::object();
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  if (format == "prometheus") {
+    out.set("content_type", Json(std::string("text/plain; version=0.0.4")));
+    out.set("text", Json(obs::to_prometheus_text(snap)));
+  } else if (format == "json") {
+    // Embed the exporter's JSON verbatim (it is already valid JSON).
+    out.set("metrics", Json::parse(obs::to_metrics_json(snap)));
+  } else {
+    throw SvcError(ErrorCode::kBadRequest,
+                   "stats format must be json or prometheus");
+  }
+  Json sessions = Json::array();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& [name, session] : sessions_)
+      sessions.push_back(session->info_json());
+  }
+  out.set("sessions", std::move(sessions));
+  out.set("draining", Json(draining_.load(std::memory_order_acquire)));
+  conn->write(ok_line(req.id, out));
+}
+
+void Server::wait_drained() {
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    if (drain_done_) return;
+    if (drain_running_) {
+      drain_cv_.wait(lock, [this] { return drain_done_; });
+      return;
+    }
+    drain_running_ = true;
+  }
+
+  // Block until a trigger arrives (the pipe may already have bytes).
+  char buf[16];
+  while (true) {
+    const ssize_t n = ::read(wake_read_, buf, sizeof buf);
+    if (n > 0) break;
+    if (n < 0 && errno == EINTR) continue;
+    break;  // pipe closed — treat as a trigger
+  }
+  perform_drain();
+
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  drain_done_ = true;
+  drain_cv_.notify_all();
+}
+
+void Server::perform_drain() {
+  draining_.store(true, std::memory_order_release);
+
+  // 1. Stop accepting. The accept loop watches the same pipe; closing the
+  // listener also unblocks a racing accept().
+  listener_.shutdown_both();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+
+  // 2. Serve all queued work. Sessions reply through still-open
+  // connections; new submissions get typed `draining` errors.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& [name, session] : sessions_) session->drain();
+  }
+
+  // 3. Persist the drained state.
+  if (!config_.snapshot_path.empty()) {
+    Json root = Json::object();
+    root.set("v", Json(kProtocolVersion));
+    Json sessions = Json::array();
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (auto& [name, session] : sessions_)
+        sessions.push_back(session->snapshot_json_after_drain());
+    }
+    root.set("sessions", std::move(sessions));
+    obs::write_text_file(config_.snapshot_path, root.dump() + "\n");
+  }
+
+  // 4. Close connections and join their threads.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& weak : conns_)
+      if (auto conn = weak.lock()) conn->sock.shutdown_both();
+  }
+  for (std::thread& t : conn_threads_)
+    if (t.joinable()) t.join();
+
+  // 5. Tear down sessions (queues are empty; workers already joined).
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.clear();
+}
+
+}  // namespace amf::svc

@@ -1,0 +1,122 @@
+// server.hpp — the amf_serve daemon core: listener, connection threads,
+// session registry, graceful drain.
+//
+// The server listens on a Unix-domain socket or loopback TCP, accepts
+// connections on a dedicated thread, and runs one reader thread per
+// connection. Request lines are parsed and dispatched: server ops
+// (create_session / stats / drain / ping) are handled inline on the
+// connection thread; session ops are forwarded to the named Session,
+// whose worker replies through a per-connection write lock (responses
+// from different sessions interleave safely on one connection, matched
+// by request id).
+//
+// ## Drain
+//
+// trigger_drain() is async-signal-safe (it writes one byte to a self
+// pipe); the SIGTERM handler and the `drain` op both call it. The thread
+// in wait_drained() then performs the drain exactly once:
+//   1. stop accepting (the accept loop watches the same pipe),
+//   2. refuse new session work with typed `draining` errors,
+//   3. drain every session (queued work is served, never dropped),
+//   4. write the snapshot file (config.snapshot_path) — reloadable via
+//      `amf_serve --restore`,
+//   5. close connections and join all threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/net.hpp"
+#include "svc/session.hpp"
+
+namespace amf::svc {
+
+struct ServerConfig {
+  /// Unix-domain socket path; non-empty selects AF_UNIX.
+  std::string unix_path;
+  /// Loopback TCP port (0 = ephemeral); used when unix_path is empty.
+  int tcp_port = 0;
+  /// Defaults for new sessions (create_session may override
+  /// batch_window_ms and policy).
+  SessionConfig session;
+  /// Where the graceful drain writes the sessions snapshot ("" = skip).
+  std::string snapshot_path;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  /// Triggers and completes a drain if one has not run yet.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Loads a drain-snapshot file (sessions are recreated with the
+  /// server's default SessionConfig). Call before start().
+  void restore_from_file(const std::string& path);
+
+  /// Binds the listener and spawns the accept thread.
+  void start();
+
+  /// The bound TCP port (after start(); -1 on a unix-socket server).
+  int tcp_port() const { return bound_port_; }
+  const std::string& unix_path() const { return config_.unix_path; }
+
+  /// Requests a graceful drain. Async-signal-safe (signal handlers may
+  /// call it); returns immediately.
+  void trigger_drain();
+
+  /// Blocks until a drain is triggered, then performs it (first caller
+  /// does the work; later callers wait for completion).
+  void wait_drained();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::mutex write_mu;
+    /// Serialized full-line write; false once the connection is dead.
+    bool write(const std::string& line);
+  };
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Conn> conn);
+  void handle_line(const std::shared_ptr<Conn>& conn, const std::string& line);
+  void handle_create_session(const Request& req,
+                             const std::shared_ptr<Conn>& conn);
+  void handle_stats(const Request& req, const std::shared_ptr<Conn>& conn);
+  void perform_drain();
+  void add_session(std::unique_ptr<Session> session);
+
+  ServerConfig config_;
+  Socket listener_;
+  int bound_port_ = -1;
+  int wake_read_ = -1;   ///< self-pipe: accept loop + wait_drained watch it
+  int wake_write_ = -1;  ///< trigger_drain writes here (async-signal-safe)
+
+  std::mutex sessions_mu_;
+  std::map<std::string, std::unique_ptr<Session>> sessions_;
+
+  std::mutex conns_mu_;
+  std::vector<std::weak_ptr<Conn>> conns_;
+  std::vector<std::thread> conn_threads_;
+
+  std::thread accept_thread_;
+  std::atomic<bool> draining_{false};
+  bool started_ = false;
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  bool drain_done_ = false;
+  bool drain_running_ = false;
+};
+
+}  // namespace amf::svc

@@ -1,0 +1,568 @@
+#include "svc/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "core/amf.hpp"
+#include "core/eamf.hpp"
+#include "core/persite.hpp"
+#include "util/deadline.hpp"
+#include "util/error.hpp"
+
+namespace amf::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start, Clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+bool is_delta_op(Op op) {
+  return op == Op::kAddJob || op == Op::kFinishJob || op == Op::kSiteEvent ||
+         op == Op::kSetCapacity;
+}
+
+std::unique_ptr<core::Allocator> make_policy(const std::string& name) {
+  if (name == "amf") return std::make_unique<core::AmfAllocator>();
+  if (name == "eamf") return std::make_unique<core::EnhancedAmfAllocator>();
+  if (name == "psmf") return std::make_unique<core::PerSiteMaxMin>();
+  throw SvcError(ErrorCode::kBadRequest,
+                 "unknown policy \"" + name + "\" (amf|eamf|psmf)");
+}
+
+}  // namespace
+
+SvcMetrics& SvcMetrics::get() {
+  static SvcMetrics m = [] {
+    auto& reg = obs::Registry::global();
+    SvcMetrics out;
+    out.requests_create_session = reg.counter(
+        "amf_svc_requests_total_create_session", "create_session requests");
+    out.requests_add_job =
+        reg.counter("amf_svc_requests_total_add_job", "add_job requests");
+    out.requests_finish_job =
+        reg.counter("amf_svc_requests_total_finish_job", "finish_job requests");
+    out.requests_site_event =
+        reg.counter("amf_svc_requests_total_site_event", "site_event requests");
+    out.requests_set_capacity = reg.counter(
+        "amf_svc_requests_total_set_capacity", "set_capacity requests");
+    out.requests_solve =
+        reg.counter("amf_svc_requests_total_solve", "solve requests");
+    out.requests_snapshot =
+        reg.counter("amf_svc_requests_total_snapshot", "snapshot requests");
+    out.requests_stats =
+        reg.counter("amf_svc_requests_total_stats", "stats requests");
+    out.requests_drain =
+        reg.counter("amf_svc_requests_total_drain", "drain requests");
+    out.requests_ping =
+        reg.counter("amf_svc_requests_total_ping", "ping requests");
+    out.rejects = reg.counter(
+        "amf_svc_rejects_total",
+        "requests shed by admission control (typed overloaded responses)");
+    out.batches =
+        reg.counter("amf_svc_batches_total", "request batches drained");
+    out.solve_calls = reg.counter("amf_svc_solve_calls_total",
+                                  "allocator invocations by the service");
+    out.solves_served =
+        reg.counter("amf_svc_solves_served_total",
+                    "solve responses (exceeds solve_calls under coalescing)");
+    out.cache_hits =
+        reg.counter("amf_svc_solve_cache_hits_total",
+                    "solves served from the unchanged-state result cache");
+    out.batch_size =
+        reg.histogram("amf_svc_batch_size", "requests per drained batch");
+    out.queue_wait_ms = reg.histogram(
+        "amf_svc_queue_wait_ms", "request queue wait before processing (ms)");
+    out.solve_ms =
+        reg.histogram("amf_svc_solve_ms", "allocator wall time per call (ms)");
+    out.turnaround_ms = reg.histogram(
+        "amf_svc_turnaround_ms", "solve enqueue-to-response latency (ms)");
+    return out;
+  }();
+  return m;
+}
+
+obs::Counter& SvcMetrics::request_counter(Op op) {
+  switch (op) {
+    case Op::kCreateSession: return requests_create_session;
+    case Op::kAddJob: return requests_add_job;
+    case Op::kFinishJob: return requests_finish_job;
+    case Op::kSiteEvent: return requests_site_event;
+    case Op::kSetCapacity: return requests_set_capacity;
+    case Op::kSolve: return requests_solve;
+    case Op::kSnapshot: return requests_snapshot;
+    case Op::kStats: return requests_stats;
+    case Op::kDrain: return requests_drain;
+    case Op::kPing: return requests_ping;
+  }
+  return requests_ping;
+}
+
+Session::Session(std::string name, std::vector<double> capacities,
+                 SessionConfig config)
+    : name_(std::move(name)), config_(std::move(config)) {
+  AMF_REQUIRE(config_.max_queue_depth >= 1, "max_queue_depth must be >= 1");
+  for (double c : capacities)
+    if (!std::isfinite(c) || c < 0.0)
+      throw SvcError(ErrorCode::kBadRequest,
+                     "capacities must be finite and >= 0");
+  if (capacities.empty())
+    throw SvcError(ErrorCode::kBadRequest, "session needs at least one site");
+  nominal_capacities_ = capacities;
+  site_factors_.assign(capacities.size(), 1.0);
+  problem_ = core::AllocationProblem({}, std::move(capacities));
+  base_policy_ = make_policy(config_.policy);
+  robust_ = std::make_unique<core::RobustAllocator>(*base_policy_);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Session::Session(std::string name, ProblemSnapshot snapshot,
+                 SessionConfig config)
+    : name_(std::move(name)), config_(std::move(config)) {
+  AMF_REQUIRE(config_.max_queue_depth >= 1, "max_queue_depth must be >= 1");
+  problem_ = std::move(snapshot.problem);
+  nominal_capacities_ = std::move(snapshot.nominal_capacities);
+  if (nominal_capacities_.size() !=
+      static_cast<std::size_t>(problem_.sites()))
+    throw SvcError(ErrorCode::kBadRequest,
+                   "snapshot nominal capacity width mismatch");
+  if (snapshot.job_ids.size() != static_cast<std::size_t>(problem_.jobs()))
+    throw SvcError(ErrorCode::kBadRequest, "snapshot job id count mismatch");
+  job_ids_ = std::move(snapshot.job_ids);
+  site_factors_.assign(nominal_capacities_.size(), 1.0);
+  for (std::size_t s = 0; s < nominal_capacities_.size(); ++s)
+    if (nominal_capacities_[s] > 0.0)
+      site_factors_[s] =
+          problem_.capacity(static_cast<int>(s)) / nominal_capacities_[s];
+  for (long long id : job_ids_) {
+    if (!projected_alive_.insert(id).second)
+      throw SvcError(ErrorCode::kBadRequest, "snapshot has duplicate job ids");
+    next_job_id_ = std::max(next_job_id_, id + 1);
+  }
+  if (problem_.jobs() > 0)
+    workloads_mode_ = problem_.has_workloads() ? 1 : 0;
+  base_policy_ = make_policy(config_.policy);
+  robust_ = std::make_unique<core::RobustAllocator>(*base_policy_);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Session::~Session() {
+  std::deque<Item> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    cv_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(queue_);
+  }
+  for (const Item& item : leftovers)
+    if (item.respond)
+      item.respond(error_line(item.req.id, ErrorCode::kDraining,
+                              "session stopped before serving this request"));
+}
+
+void Session::submit(const Request& req, Responder respond) {
+  auto& metrics = SvcMetrics::get();
+  Item item;
+  item.req = req;
+  item.respond = std::move(respond);
+  item.enqueued = Clock::now();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_ || stopped_) {
+    lock.unlock();
+    item.respond(error_line(req.id, ErrorCode::kDraining,
+                            "session \"" + name_ + "\" is draining"));
+    return;
+  }
+  if (queue_.size() >= config_.max_queue_depth) {
+    lock.unlock();
+    metrics.rejects.add();
+    item.respond(error_line(
+        req.id, ErrorCode::kOverloaded,
+        "session \"" + name_ + "\" queue full (depth " +
+            std::to_string(config_.max_queue_depth) + ")"));
+    return;
+  }
+
+  if (is_delta_op(req.op)) {
+    Json ack;
+    try {
+      validate_delta_locked(req, &item);
+      ++enqueued_seq_;
+      ack = Json::object();
+      ack.set("seq", Json(enqueued_seq_));
+      if (req.op == Op::kAddJob) ack.set("job", Json(item.job_id));
+    } catch (const SvcError& e) {
+      lock.unlock();
+      item.respond(error_line(req.id, e.code(), e.what()));
+      return;
+    }
+    // ACK at admission: the delta is now owed to every later solve. The
+    // queued copy carries no responder — the worker never replies to
+    // deltas, and teardown must not reply twice.
+    Responder respond_ack = std::move(item.respond);
+    item.respond = nullptr;
+    queue_.push_back(std::move(item));
+    cv_.notify_all();
+    lock.unlock();
+    respond_ack(ok_line(req.id, ack));
+    return;
+  }
+
+  if (req.op == Op::kSolve) {
+    item.budget_ms = req.body.number_or("budget_ms", config_.default_budget_ms);
+    if (!std::isfinite(item.budget_ms) || item.budget_ms < 0.0) {
+      lock.unlock();
+      item.respond(error_line(req.id, ErrorCode::kBadRequest,
+                              "budget_ms must be finite and >= 0"));
+      return;
+    }
+    item.latest = req.body.bool_or("latest", false);
+  } else if (req.op != Op::kSnapshot) {
+    lock.unlock();
+    item.respond(error_line(req.id, ErrorCode::kBadRequest,
+                            std::string("op ") + to_string(req.op) +
+                                " is not a session op"));
+    return;
+  }
+  queue_.push_back(std::move(item));
+  cv_.notify_all();
+}
+
+void Session::validate_delta_locked(const Request& req, Item* item) {
+  const int m = static_cast<int>(nominal_capacities_.size());
+  const Json& body = req.body;
+  switch (req.op) {
+    case Op::kAddJob: {
+      const Json* demands = body.find("demands");
+      if (demands == nullptr)
+        throw SvcError(ErrorCode::kBadRequest, "add_job needs demands");
+      auto d = number_array(*demands, m, "demands");
+      for (double x : d)
+        if (x < 0.0)
+          throw SvcError(ErrorCode::kBadRequest, "demands must be >= 0");
+      const Json* workloads = body.find("workloads");
+      const bool with_workloads = workloads != nullptr;
+      if (workloads_mode_ >= 0 && with_workloads != (workloads_mode_ == 1))
+        throw SvcError(ErrorCode::kBadRequest,
+                       "all jobs of a session must agree on carrying "
+                       "workloads");
+      if (with_workloads) {
+        auto w = number_array(*workloads, m, "workloads");
+        for (int s = 0; s < m; ++s) {
+          if (w[static_cast<std::size_t>(s)] < 0.0)
+            throw SvcError(ErrorCode::kBadRequest, "workloads must be >= 0");
+          if (w[static_cast<std::size_t>(s)] > 0.0 &&
+              d[static_cast<std::size_t>(s)] <= 0.0)
+            throw SvcError(ErrorCode::kBadRequest,
+                           "positive workload requires a positive demand cap");
+        }
+      }
+      const double weight = body.number_or("weight", 1.0);
+      if (!std::isfinite(weight) || weight <= 0.0)
+        throw SvcError(ErrorCode::kBadRequest, "weight must be finite, > 0");
+      item->job_id = next_job_id_++;
+      projected_alive_.insert(item->job_id);
+      if (workloads_mode_ < 0) workloads_mode_ = with_workloads ? 1 : 0;
+      return;
+    }
+    case Op::kFinishJob: {
+      const Json* job = body.find("job");
+      if (job == nullptr || !job->is_number())
+        throw SvcError(ErrorCode::kBadRequest, "finish_job needs a job id");
+      const long long id = static_cast<long long>(job->as_number());
+      if (projected_alive_.erase(id) == 0)
+        throw SvcError(ErrorCode::kBadRequest,
+                       "unknown job id " + std::to_string(id));
+      item->job_id = id;
+      return;
+    }
+    case Op::kSiteEvent: {
+      const double site = body.number_or("site", -1.0);
+      const double factor = body.number_or("capacity_factor", -1.0);
+      if (site < 0.0 || site >= static_cast<double>(m) ||
+          site != std::floor(site))
+        throw SvcError(ErrorCode::kBadRequest, "site index out of range");
+      if (!std::isfinite(factor) || factor < 0.0)
+        throw SvcError(ErrorCode::kBadRequest,
+                       "capacity_factor must be finite and >= 0");
+      return;
+    }
+    case Op::kSetCapacity: {
+      const double site = body.number_or("site", -1.0);
+      const Json* value = body.find("value");
+      if (site < 0.0 || site >= static_cast<double>(m) ||
+          site != std::floor(site))
+        throw SvcError(ErrorCode::kBadRequest, "site index out of range");
+      if (value == nullptr || !value->is_number() ||
+          !std::isfinite(value->as_number()) || value->as_number() < 0.0)
+        throw SvcError(ErrorCode::kBadRequest,
+                       "set_capacity needs a finite value >= 0");
+      return;
+    }
+    default:
+      throw SvcError(ErrorCode::kBadRequest, "not a delta op");
+  }
+}
+
+void Session::apply_delta(const Item& item) {
+  const Json& body = item.req.body;
+  core::ProblemDelta delta;
+  switch (item.req.op) {
+    case Op::kAddJob: {
+      const int m = static_cast<int>(nominal_capacities_.size());
+      auto demands = number_array(*body.find("demands"), m, "demands");
+      std::vector<double> workloads;
+      const Json* w = body.find("workloads");
+      if (w != nullptr) workloads = number_array(*w, m, "workloads");
+      delta = core::ProblemDelta::job_arrived(std::move(demands),
+                                              std::move(workloads),
+                                              body.number_or("weight", 1.0));
+      job_ids_.push_back(item.job_id);
+      break;
+    }
+    case Op::kFinishJob: {
+      const auto row = std::find(job_ids_.begin(), job_ids_.end(),
+                                 item.job_id);
+      AMF_ASSERT(row != job_ids_.end(), "admitted job id lost");
+      delta = core::ProblemDelta::job_departed(
+          static_cast<int>(row - job_ids_.begin()));
+      job_ids_.erase(row);
+      break;
+    }
+    case Op::kSiteEvent: {
+      const int site = static_cast<int>(body.number_or("site", 0.0));
+      const double factor = body.number_or("capacity_factor", 1.0);
+      site_factors_[static_cast<std::size_t>(site)] = factor;
+      delta = core::ProblemDelta::site_capacity(
+          site, nominal_capacities_[static_cast<std::size_t>(site)] * factor);
+      break;
+    }
+    case Op::kSetCapacity: {
+      const int site = static_cast<int>(body.number_or("site", 0.0));
+      const double value = body.find("value")->as_number();
+      nominal_capacities_[static_cast<std::size_t>(site)] = value;
+      site_factors_[static_cast<std::size_t>(site)] = 1.0;
+      delta = core::ProblemDelta::site_capacity(site, value);
+      break;
+    }
+    default:
+      AMF_ASSERT(false, "apply_delta on a non-delta op");
+  }
+  problem_ = std::move(problem_).apply(delta);
+  workspace_.apply(delta);
+  ++seq_;
+}
+
+Json Session::solve_result_json(const Item& item) const {
+  Json out = Json::object();
+  out.set("seq", Json(last_solve_seq_));
+  if (!last_tier_.empty()) out.set("tier", Json(last_tier_));
+  if (item.budget_ms > 0.0) out.set("budget_ms", Json(item.budget_ms));
+  out.set("allocation", allocation_to_json(last_allocation_, job_ids_));
+  return out;
+}
+
+void Session::serve_run(std::vector<Item>* run) {
+  auto& metrics = SvcMetrics::get();
+  const auto start = Clock::now();
+
+  // Admission control, serve-side: shed aged-out and deadline-expired
+  // solves with the typed overloaded response before doing any work.
+  std::vector<Item> kept;
+  kept.reserve(run->size());
+  for (Item& item : *run) {
+    if (item.req.op != Op::kSolve) {
+      kept.push_back(std::move(item));
+      continue;
+    }
+    const double wait = ms_since(item.enqueued, start);
+    const bool aged =
+        config_.max_queue_age_ms > 0.0 && wait > config_.max_queue_age_ms;
+    const bool expired = item.budget_ms > 0.0 && wait >= item.budget_ms;
+    if (aged || expired) {
+      metrics.rejects.add();
+      item.respond(error_line(
+          item.req.id, ErrorCode::kOverloaded,
+          aged ? "solve shed: queue wait exceeded max_queue_age_ms"
+               : "solve shed: request deadline expired while queued"));
+      continue;
+    }
+    kept.push_back(std::move(item));
+  }
+
+  bool solved_this_run = false;
+  for (Item& item : kept) {
+    if (item.req.op == Op::kSnapshot) {
+      Json out = Json::object();
+      out.set("snapshot", snapshot_json_locked_state());
+      item.respond(ok_line(item.req.id, out));
+      continue;
+    }
+    // Solve. The first solve of the run does the work; the rest share it
+    // (the state cannot have changed: runs contain no deltas).
+    if (!solved_this_run) {
+      if (!broken_.empty()) {
+        item.respond(error_line(item.req.id, ErrorCode::kInternal, broken_));
+        continue;
+      }
+      if (seq_ == last_solve_seq_ && has_allocation_ && cacheable_) {
+        metrics.cache_hits.add();
+        solved_this_run = true;
+      } else {
+        // Tightest remaining budget across the coalesced solves; queue
+        // wait is charged against each request's own budget.
+        double budget = 0.0;
+        for (const Item& peer : kept) {
+          if (peer.req.op != Op::kSolve || peer.budget_ms <= 0.0) continue;
+          const double remaining =
+              peer.budget_ms - ms_since(peer.enqueued, start);
+          budget = budget <= 0.0 ? remaining : std::min(budget, remaining);
+        }
+        try {
+          const auto solve_start = Clock::now();
+          if (problem_.jobs() == 0) {
+            last_allocation_ = core::Allocation({}, base_policy_->name());
+          } else {
+            std::optional<util::StopToken> token;
+            std::optional<util::ScopedStop> scoped;
+            if (budget > 0.0) {
+              token.emplace(util::Deadline::after_ms(budget));
+              scoped.emplace(*token);
+            }
+            last_allocation_ = robust_->allocate(problem_, workspace_);
+          }
+          metrics.solve_ms.observe(ms_since(solve_start, Clock::now()));
+          metrics.solve_calls.add();
+          has_allocation_ = true;
+          last_solve_seq_ = seq_;
+          cacheable_ = budget <= 0.0;
+          last_tier_ = problem_.jobs() == 0
+                           ? ""
+                           : core::to_string(robust_->fallback_stats().last);
+          solved_this_run = true;
+        } catch (const std::exception& e) {
+          broken_ = std::string("solve failed: ") + e.what();
+          item.respond(error_line(item.req.id, ErrorCode::kInternal, broken_));
+          continue;
+        }
+      }
+    }
+    metrics.solves_served.add();
+    metrics.turnaround_ms.observe(ms_since(item.enqueued, Clock::now()));
+    item.respond(ok_line(item.req.id, solve_result_json(item)));
+  }
+}
+
+void Session::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto& metrics = SvcMetrics::get();
+  while (true) {
+    cv_.wait(lock, [this] {
+      return stopped_ || draining_ || !queue_.empty();
+    });
+    if (stopped_) return;
+    if (queue_.empty()) {
+      if (draining_) return;
+      continue;
+    }
+    // Accumulation window: let the batch fill before serving. Skipped
+    // when draining (flush as fast as possible).
+    if (config_.batch_window_ms > 0.0 && !draining_) {
+      const auto until =
+          queue_.front().enqueued +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  config_.batch_window_ms));
+      cv_.wait_until(lock, until,
+                     [this] { return stopped_ || draining_; });
+      if (stopped_) return;
+    }
+
+    // Drain one batch: deltas (applied in order), then a run of
+    // consecutive solve/snapshot requests sharing one allocator call. A
+    // strict solve or a snapshot is a barrier — later deltas stay queued
+    // so it observes exactly its prefix. Solves marked "latest" float:
+    // deltas submitted after them may still join the batch, and they are
+    // served at the newer state (reported via seq).
+    std::vector<Item> deltas, run;
+    bool run_all_latest = true;
+    while (!queue_.empty()) {
+      Item& head = queue_.front();
+      if (is_delta_op(head.req.op)) {
+        if (!run.empty() && !run_all_latest) break;
+        deltas.push_back(std::move(head));
+        queue_.pop_front();
+      } else {
+        if (head.req.op != Op::kSolve || !head.latest)
+          run_all_latest = false;
+        run.push_back(std::move(head));
+        queue_.pop_front();
+      }
+    }
+    lock.unlock();
+
+    const auto now = Clock::now();
+    for (const Item& item : deltas)
+      metrics.queue_wait_ms.observe(ms_since(item.enqueued, now));
+    for (const Item& item : run)
+      metrics.queue_wait_ms.observe(ms_since(item.enqueued, now));
+    for (const Item& item : deltas) apply_delta(item);
+    if (!run.empty()) serve_run(&run);
+    metrics.batches.add();
+    metrics.batch_size.observe(
+        static_cast<double>(deltas.size() + run.size()));
+
+    lock.lock();
+    processed_seq_ = seq_;
+  }
+}
+
+void Session::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    cv_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+}
+
+Json Session::snapshot_json_locked_state() const {
+  Json out = problem_to_json(problem_, nominal_capacities_, job_ids_);
+  out.set("session", Json(name_));
+  out.set("seq", Json(seq_));
+  if (has_allocation_)
+    out.set("allocation", allocation_to_json(last_allocation_, job_ids_));
+  return out;
+}
+
+Json Session::snapshot_json_after_drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AMF_REQUIRE(draining_ || stopped_,
+                "snapshot_json_after_drain needs a drained session");
+  }
+  return snapshot_json_locked_state();
+}
+
+Json Session::info_json() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json out = Json::object();
+  out.set("session", Json(name_));
+  out.set("queue_depth", Json(static_cast<long long>(queue_.size())));
+  out.set("jobs", Json(static_cast<long long>(projected_alive_.size())));
+  out.set("enqueued_seq", Json(enqueued_seq_));
+  out.set("processed_seq", Json(processed_seq_));
+  out.set("draining", Json(draining_));
+  return out;
+}
+
+}  // namespace amf::svc

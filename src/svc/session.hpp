@@ -1,0 +1,214 @@
+// session.hpp — a named allocation session: one problem, one primed
+// workspace, one serving loop.
+//
+// A session is the unit of state the service multiplexes: it owns an
+// AllocationProblem, the SolverWorkspace primed for it, the last served
+// allocation, and a bounded request queue drained by a dedicated worker
+// thread. Connections submit requests; the worker batches and serves
+// them. All solver state is touched by the worker only, so the solver
+// substrate needs no locking.
+//
+// ## Delta admission (ACK-at-enqueue)
+//
+// Delta requests (add_job / finish_job / site_event / set_capacity) are
+// validated against the session's *projected* state — the state the queue
+// will reach once drained — and acknowledged at admission. The contract:
+// an acknowledged delta is applied before any later-submitted solve or
+// snapshot on the same session observes the state. Jobs are addressed by
+// stable handles (the id returned by add_job), never by row index, so
+// departures cannot shift another client's references.
+//
+// ## Batching and coalescing
+//
+// The worker accumulates requests for `batch_window_ms` after the first
+// pending one, then drains a batch: the longest prefix of deltas, applied
+// one by one to problem and workspace (the incremental pipeline), then a
+// run of consecutive solve/snapshot requests. All solves in the run are
+// served by ONE allocator call — the amortization under load — and a
+// solve whose state is unchanged since the previous solve is served from
+// the cached result without touching the solver at all. Because the
+// workspace's exact-realization contract makes every solve bit-identical
+// to the stateless path, coalescing is bit-identical to processing the
+// queue one request at a time:
+//   * a strict solve (the default) closes the batch at the next delta, so
+//     it observes exactly the deltas submitted before it;
+//   * a solve with "latest": true lets the worker keep draining deltas
+//     past it and serve it at a newer state (its response reports the
+//     `seq` actually served, which clients verify or ignore).
+//
+// ## Admission control
+//
+// The queue is bounded: submissions beyond `max_queue_depth` receive a
+// typed `overloaded` error immediately (never a stall, never a dropped
+// connection). At serving time, a solve that waited longer than
+// `max_queue_age_ms`, or whose request deadline already expired, is shed
+// with the same typed error; acknowledged deltas are never shed (their
+// contract was given at admission). A solve with `budget_ms` runs under
+// a deadline of its *remaining* budget — queue wait is charged against
+// it — threaded to the solver chain as the ambient util::StopToken.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+#include "core/robust.hpp"
+#include "core/workspace.hpp"
+#include "obs/metrics.hpp"
+#include "svc/proto.hpp"
+
+namespace amf::svc {
+
+/// Per-session serving parameters (server-wide defaults; create_session
+/// may override batch_window_ms and policy).
+struct SessionConfig {
+  /// Accumulation window: after the first request of a batch arrives, the
+  /// worker waits this long for more before serving. 0 = serve
+  /// immediately (the unbatched reference behaviour).
+  double batch_window_ms = 0.0;
+  /// Bounded queue depth; submissions beyond it are shed with
+  /// `overloaded`. Must be >= 1.
+  std::size_t max_queue_depth = 256;
+  /// Shed solves that waited longer than this before serving (0 = off).
+  double max_queue_age_ms = 0.0;
+  /// Budget applied to solve requests that carry none (0 = unbudgeted).
+  double default_budget_ms = 0.0;
+  /// Allocation policy: "amf", "eamf", or "psmf".
+  std::string policy = "amf";
+};
+
+/// Registry handles for the service metrics (global registry; created
+/// once, shared by every session).
+struct SvcMetrics {
+  obs::Counter requests_create_session;
+  obs::Counter requests_add_job;
+  obs::Counter requests_finish_job;
+  obs::Counter requests_site_event;
+  obs::Counter requests_set_capacity;
+  obs::Counter requests_solve;
+  obs::Counter requests_snapshot;
+  obs::Counter requests_stats;
+  obs::Counter requests_drain;
+  obs::Counter requests_ping;
+  obs::Counter rejects;        ///< admission-control sheds (typed overloaded)
+  obs::Counter batches;        ///< batches drained
+  obs::Counter solve_calls;    ///< allocator invocations
+  obs::Counter solves_served;  ///< solve responses (>= solve_calls: coalescing)
+  obs::Counter cache_hits;     ///< solves served from the unchanged-state cache
+  obs::Histogram batch_size;     ///< requests per drained batch
+  obs::Histogram queue_wait_ms;  ///< enqueue -> start of processing
+  obs::Histogram solve_ms;       ///< allocator wall time per solve call
+  obs::Histogram turnaround_ms;  ///< enqueue -> response, solve requests
+
+  /// The process-wide instance (registered in Registry::global()).
+  static SvcMetrics& get();
+  obs::Counter& request_counter(Op op);
+};
+
+class Session {
+ public:
+  /// Delivers one complete response line (with trailing '\n') to the
+  /// client. Must be thread-safe; called from connection threads (delta
+  /// ACKs, sheds) and from the session worker (solve results).
+  using Responder = std::function<void(std::string line)>;
+
+  /// Fresh session over `capacities` (the nominal site capacities).
+  Session(std::string name, std::vector<double> capacities,
+          SessionConfig config);
+
+  /// Restored session (drain-snapshot or `snapshot` op output).
+  Session(std::string name, ProblemSnapshot snapshot, SessionConfig config);
+
+  /// Stops the worker without serving the remaining queue (fast
+  /// teardown); drain() first for the graceful path.
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Admission + dispatch. Always responds exactly once per request
+  /// (immediately for ACKs and sheds, from the worker otherwise).
+  void submit(const Request& req, Responder respond);
+
+  /// Serves everything already admitted, then stops the worker. New
+  /// submissions during and after the drain are shed with `draining`.
+  /// Idempotent.
+  void drain();
+
+  /// Session state as a restorable snapshot (problem + nominal
+  /// capacities + job ids + last allocation). Only safe after drain()
+  /// (no worker) — the in-band `snapshot` op is the live-session path.
+  Json snapshot_json_after_drain();
+
+  /// Queue/state counters for the stats op (thread-safe).
+  Json info_json();
+
+ private:
+  struct Item {
+    Request req;
+    Responder respond;
+    std::chrono::steady_clock::time_point enqueued;
+    double budget_ms = 0.0;  ///< solve: effective budget (0 = unbudgeted)
+    bool latest = false;     ///< solve: may be served at a newer state
+    long long job_id = -1;   ///< add_job: assigned handle; finish_job: target
+  };
+
+  void validate_delta_locked(const Request& req, Item* item);
+  void worker_loop();
+  /// Applies one admitted delta to problem + workspace + id map.
+  void apply_delta(const Item& item);
+  /// Serves a run of consecutive solve/snapshot items (state unchanged
+  /// across the run).
+  void serve_run(std::vector<Item>* run);
+  Json snapshot_json_locked_state() const;
+  Json solve_result_json(const Item& item) const;
+
+  const std::string name_;
+  const SessionConfig config_;
+
+  // --- queue + projected state (guarded by mu_) ---
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool draining_ = false;
+  bool stopped_ = false;
+  long long next_job_id_ = 0;
+  std::unordered_set<long long> projected_alive_;
+  /// -1 unknown (no job seen yet), else 0/1: whether jobs carry workloads.
+  int workloads_mode_ = -1;
+  long long enqueued_seq_ = 0;   ///< deltas admitted
+  long long processed_seq_ = 0;  ///< deltas applied (worker)
+
+  // --- solver state (worker thread only; after drain: owner thread) ---
+  core::AllocationProblem problem_;
+  core::SolverWorkspace workspace_;
+  std::vector<double> nominal_capacities_;
+  std::vector<double> site_factors_;      ///< last site_event factor per site
+  std::vector<long long> job_ids_;        ///< row -> stable handle
+  core::Allocation last_allocation_;
+  bool has_allocation_ = false;
+  bool cacheable_ = false;      ///< last_allocation_ was an unbudgeted solve
+  long long seq_ = 0;           ///< deltas applied (worker-local mirror)
+  long long last_solve_seq_ = -1;
+  std::string last_tier_;
+  std::string broken_;  ///< non-empty: solver state is wedged (internal bug)
+
+  std::unique_ptr<core::Allocator> base_policy_;
+  std::unique_ptr<core::RobustAllocator> robust_;
+
+  std::thread worker_;
+};
+
+}  // namespace amf::svc

@@ -1,0 +1,178 @@
+// amf_client — command-line client for amf_serve.
+//
+//   amf_client (--unix PATH | --tcp HOST PORT) <mode> [options]
+//
+// Modes:
+//   solve   read an AllocationProblem CSV on stdin, run it through a
+//           service session (create_session + add_job per row + solve)
+//           and print the allocation in amf_solve's CSV format — the
+//           shares are bit-identical to `amf_solve` on the same input.
+//   raw     forward JSON request lines from stdin, print each response
+//           line to stdout (scripting / smoke tests).
+//   stats   scrape the service metrics (JSON, or Prometheus with
+//           --prometheus).
+//   drain   trigger a graceful server drain.
+//   ping    liveness check.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "svc/client.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int usage(bool help = false) {
+  (help ? std::cout : std::cerr)
+      << "usage: amf_client (--unix PATH | --tcp HOST PORT) "
+         "solve|raw|stats|drain|ping [options]\n"
+         "  solve [--session S] [--policy amf|eamf|psmf] "
+         "[--budget-ms B] [--batch-window-ms W] < problem.csv\n"
+         "        prints the allocation matrix in amf_solve's CSV format\n"
+         "  raw   < requests.jsonl   one response line per request line\n"
+         "  stats [--prometheus]     metric registry scrape\n"
+         "  drain                    graceful server drain\n"
+         "  ping                     liveness check\n";
+  return help ? 0 : 2;
+}
+
+int run_solve(amf::svc::Client& client, const std::string& session,
+              const std::string& policy, double budget_ms,
+              double batch_window_ms) {
+  using namespace amf;
+  auto problem = core::AllocationProblem::load(std::cin);
+
+  svc::Json overrides = svc::Json::object();
+  overrides.set("policy", svc::Json(policy));
+  if (batch_window_ms > 0.0)
+    overrides.set("batch_window_ms", svc::Json(batch_window_ms));
+  client.create_session(session, problem.capacities(), std::move(overrides));
+  for (int j = 0; j < problem.jobs(); ++j) {
+    std::vector<double> workloads;
+    if (problem.has_workloads())
+      workloads = problem.workloads()[static_cast<std::size_t>(j)];
+    client.add_job(session, problem.demands()[static_cast<std::size_t>(j)],
+                   workloads, problem.weight(j));
+  }
+  svc::Json response = client.solve(session, budget_ms);
+  const svc::Json* allocation = response.find("allocation");
+  AMF_REQUIRE(allocation != nullptr, "solve response lacks an allocation");
+  const svc::Json* jobs = allocation->find("jobs");
+  AMF_REQUIRE(jobs != nullptr && jobs->is_array(),
+              "allocation lacks a jobs array");
+
+  std::vector<std::string> header{"job"};
+  for (int s = 0; s < problem.sites(); ++s)
+    header.push_back("site" + std::to_string(s));
+  header.push_back("aggregate");
+  util::CsvWriter csv(std::cout, header);
+  int j = 0;
+  for (const svc::Json& row : jobs->as_array()) {
+    const svc::Json* shares = row.find("shares");
+    AMF_REQUIRE(shares != nullptr, "allocation row lacks shares");
+    auto values =
+        svc::number_array(*shares, problem.sites(), "shares");
+    std::vector<std::string> out{std::to_string(j++)};
+    for (double v : values) out.push_back(util::CsvWriter::format(v));
+    out.push_back(
+        util::CsvWriter::format(row.number_or("aggregate", 0.0)));
+    csv.row(out);
+  }
+  return 0;
+}
+
+int run_raw(amf::svc::Client& client) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::cout << client.call_line(line) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amf;
+  std::string unix_path, host;
+  int port = -1;
+  int i = 1;
+  for (; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      return usage(true);
+    } else if (std::strcmp(argv[i], "--unix") == 0 && i + 1 < argc) {
+      unix_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tcp") == 0 && i + 2 < argc) {
+      host = argv[++i];
+      port = std::atoi(argv[++i]);
+    } else {
+      break;
+    }
+  }
+  if (i >= argc) return usage();
+  if (unix_path.empty() && port < 0) return usage();
+  const std::string mode = argv[i++];
+
+  std::string session = "cli", policy = "amf", stats_format = "json";
+  double budget_ms = 0.0, batch_window_ms = 0.0;
+  for (; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      return usage(true);
+    } else if (std::strcmp(argv[i], "--session") == 0 && i + 1 < argc) {
+      session = argv[++i];
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      policy = argv[++i];
+    } else if (std::strcmp(argv[i], "--budget-ms") == 0 && i + 1 < argc) {
+      budget_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--batch-window-ms") == 0 &&
+               i + 1 < argc) {
+      batch_window_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--prometheus") == 0) {
+      stats_format = "prometheus";
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    svc::Client client = unix_path.empty()
+                             ? svc::Client::connect_tcp(host, port)
+                             : svc::Client::connect_unix(unix_path);
+    if (mode == "solve")
+      return run_solve(client, session, policy, budget_ms, batch_window_ms);
+    if (mode == "raw") return run_raw(client);
+    if (mode == "stats") {
+      svc::Json response = client.stats(stats_format);
+      if (stats_format == "prometheus") {
+        std::cout << response.string_or("text", "");
+      } else {
+        const svc::Json* metrics = response.find("metrics");
+        std::cout << (metrics != nullptr ? metrics->dump() : "{}") << "\n";
+      }
+      return 0;
+    }
+    if (mode == "drain") {
+      client.drain();
+      std::cout << "draining\n";
+      return 0;
+    }
+    if (mode == "ping") {
+      std::cout << (client.ping() ? "pong" : "no pong") << "\n";
+      return 0;
+    }
+    return usage();
+  } catch (const svc::SvcError& e) {
+    std::cerr << "amf_client: [" << svc::to_string(e.code()) << "] "
+              << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "amf_client: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -18,11 +18,12 @@
 
 namespace {
 
-int usage() {
-  std::cerr << "usage: amf_generate problem|trace [--jobs N] [--sites M] "
-               "[--skew Z] [--seed S] [--load L] "
-               "[--demand-model uncapped|proportional]\n";
-  return 2;
+int usage(bool help = false) {
+  (help ? std::cout : std::cerr)
+      << "usage: amf_generate problem|trace [--jobs N] [--sites M] "
+         "[--skew Z] [--seed S] [--load L] "
+         "[--demand-model uncapped|proportional]\n";
+  return help ? 0 : 2;
 }
 
 }  // namespace
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   using namespace amf;
   if (argc < 2) return usage();
   std::string mode = argv[1];
+  if (mode == "--help" || mode == "-h") return usage(true);
   if (mode != "problem" && mode != "trace") return usage();
 
   int jobs = 100, sites = 10;
@@ -44,7 +46,9 @@ int main(int argc, char** argv) {
       return true;
     };
     double v = 0.0;
-    if (std::strcmp(argv[i], "--jobs") == 0 && next(&v)) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      return usage(true);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && next(&v)) {
       jobs = static_cast<int>(v);
     } else if (std::strcmp(argv[i], "--sites") == 0 && next(&v)) {
       sites = static_cast<int>(v);

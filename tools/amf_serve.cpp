@@ -1,0 +1,141 @@
+// amf_serve — the allocation service daemon.
+//
+//   amf_serve (--unix PATH | --tcp PORT) [options]
+//
+// Listens on a Unix-domain socket or loopback TCP port and speaks the
+// line-delimited JSON protocol of DESIGN.md §11: named sessions hold one
+// allocation problem each, mutated through delta requests and re-solved
+// incrementally, with request batching and typed admission control.
+// SIGTERM/SIGINT trigger a graceful drain: queued work is served, the
+// session snapshot is written (--snapshot-out), new work is refused.
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "svc/server.hpp"
+
+namespace {
+
+int usage(bool help = false) {
+  (help ? std::cout : std::cerr)
+      << "usage: amf_serve (--unix PATH | --tcp PORT) "
+         "[--batch-window-ms W] [--max-queue-depth N]\n"
+         "                 [--max-queue-age-ms A] [--default-budget-ms B] "
+         "[--policy amf|eamf|psmf]\n"
+         "                 [--snapshot-out F] [--restore F]\n"
+         "  --unix PATH          listen on a Unix-domain socket at PATH\n"
+         "  --tcp PORT           listen on loopback TCP (0 = ephemeral; "
+         "the bound port is printed)\n"
+         "  --batch-window-ms W  per-session request coalescing window "
+         "(default 0 = serve immediately)\n"
+         "  --max-queue-depth N  bounded per-session queue; beyond it "
+         "requests are shed\n"
+         "                       with typed `overloaded` errors "
+         "(default 256)\n"
+         "  --max-queue-age-ms A shed solves that waited longer than A "
+         "before serving (0 = off)\n"
+         "  --default-budget-ms B  time budget for solves that carry "
+         "none (0 = unbudgeted)\n"
+         "  --policy P           default allocation policy for new "
+         "sessions (default amf)\n"
+         "  --snapshot-out F     write the sessions snapshot to F on "
+         "graceful drain\n"
+         "  --restore F          reload sessions from a drain snapshot "
+         "before listening\n";
+  return help ? 0 : 2;
+}
+
+amf::svc::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->trigger_drain();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amf;
+  svc::ServerConfig config;
+  config.tcp_port = -1;
+  std::string restore;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      return usage(true);
+    } else if (std::strcmp(argv[i], "--unix") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.unix_path = v;
+    } else if (std::strcmp(argv[i], "--tcp") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.tcp_port = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--batch-window-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.session.batch_window_ms = std::atof(v);
+    } else if (std::strcmp(argv[i], "--max-queue-depth") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.session.max_queue_depth =
+          static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--max-queue-age-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.session.max_queue_age_ms = std::atof(v);
+    } else if (std::strcmp(argv[i], "--default-budget-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.session.default_budget_ms = std::atof(v);
+    } else if (std::strcmp(argv[i], "--policy") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.session.policy = v;
+    } else if (std::strcmp(argv[i], "--snapshot-out") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.snapshot_path = v;
+    } else if (std::strcmp(argv[i], "--restore") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      restore = v;
+    } else {
+      return usage();
+    }
+  }
+  if (config.unix_path.empty() && config.tcp_port < 0) return usage();
+  if (config.session.batch_window_ms < 0.0 ||
+      config.session.max_queue_age_ms < 0.0 ||
+      config.session.default_budget_ms < 0.0 ||
+      config.session.max_queue_depth < 1)
+    return usage();
+
+  try {
+    svc::Server server(std::move(config));
+    if (!restore.empty()) server.restore_from_file(restore);
+    g_server = &server;
+    struct sigaction sa {};
+    sa.sa_handler = on_signal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    server.start();
+    if (!server.unix_path().empty())
+      std::cerr << "amf_serve: listening on unix:" << server.unix_path()
+                << "\n";
+    else
+      std::cerr << "amf_serve: listening on 127.0.0.1:" << server.tcp_port()
+                << "\n";
+    server.wait_drained();
+    g_server = nullptr;
+    std::cerr << "amf_serve: drained\n";
+  } catch (const std::exception& e) {
+    std::cerr << "amf_serve: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

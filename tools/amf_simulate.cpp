@@ -48,8 +48,9 @@
 
 namespace {
 
-int usage() {
-  std::cerr << "usage: amf_simulate [--policy amf|eamf|psmf] [--addon] "
+int usage(bool help = false) {
+  (help ? std::cout : std::cerr)
+      << "usage: amf_simulate [--policy amf|eamf|psmf] [--addon] "
                "[--jobs N] [--sites M] [--skew Z] [--load L] [--seed S] "
                "[--batch] [--faults] [--mtbf T] [--mttr T] [--loss F] "
                "[--budget-ms B] [--threads N] [--cold] [--trace-out F] "
@@ -70,7 +71,7 @@ int usage() {
                "(JSON, with per-event series) to F\n"
                "  --prom-out F     write the snapshot in Prometheus text "
                "format to F\n";
-  return 2;
+  return help ? 0 : 2;
 }
 
 /// The per-event series spliced into the metrics JSON: one object per
@@ -113,7 +114,9 @@ int main(int argc, char** argv) {
       *out = std::atof(argv[++i]);
       return true;
     };
-    if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      return usage(true);
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
       policy_name = argv[++i];
     } else if (std::strcmp(argv[i], "--addon") == 0) {
       use_addon = true;

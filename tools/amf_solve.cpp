@@ -19,13 +19,14 @@
 
 namespace {
 
-int usage() {
-  std::cerr << "usage: amf_solve [--policy amf|eamf|psmf] [--addon] "
-               "[--report] [--explain] < problem.csv\n"
-               "  problem.csv: AllocationProblem CSV "
-               "(header jobs,sites,has_workloads; demand rows; capacities; "
-               "optional workloads; weights)\n";
-  return 2;
+int usage(bool help = false) {
+  (help ? std::cout : std::cerr)
+      << "usage: amf_solve [--policy amf|eamf|psmf] [--addon] "
+         "[--report] [--explain] < problem.csv\n"
+         "  problem.csv: AllocationProblem CSV "
+         "(header jobs,sites,has_workloads; demand rows; capacities; "
+         "optional workloads; weights)\n";
+  return help ? 0 : 2;
 }
 
 }  // namespace
@@ -35,7 +36,9 @@ int main(int argc, char** argv) {
   std::string policy_name = "amf";
   bool use_addon = false, report = false, explain = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      return usage(true);
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
       policy_name = argv[++i];
     } else if (std::strcmp(argv[i], "--addon") == 0) {
       use_addon = true;
