@@ -1,0 +1,283 @@
+// F18 — Journaling overhead and crash-recovery cost.
+//
+// Four serving modes on the same single-client workload (add_job +
+// solve(latest) + finish_job per iteration, loopback TCP): no journal,
+// then a write-ahead journal under each fsync policy (off / batch /
+// always). For each journaled mode the bench also simulates a crash:
+// the .wal files are copied aside *before* the graceful drain (which
+// would compact them), and a fresh server replays the copy, timing
+// recover_from_journal() and checking that every ACKed delta came back.
+//
+//   bench_f18_recovery [--smoke] [--json PATH]
+//
+// CSV goes to stdout; a machine-readable summary is written to PATH
+// (default BENCH_recovery.json). The CI gate (exit 3): solve p50 under
+// --fsync=batch must be within 10% (plus a 0.25 ms absolute allowance
+// for timer noise) of --fsync=off, and every journaled mode must
+// recover exactly its ACKed deltas with zero warnings.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "svc/client.hpp"
+#include "svc/journal.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace fs = std::filesystem;
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+double percentile(std::vector<double>* sorted, double q) {
+  if (sorted->empty()) return 0.0;
+  std::sort(sorted->begin(), sorted->end());
+  const double pos = q * static_cast<double>(sorted->size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted->size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return (*sorted)[lo] * (1.0 - frac) + (*sorted)[hi] * frac;
+}
+
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/amf_f18_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::cerr << "bench_f18_recovery: mkdtemp failed\n";
+    std::exit(2);
+  }
+  return tmpl;
+}
+
+struct ModeResult {
+  std::string mode;            ///< "none" | "off" | "batch" | "always"
+  long long requests = 0;
+  double elapsed_s = 0.0;
+  double delta_p50_ms = 0.0, delta_p99_ms = 0.0;
+  double solve_p50_ms = 0.0, solve_p99_ms = 0.0;
+  long long journal_bytes = 0;   ///< wal size at "crash" time (journaled)
+  double recovery_ms = 0.0;      ///< recover_from_journal() wall time
+  long long recovered_deltas = 0;
+  long long expected_deltas = 0;
+  int recovery_warnings = 0;
+  bool recovery_ok = true;       ///< vacuously true for mode "none"
+};
+
+ModeResult run_mode(const std::string& mode, int iterations, int sites,
+                    int base_jobs) {
+  using namespace amf;
+  const bool journaled = mode != "none";
+  const std::string journal_dir = journaled ? make_temp_dir() : "";
+  const std::string recover_dir = journaled ? make_temp_dir() : "";
+
+  ModeResult out;
+  out.mode = mode;
+  {
+    svc::ServerConfig config;
+    config.tcp_port = 0;
+    config.session.batch_window_ms = 2.0;
+    if (journaled) {
+      config.journal_dir = journal_dir;
+      config.fsync = svc::parse_fsync_policy(mode);
+    }
+    svc::Server server(config);
+    server.start();
+
+    svc::Client client =
+        svc::Client::connect_tcp("127.0.0.1", server.tcp_port());
+    const std::string session = "bench";
+    client.create_session(
+        session, std::vector<double>(static_cast<std::size_t>(sites), 1000.0));
+    std::mt19937_64 rng(17);
+    std::uniform_real_distribution<double> demand(1.0, 80.0);
+    auto fresh_demand = [&] {
+      std::vector<double> d(static_cast<std::size_t>(sites));
+      for (double& x : d) x = demand(rng);
+      return d;
+    };
+    for (int j = 0; j < base_jobs; ++j) client.add_job(session, fresh_demand());
+
+    std::vector<double> delta_lat, solve_lat;
+    delta_lat.reserve(static_cast<std::size_t>(iterations));
+    solve_lat.reserve(static_cast<std::size_t>(iterations));
+    const auto start = Clock::now();
+    for (int i = 0; i < iterations; ++i) {
+      auto t0 = Clock::now();
+      const long long job = client.add_job(session, fresh_demand());
+      delta_lat.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count());
+      t0 = Clock::now();
+      client.solve(session, /*budget_ms=*/0.0, /*latest=*/true);
+      solve_lat.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count());
+      client.finish_job(session, job);
+      out.requests += 3;
+    }
+    out.elapsed_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    out.delta_p50_ms = percentile(&delta_lat, 0.50);
+    out.delta_p99_ms = percentile(&delta_lat, 0.99);
+    out.solve_p50_ms = percentile(&solve_lat, 0.50);
+    out.solve_p99_ms = percentile(&solve_lat, 0.99);
+
+    // Snapshot the journal as a crash would leave it: the drain below
+    // compacts the log, so the replay corpus is copied out first.
+    if (journaled) {
+      for (const fs::directory_entry& entry :
+           fs::directory_iterator(journal_dir)) {
+        if (entry.path().extension() != ".wal") continue;
+        out.journal_bytes +=
+            static_cast<long long>(fs::file_size(entry.path()));
+        fs::copy_file(entry.path(),
+                      fs::path(recover_dir) / entry.path().filename());
+      }
+    }
+    server.trigger_drain();
+    server.wait_drained();
+  }
+
+  if (journaled) {
+    // Every ACKed mutation is a journal record: the base jobs plus one
+    // add_job and one finish_job per iteration.
+    out.expected_deltas = base_jobs + 2LL * iterations;
+    svc::ServerConfig config;
+    config.journal_dir = recover_dir;
+    config.fsync = svc::FsyncPolicy::kOff;
+    svc::Server server(config);
+    const auto t0 = Clock::now();
+    const svc::RecoveryReport report = server.recover_from_journal();
+    out.recovery_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    out.recovered_deltas = report.deltas;
+    out.recovery_warnings = static_cast<int>(report.warnings.size());
+    out.recovery_ok = report.sessions == 1 &&
+                      report.deltas == out.expected_deltas &&
+                      report.warnings.empty();
+    for (const std::string& w : report.warnings)
+      std::cerr << "# recovery warning (" << mode << "): " << w << "\n";
+  }
+
+  std::error_code ec;
+  if (!journal_dir.empty()) fs::remove_all(journal_dir, ec);
+  if (!recover_dir.empty()) fs::remove_all(recover_dir, ec);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_recovery.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_f18_recovery [--smoke] [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  const int sites = 8;
+  const int base_jobs = smoke ? 12 : 32;
+  const int iterations = smoke ? 40 : 250;
+  const std::vector<std::string> modes = {"none", "off", "batch", "always"};
+
+  std::cout << "# F18: write-ahead journal overhead and crash-recovery "
+               "replay cost (loopback TCP, one client)\n"
+            << "# " << (smoke ? "smoke" : "full") << " run: " << iterations
+            << " x add_job+solve(latest)+finish_job per mode; recovery "
+               "replays the pre-drain journal copy\n"
+            << "mode,requests,throughput_rps,delta_p50_ms,delta_p99_ms,"
+               "solve_p50_ms,solve_p99_ms,journal_bytes,recovery_ms,"
+               "recovered_deltas,expected_deltas,recovery_warnings\n";
+
+  std::vector<ModeResult> results;
+  for (const std::string& mode : modes) {
+    ModeResult r = run_mode(mode, iterations, sites, base_jobs);
+    results.push_back(r);
+    const double rps =
+        r.elapsed_s > 0.0 ? static_cast<double>(r.requests) / r.elapsed_s
+                          : 0.0;
+    std::cout << r.mode << "," << r.requests << "," << fmt(rps) << ","
+              << fmt(r.delta_p50_ms) << "," << fmt(r.delta_p99_ms) << ","
+              << fmt(r.solve_p50_ms) << "," << fmt(r.solve_p99_ms) << ","
+              << r.journal_bytes << "," << fmt(r.recovery_ms) << ","
+              << r.recovered_deltas << "," << r.expected_deltas << ","
+              << r.recovery_warnings << "\n";
+  }
+
+  const auto by_mode = [&](const std::string& mode) -> const ModeResult& {
+    for (const ModeResult& r : results)
+      if (r.mode == mode) return r;
+    std::cerr << "bench_f18_recovery: missing mode " << mode << "\n";
+    std::exit(2);
+  };
+  const double off_p50 = by_mode("off").solve_p50_ms;
+  const double batch_p50 = by_mode("batch").solve_p50_ms;
+  // 10% relative plus a small absolute allowance: at sub-millisecond
+  // p50s a pure ratio gate measures scheduler jitter, not fsync cost.
+  const double budget = off_p50 * 1.10 + 0.25;
+  const bool overhead_ok = batch_p50 <= budget;
+  bool recovery_ok = true;
+  for (const ModeResult& r : results) recovery_ok = recovery_ok && r.recovery_ok;
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"f18_recovery\",\n  \"smoke\": "
+       << (smoke ? "true" : "false") << ",\n  \"sites\": " << sites
+       << ",\n  \"base_jobs\": " << base_jobs
+       << ",\n  \"iterations\": " << iterations << ",\n  \"modes\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    json << "    {\"mode\": \"" << r.mode << "\", \"requests\": " << r.requests
+         << ", \"elapsed_s\": " << fmt(r.elapsed_s)
+         << ", \"delta_p50_ms\": " << fmt(r.delta_p50_ms)
+         << ", \"delta_p99_ms\": " << fmt(r.delta_p99_ms)
+         << ", \"solve_p50_ms\": " << fmt(r.solve_p50_ms)
+         << ", \"solve_p99_ms\": " << fmt(r.solve_p99_ms)
+         << ", \"journal_bytes\": " << r.journal_bytes
+         << ", \"recovery_ms\": " << fmt(r.recovery_ms)
+         << ", \"recovered_deltas\": " << r.recovered_deltas
+         << ", \"expected_deltas\": " << r.expected_deltas
+         << ", \"recovery_warnings\": " << r.recovery_warnings
+         << ", \"recovery_ok\": " << (r.recovery_ok ? "true" : "false") << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"batch_vs_off_solve_p50_ratio\": "
+       << fmt(off_p50 > 0.0 ? batch_p50 / off_p50 : 0.0)
+       << ",\n  \"overhead_gate_ok\": " << (overhead_ok ? "true" : "false")
+       << ",\n  \"recovery_gate_ok\": " << (recovery_ok ? "true" : "false")
+       << "\n}\n";
+  std::ofstream out(json_path);
+  out << json.str();
+  std::cerr << "# wrote " << json_path << "\n";
+
+  if (!overhead_ok) {
+    std::cerr << "# GATE FAILED: solve p50 with --fsync=batch ("
+              << fmt(batch_p50) << " ms) exceeds --fsync=off (" << fmt(off_p50)
+              << " ms) by more than 10% + 0.25 ms\n";
+    return 3;
+  }
+  if (!recovery_ok) {
+    std::cerr << "# GATE FAILED: a journaled mode did not recover exactly "
+                 "its ACKed deltas\n";
+    return 3;
+  }
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "svc/chaos.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace amf::svc {
+
+struct ChaosProxy::Link {
+  Socket client;
+  Socket server;
+  /// Per-link fault RNG, seeded deterministically from the proxy seed and
+  /// the connection index so the schedule survives thread interleaving.
+  std::mt19937 rng;
+  std::mutex rng_mu;  ///< both pump directions share the RNG
+
+  void reset_both() {
+    client.shutdown_both();
+    server.shutdown_both();
+  }
+};
+
+ChaosProxy::ChaosProxy(ChaosConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  int fds[2];
+  AMF_REQUIRE(::pipe(fds) == 0, "chaos proxy self-pipe creation failed");
+  wake_read_ = fds[0];
+  wake_write_ = fds[1];
+}
+
+ChaosProxy::~ChaosProxy() {
+  stop();
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+}
+
+void ChaosProxy::start() {
+  AMF_REQUIRE(!started_, "chaos proxy already started");
+  listener_ = listen_tcp(0, &port_);
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ChaosProxy::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  const char byte = 's';
+  [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
+  listener_.shutdown_both();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& link : links_) link->reset_both();
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+}
+
+Socket ChaosProxy::connect_upstream() {
+  if (!config_.upstream_unix.empty())
+    return connect_unix(config_.upstream_unix);
+  return connect_tcp("127.0.0.1", config_.upstream_port);
+}
+
+void ChaosProxy::accept_loop() {
+  while (wait_readable(listener_.fd(), wake_read_)) {
+    Socket client = accept_connection(listener_);
+    if (!client.valid()) break;
+    auto link = std::make_shared<Link>();
+    link->client = std::move(client);
+    try {
+      link->server = connect_upstream();
+    } catch (const std::exception&) {
+      continue;  // upstream down (e.g. mid-crash): drop the client
+    }
+    connections_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu_);
+    link->rng.seed(rng_());
+    links_.push_back(link);
+    threads_.emplace_back([this, link] { pump(link, true); });
+    threads_.emplace_back([this, link] { pump(link, false); });
+  }
+}
+
+void ChaosProxy::pump(const std::shared_ptr<Link>& link,
+                      bool client_to_server) {
+  const Socket& from = client_to_server ? link->client : link->server;
+  const Socket& to = client_to_server ? link->server : link->client;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(from.fd(), chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    chunks_.fetch_add(1);
+    const std::size_t size = static_cast<std::size_t>(n);
+
+    // Draw the fault for this chunk (one draw, one fault at most).
+    double roll;
+    double split_at;
+    {
+      std::lock_guard<std::mutex> lock(link->rng_mu);
+      roll = std::uniform_real_distribution<double>(0.0, 1.0)(link->rng);
+      split_at = std::uniform_real_distribution<double>(0.0, 1.0)(link->rng);
+    }
+    const auto gap =
+        std::chrono::duration<double, std::milli>(config_.delay_ms);
+
+    if (roll < config_.p_reset) {
+      faults_.fetch_add(1);
+      link->reset_both();
+      break;
+    }
+    roll -= config_.p_reset;
+    if (roll < config_.p_torn_write) {
+      faults_.fetch_add(1);
+      // A strict prefix, then a reset: the receiver is left holding a
+      // partial line it must not misparse.
+      const std::size_t keep = 1 + static_cast<std::size_t>(
+                                       split_at *
+                                       static_cast<double>(size > 1 ? size - 1
+                                                                    : 1));
+      (void)to.send_all(std::string_view(chunk, keep < size ? keep : size));
+      link->reset_both();
+      break;
+    }
+    roll -= config_.p_torn_write;
+    if (roll < config_.p_split && size > 1) {
+      faults_.fetch_add(1);
+      const std::size_t cut =
+          1 + static_cast<std::size_t>(split_at *
+                                       static_cast<double>(size - 1));
+      if (!to.send_all(std::string_view(chunk, cut))) break;
+      std::this_thread::sleep_for(gap);
+      if (!to.send_all(std::string_view(chunk + cut, size - cut))) break;
+      continue;
+    }
+    roll -= config_.p_split;
+    if (roll < config_.p_delay) {
+      faults_.fetch_add(1);
+      std::this_thread::sleep_for(gap);
+    }
+    if (!to.send_all(std::string_view(chunk, size))) break;
+  }
+  // Half-close so the peer pump drains and exits too.
+  to.shutdown_both();
+  from.shutdown_both();
+}
+
+}  // namespace amf::svc

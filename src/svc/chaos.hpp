@@ -1,0 +1,102 @@
+// chaos.hpp — fault-injecting in-process proxy for crash/partition tests.
+//
+// A ChaosProxy sits between a Client and a Server on loopback TCP and
+// mangles the byte stream the way real networks and dying processes do:
+//
+//   * delayed chunks      (latency spikes; exercises client timeouts)
+//   * split chunks        (one line arriving in several TCP segments;
+//                          exercises LineReader's partial-line buffering)
+//   * torn writes         (a prefix of a chunk is delivered, then the
+//                          connection resets — the receiver holds half a
+//                          request or half an ACK)
+//   * connection resets   (both directions shut down mid-stream)
+//
+// Faults fire per forwarded chunk from a seeded RNG, so a chaos test is
+// reproducible: same seed, same fault schedule. The proxy counts what it
+// injected (faults()) and what it carried (connections(), chunks()) so
+// tests can assert the run actually exercised faults rather than passing
+// vacuously.
+//
+// The intended harness (svc_chaos_test.cpp): client with a RetryPolicy
+// talks through the proxy; every ACKed delta must survive to the final
+// snapshot exactly once — resets may eat responses, never acknowledged
+// state — which is precisely the idempotent-rid + journal contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/net.hpp"
+
+namespace amf::svc {
+
+struct ChaosConfig {
+  /// Upstream server: a Unix-socket path, or (when empty) loopback TCP.
+  std::string upstream_unix;
+  int upstream_port = 0;
+
+  /// Fault schedule seed (same seed -> same schedule).
+  std::uint32_t seed = 1;
+
+  /// Per-chunk fault probabilities, each in [0, 1]. Evaluated in this
+  /// order; at most one fault fires per chunk.
+  double p_reset = 0.0;       ///< drop the connection outright
+  double p_torn_write = 0.0;  ///< forward a strict prefix, then reset
+  double p_split = 0.0;       ///< forward in two writes with a gap
+  double p_delay = 0.0;       ///< sleep before forwarding
+  double delay_ms = 5.0;      ///< gap used by split and delay faults
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosConfig config);
+  /// Stops and joins everything still running.
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds an ephemeral loopback port and starts proxying.
+  void start();
+  /// The port clients connect to (valid after start()).
+  int port() const { return port_; }
+  /// Stops accepting, resets live connections, joins threads. Idempotent.
+  void stop();
+
+  long long connections() const { return connections_.load(); }
+  long long chunks() const { return chunks_.load(); }
+  long long faults() const { return faults_.load(); }
+
+ private:
+  struct Link;  ///< one proxied connection (client sock + upstream sock)
+
+  void accept_loop();
+  void pump(const std::shared_ptr<Link>& link, bool client_to_server);
+  Socket connect_upstream();
+
+  ChaosConfig config_;
+  Socket listener_;
+  int port_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::mutex mu_;  ///< guards links_, threads_, rng_
+  std::vector<std::shared_ptr<Link>> links_;
+  std::vector<std::thread> threads_;
+  std::mt19937 rng_;
+  std::thread accept_thread_;
+
+  std::atomic<long long> connections_{0};
+  std::atomic<long long> chunks_{0};
+  std::atomic<long long> faults_{0};
+};
+
+}  // namespace amf::svc

@@ -1,19 +1,84 @@
 #include "svc/client.hpp"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "util/error.hpp"
 
 namespace amf::svc {
 
-Client::Client(Socket sock) : sock_(std::move(sock)), reader_(sock_.fd()) {}
+namespace {
 
-Client Client::connect_unix(const std::string& path) {
-  return Client(amf::svc::connect_unix(path));
+/// Deltas are idempotent *via rid* (attached by call()); solve, snapshot,
+/// stats, and ping are naturally idempotent. create_session and drain are
+/// not: a retry of a lost create ACK would hit session_exists.
+bool idempotent_op(Op op) {
+  switch (op) {
+    case Op::kAddJob:
+    case Op::kFinishJob:
+    case Op::kSiteEvent:
+    case Op::kSetCapacity:
+    case Op::kSolve:
+    case Op::kSnapshot:
+    case Op::kStats:
+    case Op::kPing:
+      return true;
+    default:
+      return false;
+  }
 }
 
-Client Client::connect_tcp(const std::string& host, int port) {
-  return Client(amf::svc::connect_tcp(host, port));
+bool delta_op(Op op) {
+  return op == Op::kAddJob || op == Op::kFinishJob || op == Op::kSiteEvent ||
+         op == Op::kSetCapacity;
+}
+
+}  // namespace
+
+Client::Client(EndpointKind kind, std::string target, int port,
+               RetryPolicy retry)
+    : kind_(kind),
+      target_(std::move(target)),
+      port_(port),
+      retry_(retry),
+      reader_(-1),
+      rng_(retry.jitter_seed != 0 ? retry.jitter_seed : std::random_device{}()) {
+  // Rids must not collide across client restarts while the server's dedup
+  // window still remembers the old client, so the prefix is random.
+  std::uniform_int_distribution<std::uint32_t> any;
+  rid_prefix_ = "r" + std::to_string(any(rng_));
+  reconnect();
+}
+
+Client Client::connect_unix(const std::string& path, RetryPolicy retry) {
+  return Client(EndpointKind::kUnix, path, 0, retry);
+}
+
+Client Client::connect_tcp(const std::string& host, int port,
+                           RetryPolicy retry) {
+  return Client(EndpointKind::kTcp, host, port, retry);
+}
+
+void Client::reconnect() {
+  try {
+    Socket sock = kind_ == EndpointKind::kUnix
+                      ? amf::svc::connect_unix(target_,
+                                               retry_.connect_timeout_ms)
+                      : amf::svc::connect_tcp(target_, port_,
+                                              retry_.connect_timeout_ms);
+    if (retry_.read_timeout_ms > 0.0)
+      set_recv_timeout_ms(sock.fd(), retry_.read_timeout_ms);
+    sock_ = std::move(sock);
+    reader_ = LineReader(sock_.fd());
+  } catch (const util::ContractError& e) {
+    // A timed-out connect is a typed client-side condition, not a
+    // contract bug in the caller.
+    const std::string what = e.what();
+    if (what.find("timed out") != std::string::npos)
+      throw SvcError(ErrorCode::kTimeout, what);
+    throw;
+  }
 }
 
 std::string Client::call_line(const std::string& line) {
@@ -22,9 +87,70 @@ std::string Client::call_line(const std::string& line) {
   AMF_REQUIRE(sock_.send_all(framed), "client send failed (connection dead)");
   std::string response;
   const LineReader::Status status = reader_.read_line(&response);
+  if (status == LineReader::Status::kTimeout)
+    throw SvcError(ErrorCode::kTimeout,
+                   "no response within the read timeout");
   AMF_REQUIRE(status == LineReader::Status::kLine,
               "connection closed before a response arrived");
   return response;
+}
+
+Client::Outcome Client::roundtrip(const std::string& line, long long id,
+                                  Json* out, std::string* cause) {
+  if (!sock_.valid()) {
+    *cause = "connection dead";
+    return Outcome::kDead;
+  }
+  if (!sock_.send_all(line)) {
+    *cause = "send failed (connection dead)";
+    return Outcome::kDead;
+  }
+  while (true) {
+    std::string response;
+    const LineReader::Status status = reader_.read_line(&response);
+    if (status == LineReader::Status::kTimeout) {
+      *cause = "no response within " + std::to_string(retry_.read_timeout_ms) +
+               " ms";
+      return Outcome::kTimeout;
+    }
+    if (status != LineReader::Status::kLine) {
+      *cause = "connection closed before a response arrived";
+      return Outcome::kDead;
+    }
+    Json parsed;
+    try {
+      parsed = Json::parse(response);
+    } catch (const std::exception&) {
+      *cause = "unparseable response line";
+      return Outcome::kDead;  // framing is lost; the connection is useless
+    }
+    if (parsed.number_or("id", -1.0) != static_cast<double>(id)) continue;
+    *out = std::move(parsed);
+    return Outcome::kOk;
+  }
+}
+
+Json Client::unwrap(Json response) {
+  if (!response.bool_or("ok", false)) {
+    const Json* error = response.find("error");
+    const std::string code =
+        error != nullptr ? error->string_or("code", "internal") : "internal";
+    const std::string message =
+        error != nullptr ? error->string_or("message", "") : response.dump();
+    throw SvcError(parse_error_code(code), message);
+  }
+  return response;
+}
+
+double Client::backoff_delay_ms(int attempt) {
+  double delay = retry_.backoff_initial_ms;
+  for (int i = 1; i < attempt && delay < retry_.backoff_max_ms; ++i)
+    delay *= 2.0;
+  if (delay > retry_.backoff_max_ms) delay = retry_.backoff_max_ms;
+  // Jitter in [0.5, 1.0) of the nominal delay: desynchronizes a fleet of
+  // clients retrying against the same recovering server.
+  std::uniform_real_distribution<double> jitter(0.5, 1.0);
+  return delay * jitter(rng_);
 }
 
 Json Client::call(Op op, const std::string& session, Json body) {
@@ -34,27 +160,50 @@ Json Client::call(Op op, const std::string& session, Json body) {
   req.set("id", Json(id));
   req.set("op", Json(std::string(to_string(op))));
   if (!session.empty()) req.set("session", Json(session));
+  // One rid per logical delta, attached BEFORE the line is built so every
+  // retry re-sends the identical bytes — the server dedups on it.
+  if (retry_.max_attempts > 1 && delta_op(op) && req.find("rid") == nullptr)
+    req.set("rid", Json(rid_prefix_ + "-" + std::to_string(++next_rid_)));
   std::string line = req.dump();
   line += '\n';
-  AMF_REQUIRE(sock_.send_all(line), "client send failed (connection dead)");
 
-  while (true) {
-    std::string response;
-    const LineReader::Status status = reader_.read_line(&response);
-    AMF_REQUIRE(status == LineReader::Status::kLine,
-                "connection closed before a response arrived");
-    Json parsed = Json::parse(response);
-    if (parsed.number_or("id", -1.0) != static_cast<double>(id)) continue;
-    if (!parsed.bool_or("ok", false)) {
-      const Json* error = parsed.find("error");
-      const std::string code =
-          error != nullptr ? error->string_or("code", "internal") : "internal";
-      const std::string message =
-          error != nullptr ? error->string_or("message", "") : response;
-      throw SvcError(parse_error_code(code), message);
+  const bool retryable = retry_.max_attempts > 1 && idempotent_op(op);
+  std::string cause;
+  Outcome last = Outcome::kDead;
+  for (int attempt = 1;; ++attempt) {
+    cause.clear();
+    if (!sock_.valid()) {
+      try {
+        reconnect();
+      } catch (const SvcError& e) {
+        cause = e.what();
+        last = Outcome::kTimeout;
+      } catch (const std::exception& e) {
+        cause = e.what();
+        last = Outcome::kDead;
+      }
     }
-    return parsed;
+    if (cause.empty()) {
+      Json out;
+      last = roundtrip(line, id, &out, &cause);
+      if (last == Outcome::kOk) return unwrap(std::move(out));
+      // A timed-out wait abandons the connection: a late response would
+      // desynchronize every call after this one.
+      sock_.close();
+    }
+    if (!retryable || attempt >= retry_.max_attempts) break;
+    const double delay = backoff_delay_ms(attempt);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
   }
+
+  if (retryable)
+    throw SvcError(ErrorCode::kRetriesExhausted,
+                   std::string(to_string(op)) + " failed after " +
+                       std::to_string(retry_.max_attempts) +
+                       " attempts; last error: " + cause);
+  if (last == Outcome::kTimeout) throw SvcError(ErrorCode::kTimeout, cause);
+  throw util::ContractError("client " + std::string(to_string(op)) + ": " +
+                            cause);
 }
 
 Json Client::create_session(const std::string& name,

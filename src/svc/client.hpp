@@ -9,11 +9,33 @@
 // server's code, so callers branch on code() — e.g. kOverloaded for
 // load-shedding backoff.
 //
+// ## Timeouts and retries (RetryPolicy)
+//
+// By default the client blocks forever and never retries (the seed
+// behaviour: a dead connection is a util::ContractError). A RetryPolicy
+// turns on:
+//   * connect_timeout_ms — bounds each connect (SvcError(kTimeout));
+//   * read_timeout_ms — SO_RCVTIMEO on the socket, so a silent server
+//     yields SvcError(kTimeout) instead of a hang;
+//   * max_attempts > 1 — transparent reconnect-and-retry for IDEMPOTENT
+//     ops only, with capped exponential backoff and seeded jitter
+//     between attempts. Deltas are made idempotent by attaching a
+//     client-generated `rid` (the SAME rid on every attempt — the
+//     server's dedup window turns a re-sent delta into a re-ACK, see
+//     proto.hpp); solve/snapshot/stats/ping are naturally idempotent.
+//     create_session and drain are NOT retried: a lost create ACK is
+//     ambiguous (the retry would hit session_exists).
+// When the budget runs out the client throws SvcError(kRetriesExhausted)
+// naming the attempts and the last transport error; a timeout with no
+// retries configured surfaces as SvcError(kTimeout).
+//
 // The convenience wrappers mirror the protocol ops one-to-one and return
 // the full response object (envelope included), so callers can read
 // "seq", "job", "tier", "allocation" as documented in DESIGN.md §11.
 #pragma once
 
+#include <cstdint>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -22,23 +44,43 @@
 
 namespace amf::svc {
 
+/// Client-side fault handling. The default is the maximally patient
+/// configuration: block forever, never retry.
+struct RetryPolicy {
+  /// Total tries per call (1 = no retries). Only idempotent ops retry.
+  int max_attempts = 1;
+  /// Bound on each connect (0 = OS default blocking connect).
+  double connect_timeout_ms = 0.0;
+  /// SO_RCVTIMEO per read; a blocked response wait past this throws
+  /// kTimeout (0 = block forever).
+  double read_timeout_ms = 0.0;
+  /// First backoff delay; doubles per attempt up to backoff_max_ms.
+  double backoff_initial_ms = 10.0;
+  double backoff_max_ms = 1000.0;
+  /// Seed for the backoff jitter (0 = nondeterministic). Tests pin it.
+  std::uint32_t jitter_seed = 0;
+};
+
 class Client {
  public:
-  static Client connect_unix(const std::string& path);
-  static Client connect_tcp(const std::string& host, int port);
+  static Client connect_unix(const std::string& path,
+                             RetryPolicy retry = RetryPolicy());
+  static Client connect_tcp(const std::string& host, int port,
+                            RetryPolicy retry = RetryPolicy());
 
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
 
   /// Sends one request (v and id are filled in; op-specific parameters
   /// come from `body`, which may be a null Json for none) and blocks for
-  /// the matching response. Throws SvcError on a typed error response and
-  /// util::ContractError when the connection dies.
+  /// the matching response. Throws SvcError on a typed error response
+  /// (including client-side kTimeout / kRetriesExhausted) and
+  /// util::ContractError when the connection dies with retries disabled.
   Json call(Op op, const std::string& session, Json body = Json());
 
   /// Raw round-trip for tests and the --raw client mode: sends the line
   /// verbatim (appending '\n' when missing) and returns the next response
-  /// line from the server, unparsed.
+  /// line from the server, unparsed. Never retries.
   std::string call_line(const std::string& line);
 
   // Protocol ops. All throw SvcError on typed errors.
@@ -61,11 +103,30 @@ class Client {
   bool ping();
 
  private:
-  explicit Client(Socket sock);
+  enum class EndpointKind { kUnix, kTcp };
+  enum class Outcome { kOk, kTimeout, kDead };
 
+  Client(EndpointKind kind, std::string target, int port, RetryPolicy retry);
+
+  /// (Re)establishes the connection per the retry policy's timeouts.
+  void reconnect();
+  /// One send + matched-response read on the current connection.
+  Outcome roundtrip(const std::string& line, long long id, Json* out,
+                    std::string* cause);
+  /// Raises the typed error from an ok:false response, else returns it.
+  Json unwrap(Json response);
+  double backoff_delay_ms(int attempt);
+
+  EndpointKind kind_;
+  std::string target_;  ///< unix path, or TCP host
+  int port_ = 0;
+  RetryPolicy retry_;
   Socket sock_;
   LineReader reader_;
   long long next_id_ = 0;
+  std::string rid_prefix_;  ///< per-client uniqueness for generated rids
+  long long next_rid_ = 0;
+  std::mt19937 rng_;  ///< backoff jitter (seeded per policy)
 };
 
 }  // namespace amf::svc

@@ -1,0 +1,236 @@
+#include "svc/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "svc/proto.hpp"
+#include "util/error.hpp"
+
+namespace amf::svc {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw util::ContractError(what + ": " + std::strerror(errno));
+}
+
+void write_full(int fd, const char* data, std::size_t size,
+                const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("journal write(" + path + ")");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void fdatasync_checked(int fd, const std::string& path) {
+  if (::fdatasync(fd) != 0) fail_errno("journal fdatasync(" + path + ")");
+}
+
+/// fsyncs the directory containing `path` so a rename is durable.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) fail_errno("journal open dir(" + dir + ")");
+  ::fsync(fd);  // best effort: some filesystems reject directory fsync
+  ::close(fd);
+}
+
+void put_u32(std::string* out, std::uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+FsyncPolicy parse_fsync_policy(std::string_view name) {
+  if (name == "always") return FsyncPolicy::kAlways;
+  if (name == "batch") return FsyncPolicy::kBatch;
+  if (name == "off") return FsyncPolicy::kOff;
+  throw SvcError(ErrorCode::kBadRequest,
+                 "unknown fsync policy \"" + std::string(name) +
+                     "\" (always|batch|off)");
+}
+
+const char* to_string(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways: return "always";
+    case FsyncPolicy::kBatch: return "batch";
+    case FsyncPolicy::kOff: return "off";
+  }
+  return "?";
+}
+
+std::uint32_t crc32(std::string_view data) {
+  // IEEE 802.3 reflected CRC-32, table generated on first use.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (const char ch : data)
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+std::string Journal::frame(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 8);
+  put_u32(&out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(&out, crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+Journal::Journal(std::string path, FsyncPolicy policy, bool truncate)
+    : path_(std::move(path)), policy_(policy) {
+  const int flags =
+      O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) fail_errno("journal open(" + path_ + ")");
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) {
+    if (dirty_) ::fdatasync(fd_);
+    ::close(fd_);
+  }
+}
+
+void Journal::append(std::string_view payload) {
+  AMF_REQUIRE(payload.size() <= kMaxLineBytes,
+              "journal record exceeds the protocol line bound");
+  const std::string framed = frame(payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  write_full(fd_, framed.data(), framed.size(), path_);
+  ++appends_since_compact_;
+  if (policy_ == FsyncPolicy::kAlways) {
+    fdatasync_checked(fd_, path_);
+  } else if (policy_ == FsyncPolicy::kBatch) {
+    dirty_ = true;
+  }
+}
+
+void Journal::sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_locked();
+}
+
+void Journal::sync_locked() {
+  if (policy_ != FsyncPolicy::kBatch || !dirty_) return;
+  fdatasync_checked(fd_, path_);
+  dirty_ = false;
+}
+
+void Journal::compact(std::string_view payload) {
+  const std::string framed = frame(payload);
+  const std::string tmp = path_ + ".tmp";
+  std::lock_guard<std::mutex> lock(mu_);
+  const int tmp_fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) fail_errno("journal open(" + tmp + ")");
+  try {
+    write_full(tmp_fd, framed.data(), framed.size(), tmp);
+    fdatasync_checked(tmp_fd, tmp);
+  } catch (...) {
+    ::close(tmp_fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(tmp_fd);
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail_errno("journal rename(" + tmp + " -> " + path_ + ")");
+  }
+  sync_parent_dir(path_);
+  // The old fd now points at the unlinked inode; switch to the new log.
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) fail_errno("journal reopen(" + path_ + ")");
+  dirty_ = false;
+  appends_since_compact_ = 0;
+}
+
+long long Journal::appends_since_compact() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_since_compact_;
+}
+
+void Journal::truncate_to(const std::string& path, std::size_t bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(bytes)) != 0)
+    fail_errno("journal truncate(" + path + ")");
+}
+
+JournalReplay Journal::read_all(const std::string& path) {
+  JournalReplay out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return out;  // no journal yet: an empty, valid replay
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  std::size_t offset = 0;
+  auto reject = [&](const std::string& why) {
+    out.truncated = true;
+    out.warning = path + ": " + why + " at byte " + std::to_string(offset) +
+                  "; dropping " + std::to_string(data.size() - offset) +
+                  " trailing bytes (torn or corrupt tail)";
+  };
+  while (offset < data.size()) {
+    if (data.size() - offset < 8) {
+      reject("torn record header");
+      break;
+    }
+    const std::uint32_t length = get_u32(data.data() + offset);
+    const std::uint32_t want_crc = get_u32(data.data() + offset + 4);
+    if (length > kMaxLineBytes) {
+      reject("implausible record length " + std::to_string(length));
+      break;
+    }
+    if (data.size() - offset - 8 < length) {
+      reject("torn record payload (" + std::to_string(length) +
+             " bytes framed, " + std::to_string(data.size() - offset - 8) +
+             " present)");
+      break;
+    }
+    const std::string_view payload(data.data() + offset + 8, length);
+    if (crc32(payload) != want_crc) {
+      reject("record checksum mismatch");
+      break;
+    }
+    out.records.push_back(JournalRecord{std::string(payload)});
+    out.offsets.push_back(offset);
+    offset += 8 + length;
+  }
+  out.valid_bytes = offset;
+  return out;
+}
+
+}  // namespace amf::svc

@@ -1,6 +1,8 @@
 #include "svc/net.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
+
 #include <cerrno>
 #include <cstring>
 #include <netinet/in.h>
@@ -19,6 +21,44 @@ namespace {
 
 [[noreturn]] void fail_errno(const std::string& what) {
   throw util::ContractError(what + ": " + std::strerror(errno));
+}
+
+/// connect() with an optional deadline: non-blocking connect, poll for
+/// writability, then check SO_ERROR. Restores blocking mode on success.
+void connect_checked(int fd, const sockaddr* addr, socklen_t len,
+                     double timeout_ms, const std::string& what) {
+  if (timeout_ms <= 0.0) {
+    if (::connect(fd, addr, len) != 0) fail_errno(what);
+    return;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) fail_errno(what + " fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    fail_errno(what + " fcntl(O_NONBLOCK)");
+  if (::connect(fd, addr, len) != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) fail_errno(what);
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int n;
+    do {
+      n = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) fail_errno(what + " poll");
+    if (n == 0)
+      throw util::ContractError(what + ": connect timed out after " +
+                                std::to_string(timeout_ms) + " ms");
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0)
+      fail_errno(what + " getsockopt(SO_ERROR)");
+    if (err != 0) {
+      errno = err;
+      fail_errno(what);
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0)
+    fail_errno(what + " fcntl(restore)");
 }
 
 }  // namespace
@@ -68,6 +108,7 @@ LineReader::Status LineReader::read_line(std::string* out) {
     if (nl != std::string::npos) {
       out->assign(buffer_, 0, nl);
       buffer_.erase(0, nl + 1);
+      if (!out->empty() && out->back() == '\r') out->pop_back();
       return Status::kLine;
     }
     if (buffer_.size() > kMaxLineBytes) return Status::kOversized;
@@ -76,6 +117,7 @@ LineReader::Status LineReader::read_line(std::string* out) {
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::kTimeout;
       return Status::kError;
     }
     if (n == 0) {
@@ -141,7 +183,7 @@ Socket accept_connection(const Socket& listener) {
   }
 }
 
-Socket connect_unix(const std::string& path) {
+Socket connect_unix(const std::string& path, double timeout_ms) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   AMF_REQUIRE(path.size() < sizeof addr.sun_path,
@@ -149,13 +191,12 @@ Socket connect_unix(const std::string& path) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (!sock.valid()) fail_errno("socket(AF_UNIX)");
-  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-      0)
-    fail_errno("connect(" + path + ")");
+  connect_checked(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr,
+                  timeout_ms, "connect(" + path + ")");
   return sock;
 }
 
-Socket connect_tcp(const std::string& host, int port) {
+Socket connect_tcp(const std::string& host, int port, double timeout_ms) {
   AMF_REQUIRE(port > 0 && port <= 65535, "tcp port out of range");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -166,10 +207,21 @@ Socket connect_tcp(const std::string& host, int port) {
   if (!sock.valid()) fail_errno("socket(AF_INET)");
   const int one = 1;
   ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-      0)
-    fail_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  connect_checked(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr,
+                  timeout_ms,
+                  "connect(" + host + ":" + std::to_string(port) + ")");
   return sock;
+}
+
+void set_recv_timeout_ms(int fd, double ms) {
+  timeval tv{};
+  if (ms > 0.0) {
+    tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;  // floor 1 ms
+  }
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 }
 
 bool wait_readable(int fd, int wake_fd) {

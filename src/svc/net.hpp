@@ -49,13 +49,17 @@ class Socket {
 /// Buffered '\n'-line reader over a socket.
 class LineReader {
  public:
-  enum class Status { kLine, kEof, kError, kOversized };
+  enum class Status { kLine, kEof, kError, kOversized, kTimeout };
 
   explicit LineReader(int fd) : fd_(fd) {}
 
-  /// Blocks until one full line (without the '\n') is available. kEof on
-  /// orderly close, kOversized when a line exceeds kMaxLineBytes (the
-  /// caller must drop the connection: framing is lost).
+  /// Blocks until one full line (without the '\n'; a trailing '\r' is
+  /// stripped for telnet-style peers) is available. kEof on orderly
+  /// close, kOversized when a line exceeds kMaxLineBytes (the caller
+  /// must drop the connection: framing is lost), kTimeout when the fd
+  /// has a receive timeout (set_recv_timeout_ms) and it expired.
+  /// Partial bytes stay buffered across a kTimeout, so a retried read
+  /// resumes mid-line without losing framing.
   Status read_line(std::string* out);
 
  private:
@@ -75,8 +79,17 @@ Socket listen_tcp(int port, int* bound_port);
 /// Accepts one connection; invalid socket on error (listener closed).
 Socket accept_connection(const Socket& listener);
 
-Socket connect_unix(const std::string& path);
-Socket connect_tcp(const std::string& host, int port);
+/// Client-side connects. `timeout_ms` > 0 bounds the connect itself
+/// (non-blocking connect + poll); 0 keeps the OS default blocking
+/// behaviour. Throws util::ContractError on failure or timeout (the
+/// message names which).
+Socket connect_unix(const std::string& path, double timeout_ms = 0.0);
+Socket connect_tcp(const std::string& host, int port,
+                   double timeout_ms = 0.0);
+
+/// Applies SO_RCVTIMEO so blocked reads fail with kTimeout after `ms`
+/// (0 restores indefinite blocking).
+void set_recv_timeout_ms(int fd, double ms);
 
 /// Blocks until `fd` is readable or `wake_fd` has data (drain trigger).
 /// Returns false when the wait says shut down (wake_fd fired or error).

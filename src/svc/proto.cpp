@@ -46,6 +46,8 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kDraining: return "draining";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kRetriesExhausted: return "retries_exhausted";
   }
   return "?";
 }
@@ -57,6 +59,8 @@ ErrorCode parse_error_code(std::string_view name) {
   if (name == "session_exists") return ErrorCode::kSessionExists;
   if (name == "overloaded") return ErrorCode::kOverloaded;
   if (name == "draining") return ErrorCode::kDraining;
+  if (name == "timeout") return ErrorCode::kTimeout;
+  if (name == "retries_exhausted") return ErrorCode::kRetriesExhausted;
   return ErrorCode::kInternal;
 }
 

@@ -21,6 +21,19 @@
 // load-shedding response of admission control (bounded queue depth, queue
 // age, or an expired request deadline) — a shed client always receives it
 // instead of a stall or a dropped connection.
+//
+// ## Idempotent retries (`rid`)
+//
+// Delta requests may carry a client-generated `"rid"` string. The server
+// keeps a bounded per-session window of recently admitted rids; a retry
+// carrying a seen rid is NOT re-applied — it is re-ACKed with the
+// original result (same `seq`, same `job` handle) plus `"dup": true`.
+// This is what makes client-side reconnect-and-resend safe: a delta whose
+// ACK was lost to a connection reset can be retried blindly without
+// double-applying the mutation. Rids older than the window are evicted
+// (re-use after eviction re-applies — clients must not recycle rids).
+// The window is journaled with the delta, so dedup survives a crash for
+// every op still in the journal suffix.
 #pragma once
 
 #include <stdexcept>
@@ -68,6 +81,10 @@ enum class ErrorCode {
                    ///< aged out / deadline expired before serving)
   kDraining,       ///< server is draining; no new work accepted
   kInternal,       ///< unexpected server-side failure
+  // Client-side codes (never sent by the server; raised by svc::Client).
+  kTimeout,           ///< connect/read deadline expired with no response
+  kRetriesExhausted,  ///< reconnect-and-retry gave up (non-idempotent op,
+                      ///< or the retry budget ran out)
 };
 
 const char* to_string(ErrorCode code);

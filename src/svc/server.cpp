@@ -1,7 +1,9 @@
 #include "svc/server.hpp"
 
+#include <dirent.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <fstream>
 #include <sstream>
@@ -11,6 +13,34 @@
 #include "util/error.hpp"
 
 namespace amf::svc {
+
+namespace {
+
+/// Percent-escapes a session name into a safe filename component:
+/// anything outside [A-Za-z0-9._-] (and '%' itself) becomes %XX, so
+/// "../x" cannot traverse out of the journal directory and the mapping
+/// is injective (two sessions never share a log file).
+std::string escape_session_file(const std::string& name) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    const bool safe = (u >= 'a' && u <= 'z') || (u >= 'A' && u <= 'Z') ||
+                      (u >= '0' && u <= '9') || u == '.' || u == '_' ||
+                      u == '-';
+    if (safe) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(hex[u >> 4]);
+      out.push_back(hex[u & 0xf]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {
   int fds[2];
@@ -39,13 +69,34 @@ void Server::add_session(std::unique_ptr<Session> session) {
                    "session \"" + name + "\" already exists");
 }
 
+std::string Server::journal_path(const std::string& session_name) const {
+  return config_.journal_dir + "/" + escape_session_file(session_name) +
+         ".wal";
+}
+
+void Server::attach_fresh_journal(Session* session,
+                                  const std::string& birth_payload) {
+  auto journal = std::make_unique<Journal>(journal_path(session->name()),
+                                           config_.fsync, /*truncate=*/true);
+  journal->append(birth_payload);
+  journal->sync();
+  SvcMetrics::get().journal_records.add();
+  session->attach_journal(std::move(journal));
+}
+
 void Server::restore_from_file(const std::string& path) {
   AMF_REQUIRE(!started_, "restore_from_file must run before start()");
   std::ifstream in(path);
   AMF_REQUIRE(in.good(), "cannot open restore file " + path);
   std::ostringstream text;
   text << in.rdbuf();
-  Json root = Json::parse(text.str());
+  Json root;
+  try {
+    root = Json::parse(text.str());
+  } catch (const std::exception& e) {
+    throw util::ContractError("restore file " + path +
+                              " is not valid JSON: " + e.what());
+  }
   AMF_REQUIRE(root.is_object() &&
                   root.number_or("v", 0.0) ==
                       static_cast<double>(kProtocolVersion),
@@ -53,13 +104,143 @@ void Server::restore_from_file(const std::string& path) {
                   std::to_string(kProtocolVersion) + " snapshot");
   const Json* sessions = root.find("sessions");
   AMF_REQUIRE(sessions != nullptr && sessions->is_array(),
-              "restore file has no sessions array");
+              "restore file " + path + " has no sessions array");
+  std::size_t index = 0;
   for (const Json& entry : sessions->as_array()) {
     const std::string name = entry.string_or("session", "");
-    AMF_REQUIRE(!name.empty(), "restore entry lacks a session name");
-    add_session(std::make_unique<Session>(name, problem_from_json(entry),
-                                          config_.session));
+    AMF_REQUIRE(!name.empty(), "restore file " + path + ": sessions[" +
+                                   std::to_string(index) +
+                                   "] lacks a session name");
+    try {
+      auto session = std::make_unique<Session>(name, problem_from_json(entry),
+                                               config_.session);
+      if (!config_.journal_dir.empty())
+        attach_fresh_journal(session.get(),
+                             session->snapshot_record_payload_locked_state());
+      add_session(std::move(session));
+    } catch (const SvcError& e) {
+      // Re-throw with the file and entry named: a corrupt snapshot must
+      // fail the whole restore loudly, not serve a partial session set.
+      throw util::ContractError("restore file " + path + ": session \"" +
+                                name + "\": " + e.what());
+    }
+    ++index;
   }
+}
+
+RecoveryReport Server::recover_from_journal() {
+  AMF_REQUIRE(!started_, "recover_from_journal must run before start()");
+  AMF_REQUIRE(!config_.journal_dir.empty(),
+              "recover_from_journal needs journal_dir");
+  RecoveryReport report;
+
+  std::vector<std::string> files;
+  DIR* dir = ::opendir(config_.journal_dir.c_str());
+  AMF_REQUIRE(dir != nullptr,
+              "cannot open journal dir " + config_.journal_dir);
+  while (dirent* ent = ::readdir(dir)) {
+    const std::string file = ent->d_name;
+    if (file.size() > 4 && file.compare(file.size() - 4, 4, ".wal") == 0)
+      files.push_back(file);
+  }
+  ::closedir(dir);
+  std::sort(files.begin(), files.end());
+
+  for (const std::string& file : files) {
+    const std::string path = config_.journal_dir + "/" + file;
+    JournalReplay replay = Journal::read_all(path);
+    if (replay.truncated) {
+      report.warnings.push_back(replay.warning);
+      Journal::truncate_to(path, replay.valid_bytes);
+    }
+    if (replay.records.empty()) continue;  // fresh or fully-torn log
+
+    // The leading record is the session's birth: either the create
+    // record or a compaction/restore snapshot.
+    Json birth;
+    try {
+      birth = Json::parse(replay.records.front().payload);
+    } catch (const std::exception& e) {
+      report.warnings.push_back(path + ": unreadable birth record (" +
+                                e.what() + "); skipping this journal");
+      continue;
+    }
+    const std::string kind = birth.string_or("t", "");
+    SessionConfig cfg = config_.session;
+    cfg.policy = birth.string_or("policy", cfg.policy);
+    cfg.batch_window_ms =
+        birth.number_or("batch_window_ms", cfg.batch_window_ms);
+    cfg.default_budget_ms =
+        birth.number_or("default_budget_ms", cfg.default_budget_ms);
+
+    std::unique_ptr<Session> session;
+    std::string name;
+    try {
+      if (kind == "create") {
+        name = birth.string_or("session", "");
+        AMF_REQUIRE(!name.empty(), "create record lacks a session name");
+        const Json* capacities = birth.find("capacities");
+        AMF_REQUIRE(capacities != nullptr, "create record lacks capacities");
+        session = std::make_unique<Session>(
+            name, number_array(*capacities, -1, "capacities"), cfg);
+      } else if (kind == "snapshot") {
+        const Json* snap = birth.find("snapshot");
+        AMF_REQUIRE(snap != nullptr, "snapshot record lacks a snapshot");
+        name = snap->string_or("session", "");
+        AMF_REQUIRE(!name.empty(), "snapshot record lacks a session name");
+        session = std::make_unique<Session>(
+            name, problem_from_json(*snap), cfg,
+            static_cast<long long>(birth.number_or("seq", 0.0)));
+      } else {
+        throw util::ContractError("birth record has type \"" + kind +
+                                  "\" (want create or snapshot)");
+      }
+    } catch (const std::exception& e) {
+      report.warnings.push_back(path + ": " + e.what() +
+                                "; skipping this journal");
+      continue;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      if (sessions_.count(name) != 0) {
+        report.warnings.push_back(
+            path + ": session \"" + name +
+            "\" already restored from the snapshot file; skipping its "
+            "journal");
+        continue;
+      }
+    }
+
+    // Replay the delta suffix through the live validate/apply path. A
+    // record the state rejects ends the replay there — everything after
+    // it depended on state that was never reached — and the log is
+    // truncated to the applied prefix.
+    for (std::size_t i = 1; i < replay.records.size(); ++i) {
+      std::string error;
+      Json record;
+      try {
+        record = Json::parse(replay.records[i].payload);
+      } catch (const std::exception& e) {
+        error = std::string("unreadable record (") + e.what() + ")";
+      }
+      if (error.empty()) session->replay_journal_record(record, &error);
+      if (!error.empty()) {
+        report.warnings.push_back(path + ": record " + std::to_string(i) +
+                                  ": " + error +
+                                  "; truncating the journal there");
+        Journal::truncate_to(path, replay.offsets[i]);
+        break;
+      }
+      ++report.deltas;
+    }
+
+    session->attach_journal(
+        std::make_unique<Journal>(path, config_.fsync));
+    add_session(std::move(session));
+    ++report.sessions;
+  }
+  return report;
 }
 
 void Server::start() {
@@ -196,12 +377,15 @@ void Server::handle_create_session(const Request& req,
   std::unique_ptr<Session> session;
   long long sites = 0;
   long long jobs = 0;
+  std::string birth;  // journal birth-record payload ("" = not journaling)
   const Json* snapshot = req.body.find("snapshot");
   if (snapshot != nullptr) {
     ProblemSnapshot snap = problem_from_json(*snapshot);
     sites = snap.problem.sites();
     jobs = snap.problem.jobs();
     session = std::make_unique<Session>(req.session, std::move(snap), cfg);
+    if (!config_.journal_dir.empty())
+      birth = session->snapshot_record_payload_locked_state();
   } else {
     const Json* capacities = req.body.find("capacities");
     if (capacities == nullptr)
@@ -209,9 +393,30 @@ void Server::handle_create_session(const Request& req,
                      "create_session needs capacities (or a snapshot)");
     auto caps = number_array(*capacities, -1, "capacities");
     sites = static_cast<long long>(caps.size());
+    if (!config_.journal_dir.empty()) {
+      Json rec = Json::object();
+      rec.set("t", Json(std::string("create")));
+      rec.set("session", Json(req.session));
+      rec.set("policy", Json(cfg.policy));
+      rec.set("batch_window_ms", Json(cfg.batch_window_ms));
+      rec.set("default_budget_ms", Json(cfg.default_budget_ms));
+      rec.set("capacities", to_json(caps));
+      birth = rec.dump();
+    }
     session = std::make_unique<Session>(req.session, std::move(caps), cfg);
   }
-  add_session(std::move(session));
+  // Publish atomically: the name check, journal creation, and map insert
+  // must not interleave with a racing create of the same name — the
+  // journal open truncates, so a loser must never touch a live log.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.count(req.session) != 0)
+      throw SvcError(ErrorCode::kSessionExists,
+                     "session \"" + req.session + "\" already exists");
+    if (!config_.journal_dir.empty())
+      attach_fresh_journal(session.get(), birth);
+    sessions_.emplace(req.session, std::move(session));
+  }
   Json out = Json::object();
   out.set("session", Json(req.session));
   out.set("sites", Json(sites));
@@ -282,10 +487,15 @@ void Server::perform_drain() {
   if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
 
   // 2. Serve all queued work. Sessions reply through still-open
-  // connections; new submissions get typed `draining` errors.
+  // connections; new submissions get typed `draining` errors. Once a
+  // session is drained its journal covers exactly its final state, so
+  // compact it to a single snapshot record (restarts replay nothing).
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (auto& [name, session] : sessions_) session->drain();
+    for (auto& [name, session] : sessions_) {
+      session->drain();
+      if (session->has_journal()) session->compact_journal_after_drain();
+    }
   }
 
   // 3. Persist the drained state.

@@ -21,6 +21,22 @@
 //   4. write the snapshot file (config.snapshot_path) — reloadable via
 //      `amf_serve --restore`,
 //   5. close connections and join all threads.
+//
+// ## Durability (--journal)
+//
+// With `journal_dir` set, every session owns a write-ahead log at
+// `<journal_dir>/<name>.wal` (the name is percent-escaped so a hostile
+// session name cannot traverse the filesystem). create_session writes the
+// session's birth record before acknowledging; deltas are journaled by
+// the session before their ACKs (see session.hpp). After a crash,
+// recover_from_journal() — called before start() — rebuilds every
+// session from its log: the leading create/snapshot record seeds the
+// state, delta records replay through the live validate/apply path, and
+// a torn tail or a rejected record truncates the log with a warning
+// instead of refusing to start. A graceful drain compacts each log to a
+// single snapshot record. When both --restore and --journal are given,
+// the restore file wins for the sessions it names: their journals are
+// reset to the restored state and recovery skips them with a warning.
 #pragma once
 
 #include <atomic>
@@ -32,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "svc/journal.hpp"
 #include "svc/net.hpp"
 #include "svc/session.hpp"
 
@@ -47,6 +64,17 @@ struct ServerConfig {
   SessionConfig session;
   /// Where the graceful drain writes the sessions snapshot ("" = skip).
   std::string snapshot_path;
+  /// Directory of per-session write-ahead journals ("" = no journaling).
+  std::string journal_dir;
+  /// When journaled appends reach the disk (see journal.hpp).
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+};
+
+/// What recover_from_journal() rebuilt, for operator logging.
+struct RecoveryReport {
+  int sessions = 0;       ///< sessions rebuilt from journals
+  long long deltas = 0;   ///< delta records replayed
+  std::vector<std::string> warnings;  ///< torn tails, rejected records, ...
 };
 
 class Server {
@@ -59,8 +87,20 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Loads a drain-snapshot file (sessions are recreated with the
-  /// server's default SessionConfig). Call before start().
+  /// server's default SessionConfig). Call before start(). Throws
+  /// util::ContractError naming the file (and the offending session
+  /// entry) on a missing, malformed, or truncated snapshot — the daemon
+  /// exits nonzero instead of serving a silently partial restore. When
+  /// journaling is on, each restored session gets a fresh journal seeded
+  /// with a snapshot record of the restored state.
   void restore_from_file(const std::string& path);
+
+  /// Rebuilds sessions from `journal_dir` (every `*.wal` file). Call
+  /// before start(), after any restore_from_file(). Tolerant by design:
+  /// torn tails are truncated, unreadable or rejected records stop that
+  /// session's replay at the last good prefix, and every such event is a
+  /// warning in the report, never a refusal to start.
+  RecoveryReport recover_from_journal();
 
   /// Binds the listener and spawns the accept thread.
   void start();
@@ -95,6 +135,11 @@ class Server {
   void handle_stats(const Request& req, const std::shared_ptr<Conn>& conn);
   void perform_drain();
   void add_session(std::unique_ptr<Session> session);
+  /// `<journal_dir>/<percent-escaped name>.wal`.
+  std::string journal_path(const std::string& session_name) const;
+  /// Creates the session's journal (truncating any stale file), writes
+  /// `birth_payload` as the leading record, and attaches it.
+  void attach_fresh_journal(Session* session, const std::string& birth_payload);
 
   ServerConfig config_;
   Socket listener_;

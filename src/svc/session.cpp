@@ -73,6 +73,18 @@ SvcMetrics& SvcMetrics::get() {
     out.cache_hits =
         reg.counter("amf_svc_solve_cache_hits_total",
                     "solves served from the unchanged-state result cache");
+    out.journal_records =
+        reg.counter("amf_svc_journal_records_total",
+                    "deltas appended to session write-ahead journals");
+    out.journal_syncs = reg.counter(
+        "amf_svc_journal_syncs_total",
+        "journal fsyncs (one per ACK at always, one per batch at batch)");
+    out.journal_compactions =
+        reg.counter("amf_svc_journal_compactions_total",
+                    "journal snapshot-compactions performed");
+    out.dedup_hits = reg.counter(
+        "amf_svc_dedup_hits_total",
+        "retried deltas re-ACKed from the rid window without re-applying");
     out.batch_size =
         reg.histogram("amf_svc_batch_size", "requests per drained batch");
     out.queue_wait_ms = reg.histogram(
@@ -121,9 +133,11 @@ Session::Session(std::string name, std::vector<double> capacities,
 }
 
 Session::Session(std::string name, ProblemSnapshot snapshot,
-                 SessionConfig config)
+                 SessionConfig config, long long initial_seq)
     : name_(std::move(name)), config_(std::move(config)) {
   AMF_REQUIRE(config_.max_queue_depth >= 1, "max_queue_depth must be >= 1");
+  AMF_REQUIRE(initial_seq >= 0, "initial_seq must be >= 0");
+  enqueued_seq_ = processed_seq_ = seq_ = initial_seq;
   problem_ = std::move(snapshot.problem);
   nominal_capacities_ = std::move(snapshot.nominal_capacities);
   if (nominal_capacities_.size() !=
@@ -193,6 +207,20 @@ void Session::submit(const Request& req, Responder respond) {
   }
 
   if (is_delta_op(req.op)) {
+    item.rid = req.body.string_or("rid", "");
+    // Idempotent retry: a rid we already ACKed is answered from the
+    // window verbatim (same seq, same job handle) and never re-applied.
+    if (!item.rid.empty()) {
+      const auto hit = dedup_ack_.find(item.rid);
+      if (hit != dedup_ack_.end()) {
+        Json ack = hit->second;
+        lock.unlock();
+        metrics.dedup_hits.add();
+        ack.set("dup", Json(true));
+        item.respond(ok_line(req.id, ack));
+        return;
+      }
+    }
     Json ack;
     try {
       validate_delta_locked(req, &item);
@@ -205,6 +233,27 @@ void Session::submit(const Request& req, Responder respond) {
       item.respond(error_line(req.id, e.code(), e.what()));
       return;
     }
+    // Write-ahead: the record must be on the log (and, under
+    // fsync=always, on the platter) before the ACK escapes. Appending
+    // under mu_ keeps record order identical to seq order. A failed
+    // append rolls the admission back — no ACK without a journal entry.
+    if (journal_ != nullptr) {
+      try {
+        journal_->append(delta_record_payload_locked(item, enqueued_seq_));
+        metrics.journal_records.add();
+        if (journal_->policy() == FsyncPolicy::kAlways)
+          metrics.journal_syncs.add();
+      } catch (const std::exception& e) {
+        --enqueued_seq_;
+        rollback_delta_locked(item);
+        lock.unlock();
+        item.respond(error_line(
+            req.id, ErrorCode::kInternal,
+            std::string("journal append failed: ") + e.what()));
+        return;
+      }
+    }
+    if (!item.rid.empty()) remember_ack_locked(item.rid, ack);
     // ACK at admission: the delta is now owed to every later solve. The
     // queued copy carries no responder — the worker never replies to
     // deltas, and teardown must not reply twice.
@@ -269,6 +318,7 @@ void Session::validate_delta_locked(const Request& req, Item* item) {
       const double weight = body.number_or("weight", 1.0);
       if (!std::isfinite(weight) || weight <= 0.0)
         throw SvcError(ErrorCode::kBadRequest, "weight must be finite, > 0");
+      item->prev_workloads_mode = workloads_mode_;
       item->job_id = next_job_id_++;
       projected_alive_.insert(item->job_id);
       if (workloads_mode_ < 0) workloads_mode_ = with_workloads ? 1 : 0;
@@ -360,6 +410,151 @@ void Session::apply_delta(const Item& item) {
   problem_ = std::move(problem_).apply(delta);
   workspace_.apply(delta);
   ++seq_;
+}
+
+void Session::rollback_delta_locked(const Item& item) {
+  switch (item.req.op) {
+    case Op::kAddJob:
+      projected_alive_.erase(item.job_id);
+      if (item.job_id == next_job_id_ - 1) --next_job_id_;
+      workloads_mode_ = item.prev_workloads_mode;
+      return;
+    case Op::kFinishJob:
+      projected_alive_.insert(item.job_id);
+      return;
+    default:
+      return;  // site_event / set_capacity: validation mutates nothing
+  }
+}
+
+void Session::remember_ack_locked(const std::string& rid, const Json& ack) {
+  if (config_.dedup_window == 0) return;
+  if (!dedup_ack_.emplace(rid, ack).second) return;  // replay of a known rid
+  dedup_order_.push_back(rid);
+  while (dedup_order_.size() > config_.dedup_window) {
+    dedup_ack_.erase(dedup_order_.front());
+    dedup_order_.pop_front();
+  }
+}
+
+std::string Session::delta_record_payload_locked(const Item& item,
+                                                 long long seq) const {
+  const Json& body = item.req.body;
+  Json rec = Json::object();
+  rec.set("t", Json(std::string("delta")));
+  rec.set("seq", Json(seq));
+  rec.set("op", Json(std::string(to_string(item.req.op))));
+  if (!item.rid.empty()) rec.set("rid", Json(item.rid));
+  switch (item.req.op) {
+    case Op::kAddJob: {
+      rec.set("job", Json(item.job_id));
+      rec.set("demands", *body.find("demands"));
+      const Json* w = body.find("workloads");
+      if (w != nullptr) rec.set("workloads", *w);
+      rec.set("weight", Json(body.number_or("weight", 1.0)));
+      break;
+    }
+    case Op::kFinishJob:
+      rec.set("job", Json(item.job_id));
+      break;
+    case Op::kSiteEvent:
+      rec.set("site", Json(body.number_or("site", 0.0)));
+      rec.set("capacity_factor", Json(body.number_or("capacity_factor", 1.0)));
+      break;
+    case Op::kSetCapacity:
+      rec.set("site", Json(body.number_or("site", 0.0)));
+      rec.set("value", Json(body.find("value")->as_number()));
+      break;
+    default:
+      AMF_ASSERT(false, "journal payload for a non-delta op");
+  }
+  return rec.dump();
+}
+
+void Session::attach_journal(std::unique_ptr<Journal> journal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AMF_REQUIRE(queue_.empty() && enqueued_seq_ == seq_,
+              "attach_journal requires a quiescent session");
+  journal_ = std::move(journal);
+}
+
+bool Session::replay_journal_record(const Json& record, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Recovery runs before the server accepts traffic, so the worker is
+  // parked on an empty queue and the solver state is safe to touch here.
+  AMF_ASSERT(queue_.empty(), "journal replay raced live traffic");
+  Request req;
+  req.op = Op::kPing;
+  try {
+    req.op = parse_op(record.string_or("op", ""));
+  } catch (const SvcError& e) {
+    *error = e.what();
+    return false;
+  }
+  if (!is_delta_op(req.op)) {
+    *error = "journal delta record carries non-delta op";
+    return false;
+  }
+  const long long recorded_seq =
+      static_cast<long long>(record.number_or("seq", -1.0));
+  if (recorded_seq != enqueued_seq_ + 1) {
+    *error = "journal seq gap: expected " + std::to_string(enqueued_seq_ + 1) +
+             ", record carries " + std::to_string(recorded_seq);
+    return false;
+  }
+  req.body = record;
+  Item item;
+  item.req = std::move(req);
+  try {
+    validate_delta_locked(item.req, &item);
+  } catch (const SvcError& e) {
+    *error = e.what();
+    return false;
+  }
+  if (item.req.op == Op::kAddJob) {
+    const long long recorded =
+        static_cast<long long>(record.number_or("job", -1.0));
+    if (recorded != item.job_id) {
+      rollback_delta_locked(item);
+      *error = "journal job id " + std::to_string(recorded) +
+               " does not match replayed handle " +
+               std::to_string(item.job_id);
+      return false;
+    }
+  }
+  ++enqueued_seq_;
+  apply_delta(item);
+  processed_seq_ = seq_;
+  item.rid = record.string_or("rid", "");
+  if (!item.rid.empty()) {
+    Json ack = Json::object();
+    ack.set("seq", Json(enqueued_seq_));
+    if (item.req.op == Op::kAddJob) ack.set("job", Json(item.job_id));
+    remember_ack_locked(item.rid, ack);
+  }
+  return true;
+}
+
+std::string Session::snapshot_record_payload_locked_state() const {
+  Json rec = Json::object();
+  rec.set("t", Json(std::string("snapshot")));
+  rec.set("seq", Json(seq_));
+  rec.set("policy", Json(config_.policy));
+  rec.set("batch_window_ms", Json(config_.batch_window_ms));
+  rec.set("default_budget_ms", Json(config_.default_budget_ms));
+  rec.set("snapshot", snapshot_json_locked_state());
+  return rec.dump();
+}
+
+void Session::compact_journal_after_drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AMF_REQUIRE(draining_ || stopped_,
+                "compact_journal_after_drain needs a drained session");
+  }
+  if (journal_ == nullptr) return;
+  journal_->compact(snapshot_record_payload_locked_state());
+  SvcMetrics::get().journal_compactions.add();
 }
 
 Json Session::solve_result_json(const Item& item) const {
@@ -517,12 +712,30 @@ void Session::worker_loop() {
       metrics.queue_wait_ms.observe(ms_since(item.enqueued, now));
     for (const Item& item : deltas) apply_delta(item);
     if (!run.empty()) serve_run(&run);
+    // fsync=batch piggybacks on the batch window: one sync makes every
+    // ACK of the drained window durable.
+    if (journal_ != nullptr && !deltas.empty() &&
+        journal_->policy() == FsyncPolicy::kBatch) {
+      journal_->sync();
+      metrics.journal_syncs.add();
+    }
     metrics.batches.add();
     metrics.batch_size.observe(
         static_cast<double>(deltas.size() + run.size()));
 
     lock.lock();
     processed_seq_ = seq_;
+    // Compaction: when the log has grown past the threshold and every
+    // journaled record is covered by the current state (no admitted-but-
+    // unapplied deltas), collapse it to one snapshot record. Holding mu_
+    // blocks admissions, so no record with seq > seq_ can land in the
+    // file mid-rewrite.
+    if (journal_ != nullptr && config_.journal_compact_every > 0 &&
+        enqueued_seq_ == seq_ &&
+        journal_->appends_since_compact() >= config_.journal_compact_every) {
+      journal_->compact(snapshot_record_payload_locked_state());
+      metrics.journal_compactions.add();
+    }
   }
 }
 
@@ -562,6 +775,8 @@ Json Session::info_json() {
   out.set("enqueued_seq", Json(enqueued_seq_));
   out.set("processed_seq", Json(processed_seq_));
   out.set("draining", Json(draining_));
+  out.set("journaled", Json(journal_ != nullptr));
+  out.set("dedup_entries", Json(static_cast<long long>(dedup_ack_.size())));
   return out;
 }
 

@@ -46,6 +46,22 @@
 // contract was given at admission). A solve with `budget_ms` runs under
 // a deadline of its *remaining* budget — queue wait is charged against
 // it — threaded to the solver chain as the ambient util::StopToken.
+//
+// ## Durability (write-ahead journal) and idempotent retries
+//
+// With a journal attached, every admitted delta is appended to the
+// session's record log *before* its ACK line is sent (see journal.hpp
+// for the fsync policies). A journal append failure rolls the admission
+// back and the client receives a typed `internal` error instead of an
+// ACK the disk never saw. Deltas carrying a `rid` are remembered in a
+// bounded dedup window (rid -> original ACK); a retried rid is re-ACKed
+// with the original result plus `dup: true` and is never re-applied.
+// Recovery replays journal records through the same validate/apply path
+// as live traffic (replay_journal_record), so a restarted session is
+// bit-identical to the uncrashed one at the same delta prefix. When the
+// session is quiescent and the log has grown past
+// `journal_compact_every` records, the worker compacts it to a single
+// snapshot record.
 #pragma once
 
 #include <chrono>
@@ -57,6 +73,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -65,6 +82,7 @@
 #include "core/robust.hpp"
 #include "core/workspace.hpp"
 #include "obs/metrics.hpp"
+#include "svc/journal.hpp"
 #include "svc/proto.hpp"
 
 namespace amf::svc {
@@ -85,6 +103,11 @@ struct SessionConfig {
   double default_budget_ms = 0.0;
   /// Allocation policy: "amf", "eamf", or "psmf".
   std::string policy = "amf";
+  /// Bounded rid dedup window (retried deltas ACKed once); 0 disables.
+  std::size_t dedup_window = 1024;
+  /// Compact the journal to one snapshot record once it holds this many
+  /// appends and the session is quiescent (0 = never compact).
+  long long journal_compact_every = 4096;
 };
 
 /// Registry handles for the service metrics (global registry; created
@@ -105,6 +128,10 @@ struct SvcMetrics {
   obs::Counter solve_calls;    ///< allocator invocations
   obs::Counter solves_served;  ///< solve responses (>= solve_calls: coalescing)
   obs::Counter cache_hits;     ///< solves served from the unchanged-state cache
+  obs::Counter journal_records;      ///< deltas appended to session journals
+  obs::Counter journal_syncs;        ///< explicit fsyncs (always + batch)
+  obs::Counter journal_compactions;  ///< snapshot-compactions performed
+  obs::Counter dedup_hits;  ///< retried deltas re-ACKed from the rid window
   obs::Histogram batch_size;     ///< requests per drained batch
   obs::Histogram queue_wait_ms;  ///< enqueue -> start of processing
   obs::Histogram solve_ms;       ///< allocator wall time per solve call
@@ -127,7 +154,11 @@ class Session {
           SessionConfig config);
 
   /// Restored session (drain-snapshot or `snapshot` op output).
-  Session(std::string name, ProblemSnapshot snapshot, SessionConfig config);
+  /// `initial_seq` seeds the delta sequence counter — journal recovery
+  /// passes the compaction snapshot's seq so replayed delta records
+  /// (and client-visible seqs) line up with the pre-crash numbering.
+  Session(std::string name, ProblemSnapshot snapshot, SessionConfig config,
+          long long initial_seq = 0);
 
   /// Stops the worker without serving the remaining queue (fast
   /// teardown); drain() first for the graceful path.
@@ -141,6 +172,25 @@ class Session {
   /// Admission + dispatch. Always responds exactly once per request
   /// (immediately for ACKs and sheds, from the worker otherwise).
   void submit(const Request& req, Responder respond);
+
+  /// Attaches the write-ahead journal. Must run before the session sees
+  /// traffic (server setup / recovery only); the session owns it.
+  void attach_journal(std::unique_ptr<Journal> journal);
+  bool has_journal() const { return journal_ != nullptr; }
+
+  /// Applies one replayed journal delta record through the live
+  /// validate/apply path (recovery only, before traffic). Returns false
+  /// and fills `error` on a record the current state rejects — the
+  /// caller stops the replay there and truncates the log.
+  bool replay_journal_record(const Json& record, std::string* error);
+
+  /// Compacts the journal to a single snapshot record. Only safe after
+  /// drain() (no worker); the live path compacts from the worker.
+  void compact_journal_after_drain();
+
+  /// Snapshot-record payload for compaction ({"t":"snapshot",...} with
+  /// the session config embedded so recovery can rebuild the session).
+  std::string snapshot_record_payload_locked_state() const;
 
   /// Serves everything already admitted, then stops the worker. New
   /// submissions during and after the drain are shed with `draining`.
@@ -163,9 +213,18 @@ class Session {
     double budget_ms = 0.0;  ///< solve: effective budget (0 = unbudgeted)
     bool latest = false;     ///< solve: may be served at a newer state
     long long job_id = -1;   ///< add_job: assigned handle; finish_job: target
+    std::string rid;         ///< delta: client retry id ("" = none)
+    int prev_workloads_mode = -2;  ///< add_job: mode before admission
   };
 
   void validate_delta_locked(const Request& req, Item* item);
+  /// Undoes the projected-state mutation of validate_delta_locked (a
+  /// journal append failed after admission; the ACK must not be owed).
+  void rollback_delta_locked(const Item& item);
+  /// Journal payload of one admitted delta.
+  std::string delta_record_payload_locked(const Item& item,
+                                          long long seq) const;
+  void remember_ack_locked(const std::string& rid, const Json& ack);
   void worker_loop();
   /// Applies one admitted delta to problem + workspace + id map.
   void apply_delta(const Item& item);
@@ -190,6 +249,12 @@ class Session {
   int workloads_mode_ = -1;
   long long enqueued_seq_ = 0;   ///< deltas admitted
   long long processed_seq_ = 0;  ///< deltas applied (worker)
+  /// rid -> original delta ACK, bounded FIFO (config_.dedup_window).
+  std::unordered_map<std::string, Json> dedup_ack_;
+  std::deque<std::string> dedup_order_;
+  /// Write-ahead log; appends happen under mu_ so record order always
+  /// matches admission (seq) order.
+  std::unique_ptr<Journal> journal_;
 
   // --- solver state (worker thread only; after drain: owner thread) ---
   core::AllocationProblem problem_;
