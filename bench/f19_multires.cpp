@@ -1,0 +1,220 @@
+// F19 — Multi-resource lift: solver cost as the resource dimension grows.
+//
+// Runs the same arrival workload shape through the discrete-event
+// simulator at R = 1, 2 and 4 resources (vector site capacities,
+// Leontief per-task profiles drawn by the generator). Each point runs
+// the from-scratch engine (cold) and the incremental engine with exact
+// replay (warm); the two must agree bit-for-bit at every R — the
+// multi-resource lift keeps the incremental contract intact, it does not
+// loosen it. The figure reports warm event throughput per R and the
+// overhead of the lifted solve relative to scalar:
+//
+//   overhead(R) = warm_ms(R) / warm_ms(R = 1)   (same jobs/sites/load)
+//
+// The DRF-on-aggregates reduction folds profiles into effective demands
+// and vector capacities into binding minima up front, so per-event solve
+// cost should stay close to scalar: the R-dependent work is O(n·R) per
+// capacity/profile delta, not a factor on the flow solve. The CI gate
+// (--max-overhead) pins that claim, by default on R = 2.
+//
+//   bench_f19_multires [--smoke] [--json PATH] [--max-overhead X]
+//
+// CSV goes to stdout; a machine-readable summary is written to PATH
+// (default BENCH_multires.json). With --max-overhead, exits non-zero
+// unless every size point keeps overhead(2) <= X (the CI smoke gate).
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common.hpp"
+
+namespace {
+
+struct SizePoint {
+  int jobs = 0;
+  int sites = 0;
+  double load = 1.0;
+  int max_events = 0;  // 0 = replay the whole trace
+};
+
+struct RunResult {
+  std::vector<amf::sim::JobRecord> records;
+  amf::sim::RunStats stats;
+  double ms = 0.0;
+};
+
+RunResult run_once(const amf::core::Allocator& policy,
+                   const amf::workload::Trace& trace, bool incremental,
+                   int max_events) {
+  amf::sim::SimulatorConfig cfg;
+  cfg.incremental = incremental;
+  cfg.max_events = max_events;
+  amf::sim::Simulator simulator(policy, cfg);
+  auto start = std::chrono::steady_clock::now();
+  RunResult out;
+  out.records = simulator.run(trace);
+  auto stop = std::chrono::steady_clock::now();
+  out.stats = simulator.stats();
+  out.ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  return out;
+}
+
+/// Warm runs are timed best-of-`reps` (identical results each rep — the
+/// engine is deterministic) so the overhead ratio gates on solve cost,
+/// not on scheduler jitter.
+RunResult run_warm(const amf::core::Allocator& policy,
+                   const amf::workload::Trace& trace, int reps,
+                   int max_events) {
+  RunResult best = run_once(policy, trace, /*incremental=*/true, max_events);
+  for (int i = 1; i < reps; ++i) {
+    RunResult next =
+        run_once(policy, trace, /*incremental=*/true, max_events);
+    if (next.ms < best.ms) best = std::move(next);
+  }
+  return best;
+}
+
+/// Bitwise agreement between two runs: the exact-replay incremental
+/// contract holds at every resource dimension.
+bool identical(const RunResult& a, const RunResult& b) {
+  if (a.records.size() != b.records.size()) return false;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    if (a.records[i].id != b.records[i].id ||
+        a.records[i].completion != b.records[i].completion)
+      return false;
+  }
+  return a.stats.events == b.stats.events &&
+         a.stats.makespan == b.stats.makespan &&
+         a.stats.total_churn == b.stats.total_churn &&
+         a.stats.aggregate_drift == b.stats.aggregate_drift &&
+         a.stats.time_avg_jain == b.stats.time_avg_jain &&
+         a.stats.avg_utilization == b.stats.avg_utilization;
+}
+
+std::string fmt(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amf;
+  bool smoke = false;
+  std::string json_path = "BENCH_multires.json";
+  double max_overhead = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-overhead") == 0 && i + 1 < argc) {
+      max_overhead = std::atof(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_f19_multires [--smoke] [--json PATH] "
+                   "[--max-overhead X]\n";
+      return 2;
+    }
+  }
+
+  bench::preamble(
+      "F19", "multi-resource lift: event throughput vs resource dimension",
+      {"same workload shape at R = 1, 2, 4 (vector capacities, Leontief",
+       "profiles); cold = from-scratch engine, warm = incremental exact",
+       "replay, verified bit-for-bit at every R;",
+       "overhead = warm_ms(R) / warm_ms(1) at the same size point"});
+
+  // The large point replays a fixed event budget (as F14 does): a full
+  // cold replay at n = 1000 prices nothing extra and takes minutes per
+  // R; both engines see the identical event prefix.
+  const std::vector<SizePoint> sweep =
+      smoke ? std::vector<SizePoint>{{150, 32, 1.0, 0}}
+            : std::vector<SizePoint>{{400, 64, 1.0, 800},
+                                     {1000, 96, 1.0, 500}};
+  const std::vector<int> dims = {1, 2, 4};
+  const int warm_reps = smoke ? 3 : 2;
+
+  core::AmfAllocator amf_policy;
+  util::CsvWriter csv(
+      std::cout,
+      {"resources", "jobs", "sites", "events", "cold_ms", "warm_ms",
+       "warm_events_per_sec", "speedup", "overhead_vs_r1", "verified"});
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"f19_multires\",\n  \"smoke\": "
+       << (smoke ? "true" : "false") << ",\n  \"results\": [\n";
+  bool all_verified = true;
+  double worst_r2_overhead = 0.0;
+  bool first_row = true;
+  for (std::size_t p = 0; p < sweep.size(); ++p) {
+    const SizePoint& point = sweep[p];
+    double r1_warm_ms = 0.0;
+    for (int r : dims) {
+      // Same size/load/seed per point; only the resource dimension moves.
+      // (R > 1 draws extra capacity/profile randomness, so instances
+      // differ in content but not in scale — this prices the dimension,
+      // not a particular instance.)
+      auto cfg = workload::paper_default(0.9, 19000 + p);
+      cfg.sites = point.sites;
+      cfg.sites_per_job_min = 2;
+      cfg.sites_per_job_max = 4;
+      cfg.resources = r;
+      workload::Generator gen(cfg);
+      auto trace = workload::generate_trace(gen, point.load, point.jobs);
+
+      auto cold =
+          run_once(amf_policy, trace, /*incremental=*/false, point.max_events);
+      auto warm = run_warm(amf_policy, trace, warm_reps, point.max_events);
+      const bool ok = identical(cold, warm);
+      all_verified = all_verified && ok;
+      if (r == 1) r1_warm_ms = warm.ms;
+      const double overhead =
+          r1_warm_ms > 0.0 ? warm.ms / r1_warm_ms : 0.0;
+      if (r == 2) worst_r2_overhead = std::max(worst_r2_overhead, overhead);
+      const double speedup = warm.ms > 0.0 ? cold.ms / warm.ms : 0.0;
+      const double events = warm.stats.events;
+      const double warm_eps = warm.ms > 0.0 ? events / (warm.ms / 1e3) : 0.0;
+
+      csv.row({std::to_string(r), std::to_string(point.jobs),
+               std::to_string(point.sites),
+               std::to_string(warm.stats.events), fmt(cold.ms), fmt(warm.ms),
+               fmt(warm_eps), fmt(speedup), fmt(overhead), ok ? "1" : "0"});
+      if (!first_row) json << ",\n";
+      first_row = false;
+      json << "    {\"resources\": " << r << ", \"jobs\": " << point.jobs
+           << ", \"sites\": " << point.sites
+           << ", \"events\": " << warm.stats.events
+           << ", \"cold_ms\": " << fmt(cold.ms)
+           << ", \"warm_ms\": " << fmt(warm.ms)
+           << ", \"warm_events_per_sec\": " << fmt(warm_eps)
+           << ", \"speedup\": " << fmt(speedup)
+           << ", \"overhead_vs_r1\": " << fmt(overhead)
+           << ", \"verified\": " << (ok ? "true" : "false") << "}";
+    }
+  }
+  json << "\n  ],\n  \"worst_r2_overhead\": " << fmt(worst_r2_overhead)
+       << ",\n  \"max_overhead_required\": " << fmt(max_overhead)
+       << ",\n  \"all_verified\": " << (all_verified ? "true" : "false")
+       << "\n}\n";
+
+  std::ofstream out(json_path);
+  out << json.str();
+  out.close();
+  std::cerr << "# wrote " << json_path << "\n";
+
+  if (!all_verified) {
+    std::cerr << "F19: incremental exact-replay run disagrees with the "
+                 "from-scratch engine — bit-for-bit contract violated\n";
+    return 3;
+  }
+  if (max_overhead > 0.0 && worst_r2_overhead > max_overhead) {
+    std::cerr << "F19: R=2 incremental overhead " << worst_r2_overhead
+              << "x above allowed " << max_overhead << "x\n";
+    return 4;
+  }
+  return 0;
+}

@@ -34,6 +34,10 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
     # smoke sweep keeps the full-suite run fast while still writing the
     # machine-readable summary.
     set -- --smoke --json "$OUT_DIR/BENCH_serving.json"
+  elif [ "$name" = "bench_f19_multires" ]; then
+    # F19 sweeps R in {1,2,4}; the machine-readable summary carries the
+    # R=2 incremental overhead the CI gate pins.
+    set -- --json "$OUT_DIR/BENCH_multires.json"
   else
     set --
   fi

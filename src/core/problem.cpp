@@ -12,6 +12,16 @@
 
 namespace amf::core {
 
+namespace {
+
+double row_max(const std::vector<double>& row) {
+  double g = 0.0;
+  for (double v : row) g = v > g ? v : g;
+  return g;
+}
+
+}  // namespace
+
 AllocationProblem::AllocationProblem(Matrix demands,
                                      std::vector<double> capacities,
                                      Matrix workloads,
@@ -24,7 +34,80 @@ AllocationProblem::AllocationProblem(Matrix demands,
   validate();
 }
 
+AllocationProblem AllocationProblem::multi(Matrix demands,
+                                           Matrix capacity_matrix,
+                                           Matrix profiles, Matrix workloads,
+                                           std::vector<double> weights) {
+  AllocationProblem p;
+  p.demands_ = std::move(demands);
+  p.workloads_ = std::move(workloads);
+  p.weights_ = std::move(weights);
+  p.capacity_matrix_ = std::move(capacity_matrix);
+  p.profiles_ = std::move(profiles);
+  AMF_REQUIRE(!p.capacity_matrix_.empty(), "problem needs at least one site");
+  AMF_REQUIRE(!p.capacity_matrix_.front().empty(),
+              "capacity rows need at least one resource");
+  if (p.profiles_.empty())
+    p.profiles_.assign(
+        p.demands_.size(),
+        std::vector<double>(p.capacity_matrix_.front().size(), 1.0));
+  if (p.weights_.empty()) p.weights_.assign(p.demands_.size(), 1.0);
+  p.validate();
+  p.rebuild_effective();
+  return p;
+}
+
 void AllocationProblem::validate() const {
+  if (multi_resource()) {
+    const auto n = demands_.size();
+    const auto m = capacity_matrix_.size();
+    const auto r = capacity_matrix_.front().size();
+    for (std::size_t s = 0; s < m; ++s) {
+      AMF_REQUIRE(capacity_matrix_[s].size() == r,
+                  "ragged capacity matrix (row " + std::to_string(s) + ")");
+      for (double c : capacity_matrix_[s])
+        AMF_REQUIRE(c >= 0.0 && std::isfinite(c),
+                    "capacities must be finite, >= 0");
+    }
+    AMF_REQUIRE(profiles_.size() == n, "profile matrix height != job count");
+    for (std::size_t j = 0; j < n; ++j) {
+      AMF_REQUIRE(profiles_[j].size() == r,
+                  "profile row width != resource count (job " +
+                      std::to_string(j) + ")");
+      bool any = false;
+      for (double p : profiles_[j]) {
+        AMF_REQUIRE(p >= 0.0 && std::isfinite(p),
+                    "profiles must be finite, >= 0");
+        any = any || p > 0.0;
+      }
+      AMF_REQUIRE(any, "each job profile needs a positive entry (job " +
+                           std::to_string(j) + ")");
+    }
+    for (const auto& row : demands_) {
+      AMF_REQUIRE(row.size() == m, "demand matrix width != site count");
+      for (double d : row)
+        AMF_REQUIRE(d >= 0.0 && std::isfinite(d),
+                    "demands must be finite, >= 0");
+    }
+    if (!workloads_.empty()) {
+      AMF_REQUIRE(workloads_.size() == n, "workload matrix height != job count");
+      for (std::size_t j = 0; j < n; ++j) {
+        AMF_REQUIRE(workloads_[j].size() == m,
+                    "workload matrix width != site count");
+        for (std::size_t s = 0; s < m; ++s) {
+          double w = workloads_[j][s];
+          AMF_REQUIRE(w >= 0.0 && std::isfinite(w),
+                      "workloads must be finite, >= 0");
+          AMF_REQUIRE(w == 0.0 || demands_[j][s] > 0.0,
+                      "positive workload requires positive demand cap");
+        }
+      }
+    }
+    AMF_REQUIRE(weights_.size() == n, "weight vector length != job count");
+    for (double w : weights_)
+      AMF_REQUIRE(w > 0.0 && std::isfinite(w), "weights must be finite, > 0");
+    return;
+  }
   AMF_REQUIRE(!capacities_.empty(), "problem needs at least one site");
   const auto n = demands_.size();
   const auto m = capacities_.size();
@@ -54,13 +137,56 @@ void AllocationProblem::validate() const {
     AMF_REQUIRE(w > 0.0 && std::isfinite(w), "weights must be finite, > 0");
 }
 
+void AllocationProblem::rebuild_effective() {
+  const auto n = demands_.size();
+  const auto m = capacity_matrix_.size();
+  capacities_.resize(m);
+  for (std::size_t s = 0; s < m; ++s)
+    capacities_[s] = flow::binding_min(capacity_matrix_[s]);
+  gammas_.resize(n);
+  eff_demands_.resize(n);
+  eff_workloads_.resize(workloads_.size());
+  for (std::size_t j = 0; j < n; ++j) refresh_job_effective(j);
+}
+
+void AllocationProblem::refresh_job_effective(std::size_t job) {
+  const double g = row_max(profiles_[job]);
+  gammas_[job] = g;
+  const auto& d = demands_[job];
+  auto& ed = eff_demands_[job];
+  ed.resize(d.size());
+  for (std::size_t s = 0; s < d.size(); ++s) ed[s] = d[s] * g;
+  if (!workloads_.empty()) {
+    const auto& w = workloads_[job];
+    auto& ew = eff_workloads_[job];
+    ew.resize(w.size());
+    for (std::size_t s = 0; s < w.size(); ++s) ew[s] = w[s] * g;
+  }
+}
+
 double AllocationProblem::demand(int job, int site) const {
   AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
   AMF_REQUIRE(site >= 0 && site < sites(), "site index out of range");
-  return demands_[static_cast<std::size_t>(job)][static_cast<std::size_t>(site)];
+  return demands()[static_cast<std::size_t>(job)]
+                  [static_cast<std::size_t>(site)];
 }
 
 double AllocationProblem::workload(int job, int site) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  AMF_REQUIRE(site >= 0 && site < sites(), "site index out of range");
+  if (workloads_.empty()) return 0.0;
+  return workloads()[static_cast<std::size_t>(job)]
+                    [static_cast<std::size_t>(site)];
+}
+
+double AllocationProblem::task_demand(int job, int site) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  AMF_REQUIRE(site >= 0 && site < sites(), "site index out of range");
+  return demands_[static_cast<std::size_t>(job)]
+                 [static_cast<std::size_t>(site)];
+}
+
+double AllocationProblem::task_workload(int job, int site) const {
   AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
   AMF_REQUIRE(site >= 0 && site < sites(), "site index out of range");
   if (workloads_.empty()) return 0.0;
@@ -71,6 +197,30 @@ double AllocationProblem::workload(int job, int site) const {
 double AllocationProblem::capacity(int site) const {
   AMF_REQUIRE(site >= 0 && site < sites(), "site index out of range");
   return capacities_[static_cast<std::size_t>(site)];
+}
+
+double AllocationProblem::capacity(int site, int resource) const {
+  AMF_REQUIRE(site >= 0 && site < sites(), "site index out of range");
+  AMF_REQUIRE(resource >= 0 && resource < resources(),
+              "resource index out of range");
+  if (!multi_resource()) return capacities_[static_cast<std::size_t>(site)];
+  return capacity_matrix_[static_cast<std::size_t>(site)]
+                         [static_cast<std::size_t>(resource)];
+}
+
+double AllocationProblem::profile(int job, int resource) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  AMF_REQUIRE(resource >= 0 && resource < resources(),
+              "resource index out of range");
+  if (!multi_resource()) return 1.0;
+  return profiles_[static_cast<std::size_t>(job)]
+                  [static_cast<std::size_t>(resource)];
+}
+
+double AllocationProblem::gamma(int job) const {
+  AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
+  if (!multi_resource()) return 1.0;
+  return gammas_[static_cast<std::size_t>(job)];
 }
 
 double AllocationProblem::weight(int job) const {
@@ -89,7 +239,7 @@ double AllocationProblem::solo_ceiling(int job) const {
 double AllocationProblem::total_work(int job) const {
   AMF_REQUIRE(job >= 0 && job < jobs(), "job index out of range");
   if (workloads_.empty()) return 0.0;
-  const auto& row = workloads_[static_cast<std::size_t>(job)];
+  const auto& row = workloads()[static_cast<std::size_t>(job)];
   return std::accumulate(row.begin(), row.end(), 0.0);
 }
 
@@ -100,7 +250,7 @@ double AllocationProblem::total_capacity() const {
 double AllocationProblem::scale() const {
   double s = 1.0;
   for (double c : capacities_) s = std::max(s, c);
-  for (const auto& row : demands_)
+  for (const auto& row : demands())
     for (double d : row) s = std::max(s, d);
   return s;
 }
@@ -126,12 +276,15 @@ AllocationProblem AllocationProblem::with_reported_demands(
   // Workloads describe true work; a misreport does not change them, but a
   // reported zero demand where true work exists would fail validation, so
   // the probe copy drops workload information.
+  if (multi_resource())
+    return AllocationProblem::multi(std::move(d), capacity_matrix_, profiles_,
+                                    {}, weights_);
   return AllocationProblem(std::move(d), capacities_, {}, weights_);
 }
 
 AllocationProblem AllocationProblem::subset(
     const std::vector<int>& job_indices) const {
-  Matrix d, w;
+  Matrix d, w, p;
   std::vector<double> wt;
   d.reserve(job_indices.size());
   wt.reserve(job_indices.size());
@@ -140,8 +293,12 @@ AllocationProblem AllocationProblem::subset(
     d.push_back(demands_[static_cast<std::size_t>(j)]);
     if (!workloads_.empty())
       w.push_back(workloads_[static_cast<std::size_t>(j)]);
+    if (multi_resource()) p.push_back(profiles_[static_cast<std::size_t>(j)]);
     wt.push_back(weights_[static_cast<std::size_t>(j)]);
   }
+  if (multi_resource())
+    return AllocationProblem::multi(std::move(d), capacity_matrix_,
+                                    std::move(p), std::move(w), std::move(wt));
   return AllocationProblem(std::move(d), capacities_, std::move(w),
                            std::move(wt));
 }
@@ -149,12 +306,14 @@ AllocationProblem AllocationProblem::subset(
 ProblemDelta ProblemDelta::job_arrived(std::vector<double> demands,
                                        std::vector<double> workloads,
                                        double weight,
-                                       std::vector<double> ceiling) {
+                                       std::vector<double> ceiling,
+                                       std::vector<double> profile) {
   ProblemDelta d;
   d.kind = Kind::kJobArrived;
   d.demand_row = std::move(demands);
   d.workload_row = std::move(workloads);
   d.demand_ceiling = std::move(ceiling);
+  d.profile_row = std::move(profile);
   d.weight = weight;
   return d;
 }
@@ -189,6 +348,23 @@ ProblemDelta ProblemDelta::workload_set(int job, int site, double value) {
   d.job = job;
   d.site = site;
   d.value = value;
+  return d;
+}
+
+ProblemDelta ProblemDelta::set_capacity_vec(int site,
+                                            std::vector<double> row) {
+  ProblemDelta d;
+  d.kind = Kind::kCapacityVec;
+  d.site = site;
+  d.capacity_row = std::move(row);
+  return d;
+}
+
+ProblemDelta ProblemDelta::set_profile(int job, std::vector<double> row) {
+  ProblemDelta d;
+  d.kind = Kind::kProfileSet;
+  d.job = job;
+  d.profile_row = std::move(row);
   return d;
 }
 
@@ -227,6 +403,30 @@ AllocationProblem AllocationProblem::apply(const ProblemDelta& delta) && {
       } else if (!workloads_.empty()) {
         workloads_.emplace_back(m, 0.0);
       }
+      if (multi_resource()) {
+        const auto r = static_cast<std::size_t>(resources());
+        std::vector<double> profile = delta.profile_row;
+        if (profile.empty()) profile.assign(r, 1.0);
+        AMF_REQUIRE(profile.size() == r,
+                    "delta profile row width != resource count");
+        bool any = false;
+        for (double p : profile) {
+          AMF_REQUIRE(p >= 0.0 && std::isfinite(p),
+                      "profiles must be finite, >= 0");
+          any = any || p > 0.0;
+        }
+        AMF_REQUIRE(any, "each job profile needs a positive entry");
+        profiles_.push_back(std::move(profile));
+        demands_.push_back(delta.demand_row);
+        weights_.push_back(delta.weight);
+        gammas_.push_back(0.0);
+        eff_demands_.emplace_back();
+        if (!workloads_.empty()) eff_workloads_.emplace_back();
+        refresh_job_effective(demands_.size() - 1);
+        break;
+      }
+      AMF_REQUIRE(delta.profile_row.empty(),
+                  "profile row on a single-resource problem");
       demands_.push_back(delta.demand_row);
       weights_.push_back(delta.weight);
       break;
@@ -239,14 +439,44 @@ AllocationProblem AllocationProblem::apply(const ProblemDelta& delta) && {
       if (!workloads_.empty())
         workloads_.erase(workloads_.begin() + static_cast<std::ptrdiff_t>(j));
       weights_.erase(weights_.begin() + static_cast<std::ptrdiff_t>(j));
+      if (multi_resource()) {
+        profiles_.erase(profiles_.begin() + static_cast<std::ptrdiff_t>(j));
+        gammas_.erase(gammas_.begin() + static_cast<std::ptrdiff_t>(j));
+        eff_demands_.erase(eff_demands_.begin() +
+                           static_cast<std::ptrdiff_t>(j));
+        if (!eff_workloads_.empty())
+          eff_workloads_.erase(eff_workloads_.begin() +
+                               static_cast<std::ptrdiff_t>(j));
+      }
       break;
     }
     case ProblemDelta::Kind::kSiteCapacity: {
+      AMF_REQUIRE(!multi_resource(),
+                  "scalar capacity delta on a multi-resource problem "
+                  "(use set_capacity_vec)");
       AMF_REQUIRE(delta.site >= 0 && delta.site < sites(),
                   "delta site index out of range");
       AMF_REQUIRE(delta.value >= 0.0 && std::isfinite(delta.value),
                   "capacities must be finite, >= 0");
       capacities_[static_cast<std::size_t>(delta.site)] = delta.value;
+      break;
+    }
+    case ProblemDelta::Kind::kCapacityVec: {
+      AMF_REQUIRE(delta.site >= 0 && delta.site < sites(),
+                  "delta site index out of range");
+      AMF_REQUIRE(delta.capacity_row.size() ==
+                      static_cast<std::size_t>(resources()),
+                  "delta capacity row width != resource count");
+      for (double c : delta.capacity_row)
+        AMF_REQUIRE(c >= 0.0 && std::isfinite(c),
+                    "capacities must be finite, >= 0");
+      const auto s = static_cast<std::size_t>(delta.site);
+      if (multi_resource()) {
+        capacity_matrix_[s] = delta.capacity_row;
+        capacities_[s] = flow::binding_min(capacity_matrix_[s]);
+      } else {
+        capacities_[s] = delta.capacity_row.front();
+      }
       break;
     }
     case ProblemDelta::Kind::kDemandSet: {
@@ -262,6 +492,10 @@ AllocationProblem AllocationProblem::apply(const ProblemDelta& delta) && {
                   "positive workload requires positive demand cap");
       demands_[static_cast<std::size_t>(delta.job)]
               [static_cast<std::size_t>(delta.site)] = delta.value;
+      if (multi_resource())
+        eff_demands_[static_cast<std::size_t>(delta.job)]
+                    [static_cast<std::size_t>(delta.site)] =
+            delta.value * gammas_[static_cast<std::size_t>(delta.job)];
       break;
     }
     case ProblemDelta::Kind::kWorkloadSet: {
@@ -279,6 +513,29 @@ AllocationProblem AllocationProblem::apply(const ProblemDelta& delta) && {
                   "positive workload requires positive demand cap");
       workloads_[static_cast<std::size_t>(delta.job)]
                 [static_cast<std::size_t>(delta.site)] = delta.value;
+      if (multi_resource())
+        eff_workloads_[static_cast<std::size_t>(delta.job)]
+                      [static_cast<std::size_t>(delta.site)] =
+            delta.value * gammas_[static_cast<std::size_t>(delta.job)];
+      break;
+    }
+    case ProblemDelta::Kind::kProfileSet: {
+      AMF_REQUIRE(multi_resource(),
+                  "profile delta on a single-resource problem");
+      AMF_REQUIRE(delta.job >= 0 && delta.job < jobs(),
+                  "delta job index out of range");
+      AMF_REQUIRE(delta.profile_row.size() ==
+                      static_cast<std::size_t>(resources()),
+                  "delta profile row width != resource count");
+      bool any = false;
+      for (double p : delta.profile_row) {
+        AMF_REQUIRE(p >= 0.0 && std::isfinite(p),
+                    "profiles must be finite, >= 0");
+        any = any || p > 0.0;
+      }
+      AMF_REQUIRE(any, "each job profile needs a positive entry");
+      profiles_[static_cast<std::size_t>(delta.job)] = delta.profile_row;
+      refresh_job_effective(static_cast<std::size_t>(delta.job));
       break;
     }
   }
@@ -287,7 +544,6 @@ AllocationProblem AllocationProblem::apply(const ProblemDelta& delta) && {
 
 void AllocationProblem::save(std::ostream& out) const {
   using util::CsvWriter;
-  out << jobs() << ',' << sites() << ',' << (has_workloads() ? 1 : 0) << '\n';
   auto emit_row = [&out](const std::vector<double>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i) out << ',';
@@ -295,6 +551,18 @@ void AllocationProblem::save(std::ostream& out) const {
     }
     out << '\n';
   };
+  if (multi_resource()) {
+    out << jobs() << ',' << sites() << ',' << (has_workloads() ? 1 : 0) << ','
+        << resources() << '\n';
+    for (const auto& row : demands_) emit_row(row);
+    for (const auto& row : capacity_matrix_) emit_row(row);
+    for (const auto& row : profiles_) emit_row(row);
+    if (has_workloads())
+      for (const auto& row : workloads_) emit_row(row);
+    emit_row(weights_);
+    return;
+  }
+  out << jobs() << ',' << sites() << ',' << (has_workloads() ? 1 : 0) << '\n';
   for (const auto& row : demands_) emit_row(row);
   emit_row(capacities_);
   if (has_workloads())
@@ -303,7 +571,7 @@ void AllocationProblem::save(std::ostream& out) const {
 }
 
 AllocationProblem AllocationProblem::load(std::istream& in) {
-  auto read_row = [&in](std::size_t expected) {
+  auto read_line = [&in] {
     std::string line;
     AMF_REQUIRE(static_cast<bool>(std::getline(in, line)),
                 "truncated problem file");
@@ -311,15 +579,36 @@ AllocationProblem AllocationProblem::load(std::istream& in) {
     std::stringstream ss(line);
     std::string cell;
     while (std::getline(ss, cell, ',')) row.push_back(std::stod(cell));
+    return row;
+  };
+  auto read_row = [&read_line](std::size_t expected) {
+    std::vector<double> row = read_line();
     AMF_REQUIRE(row.size() == expected, "problem file row width mismatch");
     return row;
   };
-  auto header = read_row(3);
+  auto header = read_line();
+  AMF_REQUIRE(header.size() == 3 || header.size() == 4,
+              "problem file row width mismatch");
   auto n = static_cast<std::size_t>(header[0]);
   auto m = static_cast<std::size_t>(header[1]);
   bool has_work = header[2] != 0.0;
   Matrix d(n), w;
   for (auto& row : d) row = read_row(m);
+  if (header.size() == 4) {
+    auto r = static_cast<std::size_t>(header[3]);
+    AMF_REQUIRE(r >= 1, "problem file needs at least one resource");
+    Matrix caps(m), profiles(n);
+    for (auto& row : caps) row = read_row(r);
+    for (auto& row : profiles) row = read_row(r);
+    if (has_work) {
+      w.resize(n);
+      for (auto& row : w) row = read_row(m);
+    }
+    std::vector<double> weights = read_row(n);
+    return AllocationProblem::multi(std::move(d), std::move(caps),
+                                    std::move(profiles), std::move(w),
+                                    std::move(weights));
+  }
   std::vector<double> caps = read_row(m);
   if (has_work) {
     w.resize(n);

@@ -5,6 +5,34 @@
 // w[j][s] units of work to process there. Site s offers C[s] units.
 // Optional weights express per-job priorities under weighted max-min
 // fairness; the unweighted paper model is weights == 1.
+//
+// ## Multi-resource instances (DRF-on-aggregates)
+//
+// A site may offer a *vector* of R resources (CPU/mem/net),
+// capacity[s][r], and each job consumes them in fixed Leontief
+// proportions profile[j][r] per task. Fairness is then defined on the
+// weighted aggregate *dominant share*: job j's dominant-share coefficient
+// is γ_j = max_r profile[j][r], and the standard DRF reduction maps the
+// vector instance onto the scalar transportation model the whole solver
+// chain already speaks:
+//
+//   effective demand   d̃[j][s] = d[j][s] · γ_j      (dominant units)
+//   effective capacity C̃[s]    = min_r capacity[s][r] (the binding resource)
+//   effective workload w̃[j][s] = w[j][s] · γ_j
+//
+// Every value-returning accessor (demands(), capacities(), demand(),
+// capacity(), workloads(), scale(), solo_ceiling(), equal_split_share())
+// reports the EFFECTIVE view, so AMF/E-AMF/PSMF, the incremental
+// workspace, the robust tiers, and the flow substrate run unchanged and
+// their allocations come back in dominant units (task counts are
+// share/γ). The raw task-unit inputs remain available via
+// task_demands()/task_workloads()/profiles()/capacity_matrix().
+//
+// A problem built through the scalar constructor never materializes the
+// vector state: capacity_matrix() is empty, multi_resource() is false,
+// and the code paths are byte-for-byte the pre-lift ones (pinned by
+// test_r1_equiv). A vector problem with R=1 and unit profiles takes the
+// same effective values, so it allocates identically to its scalar twin.
 #pragma once
 
 #include <iosfwd>
@@ -22,13 +50,18 @@ using Matrix = flow::Matrix;
 /// feeds them to both AllocationProblem::apply (value semantics) and
 /// SolverWorkspace::apply (persistent flow-network topology), keeping the
 /// two views consistent without rebuilding either.
+///
+/// Scalar quantities in deltas are raw task units; the problem converts
+/// to effective (dominant-share) units internally.
 struct ProblemDelta {
   enum class Kind {
     kJobArrived,   ///< append a job row (demands / optional workloads / weight)
     kJobDeparted,  ///< erase a job row, preserving the order of the rest
-    kSiteCapacity, ///< set C[site] = value
+    kSiteCapacity, ///< set C[site] = value (single-resource problems only)
     kDemandSet,    ///< set d[job][site] = value
     kWorkloadSet,  ///< set w[job][site] = value
+    kCapacityVec,  ///< set capacity[site][*] = capacity_row
+    kProfileSet,   ///< set profile[job][*] = profile_row (multi-resource only)
   };
 
   Kind kind = Kind::kDemandSet;
@@ -42,15 +75,24 @@ struct ProblemDelta {
   /// (>= demand_row). Decides which arcs a persistent network reserves so
   /// later unmasking needs no rebuild. Empty = demand_row itself.
   std::vector<double> demand_ceiling;
+  /// kCapacityVec: the site's new per-resource capacity row (width R; a
+  /// single-resource problem accepts width 1).
+  std::vector<double> capacity_row;
+  /// kJobArrived / kProfileSet: the job's Leontief profile (width R).
+  /// Empty on arrival = the unit profile.
+  std::vector<double> profile_row;
 
   static ProblemDelta job_arrived(std::vector<double> demands,
                                   std::vector<double> workloads = {},
                                   double weight = 1.0,
-                                  std::vector<double> ceiling = {});
+                                  std::vector<double> ceiling = {},
+                                  std::vector<double> profile = {});
   static ProblemDelta job_departed(int job);
   static ProblemDelta site_capacity(int site, double value);
   static ProblemDelta demand_set(int job, int site, double value);
   static ProblemDelta workload_set(int job, int site, double value);
+  static ProblemDelta set_capacity_vec(int site, std::vector<double> row);
+  static ProblemDelta set_profile(int job, std::vector<double> row);
 };
 
 /// An immutable-after-validation allocation problem instance.
@@ -58,25 +100,69 @@ class AllocationProblem {
  public:
   AllocationProblem() = default;
 
-  /// Builds and validates an instance. `workloads` may be empty (no
-  /// completion-time information) or n×m; `weights` may be empty (all 1).
+  /// Builds and validates a single-resource instance. `workloads` may be
+  /// empty (no completion-time information) or n×m; `weights` may be
+  /// empty (all 1).
   AllocationProblem(Matrix demands, std::vector<double> capacities,
                     Matrix workloads = {}, std::vector<double> weights = {});
+
+  /// Builds and validates a multi-resource instance. `capacity_matrix` is
+  /// m×R (R >= 1 taken from its rows); `profiles` is n×R Leontief rows
+  /// (each with at least one positive entry) or empty for unit profiles.
+  /// `demands`/`workloads` are raw task units. A factory rather than a
+  /// constructor so brace-initialized scalar call sites stay unambiguous.
+  static AllocationProblem multi(Matrix demands, Matrix capacity_matrix,
+                                 Matrix profiles, Matrix workloads = {},
+                                 std::vector<double> weights = {});
 
   int jobs() const { return static_cast<int>(demands_.size()); }
   int sites() const { return static_cast<int>(capacities_.size()); }
 
-  const Matrix& demands() const { return demands_; }
+  /// True when this instance carries vector capacities; the effective
+  /// accessors below then report the DRF reduction's dominant units.
+  bool multi_resource() const { return !capacity_matrix_.empty(); }
+  /// Resource dimension R (1 for scalar instances).
+  int resources() const {
+    return multi_resource() ? static_cast<int>(capacity_matrix_.front().size())
+                            : 1;
+  }
+
+  /// Effective demand matrix (== the raw one on scalar instances).
+  const Matrix& demands() const {
+    return multi_resource() ? eff_demands_ : demands_;
+  }
+  /// Effective (binding-resource) site capacities.
   const std::vector<double>& capacities() const { return capacities_; }
-  /// Empty when the instance carries no workload information.
-  const Matrix& workloads() const { return workloads_; }
+  /// Effective workloads; empty when the instance carries no workload
+  /// information.
+  const Matrix& workloads() const {
+    return multi_resource() ? eff_workloads_ : workloads_;
+  }
   const std::vector<double>& weights() const { return weights_; }
   bool has_workloads() const { return !workloads_.empty(); }
 
+  /// Raw task-unit demand/workload matrices (== the effective ones on
+  /// scalar instances).
+  const Matrix& task_demands() const { return demands_; }
+  const Matrix& task_workloads() const { return workloads_; }
+  /// Per-site per-resource capacities; empty on scalar instances.
+  const Matrix& capacity_matrix() const { return capacity_matrix_; }
+  /// Per-job Leontief profiles (n×R); empty on scalar instances.
+  const Matrix& profiles() const { return profiles_; }
+
   double demand(int job, int site) const;
   double workload(int job, int site) const;
+  /// Raw task-unit entries (== demand()/workload() on scalar instances).
+  double task_demand(int job, int site) const;
+  double task_workload(int job, int site) const;
   double capacity(int site) const;
   double weight(int job) const;
+  /// capacity[site][resource]; scalar instances accept resource == 0.
+  double capacity(int site, int resource) const;
+  /// profile[job][resource]; 1.0 on scalar instances (resource == 0).
+  double profile(int job, int resource) const;
+  /// Dominant-share coefficient γ_j = max_r profile[j][r] (1.0 scalar).
+  double gamma(int job) const;
 
   /// Σ_s min(d[j][s], C[s]) — the most job j could ever receive.
   double solo_ceiling(int job) const;
@@ -112,18 +198,33 @@ class AllocationProblem {
   AllocationProblem apply(const ProblemDelta& delta) const&;
   AllocationProblem apply(const ProblemDelta& delta) &&;
 
-  /// CSV round-trip: header line `jobs,sites` then one row per job of
-  /// demands, then capacities, then optional workloads and weights.
+  /// CSV round-trip: header line `jobs,sites,has_work[,resources]` then
+  /// one row per job of demands, then capacities (m rows of R when
+  /// multi-resource), then profile rows (multi-resource only), then
+  /// optional workloads and weights. Scalar instances save exactly the
+  /// pre-lift format.
   void save(std::ostream& out) const;
   static AllocationProblem load(std::istream& in);
 
  private:
   void validate() const;
+  /// Recomputes gammas_/eff_demands_/eff_workloads_/capacities_ from the
+  /// raw state (multi-resource instances only).
+  void rebuild_effective();
+  /// Refreshes the cached effective row of one job after a raw change.
+  void refresh_job_effective(std::size_t job);
 
-  Matrix demands_;
-  std::vector<double> capacities_;
-  Matrix workloads_;
+  Matrix demands_;                   ///< raw task-unit demands
+  std::vector<double> capacities_;   ///< effective (binding-min) capacities
+  Matrix workloads_;                 ///< raw task-unit workloads
   std::vector<double> weights_;
+
+  // --- multi-resource state (all empty on scalar instances) ---
+  Matrix capacity_matrix_;  ///< m×R; non-empty ⟺ multi_resource()
+  Matrix profiles_;         ///< n×R Leontief rows
+  std::vector<double> gammas_;  ///< cached max_r profiles_[j][r]
+  Matrix eff_demands_;          ///< demands_ · γ (dominant units)
+  Matrix eff_workloads_;        ///< workloads_ · γ (empty when no workloads)
 };
 
 }  // namespace amf::core

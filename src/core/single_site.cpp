@@ -1,6 +1,7 @@
 #include "core/single_site.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
@@ -60,6 +61,99 @@ std::vector<double> water_fill(const std::vector<double>& caps,
 std::vector<double> water_fill(const std::vector<double>& caps,
                                double capacity) {
   return water_fill(caps, std::vector<double>(caps.size(), 1.0), capacity);
+}
+
+std::vector<double> leontief_water_fill(
+    const std::vector<double>& task_caps,
+    const std::vector<std::vector<double>>& profiles,
+    const std::vector<double>& capacities, double scale, double eps) {
+  const std::size_t n = task_caps.size();
+  const std::size_t rc = capacities.size();
+  AMF_REQUIRE(profiles.size() == n, "task_caps/profiles length mismatch");
+  for (const auto& row : profiles)
+    AMF_REQUIRE(row.size() == rc, "profile row width != resource count");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Site-local dominant share per task; inf when the site lacks a
+  // resource the job needs (the job cannot run here).
+  std::vector<double> dom(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = 0.0;
+    for (std::size_t r = 0; r < rc; ++r) {
+      double need = profiles[j][r];
+      if (need <= 0.0) continue;
+      double cap = capacities[r];
+      d = cap <= 0.0 ? kInf : std::max(d, need / cap);
+    }
+    dom[j] = d;
+  }
+
+  std::vector<char> frozen(n, 0);
+  std::vector<double> tasks(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j)
+    if (task_caps[j] <= 0.0 || !std::isfinite(dom[j]) || dom[j] <= 0.0)
+      frozen[j] = 1;
+
+  // tasks of unfrozen j at level t: min(cap, t / dom_j).
+  auto tasks_at = [&](double t) {
+    std::vector<double> out(tasks);
+    for (std::size_t j = 0; j < n; ++j)
+      if (!frozen[j]) out[j] = std::min(task_caps[j], t / dom[j]);
+    return out;
+  };
+  auto usage = [&](const std::vector<double>& task_vec, std::size_t r) {
+    double used = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      used += task_vec[j] * profiles[j][r];
+    return used;
+  };
+  auto level_feasible = [&](double t) {
+    auto task_vec = tasks_at(t);
+    for (std::size_t r = 0; r < rc; ++r)
+      if (usage(task_vec, r) > capacities[r] + eps * scale) return false;
+    return true;
+  };
+
+  double level = 0.0;
+  // Each round freezes at least one job, so at most n rounds run.
+  for (std::size_t round = 0; round < n; ++round) {
+    bool any_unfrozen = false;
+    for (char f : frozen) any_unfrozen |= !f;
+    if (!any_unfrozen) break;
+
+    if (level_feasible(1.0)) {
+      // Every remaining job reaches its task cap before any resource
+      // saturates (a dominant share cannot exceed 1).
+      tasks = tasks_at(1.0);
+      break;
+    }
+    double lo = level, hi = 1.0;
+    for (int it = 0; it < 64; ++it) {
+      double mid = 0.5 * (lo + hi);
+      (level_feasible(mid) ? lo : hi) = mid;
+    }
+    level = lo;
+    tasks = tasks_at(level);
+
+    // Freeze jobs at their cap or touching a saturated resource.
+    const double tol = 1e-7 * scale;
+    std::vector<char> saturated(rc, 0);
+    for (std::size_t r = 0; r < rc; ++r)
+      saturated[r] = usage(tasks, r) >= capacities[r] - tol;
+    int newly = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (frozen[j]) continue;
+      bool freeze = tasks[j] >= task_caps[j] - tol;
+      for (std::size_t r = 0; r < rc && !freeze; ++r)
+        freeze = saturated[r] && profiles[j][r] > 0.0;
+      if (freeze) {
+        frozen[j] = 1;
+        ++newly;
+      }
+    }
+    if (newly == 0) break;  // numerically nothing moves; stop here
+  }
+  return tasks;
 }
 
 }  // namespace amf::core

@@ -1,8 +1,15 @@
-// single_site.hpp — classic single-resource weighted max-min fairness.
+// single_site.hpp — one-site max-min fairness primitives.
 //
-// This is the conventional water-filling the paper's baseline applies
-// independently at every site, and a building block reused elsewhere
-// (e.g. equal-split floors). Exact, O(n log n), no flow machinery needed.
+// water_fill is the conventional single-resource water-filling the
+// paper's baseline applies independently at every site, and a building
+// block reused elsewhere (e.g. equal-split floors). Exact, O(n log n),
+// no flow machinery needed.
+//
+// leontief_water_fill is its multi-resource sibling: DRF water-filling
+// of one site's vector capacity over Leontief tasks (progressive
+// filling on the site-local dominant share, freezing jobs at their task
+// cap or on a saturated resource). It is the shared primitive behind
+// multiresource::PerSiteDrfAllocator.
 #pragma once
 
 #include <vector>
@@ -29,5 +36,23 @@ std::vector<double> water_fill(const std::vector<double>& caps,
 /// total demand (every cap satisfied, level unbounded).
 double water_level(const std::vector<double>& caps,
                    const std::vector<double>& weights, double capacity);
+
+/// DRF water-filling of ONE site with vector capacity `capacities` (R
+/// entries) over n Leontief jobs: job j runs tasks that each consume
+/// profiles[j][r] of resource r, up to `task_caps[j]` tasks. Raises the
+/// common site-local dominant share progressively, freezing a job when
+/// it hits its task cap or touches a saturated resource, until no job
+/// can rise; returns the per-job task counts. Jobs with a zero task
+/// cap, a zero profile, or a needed resource the site lacks receive 0.
+///
+/// `scale` is the problem's magnitude unit (capacity-sized) used for the
+/// feasibility slack `eps * scale` and the freeze tolerance, matching
+/// the solver-wide epsilon convention. The level search bisects (64
+/// iterations), so results carry ~1e-15 relative noise rather than the
+/// closed-form exactness of the scalar water_fill.
+std::vector<double> leontief_water_fill(
+    const std::vector<double>& task_caps,
+    const std::vector<std::vector<double>>& profiles,
+    const std::vector<double>& capacities, double scale, double eps);
 
 }  // namespace amf::core

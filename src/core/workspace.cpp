@@ -46,6 +46,9 @@ void SolverWorkspace::prime(const AllocationProblem& problem,
   transport_.emplace(problem.capacities());
   rows_.clear();
   rows_.reserve(static_cast<std::size_t>(n));
+  gammas_.clear();
+  gammas_.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) gammas_.push_back(problem.gamma(j));
   std::vector<int> sites;
   std::vector<double> demands;
   for (int j = 0; j < n; ++j) {
@@ -84,6 +87,13 @@ void SolverWorkspace::apply(const ProblemDelta& delta) {
       const int m = transport_->sites();
       AMF_REQUIRE(static_cast<int>(delta.demand_row.size()) == m,
                   "delta demand row width != site count");
+      // The network speaks dominant units: the arrival's demand row is
+      // scaled by its profile's γ (1.0 when no profile rides along).
+      double gamma = 1.0;
+      if (!delta.profile_row.empty()) {
+        gamma = 0.0;
+        for (double p : delta.profile_row) gamma = p > gamma ? p : gamma;
+      }
       std::vector<int> sites;
       std::vector<double> demands;
       for (int s = 0; s < m; ++s) {
@@ -95,10 +105,11 @@ void SolverWorkspace::apply(const ProblemDelta& delta) {
                            d);
         if (reserve > 0.0) {
           sites.push_back(s);
-          demands.push_back(d);
+          demands.push_back(d * gamma);
         }
       }
       rows_.push_back(transport_->add_job(sites, demands));
+      gammas_.push_back(gamma);
       transport_->set_active(rows_);
       break;
     }
@@ -108,18 +119,25 @@ void SolverWorkspace::apply(const ProblemDelta& delta) {
                   "delta job index out of range");
       transport_->remove_job(rows_[static_cast<std::size_t>(delta.job)]);
       rows_.erase(rows_.begin() + delta.job);
+      gammas_.erase(gammas_.begin() + delta.job);
       transport_->set_active(rows_);
       break;
     }
     case ProblemDelta::Kind::kSiteCapacity:
       transport_->set_site_capacity(delta.site, delta.value);
       break;
+    case ProblemDelta::Kind::kCapacityVec:
+      transport_->set_site_capacity(delta.site,
+                                    flow::binding_min(delta.capacity_row));
+      break;
     case ProblemDelta::Kind::kDemandSet: {
       AMF_REQUIRE(delta.job >= 0 &&
                       delta.job < static_cast<int>(rows_.size()),
                   "delta job index out of range");
+      const double value =
+          delta.value * gammas_[static_cast<std::size_t>(delta.job)];
       if (!transport_->set_demand(rows_[static_cast<std::size_t>(delta.job)],
-                                  delta.site, delta.value)) {
+                                  delta.site, value)) {
         // A positive demand on an arc the topology never reserved: the
         // persistent network cannot represent it. Fall back to a rebuild
         // at the next allocate instead of surfacing an error.
@@ -127,6 +145,12 @@ void SolverWorkspace::apply(const ProblemDelta& delta) {
       }
       break;
     }
+    case ProblemDelta::Kind::kProfileSet:
+      // A new γ rescales every arc of the row; rebuilding at the next
+      // allocate is simpler than replaying the whole demand row here,
+      // and profile changes are rare (a job's shape, not its demand).
+      invalidate();
+      break;
     case ProblemDelta::Kind::kWorkloadSet:
       break;  // workloads are invisible to the flow network
   }
@@ -136,6 +160,7 @@ void SolverWorkspace::invalidate() {
   if (primed()) ws_counters().invalidations.add(1);
   transport_.reset();
   rows_.clear();
+  gammas_.clear();
   previous_aggregates_.clear();
   level_hints_.clear();
 }

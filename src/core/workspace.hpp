@@ -106,6 +106,10 @@ class SolverWorkspace {
  private:
   std::optional<flow::IncrementalTransport> transport_;
   std::vector<int> rows_;  ///< problem row -> persistent network row id
+  /// Per-row dominant-share coefficient γ (all 1.0 on scalar problems).
+  /// Deltas carry raw task units; the network speaks dominant units, so
+  /// kDemandSet values are scaled by this mirror on the way in.
+  std::vector<double> gammas_;
   std::vector<double> previous_aggregates_;
   std::vector<double> scratch_;
   std::vector<flow::LevelHint> level_hints_;

@@ -29,6 +29,20 @@ namespace amf::flow {
 /// Dense job×site matrix helper type used throughout the flow layer.
 using Matrix = std::vector<std::vector<double>>;
 
+/// The multi-resource (DRF-on-aggregates) reduction's effective site
+/// capacity: the binding minimum of a per-resource capacity row. The
+/// transportation network itself stays single-commodity — the reduction
+/// happens one layer up (core::AllocationProblem scales each job's rate
+/// by its dominant-share coefficient and feeds this binding min as C[s]),
+/// so every network here, persistent or one-shot, is untouched by the
+/// resource dimension.
+inline double binding_min(const std::vector<double>& row) {
+  if (row.empty()) return 0.0;
+  double c = row.front();
+  for (double v : row) c = v < c ? v : c;
+  return c;
+}
+
 /// CSR view of the nonzero entries of a job×site demand matrix. Network
 /// construction from this form is O(nnz + sites), so sparse
 /// locality-constrained instances (each job touching a handful of sites)

@@ -5,14 +5,11 @@
 #include <limits>
 #include <numeric>
 
+#include "core/single_site.hpp"
 #include "lp/simplex.hpp"
 #include "util/error.hpp"
 
 namespace amf::multiresource {
-
-namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-}
 
 // ---------------------------------------------------------------------------
 // Per-site DRF
@@ -25,98 +22,24 @@ TaskMatrix PerSiteDrfAllocator::allocate(
   TaskMatrix x(static_cast<std::size_t>(n),
                std::vector<double>(static_cast<std::size_t>(m), 0.0));
 
+  // Per-site DRF is the core one-site Leontief water-fill applied
+  // independently at every site.
+  std::vector<std::vector<double>> profiles(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    auto& row = profiles[static_cast<std::size_t>(j)];
+    row.resize(static_cast<std::size_t>(rc));
+    for (int r = 0; r < rc; ++r)
+      row[static_cast<std::size_t>(r)] = problem.profile(j, r);
+  }
+  std::vector<double> task_caps(static_cast<std::size_t>(n));
+  std::vector<double> capacities(static_cast<std::size_t>(rc));
   for (int s = 0; s < m; ++s) {
-    // Site-local dominant share per task; inf when the site lacks a
-    // resource the job needs (the job cannot run there).
-    std::vector<double> dom(static_cast<std::size_t>(n), 0.0);
-    for (int j = 0; j < n; ++j) {
-      double d = 0.0;
-      for (int r = 0; r < rc; ++r) {
-        double need = problem.profile(j, r);
-        if (need <= 0.0) continue;
-        double cap = problem.capacity(s, r);
-        d = cap <= 0.0 ? kInf : std::max(d, need / cap);
-      }
-      dom[static_cast<std::size_t>(j)] = d;
-    }
-
-    std::vector<char> frozen(static_cast<std::size_t>(n), 0);
-    std::vector<double> tasks(static_cast<std::size_t>(n), 0.0);
     for (int j = 0; j < n; ++j)
-      if (problem.task_cap(j, s) <= 0.0 ||
-          !std::isfinite(dom[static_cast<std::size_t>(j)]) ||
-          dom[static_cast<std::size_t>(j)] <= 0.0)
-        frozen[static_cast<std::size_t>(j)] = 1;
-
-    // tasks of unfrozen j at level t: min(cap, t / dom_j).
-    auto tasks_at = [&](double t) {
-      std::vector<double> out(tasks);
-      for (int j = 0; j < n; ++j)
-        if (!frozen[static_cast<std::size_t>(j)])
-          out[static_cast<std::size_t>(j)] =
-              std::min(problem.task_cap(j, s),
-                       t / dom[static_cast<std::size_t>(j)]);
-      return out;
-    };
-    auto usage = [&](const std::vector<double>& task_vec, int r) {
-      double used = 0.0;
-      for (int j = 0; j < n; ++j)
-        used += task_vec[static_cast<std::size_t>(j)] * problem.profile(j, r);
-      return used;
-    };
-    auto level_feasible = [&](double t) {
-      auto task_vec = tasks_at(t);
-      for (int r = 0; r < rc; ++r)
-        if (usage(task_vec, r) >
-            problem.capacity(s, r) + eps_ * problem.scale())
-          return false;
-      return true;
-    };
-
-    double level = 0.0;
-    // Each round freezes at least one job, so at most n rounds run.
-    for (int round = 0; round < n; ++round) {
-      bool any_unfrozen = false;
-      for (char f : frozen) any_unfrozen |= !f;
-      if (!any_unfrozen) break;
-
-      if (level_feasible(1.0)) {
-        // Every remaining job reaches its task cap before any resource
-        // saturates (a dominant share cannot exceed 1).
-        tasks = tasks_at(1.0);
-        break;
-      }
-      double lo = level, hi = 1.0;
-      for (int it = 0; it < 64; ++it) {
-        double mid = 0.5 * (lo + hi);
-        (level_feasible(mid) ? lo : hi) = mid;
-      }
-      level = lo;
-      tasks = tasks_at(level);
-
-      // Freeze jobs at their cap or touching a saturated resource.
-      const double tol = 1e-7 * problem.scale();
-      std::vector<char> saturated(static_cast<std::size_t>(rc), 0);
-      for (int r = 0; r < rc; ++r)
-        saturated[static_cast<std::size_t>(r)] =
-            usage(tasks, r) >= problem.capacity(s, r) - tol;
-      int newly = 0;
-      for (int j = 0; j < n; ++j) {
-        if (frozen[static_cast<std::size_t>(j)]) continue;
-        bool freeze =
-            tasks[static_cast<std::size_t>(j)] >=
-            problem.task_cap(j, s) - tol;
-        for (int r = 0; r < rc && !freeze; ++r)
-          freeze = saturated[static_cast<std::size_t>(r)] &&
-                   problem.profile(j, r) > 0.0;
-        if (freeze) {
-          frozen[static_cast<std::size_t>(j)] = 1;
-          ++newly;
-        }
-      }
-      if (newly == 0) break;  // numerically nothing moves; stop here
-    }
-
+      task_caps[static_cast<std::size_t>(j)] = problem.task_cap(j, s);
+    for (int r = 0; r < rc; ++r)
+      capacities[static_cast<std::size_t>(r)] = problem.capacity(s, r);
+    auto tasks = core::leontief_water_fill(task_caps, profiles, capacities,
+                                           problem.scale(), eps_);
     for (int j = 0; j < n; ++j)
       x[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
           tasks[static_cast<std::size_t>(j)];

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <string_view>
 
 #include "util/error.hpp"
 
@@ -13,30 +15,58 @@ MultiResourceProblem::MultiResourceProblem(
     : task_caps_(std::move(task_caps)),
       profiles_(std::move(profiles)),
       capacities_(std::move(capacities)) {
+  // Every shape/value violation names the offending row so a caller
+  // assembling instances from external data can point at its input line.
+  auto at = [](std::string_view what, std::size_t row) {
+    return std::string(what) + " (row " + std::to_string(row) + ")";
+  };
   AMF_REQUIRE(!capacities_.empty(), "at least one site required");
   const std::size_t m = capacities_.size();
   const std::size_t r_count = capacities_[0].size();
   AMF_REQUIRE(r_count >= 1, "at least one resource required");
-  for (const auto& site : capacities_) {
-    AMF_REQUIRE(site.size() == r_count, "ragged capacity matrix");
+  for (std::size_t s = 0; s < m; ++s) {
+    const auto& site = capacities_[s];
+    AMF_REQUIRE(site.size() == r_count,
+                at("ragged capacity matrix: row width " +
+                       std::to_string(site.size()) + " != resource count " +
+                       std::to_string(r_count),
+                   s));
     for (double c : site)
-      AMF_REQUIRE(c >= 0.0 && std::isfinite(c), "capacities must be >= 0");
+      AMF_REQUIRE(c >= 0.0 && std::isfinite(c),
+                  at("capacities must be finite and >= 0", s));
   }
   AMF_REQUIRE(task_caps_.size() == profiles_.size(),
-              "task cap / profile job count mismatch");
-  for (const auto& row : task_caps_) {
-    AMF_REQUIRE(row.size() == m, "task cap row width != site count");
+              "task cap / profile job count mismatch: " +
+                  std::to_string(task_caps_.size()) + " vs " +
+                  std::to_string(profiles_.size()));
+  for (std::size_t j = 0; j < task_caps_.size(); ++j) {
+    const auto& row = task_caps_[j];
+    AMF_REQUIRE(row.size() == m,
+                at("ragged task cap matrix: row width " +
+                       std::to_string(row.size()) + " != site count " +
+                       std::to_string(m),
+                   j));
     for (double c : row)
-      AMF_REQUIRE(c >= 0.0 && std::isfinite(c), "task caps must be >= 0");
+      AMF_REQUIRE(c >= 0.0 && std::isfinite(c),
+                  at("task caps must be finite and >= 0", j));
   }
-  for (const auto& p : profiles_) {
-    AMF_REQUIRE(p.size() == r_count, "profile width != resource count");
+  for (std::size_t j = 0; j < profiles_.size(); ++j) {
+    const auto& p = profiles_[j];
+    AMF_REQUIRE(p.size() == r_count,
+                at("ragged profile matrix: row width " +
+                       std::to_string(p.size()) + " != resource count " +
+                       std::to_string(r_count),
+                   j));
     bool any = false;
     for (double v : p) {
-      AMF_REQUIRE(v >= 0.0 && std::isfinite(v), "profiles must be >= 0");
+      AMF_REQUIRE(v >= 0.0 && std::isfinite(v),
+                  at("profiles must be finite and >= 0", j));
       any |= (v > 0.0);
     }
-    AMF_REQUIRE(any, "each job must consume at least one resource");
+    AMF_REQUIRE(any,
+                at("each job must consume at least one resource "
+                   "(all-zero profile)",
+                   j));
   }
   for (const auto& site : capacities_)
     for (double c : site) scale_ = std::max(scale_, c);

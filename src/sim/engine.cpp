@@ -66,6 +66,11 @@ struct ActiveJob {
   /// exact zeros, so sparse iteration is bit-identical to dense.
   std::vector<int> sites;
   double weight = 1.0;
+  /// Leontief profile and its dominant-share coefficient γ = max entry
+  /// (empty / 1.0 outside multi-resource traces). Allocation shares are
+  /// dominant units; the task rate that drains `remaining` is share/γ.
+  std::vector<double> profile;
+  double gamma = 1.0;
 
   bool done(double tol) const {
     for (double r : remaining)
@@ -119,26 +124,82 @@ void validate_trace(const workload::Trace& trace) {
                 "fault event times must be finite, >= 0");
     AMF_REQUIRE(ev.site >= 0 && ev.site < m,
                 "fault event site index out of range");
-    AMF_REQUIRE(std::isfinite(ev.capacity_factor) &&
-                    ev.capacity_factor >= 0.0 && ev.capacity_factor <= 1.0,
-                "fault capacity factor must be finite, in [0, 1]");
+    // The kind constraints bind on the minimum surviving factor: with
+    // per-resource factors that is the binding resource, otherwise the
+    // uniform scalar factor.
+    double factor = ev.capacity_factor;
+    if (!ev.capacity_factors.empty()) {
+      AMF_REQUIRE(static_cast<int>(ev.capacity_factors.size()) ==
+                      trace.resources(),
+                  "fault event factor width mismatch");
+      factor = ev.capacity_factors.front();
+      for (double f : ev.capacity_factors) {
+        AMF_REQUIRE(std::isfinite(f) && f >= 0.0 && f <= 1.0,
+                    "fault capacity factor must be finite, in [0, 1]");
+        factor = std::min(factor, f);
+      }
+    } else {
+      AMF_REQUIRE(std::isfinite(ev.capacity_factor) &&
+                      ev.capacity_factor >= 0.0 && ev.capacity_factor <= 1.0,
+                  "fault capacity factor must be finite, in [0, 1]");
+    }
     switch (ev.kind) {
       case workload::SiteEventKind::kOutage:
-        AMF_REQUIRE(ev.capacity_factor == 0.0,
+        AMF_REQUIRE(factor == 0.0,
                     "outage events must carry capacity factor 0");
+        for (double f : ev.capacity_factors)
+          AMF_REQUIRE(f == 0.0,
+                      "outage events must zero every resource factor");
         break;
       case workload::SiteEventKind::kDegrade:
-        AMF_REQUIRE(ev.capacity_factor > 0.0 && ev.capacity_factor < 1.0,
+        AMF_REQUIRE(factor > 0.0 && factor < 1.0,
                     "degrade events must carry a factor in (0, 1)");
         break;
       case workload::SiteEventKind::kRecover:
-        AMF_REQUIRE(ev.capacity_factor > 0.0,
+        AMF_REQUIRE(factor > 0.0,
                     "recover events must carry a factor in (0, 1]");
         break;
     }
     if (i > 0)
       AMF_REQUIRE(ev.time >= trace.events[i - 1].time,
                   "fault events must be sorted by time");
+  }
+  if (trace.multi_resource()) {
+    const int r = trace.resources();
+    AMF_REQUIRE(static_cast<int>(trace.capacity_matrix.size()) == m,
+                "trace capacity matrix height mismatch");
+    for (int s = 0; s < m; ++s) {
+      const auto& row = trace.capacity_matrix[static_cast<std::size_t>(s)];
+      AMF_REQUIRE(static_cast<int>(row.size()) == r,
+                  "trace capacity matrix width mismatch");
+      double binding = row.front();
+      for (double c : row) {
+        AMF_REQUIRE(std::isfinite(c) && c >= 0.0,
+                    "trace capacity matrix entries must be finite, >= 0");
+        binding = std::min(binding, c);
+      }
+      AMF_REQUIRE(trace.capacities[static_cast<std::size_t>(s)] == binding,
+                  "trace capacities must hold each row's binding minimum");
+    }
+    for (const auto& job : trace.jobs) {
+      if (job.profile.empty()) continue;  // empty = the unit profile
+      AMF_REQUIRE(static_cast<int>(job.profile.size()) == r,
+                  "trace job profile width mismatch");
+      bool any = false;
+      for (double p : job.profile) {
+        AMF_REQUIRE(std::isfinite(p) && p >= 0.0,
+                    "trace job profiles must be finite, >= 0");
+        any = any || p > 0.0;
+      }
+      AMF_REQUIRE(any, "trace job profiles need a positive entry");
+    }
+  } else {
+    for (const auto& job : trace.jobs)
+      AMF_REQUIRE(job.profile.empty(),
+                  "job profiles need a multi-resource trace");
+    for (const auto& ev : trace.events)
+      AMF_REQUIRE(ev.capacity_factors.empty(),
+                  "per-resource fault factors need a multi-resource trace");
   }
 }
 
@@ -187,6 +248,12 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
   std::vector<double> avail(static_cast<std::size_t>(m), 1.0);
   std::vector<double> eff_cap = trace.capacities;
   double eff_total = total_capacity;
+  // Multi-resource state: the surviving per-resource capacity matrix.
+  // eff_cap keeps mirroring its binding minima, so every scalar code path
+  // below is untouched; `multi` gates the few places where dominant-unit
+  // shares and raw task units diverge.
+  const bool multi = trace.multi_resource();
+  core::Matrix eff_mat = trace.capacity_matrix;
   std::vector<double> down_since(static_cast<std::size_t>(m), -1.0);
   double latency_sum = 0.0;
   std::size_t next_event = 0;
@@ -198,7 +265,10 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
   std::optional<core::AllocationProblem> live;
   core::SolverWorkspace ws;
   if (inc) {
-    live.emplace(core::Matrix{}, eff_cap);
+    if (multi)
+      live = core::AllocationProblem::multi(core::Matrix{}, eff_mat, {});
+    else
+      live.emplace(core::Matrix{}, eff_cap);
     ws.set_exact_realization(config_.exact_replay);
   }
   long long pending_deltas = 0;  // deltas since the last allocate call
@@ -217,7 +287,22 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
     const auto su = static_cast<std::size_t>(s);
     if (job.remaining[su] <= work_tol) return 0.0;
     double cap = job.demands[su];
-    if (avail[su] < 1.0) cap = std::min(cap, eff_cap[su]);
+    if (avail[su] < 1.0) {
+      if (multi) {
+        // Leontief fit: an impaired site hosts at most
+        // min_r eff[s][r]/profile[r] tasks of this job (the scarcest
+        // resource per task binds, not the binding-min capacity).
+        const auto& eff = eff_mat[su];
+        double fit = kInf;
+        for (std::size_t r = 0; r < eff.size(); ++r) {
+          const double p = job.profile.empty() ? 1.0 : job.profile[r];
+          if (p > 0.0) fit = std::min(fit, eff[r] / p);
+        }
+        cap = std::min(cap, fit);
+      } else {
+        cap = std::min(cap, eff_cap[su]);
+      }
+    }
     return cap;
   };
   // Workload at a dark site is hidden from the allocator (it cannot be
@@ -249,18 +334,37 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
         // Perfect checkpointing: progress survives, the loss point moves.
         for (auto& job : active) job.processed[s] = 0.0;
       }
-      if (down_since[s] < 0.0 && ev.capacity_factor < 1.0)
-        down_since[s] = ev.time;
-      if (down_since[s] >= 0.0 && ev.capacity_factor >= 1.0) {
+      // The site counts as impaired while its *binding* factor is below 1
+      // (with per-resource factors that is their minimum).
+      double minf = ev.capacity_factor;
+      if (!ev.capacity_factors.empty())
+        minf = *std::min_element(ev.capacity_factors.begin(),
+                                 ev.capacity_factors.end());
+      if (down_since[s] < 0.0 && minf < 1.0) down_since[s] = ev.time;
+      if (down_since[s] >= 0.0 && minf >= 1.0) {
         latency_sum += ev.time - down_since[s];
         ++stats_.recoveries;
         down_since[s] = -1.0;
       }
-      avail[s] = ev.capacity_factor;
-      eff_cap[s] = trace.capacities[s] * ev.capacity_factor;
+      avail[s] = minf;
+      if (multi) {
+        auto& eff = eff_mat[s];
+        const auto& nominal = trace.capacity_matrix[s];
+        for (std::size_t r = 0; r < eff.size(); ++r) {
+          const double f = ev.capacity_factors.empty()
+                               ? ev.capacity_factor
+                               : ev.capacity_factors[r];
+          eff[r] = nominal[r] * f;
+        }
+        eff_cap[s] = flow::binding_min(eff);
+        if (inc)
+          apply_delta(core::ProblemDelta::set_capacity_vec(ev.site, eff));
+      } else {
+        eff_cap[s] = trace.capacities[s] * ev.capacity_factor;
+        if (inc)
+          apply_delta(core::ProblemDelta::site_capacity(ev.site, eff_cap[s]));
+      }
       eff_total = std::accumulate(eff_cap.begin(), eff_cap.end(), 0.0);
-      if (inc)
-        apply_delta(core::ProblemDelta::site_capacity(ev.site, eff_cap[s]));
       AMF_INSTANT_ARG("sim/fault", "site", ev.site);
       sim_counters().fault_events.add(1);
       ++stats_.fault_events;
@@ -285,6 +389,11 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
       job.demands = spec.demands;
       job.processed.assign(static_cast<std::size_t>(m), 0.0);
       job.weight = spec.weight;
+      if (!spec.profile.empty()) {
+        job.profile = spec.profile;
+        job.gamma = 0.0;
+        for (double p : job.profile) job.gamma = std::max(job.gamma, p);
+      }
       job.total_work = std::accumulate(spec.workloads.begin(),
                                        spec.workloads.end(), 0.0);
       for (int s = 0; s < m; ++s)
@@ -311,7 +420,7 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
           }
           apply_delta(core::ProblemDelta::job_arrived(
               std::move(drow), std::move(wrow), jb.weight,
-              std::move(ceiling)));
+              std::move(ceiling), jb.profile));
         }
       }
       ++next_arrival;
@@ -345,17 +454,20 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
       // date with the drained and fault-masked state. Only entries that
       // actually changed turn into deltas; when lowering a demand cap to
       // zero the workload entry must be cleared first (a positive
-      // workload with a zero cap is a contract violation).
+      // workload with a zero cap is a contract violation). Comparisons
+      // read the raw task-unit entries — the `want` values and delta
+      // payloads are raw, and on a multi-resource problem the plain
+      // accessors report γ-scaled dominant units.
       for (int j = 0; j < n; ++j) {
         const auto& job = active[static_cast<std::size_t>(j)];
         for (int s : job.sites) {
           const double want_d = desired_demand(job, s);
           const double want_w = desired_workload(job, s, want_d);
-          if (want_w == 0.0 && live->workload(j, s) != 0.0)
+          if (want_w == 0.0 && live->task_workload(j, s) != 0.0)
             apply_delta(core::ProblemDelta::workload_set(j, s, 0.0));
-          if (live->demand(j, s) != want_d)
+          if (live->task_demand(j, s) != want_d)
             apply_delta(core::ProblemDelta::demand_set(j, s, want_d));
-          if (want_w != 0.0 && live->workload(j, s) != want_w)
+          if (want_w != 0.0 && live->task_workload(j, s) != want_w)
             apply_delta(core::ProblemDelta::workload_set(j, s, want_w));
         }
       }
@@ -377,8 +489,22 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
               job, s, drow[static_cast<std::size_t>(s)]);
         weights[static_cast<std::size_t>(j)] = job.weight;
       }
-      scratch_problem.emplace(std::move(demands), eff_cap,
-                              std::move(workloads), std::move(weights));
+      if (multi) {
+        core::Matrix profiles(static_cast<std::size_t>(n));
+        for (int j = 0; j < n; ++j) {
+          const auto& job = active[static_cast<std::size_t>(j)];
+          profiles[static_cast<std::size_t>(j)] =
+              job.profile.empty()
+                  ? std::vector<double>(eff_mat.front().size(), 1.0)
+                  : job.profile;
+        }
+        scratch_problem = core::AllocationProblem::multi(
+            std::move(demands), eff_mat, std::move(profiles),
+            std::move(workloads), std::move(weights));
+      } else {
+        scratch_problem.emplace(std::move(demands), eff_cap,
+                                std::move(workloads), std::move(weights));
+      }
     }
     const core::AllocationProblem& problem = inc ? *live : *scratch_problem;
 
@@ -465,6 +591,7 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
             double r = job.remaining[static_cast<std::size_t>(s)];
             if (r <= work_tol) continue;
             double withdrawn = prev_alloc.share(j, s) - alloc.share(j, s);
+            if (multi) withdrawn /= job.gamma;  // dominant units -> tasks
             if (withdrawn > 0.0)
               job.remaining[static_cast<std::size_t>(s)] =
                   r + config_.migration_penalty * withdrawn;
@@ -500,6 +627,7 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
             if (r <= work_tol) continue;
             double withdrawn = prev->shares[static_cast<std::size_t>(s)] -
                                alloc.share(j, s);
+            if (multi) withdrawn /= job.gamma;  // dominant units -> tasks
             if (withdrawn > 0.0)
               job.remaining[static_cast<std::size_t>(s)] =
                   r + config_.migration_penalty * withdrawn;
@@ -532,6 +660,7 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
         double r = job.remaining[static_cast<std::size_t>(s)];
         if (r <= work_tol) continue;
         double rate = alloc.share(j, s);
+        if (multi) rate /= job.gamma;  // dominant units -> task rate
         if (rate > 0.0) dt = std::min(dt, r / rate);
       }
     }
@@ -546,8 +675,11 @@ std::vector<JobRecord> Simulator::run(const workload::Trace& trace) {
       for (int s : job.sites) {
         double r = job.remaining[static_cast<std::size_t>(s)];
         if (r <= work_tol) continue;
+        // Utilization integrates the allocated (dominant-unit) share
+        // against capacity; work drains at the task rate share/γ.
         double rate = alloc.share(j, s);
         used += rate;
+        if (multi) rate /= job.gamma;
         if (rate > 0.0)
           job.processed[static_cast<std::size_t>(s)] += rate * dt;
         double left = r - rate * dt;

@@ -158,6 +158,33 @@ Json to_json(const std::vector<double>& v) {
   return out;
 }
 
+Json matrix_to_json(const core::Matrix& m) {
+  Json out = Json::array();
+  for (const auto& row : m) out.push_back(to_json(row));
+  return out;
+}
+
+core::Matrix matrix_from_json(const Json& v, int rows, int cols,
+                              std::string_view what) {
+  if (!v.is_array())
+    throw SvcError(ErrorCode::kBadRequest,
+                   std::string(what) + " must be an array of number arrays");
+  const auto& items = v.as_array();
+  if (rows >= 0 && static_cast<int>(items.size()) != rows)
+    throw SvcError(ErrorCode::kBadRequest,
+                   std::string(what) + " must have " + std::to_string(rows) +
+                       " rows");
+  core::Matrix out;
+  out.reserve(items.size());
+  for (const Json& row : items) {
+    out.push_back(number_array(row, cols, what));
+    if (cols < 0 && out.back().size() != out.front().size())
+      throw SvcError(ErrorCode::kBadRequest,
+                     std::string(what) + " rows must share one width");
+  }
+  return out;
+}
+
 Json allocation_to_json(const core::Allocation& allocation,
                         const std::vector<long long>& job_ids) {
   Json jobs = Json::array();
@@ -176,20 +203,34 @@ Json allocation_to_json(const core::Allocation& allocation,
 
 Json problem_to_json(const core::AllocationProblem& problem,
                      const std::vector<double>& nominal_capacities,
-                     const std::vector<long long>& job_ids) {
+                     const std::vector<long long>& job_ids,
+                     const core::Matrix* nominal_matrix) {
+  AMF_REQUIRE((nominal_matrix != nullptr) == problem.multi_resource(),
+              "nominal matrix must accompany exactly the multi-resource "
+              "problems");
+  const bool multi = problem.multi_resource();
   Json out = Json::object();
   out.set("v", Json(kProtocolVersion));
   out.set("capacities", to_json(problem.capacities()));
   out.set("nominal", to_json(nominal_capacities));
+  if (multi) {
+    out.set("resources", Json(static_cast<long long>(problem.resources())));
+    out.set("capacity_matrix", matrix_to_json(problem.capacity_matrix()));
+    out.set("nominal_matrix", matrix_to_json(*nominal_matrix));
+  }
   Json jobs = Json::array();
   for (int j = 0; j < problem.jobs(); ++j) {
     Json row = Json::object();
     row.set("id", Json(job_ids[static_cast<std::size_t>(j)]));
-    row.set("demands", to_json(problem.demands()[static_cast<std::size_t>(j)]));
+    row.set("demands",
+            to_json(problem.task_demands()[static_cast<std::size_t>(j)]));
     if (problem.has_workloads())
       row.set("workloads",
-              to_json(problem.workloads()[static_cast<std::size_t>(j)]));
+              to_json(problem.task_workloads()[static_cast<std::size_t>(j)]));
     row.set("weight", Json(problem.weight(j)));
+    if (multi)
+      row.set("profile",
+              to_json(problem.profiles()[static_cast<std::size_t>(j)]));
     jobs.push_back(std::move(row));
   }
   out.set("jobs", std::move(jobs));
@@ -215,7 +256,32 @@ ProblemSnapshot problem_from_json(const Json& v) {
       number_array(*nominal, static_cast<int>(caps.size()), "nominal");
   const int m = static_cast<int>(caps.size());
 
-  core::Matrix demands, workloads;
+  // Multi-resource snapshots carry the matrices alongside the scalar
+  // (binding-minimum) views; their presence decides which problem shape
+  // is rebuilt, so old scalar snapshots load through the exact pre-lift
+  // path.
+  const Json* cap_matrix = v.find("capacity_matrix");
+  const Json* nom_matrix = v.find("nominal_matrix");
+  const bool multi = cap_matrix != nullptr;
+  int r = -1;
+  core::Matrix capacity_matrix;
+  if (multi) {
+    r = static_cast<int>(v.number_or("resources", -1.0));
+    if (r < 1)
+      throw SvcError(ErrorCode::kBadRequest,
+                     "snapshot needs resources >= 1 with a capacity matrix");
+    capacity_matrix = matrix_from_json(*cap_matrix, m, r, "capacity_matrix");
+    if (nom_matrix == nullptr)
+      throw SvcError(ErrorCode::kBadRequest,
+                     "multi-resource snapshot needs a nominal_matrix");
+    snap.nominal_matrix = matrix_from_json(*nom_matrix, m, r,
+                                           "nominal_matrix");
+  } else if (nom_matrix != nullptr) {
+    throw SvcError(ErrorCode::kBadRequest,
+                   "nominal_matrix needs a capacity_matrix");
+  }
+
+  core::Matrix demands, workloads, profiles;
   std::vector<double> weights;
   bool any_workloads = false;
   for (const Json& row : jobs->as_array()) {
@@ -234,12 +300,26 @@ ProblemSnapshot problem_from_json(const Json& v) {
       workloads.emplace_back(static_cast<std::size_t>(m), 0.0);
     }
     weights.push_back(row.number_or("weight", 1.0));
+    const Json* profile = row.find("profile");
+    if (profile != nullptr && !multi)
+      throw SvcError(ErrorCode::kBadRequest,
+                     "job profiles need a multi-resource snapshot");
+    if (multi)
+      profiles.push_back(profile != nullptr
+                             ? number_array(*profile, r, "profile")
+                             : std::vector<double>(
+                                   static_cast<std::size_t>(r), 1.0));
   }
   if (!any_workloads) workloads.clear();
   try {
-    snap.problem = core::AllocationProblem(
-        std::move(demands), std::move(caps), std::move(workloads),
-        std::move(weights));
+    if (multi)
+      snap.problem = core::AllocationProblem::multi(
+          std::move(demands), std::move(capacity_matrix), std::move(profiles),
+          std::move(workloads), std::move(weights));
+    else
+      snap.problem = core::AllocationProblem(
+          std::move(demands), std::move(caps), std::move(workloads),
+          std::move(weights));
   } catch (const util::ContractError& e) {
     throw SvcError(ErrorCode::kBadRequest,
                    std::string("invalid snapshot problem: ") + e.what());

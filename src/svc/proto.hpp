@@ -131,6 +131,12 @@ std::vector<double> number_array(const Json& v, int expect,
 
 Json to_json(const std::vector<double>& v);
 
+/// Matrix codec (array of equal-width number arrays). `rows`/`cols` of -1
+/// accept any count; width is still required to be uniform.
+Json matrix_to_json(const core::Matrix& m);
+core::Matrix matrix_from_json(const Json& v, int rows, int cols,
+                              std::string_view what);
+
 /// Allocation as {"policy": ..., "jobs": [{"id": ..., "shares": [...],
 /// "aggregate": ...}]}. Job ids are the session's stable handles, in row
 /// order. Doubles round-trip bit-exactly (%.17g).
@@ -140,13 +146,23 @@ Json allocation_to_json(const core::Allocation& allocation,
 /// Problem snapshot codec used by the `snapshot` op and the drain files.
 /// Versioned: {"v":1, "capacities":[...], "nominal":[...], "jobs":[{"id":
 /// ..., "demands":[...], "workloads":[...], "weight": ...}]}.
+///
+/// Multi-resource sessions extend the object additively — "resources",
+/// "capacity_matrix" (effective m×R), "nominal_matrix", and a per-job
+/// "profile" row — while demands/workloads stay raw task units, so a
+/// scalar session's snapshot is byte-identical to the pre-lift format
+/// and old snapshots load unchanged. `nominal_matrix` must be non-null
+/// exactly when the problem is multi-resource.
 Json problem_to_json(const core::AllocationProblem& problem,
                      const std::vector<double>& nominal_capacities,
-                     const std::vector<long long>& job_ids);
+                     const std::vector<long long>& job_ids,
+                     const core::Matrix* nominal_matrix = nullptr);
 
 struct ProblemSnapshot {
   core::AllocationProblem problem;
   std::vector<double> nominal_capacities;
+  /// Nominal per-site per-resource capacities; empty on scalar sessions.
+  core::Matrix nominal_matrix;
   std::vector<long long> job_ids;
 };
 

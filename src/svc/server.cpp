@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -181,8 +182,17 @@ RecoveryReport Server::recover_from_journal() {
         AMF_REQUIRE(!name.empty(), "create record lacks a session name");
         const Json* capacities = birth.find("capacities");
         AMF_REQUIRE(capacities != nullptr, "create record lacks capacities");
-        session = std::make_unique<Session>(
-            name, number_array(*capacities, -1, "capacities"), cfg);
+        const long long r =
+            static_cast<long long>(birth.number_or("resources", 1.0));
+        if (r > 1)
+          session = std::make_unique<Session>(
+              name,
+              matrix_from_json(*capacities, -1, static_cast<int>(r),
+                               "capacities"),
+              cfg);
+        else
+          session = std::make_unique<Session>(
+              name, number_array(*capacities, -1, "capacities"), cfg);
       } else if (kind == "snapshot") {
         const Json* snap = birth.find("snapshot");
         AMF_REQUIRE(snap != nullptr, "snapshot record lacks a snapshot");
@@ -391,19 +401,65 @@ void Server::handle_create_session(const Request& req,
     if (capacities == nullptr)
       throw SvcError(ErrorCode::kBadRequest,
                      "create_session needs capacities (or a snapshot)");
-    auto caps = number_array(*capacities, -1, "capacities");
-    sites = static_cast<long long>(caps.size());
-    if (!config_.journal_dir.empty()) {
-      Json rec = Json::object();
-      rec.set("t", Json(std::string("create")));
-      rec.set("session", Json(req.session));
-      rec.set("policy", Json(cfg.policy));
-      rec.set("batch_window_ms", Json(cfg.batch_window_ms));
-      rec.set("default_budget_ms", Json(cfg.default_budget_ms));
-      rec.set("capacities", to_json(caps));
-      birth = rec.dump();
+    // Optional resource dimension: a count, or an array of resource names
+    // whose length is the count. R > 1 switches the session to vector
+    // capacities — `capacities` is then an m×R matrix.
+    const Json* resources = req.body.find("resources");
+    long long r = 1;
+    if (resources != nullptr) {
+      if (resources->is_number()) {
+        const double value = resources->as_number();
+        if (!(value >= 1.0) || value != std::floor(value))
+          throw SvcError(ErrorCode::kBadRequest,
+                         "resources must be a positive integer count or an "
+                         "array of names");
+        r = static_cast<long long>(value);
+      } else if (resources->is_array()) {
+        for (const Json& name : resources->as_array())
+          if (!name.is_string())
+            throw SvcError(ErrorCode::kBadRequest,
+                           "resource names must be strings");
+        r = static_cast<long long>(resources->as_array().size());
+        if (r < 1)
+          throw SvcError(ErrorCode::kBadRequest,
+                         "resources needs at least one entry");
+      } else {
+        throw SvcError(ErrorCode::kBadRequest,
+                       "resources must be a count or an array of names");
+      }
     }
-    session = std::make_unique<Session>(req.session, std::move(caps), cfg);
+    if (r > 1) {
+      auto matrix = matrix_from_json(*capacities, -1, static_cast<int>(r),
+                                     "capacities");
+      sites = static_cast<long long>(matrix.size());
+      if (!config_.journal_dir.empty()) {
+        Json rec = Json::object();
+        rec.set("t", Json(std::string("create")));
+        rec.set("session", Json(req.session));
+        rec.set("policy", Json(cfg.policy));
+        rec.set("batch_window_ms", Json(cfg.batch_window_ms));
+        rec.set("default_budget_ms", Json(cfg.default_budget_ms));
+        rec.set("resources", Json(r));
+        rec.set("capacities", matrix_to_json(matrix));
+        birth = rec.dump();
+      }
+      session = std::make_unique<Session>(req.session, std::move(matrix),
+                                          cfg);
+    } else {
+      auto caps = number_array(*capacities, -1, "capacities");
+      sites = static_cast<long long>(caps.size());
+      if (!config_.journal_dir.empty()) {
+        Json rec = Json::object();
+        rec.set("t", Json(std::string("create")));
+        rec.set("session", Json(req.session));
+        rec.set("policy", Json(cfg.policy));
+        rec.set("batch_window_ms", Json(cfg.batch_window_ms));
+        rec.set("default_budget_ms", Json(cfg.default_budget_ms));
+        rec.set("capacities", to_json(caps));
+        birth = rec.dump();
+      }
+      session = std::make_unique<Session>(req.session, std::move(caps), cfg);
+    }
   }
   // Publish atomically: the name check, journal creation, and map insert
   // must not interleave with a racing create of the same name — the

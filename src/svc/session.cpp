@@ -132,6 +132,41 @@ Session::Session(std::string name, std::vector<double> capacities,
   worker_ = std::thread([this] { worker_loop(); });
 }
 
+Session::Session(std::string name, core::Matrix capacity_matrix,
+                 SessionConfig config)
+    : name_(std::move(name)), config_(std::move(config)) {
+  AMF_REQUIRE(config_.max_queue_depth >= 1, "max_queue_depth must be >= 1");
+  if (capacity_matrix.empty())
+    throw SvcError(ErrorCode::kBadRequest, "session needs at least one site");
+  const std::size_t r = capacity_matrix.front().size();
+  if (r == 0)
+    throw SvcError(ErrorCode::kBadRequest,
+                   "session needs at least one resource");
+  for (const auto& row : capacity_matrix) {
+    if (row.size() != r)
+      throw SvcError(ErrorCode::kBadRequest,
+                     "capacity rows must share one resource count");
+    for (double c : row)
+      if (!std::isfinite(c) || c < 0.0)
+        throw SvcError(ErrorCode::kBadRequest,
+                       "capacities must be finite and >= 0");
+  }
+  nominal_matrix_ = capacity_matrix;
+  nominal_capacities_.resize(capacity_matrix.size());
+  for (std::size_t s = 0; s < capacity_matrix.size(); ++s)
+    nominal_capacities_[s] = flow::binding_min(capacity_matrix[s]);
+  site_factors_.assign(capacity_matrix.size(), 1.0);
+  try {
+    problem_ = core::AllocationProblem::multi({}, std::move(capacity_matrix),
+                                              {});
+  } catch (const util::ContractError& e) {
+    throw SvcError(ErrorCode::kBadRequest, e.what());
+  }
+  base_policy_ = make_policy(config_.policy);
+  robust_ = std::make_unique<core::RobustAllocator>(*base_policy_);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
 Session::Session(std::string name, ProblemSnapshot snapshot,
                  SessionConfig config, long long initial_seq)
     : name_(std::move(name)), config_(std::move(config)) {
@@ -140,10 +175,24 @@ Session::Session(std::string name, ProblemSnapshot snapshot,
   enqueued_seq_ = processed_seq_ = seq_ = initial_seq;
   problem_ = std::move(snapshot.problem);
   nominal_capacities_ = std::move(snapshot.nominal_capacities);
+  nominal_matrix_ = std::move(snapshot.nominal_matrix);
   if (nominal_capacities_.size() !=
       static_cast<std::size_t>(problem_.sites()))
     throw SvcError(ErrorCode::kBadRequest,
                    "snapshot nominal capacity width mismatch");
+  if (multi_session() != problem_.multi_resource())
+    throw SvcError(ErrorCode::kBadRequest,
+                   "snapshot nominal matrix must accompany exactly the "
+                   "multi-resource problems");
+  if (multi_session()) {
+    if (nominal_matrix_.size() != static_cast<std::size_t>(problem_.sites()))
+      throw SvcError(ErrorCode::kBadRequest,
+                     "snapshot nominal matrix height mismatch");
+    for (const auto& row : nominal_matrix_)
+      if (row.size() != static_cast<std::size_t>(problem_.resources()))
+        throw SvcError(ErrorCode::kBadRequest,
+                       "snapshot nominal matrix width mismatch");
+  }
   if (snapshot.job_ids.size() != static_cast<std::size_t>(problem_.jobs()))
     throw SvcError(ErrorCode::kBadRequest, "snapshot job id count mismatch");
   job_ids_ = std::move(snapshot.job_ids);
@@ -318,6 +367,23 @@ void Session::validate_delta_locked(const Request& req, Item* item) {
       const double weight = body.number_or("weight", 1.0);
       if (!std::isfinite(weight) || weight <= 0.0)
         throw SvcError(ErrorCode::kBadRequest, "weight must be finite, > 0");
+      const Json* profile = body.find("profile");
+      if (profile != nullptr) {
+        if (!multi_session())
+          throw SvcError(ErrorCode::kBadRequest,
+                         "job profiles need a multi-resource session");
+        auto p = number_array(*profile, problem_.resources(), "profile");
+        bool any = false;
+        for (double x : p) {
+          if (x < 0.0)
+            throw SvcError(ErrorCode::kBadRequest,
+                           "profile entries must be >= 0");
+          any = any || x > 0.0;
+        }
+        if (!any)
+          throw SvcError(ErrorCode::kBadRequest,
+                         "a job profile needs a positive entry");
+      }
       item->prev_workloads_mode = workloads_mode_;
       item->job_id = next_job_id_++;
       projected_alive_.insert(item->job_id);
@@ -337,10 +403,23 @@ void Session::validate_delta_locked(const Request& req, Item* item) {
     }
     case Op::kSiteEvent: {
       const double site = body.number_or("site", -1.0);
-      const double factor = body.number_or("capacity_factor", -1.0);
       if (site < 0.0 || site >= static_cast<double>(m) ||
           site != std::floor(site))
         throw SvcError(ErrorCode::kBadRequest, "site index out of range");
+      const Json* factors = body.find("capacity_factors");
+      if (factors != nullptr) {
+        if (!multi_session())
+          throw SvcError(ErrorCode::kBadRequest,
+                         "capacity_factors needs a multi-resource session");
+        auto f = number_array(*factors, problem_.resources(),
+                              "capacity_factors");
+        for (double x : f)
+          if (x < 0.0)
+            throw SvcError(ErrorCode::kBadRequest,
+                           "capacity_factors entries must be >= 0");
+        return;
+      }
+      const double factor = body.number_or("capacity_factor", -1.0);
       if (!std::isfinite(factor) || factor < 0.0)
         throw SvcError(ErrorCode::kBadRequest,
                        "capacity_factor must be finite and >= 0");
@@ -352,6 +431,18 @@ void Session::validate_delta_locked(const Request& req, Item* item) {
       if (site < 0.0 || site >= static_cast<double>(m) ||
           site != std::floor(site))
         throw SvcError(ErrorCode::kBadRequest, "site index out of range");
+      if (multi_session()) {
+        if (value == nullptr || !value->is_array())
+          throw SvcError(ErrorCode::kBadRequest,
+                         "set_capacity on a multi-resource session needs a "
+                         "capacity vector value");
+        auto row = number_array(*value, problem_.resources(), "value");
+        for (double c : row)
+          if (c < 0.0)
+            throw SvcError(ErrorCode::kBadRequest,
+                           "capacity entries must be >= 0");
+        return;
+      }
       if (value == nullptr || !value->is_number() ||
           !std::isfinite(value->as_number()) || value->as_number() < 0.0)
         throw SvcError(ErrorCode::kBadRequest,
@@ -373,9 +464,14 @@ void Session::apply_delta(const Item& item) {
       std::vector<double> workloads;
       const Json* w = body.find("workloads");
       if (w != nullptr) workloads = number_array(*w, m, "workloads");
+      std::vector<double> profile;
+      const Json* p = body.find("profile");
+      if (p != nullptr)
+        profile = number_array(*p, problem_.resources(), "profile");
       delta = core::ProblemDelta::job_arrived(std::move(demands),
                                               std::move(workloads),
-                                              body.number_or("weight", 1.0));
+                                              body.number_or("weight", 1.0),
+                                              {}, std::move(profile));
       job_ids_.push_back(item.job_id);
       break;
     }
@@ -390,17 +486,46 @@ void Session::apply_delta(const Item& item) {
     }
     case Op::kSiteEvent: {
       const int site = static_cast<int>(body.number_or("site", 0.0));
+      const auto su = static_cast<std::size_t>(site);
+      const Json* factors = body.find("capacity_factors");
+      if (multi_session()) {
+        const auto& nominal = nominal_matrix_[su];
+        std::vector<double> row(nominal.size());
+        double minf = 1.0;
+        bool first = true;
+        for (std::size_t r = 0; r < nominal.size(); ++r) {
+          const double f = factors != nullptr
+                               ? factors->as_array()[r].as_number()
+                               : body.number_or("capacity_factor", 1.0);
+          row[r] = nominal[r] * f;
+          minf = first ? f : std::min(minf, f);
+          first = false;
+        }
+        site_factors_[su] = minf;
+        delta = core::ProblemDelta::set_capacity_vec(site, std::move(row));
+        break;
+      }
       const double factor = body.number_or("capacity_factor", 1.0);
-      site_factors_[static_cast<std::size_t>(site)] = factor;
+      site_factors_[su] = factor;
       delta = core::ProblemDelta::site_capacity(
-          site, nominal_capacities_[static_cast<std::size_t>(site)] * factor);
+          site, nominal_capacities_[su] * factor);
       break;
     }
     case Op::kSetCapacity: {
       const int site = static_cast<int>(body.number_or("site", 0.0));
+      const auto su = static_cast<std::size_t>(site);
+      if (multi_session()) {
+        auto row = number_array(*body.find("value"), problem_.resources(),
+                                "value");
+        nominal_matrix_[su] = row;
+        nominal_capacities_[su] = flow::binding_min(row);
+        site_factors_[su] = 1.0;
+        delta = core::ProblemDelta::set_capacity_vec(site, std::move(row));
+        break;
+      }
       const double value = body.find("value")->as_number();
-      nominal_capacities_[static_cast<std::size_t>(site)] = value;
-      site_factors_[static_cast<std::size_t>(site)] = 1.0;
+      nominal_capacities_[su] = value;
+      site_factors_[su] = 1.0;
       delta = core::ProblemDelta::site_capacity(site, value);
       break;
     }
@@ -452,18 +577,26 @@ std::string Session::delta_record_payload_locked(const Item& item,
       const Json* w = body.find("workloads");
       if (w != nullptr) rec.set("workloads", *w);
       rec.set("weight", Json(body.number_or("weight", 1.0)));
+      const Json* p = body.find("profile");
+      if (p != nullptr) rec.set("profile", *p);
       break;
     }
     case Op::kFinishJob:
       rec.set("job", Json(item.job_id));
       break;
-    case Op::kSiteEvent:
+    case Op::kSiteEvent: {
       rec.set("site", Json(body.number_or("site", 0.0)));
-      rec.set("capacity_factor", Json(body.number_or("capacity_factor", 1.0)));
+      const Json* factors = body.find("capacity_factors");
+      if (factors != nullptr)
+        rec.set("capacity_factors", *factors);
+      else
+        rec.set("capacity_factor",
+                Json(body.number_or("capacity_factor", 1.0)));
       break;
+    }
     case Op::kSetCapacity:
       rec.set("site", Json(body.number_or("site", 0.0)));
-      rec.set("value", Json(body.find("value")->as_number()));
+      rec.set("value", *body.find("value"));
       break;
     default:
       AMF_ASSERT(false, "journal payload for a non-delta op");
@@ -749,7 +882,8 @@ void Session::drain() {
 }
 
 Json Session::snapshot_json_locked_state() const {
-  Json out = problem_to_json(problem_, nominal_capacities_, job_ids_);
+  Json out = problem_to_json(problem_, nominal_capacities_, job_ids_,
+                             multi_session() ? &nominal_matrix_ : nullptr);
   out.set("session", Json(name_));
   out.set("seq", Json(seq_));
   if (has_allocation_)

@@ -153,6 +153,12 @@ class Session {
   Session(std::string name, std::vector<double> capacities,
           SessionConfig config);
 
+  /// Fresh multi-resource session over an m×R nominal capacity matrix.
+  /// add_job then accepts a "profile" row, site_event a per-resource
+  /// "capacity_factors" row, and set_capacity takes a capacity vector.
+  Session(std::string name, core::Matrix capacity_matrix,
+          SessionConfig config);
+
   /// Restored session (drain-snapshot or `snapshot` op output).
   /// `initial_seq` seeds the delta sequence counter — journal recovery
   /// passes the compaction snapshot's seq so replayed delta records
@@ -233,6 +239,7 @@ class Session {
   void serve_run(std::vector<Item>* run);
   Json snapshot_json_locked_state() const;
   Json solve_result_json(const Item& item) const;
+  bool multi_session() const { return !nominal_matrix_.empty(); }
 
   const std::string name_;
   const SessionConfig config_;
@@ -260,7 +267,11 @@ class Session {
   core::AllocationProblem problem_;
   core::SolverWorkspace workspace_;
   std::vector<double> nominal_capacities_;
+  /// Nominal m×R capacity matrix; non-empty ⟺ multi-resource session
+  /// (nominal_capacities_ then mirrors its binding minima).
+  core::Matrix nominal_matrix_;
   std::vector<double> site_factors_;      ///< last site_event factor per site
+                                          ///< (binding minimum when multi)
   std::vector<long long> job_ids_;        ///< row -> stable handle
   core::Allocation last_allocation_;
   bool has_allocation_ = false;

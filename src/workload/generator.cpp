@@ -25,6 +25,12 @@ Generator::Generator(GeneratorConfig config)
   AMF_REQUIRE(config_.capacity_jitter >= 0.0 && config_.capacity_jitter < 1.0,
               "capacity_jitter must be in [0, 1)");
   AMF_REQUIRE(config_.demand_factor > 0.0, "demand_factor must be > 0");
+  AMF_REQUIRE(config_.resources >= 1, "resources must be >= 1");
+  AMF_REQUIRE(config_.resource_jitter >= 0.0 && config_.resource_jitter < 1.0,
+              "resource_jitter must be in [0, 1)");
+  AMF_REQUIRE(config_.profile_min > 0.0 &&
+                  config_.profile_max >= config_.profile_min,
+              "profile range must satisfy 0 < profile_min <= profile_max");
 }
 
 double Generator::draw_job_work(util::Rng& rng) const {
@@ -59,6 +65,32 @@ std::vector<double> Generator::draw_capacities(util::Rng& rng) const {
     c = config_.capacity_per_site * (1.0 + jitter);
   }
   return caps;
+}
+
+core::Matrix Generator::draw_capacity_matrix(util::Rng& rng) const {
+  AMF_REQUIRE(config_.resources > 1,
+              "capacity matrix draws need a multi-resource config");
+  core::Matrix caps(static_cast<std::size_t>(config_.sites));
+  for (auto& row : caps) {
+    row.resize(static_cast<std::size_t>(config_.resources));
+    for (auto& c : row) {
+      double jitter =
+          config_.resource_jitter == 0.0
+              ? 0.0
+              : rng.uniform(-config_.resource_jitter, config_.resource_jitter);
+      c = config_.capacity_per_site * (1.0 + jitter);
+    }
+  }
+  return caps;
+}
+
+std::vector<double> Generator::draw_profile(util::Rng& rng) const {
+  AMF_REQUIRE(config_.resources > 1,
+              "profile draws need a multi-resource config");
+  std::vector<double> profile(static_cast<std::size_t>(config_.resources));
+  for (auto& p : profile)
+    p = rng.uniform(config_.profile_min, config_.profile_max);
+  return profile;
 }
 
 Generator::JobRow Generator::draw_job_row(
@@ -115,6 +147,28 @@ Generator::JobRow Generator::draw_job_row(
 }
 
 core::AllocationProblem Generator::generate() {
+  // R > 1 draws a capacity matrix instead of a scalar capacity row and a
+  // Leontief profile per job; every extra draw is gated on the config so
+  // R = 1 consumes the exact pre-lift RNG sequence.
+  if (config_.resources > 1) {
+    auto capacity_matrix = draw_capacity_matrix(rng_);
+    std::vector<double> binding(capacity_matrix.size());
+    for (std::size_t s = 0; s < capacity_matrix.size(); ++s)
+      binding[s] = flow::binding_min(capacity_matrix[s]);
+    core::Matrix demands, workloads, profiles;
+    demands.reserve(static_cast<std::size_t>(config_.jobs));
+    workloads.reserve(static_cast<std::size_t>(config_.jobs));
+    profiles.reserve(static_cast<std::size_t>(config_.jobs));
+    for (int j = 0; j < config_.jobs; ++j) {
+      auto row = draw_job_row(binding, rng_);
+      demands.push_back(std::move(row.demands));
+      workloads.push_back(std::move(row.workloads));
+      profiles.push_back(draw_profile(rng_));
+    }
+    return core::AllocationProblem::multi(
+        std::move(demands), std::move(capacity_matrix), std::move(profiles),
+        std::move(workloads));
+  }
   auto capacities = draw_capacities(rng_);
   core::Matrix demands, workloads;
   demands.reserve(static_cast<std::size_t>(config_.jobs));

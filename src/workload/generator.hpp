@@ -62,6 +62,18 @@ struct GeneratorConfig {
   /// Used by kProportionalToWork.
   double demand_factor = 1.0;
 
+  /// Resource dimension R. 1 (the default) generates scalar instances
+  /// with the exact pre-lift RNG draw sequence; R > 1 additionally draws
+  /// a per-site capacity matrix and per-job Leontief profiles.
+  int resources = 1;
+  /// Uniform multiplicative jitter of each capacity[s][r] around
+  /// capacity_per_site (multi-resource only).
+  double resource_jitter = 0.25;
+  /// Per-resource profile entries are drawn U(profile_min, profile_max)
+  /// (multi-resource only).
+  double profile_min = 0.25;
+  double profile_max = 1.25;
+
   std::uint64_t seed = 42;
 };
 
@@ -90,6 +102,12 @@ class Generator {
 
   /// Site capacities for one instance.
   std::vector<double> draw_capacities(util::Rng& rng) const;
+
+  /// Per-site per-resource capacities (m×R, multi-resource configs only).
+  core::Matrix draw_capacity_matrix(util::Rng& rng) const;
+
+  /// One job's Leontief profile (width R, multi-resource configs only).
+  std::vector<double> draw_profile(util::Rng& rng) const;
 
  private:
   GeneratorConfig config_;

@@ -30,7 +30,20 @@ Trace generate_trace(Generator& generator, double load, int count) {
 
   Trace trace;
   auto& rng = generator.rng();
-  trace.capacities = generator.draw_capacities(rng);
+  // As in Generator::generate(), every multi-resource draw is gated on
+  // the config so R = 1 traces consume the exact pre-lift RNG sequence.
+  const bool multi = generator.config().resources > 1;
+  if (multi) {
+    trace.capacity_matrix = generator.draw_capacity_matrix(rng);
+    trace.capacities.resize(trace.capacity_matrix.size());
+    for (std::size_t s = 0; s < trace.capacity_matrix.size(); ++s) {
+      double binding = trace.capacity_matrix[s].front();
+      for (double c : trace.capacity_matrix[s]) binding = std::min(binding, c);
+      trace.capacities[s] = binding;
+    }
+  } else {
+    trace.capacities = generator.draw_capacities(rng);
+  }
   double capacity = std::accumulate(trace.capacities.begin(),
                                     trace.capacities.end(), 0.0);
   // Mean work per job is mean_job_work, so a Poisson arrival rate of
@@ -46,6 +59,7 @@ Trace generate_trace(Generator& generator, double load, int count) {
     job.arrival = clock;
     job.workloads = std::move(row.workloads);
     job.demands = std::move(row.demands);
+    if (multi) job.profile = generator.draw_profile(rng);
     trace.jobs.push_back(std::move(job));
   }
   return trace;
@@ -94,7 +108,11 @@ std::size_t header_count(double value, const char* what, long line_no) {
 void save_trace(const Trace& trace, std::ostream& out) {
   using util::CsvWriter;
   const std::size_t m = trace.capacities.size();
-  out << trace.jobs.size() << ',' << m << ',' << trace.events.size() << '\n';
+  const bool multi = trace.multi_resource();
+  const std::size_t r = multi ? trace.capacity_matrix.front().size() : 1;
+  out << trace.jobs.size() << ',' << m << ',' << trace.events.size();
+  if (multi) out << ',' << r;
+  out << '\n';
   auto emit = [&out](const std::vector<double>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i) out << ',';
@@ -102,40 +120,90 @@ void save_trace(const Trace& trace, std::ostream& out) {
     }
     out << '\n';
   };
-  emit(trace.capacities);
+  if (multi) {
+    AMF_REQUIRE(trace.capacity_matrix.size() == m,
+                "trace capacity matrix height mismatch");
+    std::vector<double> caps;
+    caps.reserve(m * r);
+    for (const auto& row : trace.capacity_matrix) {
+      AMF_REQUIRE(row.size() == r, "trace capacity matrix width mismatch");
+      caps.insert(caps.end(), row.begin(), row.end());
+    }
+    emit(caps);
+  } else {
+    emit(trace.capacities);
+  }
   for (const auto& job : trace.jobs) {
     AMF_REQUIRE(job.workloads.size() == m && job.demands.size() == m,
                 "trace job width mismatch");
     std::vector<double> row{job.arrival, job.weight};
     row.insert(row.end(), job.workloads.begin(), job.workloads.end());
     row.insert(row.end(), job.demands.begin(), job.demands.end());
+    if (multi) {
+      AMF_REQUIRE(job.profile.empty() || job.profile.size() == r,
+                  "trace job profile width mismatch");
+      if (job.profile.empty())
+        row.insert(row.end(), r, 1.0);
+      else
+        row.insert(row.end(), job.profile.begin(), job.profile.end());
+    }
     emit(row);
   }
-  for (const auto& ev : trace.events)
-    emit({ev.time, static_cast<double>(ev.site),
-          static_cast<double>(ev.kind), ev.capacity_factor});
+  for (const auto& ev : trace.events) {
+    std::vector<double> row{ev.time, static_cast<double>(ev.site),
+                            static_cast<double>(ev.kind)};
+    if (multi && !ev.capacity_factors.empty()) {
+      AMF_REQUIRE(ev.capacity_factors.size() == r,
+                  "trace event factor width mismatch");
+      row.insert(row.end(), ev.capacity_factors.begin(),
+                 ev.capacity_factors.end());
+    } else {
+      row.push_back(ev.capacity_factor);
+    }
+    emit(row);
+  }
 }
 
 Trace load_trace(std::istream& in) {
   long line_no = 1;
   const long header_line = line_no;
   auto header = read_csv_row(in, 0, line_no);
-  AMF_REQUIRE(header.size() == 2 || header.size() == 3,
-              "trace header must be jobs,sites[,events]");
+  AMF_REQUIRE(header.size() >= 2 && header.size() <= 4,
+              "trace header must be jobs,sites[,events[,resources]]");
   const std::size_t count = header_count(header[0], "job", header_line);
   const std::size_t m = header_count(header[1], "site", header_line);
   const std::size_t event_count =
-      header.size() == 3 ? header_count(header[2], "event", header_line) : 0;
+      header.size() >= 3 ? header_count(header[2], "event", header_line) : 0;
+  const bool multi = header.size() == 4;
+  const std::size_t r =
+      multi ? header_count(header[3], "resource", header_line) : 1;
   AMF_REQUIRE(m > 0, "trace needs at least one site (line 1)");
+  AMF_REQUIRE(r > 0, "trace needs at least one resource (line 1)");
 
   Trace trace;
-  trace.capacities = read_csv_row(in, m, line_no);
-  for (double c : trace.capacities)
-    AMF_REQUIRE(c >= 0.0, "trace capacities must be >= 0 (line 2)");
+  if (multi) {
+    auto caps = read_csv_row(in, m * r, line_no);
+    for (double c : caps)
+      AMF_REQUIRE(c >= 0.0, "trace capacities must be >= 0 (line 2)");
+    trace.capacity_matrix.resize(m);
+    trace.capacities.resize(m);
+    for (std::size_t s = 0; s < m; ++s) {
+      trace.capacity_matrix[s].assign(
+          caps.begin() + static_cast<std::ptrdiff_t>(s * r),
+          caps.begin() + static_cast<std::ptrdiff_t>((s + 1) * r));
+      double binding = trace.capacity_matrix[s].front();
+      for (double c : trace.capacity_matrix[s]) binding = std::min(binding, c);
+      trace.capacities[s] = binding;
+    }
+  } else {
+    trace.capacities = read_csv_row(in, m, line_no);
+    for (double c : trace.capacities)
+      AMF_REQUIRE(c >= 0.0, "trace capacities must be >= 0 (line 2)");
+  }
   trace.jobs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const long row_line = line_no;
-    auto row = read_csv_row(in, 2 + 2 * m, line_no);
+    auto row = read_csv_row(in, 2 + 2 * m + (multi ? r : 0), line_no);
     TraceJob job;
     job.arrival = row[0];
     job.weight = row[1];
@@ -148,7 +216,7 @@ Trace load_trace(std::istream& in) {
     job.workloads.assign(row.begin() + 2,
                          row.begin() + 2 + static_cast<std::ptrdiff_t>(m));
     job.demands.assign(row.begin() + 2 + static_cast<std::ptrdiff_t>(m),
-                       row.end());
+                       row.begin() + 2 + static_cast<std::ptrdiff_t>(2 * m));
     for (std::size_t s = 0; s < m; ++s) {
       AMF_REQUIRE(job.workloads[s] >= 0.0,
                   "job workloads must be >= 0 (line " +
@@ -157,12 +225,27 @@ Trace load_trace(std::istream& in) {
                   "job demands must be >= 0 (line " +
                       std::to_string(row_line) + ")");
     }
+    if (multi) {
+      job.profile.assign(row.begin() + 2 + static_cast<std::ptrdiff_t>(2 * m),
+                         row.end());
+      bool any = false;
+      for (double p : job.profile) {
+        AMF_REQUIRE(p >= 0.0, "job profile entries must be >= 0 (line " +
+                                  std::to_string(row_line) + ")");
+        any = any || p > 0.0;
+      }
+      AMF_REQUIRE(any, "job profile needs a positive entry (line " +
+                           std::to_string(row_line) + ")");
+    }
     trace.jobs.push_back(std::move(job));
   }
   trace.events.reserve(event_count);
   for (std::size_t i = 0; i < event_count; ++i) {
     const long row_line = line_no;
-    auto row = read_csv_row(in, 4, line_no);
+    auto row = read_csv_row(in, 0, line_no);
+    AMF_REQUIRE(row.size() == 4 || (multi && row.size() == 3 + r),
+                "trace event row width mismatch (line " +
+                    std::to_string(row_line) + ")");
     SiteEvent ev;
     ev.time = row[0];
     AMF_REQUIRE(ev.time >= 0.0,
@@ -177,10 +260,18 @@ Trace load_trace(std::istream& in) {
                 "trace event kind must be 0, 1 or 2 (line " +
                     std::to_string(row_line) + ")");
     ev.kind = static_cast<SiteEventKind>(static_cast<int>(row[2]));
-    ev.capacity_factor = row[3];
-    AMF_REQUIRE(ev.capacity_factor >= 0.0 && ev.capacity_factor <= 1.0,
-                "event capacity factor must be in [0, 1] (line " +
-                    std::to_string(row_line) + ")");
+    for (std::size_t k = 3; k < row.size(); ++k)
+      AMF_REQUIRE(row[k] >= 0.0 && row[k] <= 1.0,
+                  "event capacity factor must be in [0, 1] (line " +
+                      std::to_string(row_line) + ")");
+    if (row.size() == 4) {
+      ev.capacity_factor = row[3];
+    } else {
+      ev.capacity_factors.assign(row.begin() + 3, row.end());
+      double binding = ev.capacity_factors.front();
+      for (double f : ev.capacity_factors) binding = std::min(binding, f);
+      ev.capacity_factor = binding;
+    }
     trace.events.push_back(ev);
   }
   return trace;

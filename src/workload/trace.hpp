@@ -16,9 +16,12 @@ namespace amf::workload {
 /// One job of a trace.
 struct TraceJob {
   double arrival = 0.0;
-  std::vector<double> workloads;  // per site
-  std::vector<double> demands;    // per site
+  std::vector<double> workloads;  // per site (raw task units)
+  std::vector<double> demands;    // per site (raw task units)
   double weight = 1.0;
+  /// Leontief per-resource profile (width R on a multi-resource trace).
+  /// Empty = the unit profile.
+  std::vector<double> profile;
 };
 
 /// Kind of a timed change to a site's usable capacity.
@@ -37,15 +40,31 @@ struct SiteEvent {
   int site = 0;
   SiteEventKind kind = SiteEventKind::kOutage;
   double capacity_factor = 0.0;
+  /// Multi-resource traces may impair resources unevenly (a NIC brownout
+  /// leaves CPU whole): per-resource factors, width R. Empty = apply
+  /// `capacity_factor` uniformly. The kind constraints bind on the
+  /// minimum factor; an outage requires every factor to be 0.
+  std::vector<double> capacity_factors;
 };
 
 /// A full trace over a fixed site set.
 struct Trace {
+  /// Scalar site capacities. On a multi-resource trace this holds the
+  /// binding (minimum-entry) capacity of each site's row — derived from
+  /// `capacity_matrix`, kept for offered-load accounting and any scalar
+  /// consumer.
   std::vector<double> capacities;
+  /// Per-site per-resource capacities (m×R). Empty on scalar traces.
+  std::vector<std::vector<double>> capacity_matrix;
   std::vector<TraceJob> jobs;    // sorted by arrival
   std::vector<SiteEvent> events; // fault schedule, sorted by time
 
   bool has_faults() const { return !events.empty(); }
+  bool multi_resource() const { return !capacity_matrix.empty(); }
+  int resources() const {
+    return multi_resource() ? static_cast<int>(capacity_matrix.front().size())
+                            : 1;
+  }
 
   /// Offered load: total work arriving per unit time divided by total
   /// capacity (1.0 = saturation on average).
@@ -63,6 +82,11 @@ Trace generate_trace(Generator& generator, double load, int count);
 /// one row `time,site,kind,capacity_factor` (kind encoded 0/1/2 as in
 /// SiteEventKind). Traces written by older versions (two-field header, no
 /// event rows) load as fault-free.
+///
+/// Multi-resource traces use a four-field header `jobs,sites,events,
+/// resources`; the capacity line then carries m·R values site-major, job
+/// rows append the R profile entries, and event rows carry either one
+/// uniform factor (width 4) or R per-resource factors (width 3+R).
 void save_trace(const Trace& trace, std::ostream& out);
 Trace load_trace(std::istream& in);
 

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
+#include <string>
 
 #include "multiresource/drf.hpp"
 #include "multiresource/problem.hpp"
@@ -30,6 +32,55 @@ TEST(MultiResourceProblem, Validation) {
   // Demanded resource with zero pool.
   EXPECT_THROW(MultiResourceProblem({{1}}, {{1, 1}}, {{9, 0}}),
                util::ContractError);
+  // Ragged task caps and profiles are rejected too, not silently
+  // truncated to row 0's width.
+  EXPECT_THROW(
+      MultiResourceProblem({{1, 1}, {1}}, {{1, 1}, {1, 1}},
+                           {{9, 18}, {9, 18}}),
+      util::ContractError);
+  EXPECT_THROW(MultiResourceProblem({{1}, {1}}, {{1, 1}, {1}}, {{9, 18}}),
+               util::ContractError);
+  // Non-finite entries.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(MultiResourceProblem({{1}}, {{1, inf}}, {{9, 18}}),
+               util::ContractError);
+  EXPECT_THROW(MultiResourceProblem({{1}}, {{1, 1}}, {{9, inf}}),
+               util::ContractError);
+}
+
+// The rejection message names the offending row, so callers assembling
+// instances from external data can point at their input line.
+TEST(MultiResourceProblem, ValidationMessagesAreRowIndexed) {
+  auto message_of = [](auto&& build) -> std::string {
+    try {
+      build();
+    } catch (const util::ContractError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(message_of([] {
+              MultiResourceProblem({{1}}, {{1, 1}}, {{9, 18}, {9}});
+            }).find("ragged capacity matrix"),
+            std::string::npos);
+  EXPECT_NE(message_of([] {
+              MultiResourceProblem({{1}}, {{1, 1}}, {{9, 18}, {9}});
+            }).find("(row 1)"),
+            std::string::npos);
+  EXPECT_NE(message_of([] {
+              MultiResourceProblem({{1, 1}, {1}}, {{1, 1}, {1, 1}},
+                                   {{9, 18}, {9, 18}});
+            }).find("ragged task cap matrix"),
+            std::string::npos);
+  EXPECT_NE(message_of([] {
+              MultiResourceProblem({{1}, {1}}, {{1, 1}, {1}}, {{9, 18}});
+            }).find("ragged profile matrix"),
+            std::string::npos);
+  const std::string all_zero = message_of([] {
+    MultiResourceProblem({{1}, {1}}, {{1, 1}, {0, 0}}, {{9, 18}});
+  });
+  EXPECT_NE(all_zero.find("all-zero profile"), std::string::npos);
+  EXPECT_NE(all_zero.find("(row 1)"), std::string::npos);
 }
 
 TEST(MultiResourceProblem, DominantShares) {

@@ -137,5 +137,46 @@ TEST_P(WaterFillRandomTest, SatisfiesMaxMinDefinition) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WaterFillRandomTest, ::testing::Range(0, 50));
 
+TEST(LeontiefWaterFill, ClassicDrfExample) {
+  // Ghodsi et al.'s canonical instance: 9 CPU + 18 GB, job A <1,4>,
+  // job B <3,1> — three A tasks and two B tasks, dominant share 2/3.
+  auto tasks = leontief_water_fill({100.0, 100.0}, {{1, 4}, {3, 1}},
+                                   {9, 18}, 18.0, 1e-9);
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_NEAR(tasks[0], 3.0, 1e-6);
+  EXPECT_NEAR(tasks[1], 2.0, 1e-6);
+}
+
+TEST(LeontiefWaterFill, OneResourceMatchesScalarWaterFill) {
+  // At R=1 with unit profiles the Leontief fill is plain max-min
+  // water-filling (up to the bisection's tolerance).
+  const std::vector<double> caps = {2.0, 7.0, 4.0, 9.0};
+  const double capacity = 12.0;
+  auto exact = water_fill(caps, capacity);
+  auto fill = leontief_water_fill(
+      caps, {{1.0}, {1.0}, {1.0}, {1.0}}, {capacity}, capacity, 1e-12);
+  ASSERT_EQ(fill.size(), exact.size());
+  for (std::size_t j = 0; j < exact.size(); ++j)
+    EXPECT_NEAR(fill[j], exact[j], 1e-6) << "job " << j;
+}
+
+TEST(LeontiefWaterFill, ZeroCapJobsAndMissingResources) {
+  // Job 0 has no task cap; job 1 needs a resource the site lacks; job 2
+  // proceeds alone.
+  auto tasks = leontief_water_fill({0.0, 5.0, 5.0},
+                                   {{1, 0}, {0, 1}, {1, 0}}, {10, 0},
+                                   10.0, 1e-9);
+  EXPECT_EQ(tasks[0], 0.0);
+  EXPECT_EQ(tasks[1], 0.0);
+  EXPECT_NEAR(tasks[2], 5.0, 1e-6);
+}
+
+TEST(LeontiefWaterFill, Contracts) {
+  EXPECT_THROW(leontief_water_fill({1.0}, {}, {10}, 10.0, 1e-9),
+               util::ContractError);
+  EXPECT_THROW(leontief_water_fill({1.0}, {{1, 1}}, {10}, 10.0, 1e-9),
+               util::ContractError);
+}
+
 }  // namespace
 }  // namespace amf::core

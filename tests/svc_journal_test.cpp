@@ -241,7 +241,7 @@ TEST(SvcJournalSession, JournalsEveryAckedDeltaBeforeServing) {
 }
 
 TEST(SvcJournalSession, RetriedRidIsReAckedOnceNotReapplied) {
-  Session session("dedup", {100.0}, SessionConfig{});
+  Session session("dedup", std::vector<double>{100.0}, SessionConfig{});
   Json first = submit_and_wait(&session, 1, Op::kAddJob,
                                add_job_body({10}, "rid-x"));
   Json retry = submit_and_wait(&session, 2, Op::kAddJob,
@@ -259,7 +259,7 @@ TEST(SvcJournalSession, RetriedRidIsReAckedOnceNotReapplied) {
 TEST(SvcJournalSession, DedupWindowEvictsOldestRidFifo) {
   SessionConfig cfg;
   cfg.dedup_window = 2;
-  Session session("evict", {100.0}, cfg);
+  Session session("evict", std::vector<double>{100.0}, cfg);
   submit_and_wait(&session, 1, Op::kAddJob, add_job_body({1}, "rid-1"));
   submit_and_wait(&session, 2, Op::kAddJob, add_job_body({1}, "rid-2"));
   submit_and_wait(&session, 3, Op::kAddJob, add_job_body({1}, "rid-3"));

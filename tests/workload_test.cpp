@@ -211,9 +211,9 @@ TEST(Trace, SaveLoadRoundTripsFaultSchedule) {
   job.workloads = {4.0, 2.0};
   job.demands = {3.0, 3.0};
   trace.jobs.push_back(job);
-  trace.events = {{1.0, 1, SiteEventKind::kOutage, 0.0},
-                  {1.5, 0, SiteEventKind::kDegrade, 0.25},
-                  {2.0, 1, SiteEventKind::kRecover, 1.0}};
+  trace.events = {{1.0, 1, SiteEventKind::kOutage, 0.0, {}},
+                  {1.5, 0, SiteEventKind::kDegrade, 0.25, {}},
+                  {2.0, 1, SiteEventKind::kRecover, 1.0, {}}};
   std::stringstream ss;
   save_trace(trace, ss);
   auto loaded = load_trace(ss);

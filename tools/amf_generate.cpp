@@ -21,8 +21,10 @@ namespace {
 int usage(bool help = false) {
   (help ? std::cout : std::cerr)
       << "usage: amf_generate problem|trace [--jobs N] [--sites M] "
-         "[--skew Z] [--seed S] [--load L] "
-         "[--demand-model uncapped|proportional]\n";
+         "[--resources R] [--skew Z] [--seed S] [--load L] "
+         "[--demand-model uncapped|proportional]\n"
+         "  --resources R  draw R-resource instances (vector capacities,\n"
+         "                 Leontief job profiles); 1 = classic scalar\n";
   return help ? 0 : 2;
 }
 
@@ -35,7 +37,7 @@ int main(int argc, char** argv) {
   if (mode == "--help" || mode == "-h") return usage(true);
   if (mode != "problem" && mode != "trace") return usage();
 
-  int jobs = 100, sites = 10;
+  int jobs = 100, sites = 10, resources = 1;
   double skew = 1.0, load = 0.8;
   std::uint64_t seed = 42;
   auto demand_model = workload::DemandModel::kUncapped;
@@ -52,6 +54,8 @@ int main(int argc, char** argv) {
       jobs = static_cast<int>(v);
     } else if (std::strcmp(argv[i], "--sites") == 0 && next(&v)) {
       sites = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--resources") == 0 && next(&v)) {
+      resources = static_cast<int>(v);
     } else if (std::strcmp(argv[i], "--skew") == 0 && next(&v)) {
       skew = v;
     } else if (std::strcmp(argv[i], "--load") == 0 && next(&v)) {
@@ -76,6 +80,7 @@ int main(int argc, char** argv) {
     cfg.jobs = jobs;
     cfg.sites = sites;
     cfg.sites_per_job_max = std::min(cfg.sites_per_job_max, sites);
+    cfg.resources = resources;
     cfg.demand_model = demand_model;
     workload::Generator generator(cfg);
     if (mode == "problem") {

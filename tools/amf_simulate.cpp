@@ -1,7 +1,8 @@
 // amf_simulate — command-line trace simulator.
 //
 //   amf_simulate [--policy amf|eamf|psmf] [--addon] [--jobs N]
-//                [--sites M] [--skew Z] [--load L] [--seed S] [--batch]
+//                [--sites M] [--resources R] [--skew Z] [--load L]
+//                [--seed S] [--batch]
 //                [--faults] [--mtbf T] [--mttr T] [--loss F]
 //                [--budget-ms B] [--threads N] [--cold] [--trace-out F]
 //                [--metrics-out F] [--prom-out F]
@@ -51,7 +52,8 @@ namespace {
 int usage(bool help = false) {
   (help ? std::cout : std::cerr)
       << "usage: amf_simulate [--policy amf|eamf|psmf] [--addon] "
-               "[--jobs N] [--sites M] [--skew Z] [--load L] [--seed S] "
+               "[--jobs N] [--sites M] [--resources R] [--skew Z] "
+               "[--load L] [--seed S] "
                "[--batch] [--faults] [--mtbf T] [--mttr T] [--loss F] "
                "[--budget-ms B] [--threads N] [--cold] [--trace-out F] "
                "[--metrics-out F] [--prom-out F]\n"
@@ -103,7 +105,7 @@ int main(int argc, char** argv) {
   using namespace amf;
   std::string policy_name = "amf";
   bool use_addon = false, batch = false, faults = false, cold = false;
-  int jobs = 100, sites = 10, threads = 1;
+  int jobs = 100, sites = 10, resources = 1, threads = 1;
   double skew = 1.0, load = 0.8;
   double mtbf = 200.0, mttr = 20.0, loss = 1.0, budget_ms = 0.0;
   std::uint64_t seed = 42;
@@ -130,6 +132,10 @@ int main(int argc, char** argv) {
       double v;
       if (!next(&v)) return usage();
       sites = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--resources") == 0) {
+      double v;
+      if (!next(&v)) return usage();
+      resources = static_cast<int>(v);
     } else if (std::strcmp(argv[i], "--skew") == 0) {
       if (!next(&skew)) return usage();
     } else if (std::strcmp(argv[i], "--load") == 0) {
@@ -184,6 +190,7 @@ int main(int argc, char** argv) {
     auto cfg = workload::paper_default(skew, seed);
     cfg.sites = sites;
     cfg.sites_per_job_max = std::min(cfg.sites_per_job_max, sites);
+    cfg.resources = resources;
     workload::Generator generator(cfg);
     auto trace = workload::generate_trace(generator, load, jobs);
     if (batch)
@@ -254,8 +261,11 @@ int main(int argc, char** argv) {
       for (double t : jct) mean += t;
       mean /= static_cast<double>(jct.size());
       std::cout << "# policy " << policy_name << (use_addon ? "+addon" : "")
-                << " jobs " << jobs << " load " << load << " skew " << skew
-                << "\n"
+                << " jobs " << jobs << " load " << load << " skew " << skew;
+      // Only printed off the scalar default so R=1 output stays
+      // byte-identical to the pre-lift tool.
+      if (resources > 1) std::cout << " resources " << resources;
+      std::cout << "\n"
                 << "# mean_jct " << mean << " p95_jct "
                 << util::percentile(jct, 95.0) << " makespan "
                 << simulator.stats().makespan << " events "
