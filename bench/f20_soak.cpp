@@ -1,0 +1,393 @@
+// F20 — Serving-telemetry soak: SLOs asserted through the production
+// surface, and the cost of that surface measured.
+//
+// Two interleaved arms drive the same F17-style loadgen (C clients
+// sharing one session, add_job / solve(latest) / finish_job loops) for a
+// fixed wall-clock duration per round:
+//
+//   * baseline  — a bare server: no HTTP listener, no SLO ticker, no
+//     tracer, logging off (the seed configuration);
+//   * telemetry — the full production surface: --http (which also turns
+//     the span tracer on), structured logging at info, and a fast SLO
+//     ticker, with a scraper thread issuing GET /metrics mid-load the
+//     way a real Prometheus would.
+//
+// Rounds alternate baseline/telemetry so drift (thermal, page cache,
+// noisy neighbours) hits both arms equally; each arm's solve p50 is the
+// median across its rounds.
+//
+// Gates (exit 3 on failure, the CI contract):
+//   * overhead: telemetry p50 <= 1.05 x baseline p50 (+0.05 ms absolute
+//     slack so a sub-millisecond p50 is not gated on scheduler noise);
+//   * SLO via HTTP only: the final /metrics scrape must show
+//     amf_svc_slo_windows >= 1, amf_svc_slo_p99_ms below the target,
+//     amf_svc_slo_shed_rate below the cap, and a nonzero
+//     amf_svc_solves_served_total — no in-process peeking, the asserts
+//     read the same bytes an external scraper would;
+//   * liveness: every round must serve solves.
+//
+//   bench_f20_soak [--smoke] [--json PATH]
+//
+// CSV goes to stdout; the JSON summary (per-round p50s, medians, ratio,
+// scraped SLO values, gate verdicts) is written to PATH (default
+// BENCH_soak.json).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "svc/client.hpp"
+#include "svc/http.hpp"
+#include "svc/server.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+double percentile(std::vector<double>* sorted, double q) {
+  if (sorted->empty()) return 0.0;
+  std::sort(sorted->begin(), sorted->end());
+  const double pos = q * static_cast<double>(sorted->size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted->size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return (*sorted)[lo] * (1.0 - frac) + (*sorted)[hi] * frac;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// First "<name> <value>" sample on an exposition page (-1 if absent).
+double scrape_value(const std::string& page, const std::string& name) {
+  const std::string needle = "\n" + name + " ";
+  std::size_t pos = page.find(needle);
+  if (pos == std::string::npos) {
+    if (page.rfind(name + " ", 0) == 0)
+      pos = 0;
+    else
+      return -1.0;
+  } else {
+    pos += 1;
+  }
+  return std::atof(page.c_str() + pos + name.size() + 1);
+}
+
+struct RoundResult {
+  bool telemetry = false;
+  long long requests = 0;
+  long long solves = 0;
+  long long overloaded = 0;
+  double elapsed_s = 0.0;
+  double p50_ms = 0.0, p99_ms = 0.0;
+  long long scrapes_ok = 0;  ///< mid-load GET /metrics that returned 200
+};
+
+struct SloScrape {
+  bool ok = false;       ///< scrape succeeded and the gauges were present
+  double windows = -1.0;
+  double p99_ms = -1.0;
+  double shed_rate = -1.0;
+  double served = -1.0;
+};
+
+RoundResult run_round(bool telemetry, double duration_s, int concurrency,
+                      int sites, int base_jobs, double window_ms,
+                      SloScrape* slo_out) {
+  using namespace amf;
+  // The tracer is process-global and Server::start() turns it on with
+  // --http; make each round's flavour explicit so baseline rounds pay
+  // nothing for the telemetry rounds that ran before them.
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().clear();
+  util::Logger::global().set_level(telemetry ? util::LogLevel::kInfo
+                                             : util::LogLevel::kOff);
+
+  svc::ServerConfig config;
+  config.tcp_port = 0;
+  config.session.batch_window_ms = window_ms;
+  if (telemetry) {
+    config.http_port = 0;
+    config.http.rate_per_s = 200.0;
+    config.slo.window_s = 0.05;  // fast ticks so a short round fills windows
+    config.slo.windows = 60;
+    config.slo.fast_windows = 3;
+    config.slo.p99_target_ms = 250.0;
+  }
+  svc::Server server(config);
+  server.start();
+
+  const std::string session = "soak";
+  {
+    svc::Client setup =
+        svc::Client::connect_tcp("127.0.0.1", server.tcp_port());
+    setup.create_session(
+        session,
+        std::vector<double>(static_cast<std::size_t>(sites), 1000.0));
+    std::mt19937_64 rng(42);
+    std::uniform_real_distribution<double> demand(1.0, 80.0);
+    for (int j = 0; j < base_jobs; ++j) {
+      std::vector<double> d(static_cast<std::size_t>(sites));
+      for (double& x : d) x = demand(rng);
+      setup.add_job(session, d);
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<long long> scrapes_ok{0};
+  std::thread scraper;
+  if (telemetry) {
+    // A Prometheus stand-in: scrape while the load runs, not after it.
+    scraper = std::thread([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        std::string body;
+        int status = 0;
+        if (svc::http_get(server.http_port(), "/metrics", &body, &status) &&
+            status == 200 &&
+            body.find("amf_svc_stage_solve_ms_count") != std::string::npos)
+          scrapes_ok.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      }
+    });
+  }
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(concurrency));
+  std::vector<long long> sent(static_cast<std::size_t>(concurrency), 0);
+  std::vector<long long> oks(static_cast<std::size_t>(concurrency), 0);
+  std::vector<long long> sheds(static_cast<std::size_t>(concurrency), 0);
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(concurrency));
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(duration_s));
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      svc::Client client =
+          svc::Client::connect_tcp("127.0.0.1", server.tcp_port());
+      std::mt19937_64 rng(1000 + static_cast<std::uint64_t>(c));
+      std::uniform_real_distribution<double> demand(1.0, 80.0);
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      while (Clock::now() < deadline) {
+        std::vector<double> d(static_cast<std::size_t>(sites));
+        for (double& x : d) x = demand(rng);
+        try {
+          const long long job = client.add_job(session, d);
+          ++sent[static_cast<std::size_t>(c)];
+          const auto t0 = Clock::now();
+          client.solve(session, /*budget_ms=*/0.0, /*latest=*/true);
+          mine.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                  .count());
+          ++sent[static_cast<std::size_t>(c)];
+          ++oks[static_cast<std::size_t>(c)];
+          client.finish_job(session, job);
+          ++sent[static_cast<std::size_t>(c)];
+        } catch (const svc::SvcError& e) {
+          if (e.code() == svc::ErrorCode::kOverloaded)
+            ++sheds[static_cast<std::size_t>(c)];
+          else
+            throw;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  if (telemetry && slo_out != nullptr) {
+    // Let the ticker close the windows holding the tail of the load,
+    // then read the SLO purely through the production HTTP surface.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(3.0 * config.slo.window_s));
+    std::string body;
+    int status = 0;
+    if (svc::http_get(server.http_port(), "/metrics", &body, &status) &&
+        status == 200) {
+      slo_out->windows = scrape_value(body, "amf_svc_slo_windows");
+      slo_out->p99_ms = scrape_value(body, "amf_svc_slo_p99_ms");
+      slo_out->shed_rate = scrape_value(body, "amf_svc_slo_shed_rate");
+      slo_out->served = scrape_value(body, "amf_svc_solves_served_total");
+      slo_out->ok = slo_out->windows >= 0.0 && slo_out->p99_ms >= 0.0 &&
+                    slo_out->shed_rate >= 0.0 && slo_out->served >= 0.0;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  if (scraper.joinable()) scraper.join();
+  server.trigger_drain();
+  server.wait_drained();
+  util::Logger::global().set_level(util::LogLevel::kWarn);
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().clear();
+
+  RoundResult out;
+  out.telemetry = telemetry;
+  out.elapsed_s = elapsed;
+  out.scrapes_ok = scrapes_ok.load();
+  std::vector<double> all;
+  for (int c = 0; c < concurrency; ++c) {
+    const std::size_t idx = static_cast<std::size_t>(c);
+    out.requests += sent[idx];
+    out.solves += oks[idx];
+    out.overloaded += sheds[idx];
+    all.insert(all.end(), latencies[idx].begin(), latencies[idx].end());
+  }
+  out.p50_ms = percentile(&all, 0.50);
+  out.p99_ms = percentile(&all, 0.99);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_soak.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_f20_soak [--smoke] [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  const int sites = 6;
+  const int base_jobs = smoke ? 10 : 24;
+  const int concurrency = 2;
+  const double window_ms = 1.0;
+  const double duration_s = smoke ? 0.6 : 3.0;
+  const int rounds = smoke ? 2 : 4;  // per arm, interleaved
+  const double kOverheadRatio = 1.05;
+  const double kOverheadSlackMs = 0.05;
+  const double kSloP99TargetMs = 250.0;
+  const double kSloShedRateCap = 0.05;
+
+  std::cout << "# F20: serving-telemetry soak, interleaved baseline vs "
+               "full telemetry (--http + logging + SLO ticker)\n"
+            << "# " << (smoke ? "smoke" : "full") << ": " << rounds
+            << " rounds/arm x " << fmt(duration_s) << " s, " << concurrency
+            << " clients, batch window " << fmt(window_ms) << " ms\n"
+            << "round,arm,requests,throughput_rps,solve_p50_ms,"
+               "solve_p99_ms,overloaded,mid_load_scrapes\n";
+
+  std::vector<RoundResult> results;
+  std::vector<double> base_p50s, telem_p50s;
+  SloScrape slo;
+  bool served_every_round = true;
+  for (int r = 0; r < rounds; ++r) {
+    for (const bool telemetry : {false, true}) {
+      RoundResult res =
+          run_round(telemetry, duration_s, concurrency, sites, base_jobs,
+                    window_ms, telemetry ? &slo : nullptr);
+      results.push_back(res);
+      (telemetry ? telem_p50s : base_p50s).push_back(res.p50_ms);
+      if (res.solves <= 0) served_every_round = false;
+      const double rps = res.elapsed_s > 0.0
+                             ? static_cast<double>(res.requests) /
+                                   res.elapsed_s
+                             : 0.0;
+      std::cout << r << "," << (telemetry ? "telemetry" : "baseline") << ","
+                << res.requests << "," << fmt(rps) << ","
+                << fmt(res.p50_ms) << "," << fmt(res.p99_ms) << ","
+                << res.overloaded << "," << res.scrapes_ok << "\n";
+    }
+  }
+
+  const double base_p50 = median(base_p50s);
+  const double telem_p50 = median(telem_p50s);
+  const double ratio = base_p50 > 0.0 ? telem_p50 / base_p50 : 0.0;
+  const bool overhead_ok =
+      telem_p50 <= base_p50 * kOverheadRatio + kOverheadSlackMs;
+  const bool slo_scrape_ok = slo.ok && slo.windows >= 1.0 && slo.served > 0.0;
+  const bool slo_p99_ok = slo.ok && slo.p99_ms <= kSloP99TargetMs;
+  const bool slo_shed_ok = slo.ok && slo.shed_rate <= kSloShedRateCap;
+  const bool gate_ok = overhead_ok && slo_scrape_ok && slo_p99_ok &&
+                       slo_shed_ok && served_every_round;
+
+  std::cout << "# baseline_p50_ms=" << fmt(base_p50)
+            << " telemetry_p50_ms=" << fmt(telem_p50) << " ratio="
+            << fmt(ratio) << " (gate <= " << fmt(kOverheadRatio) << ")\n"
+            << "# slo: windows=" << fmt(slo.windows) << " p99_ms="
+            << fmt(slo.p99_ms) << " shed_rate=" << fmt(slo.shed_rate)
+            << " served=" << fmt(slo.served) << "\n";
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"f20_soak\",\n  \"smoke\": "
+       << (smoke ? "true" : "false")
+       << ",\n  \"rounds_per_arm\": " << rounds
+       << ",\n  \"duration_s\": " << fmt(duration_s)
+       << ",\n  \"concurrency\": " << concurrency
+       << ",\n  \"rounds\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RoundResult& r = results[i];
+    json << "    {\"arm\": \"" << (r.telemetry ? "telemetry" : "baseline")
+         << "\", \"requests\": " << r.requests
+         << ", \"elapsed_s\": " << fmt(r.elapsed_s)
+         << ", \"p50_ms\": " << fmt(r.p50_ms)
+         << ", \"p99_ms\": " << fmt(r.p99_ms)
+         << ", \"overloaded\": " << r.overloaded
+         << ", \"mid_load_scrapes\": " << r.scrapes_ok << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"baseline_p50_ms\": " << fmt(base_p50)
+       << ",\n  \"telemetry_p50_ms\": " << fmt(telem_p50)
+       << ",\n  \"overhead_ratio\": " << fmt(ratio)
+       << ",\n  \"overhead_gate\": " << fmt(kOverheadRatio)
+       << ",\n  \"slo_scrape\": {\"windows\": " << fmt(slo.windows)
+       << ", \"p99_ms\": " << fmt(slo.p99_ms)
+       << ", \"p99_target_ms\": " << fmt(kSloP99TargetMs)
+       << ", \"shed_rate\": " << fmt(slo.shed_rate)
+       << ", \"shed_rate_cap\": " << fmt(kSloShedRateCap)
+       << ", \"served\": " << fmt(slo.served) << "}"
+       << ",\n  \"overhead_ok\": " << (overhead_ok ? "true" : "false")
+       << ",\n  \"slo_ok\": "
+       << (slo_scrape_ok && slo_p99_ok && slo_shed_ok ? "true" : "false")
+       << ",\n  \"gate_ok\": " << (gate_ok ? "true" : "false") << "\n}\n";
+  std::ofstream out(json_path);
+  out << json.str();
+  std::cerr << "# wrote " << json_path << "\n";
+
+  if (!gate_ok) {
+    if (!overhead_ok)
+      std::cerr << "# GATE FAILED: telemetry p50 " << fmt(telem_p50)
+                << " ms vs baseline " << fmt(base_p50) << " ms exceeds "
+                << fmt(kOverheadRatio) << "x\n";
+    if (!slo_scrape_ok)
+      std::cerr << "# GATE FAILED: /metrics scrape missing SLO gauges or "
+                   "no served traffic\n";
+    if (!slo_p99_ok)
+      std::cerr << "# GATE FAILED: scraped SLO p99 " << fmt(slo.p99_ms)
+                << " ms above target " << fmt(kSloP99TargetMs) << " ms\n";
+    if (!slo_shed_ok)
+      std::cerr << "# GATE FAILED: scraped shed rate " << fmt(slo.shed_rate)
+                << " above cap " << fmt(kSloShedRateCap) << "\n";
+    if (!served_every_round)
+      std::cerr << "# GATE FAILED: a round served no solves\n";
+    return 3;
+  }
+  return 0;
+}

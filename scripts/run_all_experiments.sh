@@ -38,6 +38,10 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
     # F19 sweeps R in {1,2,4}; the machine-readable summary carries the
     # R=2 incremental overhead the CI gate pins.
     set -- --json "$OUT_DIR/BENCH_multires.json"
+  elif [ "$name" = "bench_f20_soak" ]; then
+    # F20 soaks the telemetry surface A/B; the summary carries the
+    # overhead ratio and the HTTP-scraped SLO values the CI gate pins.
+    set -- --json "$OUT_DIR/BENCH_soak.json"
   else
     set --
   fi

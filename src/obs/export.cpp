@@ -46,6 +46,30 @@ void append_json_string(std::string* out, std::string_view s) {
   out->push_back('"');
 }
 
+/// Emits the Chrome flow event ("s"/"t"/"f") that binds a flow-linked span
+/// into its request chain.  Flow events share one name/cat and are matched
+/// by id; they must start inside the slice they bind to, so ts is the
+/// span's own start.
+void append_flow_event(std::string* out, const SpanEvent& ev) {
+  const char* ph = nullptr;
+  switch (ev.flow_phase) {
+    case FlowPhase::kStart: ph = "s"; break;
+    case FlowPhase::kStep: ph = "t"; break;
+    case FlowPhase::kEnd: ph = "f"; break;
+    case FlowPhase::kNone: return;
+  }
+  *out += ",\n{\"name\":\"amf/request\",\"cat\":\"amf.flow\",\"ph\":\"";
+  *out += ph;
+  *out += "\",\"id\":";
+  *out += std::to_string(ev.flow);
+  *out += ",\"pid\":1,\"tid\":";
+  *out += std::to_string(ev.tid);
+  *out += ",\"ts\":";
+  *out += fmt_double(ev.ts_us);
+  if (ev.flow_phase != FlowPhase::kStart) *out += ",\"bp\":\"e\"";
+  *out += "}";
+}
+
 }  // namespace
 
 std::string to_chrome_trace(std::span<const SpanEvent> events) {
@@ -79,34 +103,86 @@ std::string to_chrome_trace(std::span<const SpanEvent> events) {
       out += "}";
     }
     out += "}";
+    if (ev.flow != 0 && !ev.instant()) append_flow_event(&out, ev);
   }
   out += "]}\n";
   return out;
 }
 
+namespace {
+
+std::string prometheus_name(std::string_view name) {
+  // Exposition-format metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  // anything else (dots, dashes, slashes from internal names) maps to '_'.
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (alpha || (digit && i > 0)) {
+      out.push_back(c);
+    } else if (digit) {
+      out.push_back('_');
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+void append_help_line(std::string* out, const std::string& name,
+                      const std::string& help) {
+  if (help.empty()) return;
+  *out += "# HELP " + name + " ";
+  // HELP text escaping per the exposition format: backslash and newline.
+  for (char c : help) {
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('\n');
+}
+
+}  // namespace
+
 std::string to_prometheus_text(const Snapshot& snap) {
   std::string out;
   for (const CounterSample& c : snap.counters) {
-    out += "# TYPE " + c.name + " counter\n";
-    out += c.name + " " + std::to_string(c.value) + "\n";
+    const std::string name = prometheus_name(c.name);
+    append_help_line(&out, name, c.help);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
   }
   for (const GaugeSample& g : snap.gauges) {
-    out += "# TYPE " + g.name + " gauge\n";
-    out += g.name + " " + fmt_double(g.value) + "\n";
+    const std::string name = prometheus_name(g.name);
+    append_help_line(&out, name, g.help);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + fmt_double(g.value) + "\n";
   }
   for (const HistogramSample& h : snap.histograms) {
-    out += "# TYPE " + h.name + " histogram\n";
+    const std::string name = prometheus_name(h.name);
+    append_help_line(&out, name, h.help);
+    out += "# TYPE " + name + " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
       cumulative += h.buckets[i];
       const double bound = Histogram::bucket_bound(i);
       const std::string le =
           std::isinf(bound) ? std::string("+Inf") : fmt_double(bound);
-      out += h.name + "_bucket{le=\"" + le +
+      out += name + "_bucket{le=\"" + le +
              "\"} " + std::to_string(cumulative) + "\n";
     }
-    out += h.name + "_sum " + fmt_double(h.stats.sum()) + "\n";
-    out += h.name + "_count " + std::to_string(h.stats.count()) + "\n";
+    out += name + "_sum " + fmt_double(h.stats.sum()) + "\n";
+    out += name + "_count " + std::to_string(h.stats.count()) + "\n";
   }
   return out;
 }

@@ -311,16 +311,17 @@ Snapshot Registry::snapshot() const {
   for (const MetricInfo& info : metrics_) {
     switch (info.kind) {
       case MetricKind::kCounter:
-        snap.counters.push_back(
-            CounterSample{info.name, counter_value_locked(info.slot)});
+        snap.counters.push_back(CounterSample{
+            info.name, counter_value_locked(info.slot), info.help});
         break;
       case MetricKind::kGauge:
-        snap.gauges.push_back(
-            GaugeSample{info.name, gauges_[info.slot]->load(kRelaxed)});
+        snap.gauges.push_back(GaugeSample{
+            info.name, gauges_[info.slot]->load(kRelaxed), info.help});
         break;
       case MetricKind::kHistogram: {
         HistogramSample sample;
         sample.name = info.name;
+        sample.help = info.help;
         const HistBase& base = retired_hists_[info.slot];
         sample.buckets = base.buckets;
         sample.stats = base.stats;

@@ -173,17 +173,20 @@ class Shard {
 struct CounterSample {
   std::string name;
   long long value = 0;
+  std::string help;  ///< registration help text (exporters emit # HELP)
 };
 
 struct GaugeSample {
   std::string name;
   double value = 0.0;
+  std::string help;
 };
 
 struct HistogramSample {
   std::string name;
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
   util::Accumulator stats;
+  std::string help;
 };
 
 /// Point-in-time merged view of a registry, sorted by metric name.

@@ -56,7 +56,8 @@ Tracer::Ring& Tracer::local_ring() {
 }
 
 void Tracer::record(const char* name, const char* arg_name, double ts_us,
-                    double dur_us, long long arg) {
+                    double dur_us, long long arg, std::uint64_t flow,
+                    FlowPhase flow_phase) {
   if (!enabled()) return;
   Ring& ring = local_ring();
   const std::size_t size = ring.size.load(std::memory_order_relaxed);
@@ -70,6 +71,8 @@ void Tracer::record(const char* name, const char* arg_name, double ts_us,
   ev.ts_us = ts_us;
   ev.dur_us = dur_us;
   ev.arg = arg;
+  ev.flow = flow;
+  ev.flow_phase = flow != 0 ? flow_phase : FlowPhase::kNone;
   ev.tid = ring.tid;
   ring.size.store(size + 1, std::memory_order_release);
 }

@@ -31,12 +31,20 @@
 
 namespace amf::obs {
 
+/// Position of a span inside a cross-thread flow (Chrome trace "flow
+/// events"): the start span emits an `s` arrow head, steps emit `t`, and
+/// the end span emits `f`, all bound by the flow id.  Perfetto then draws
+/// one connected arrow chain through every span that carries the id.
+enum class FlowPhase : std::uint8_t { kNone = 0, kStart, kStep, kEnd };
+
 struct SpanEvent {
   const char* name = nullptr;
   const char* arg_name = nullptr;  // nullptr when the event carries no arg
   double ts_us = 0.0;              // start, microseconds since tracer epoch
   double dur_us = 0.0;             // duration; < 0 marks an instant event
   long long arg = 0;
+  std::uint64_t flow = 0;  // flow (trace) id; 0 when not part of a flow
+  FlowPhase flow_phase = FlowPhase::kNone;
   int tid = 0;  // ring registration order, stable per thread
 
   bool instant() const { return dur_us < 0.0; }
@@ -64,9 +72,11 @@ class Tracer {
   /// Microseconds since the tracer's epoch (steady clock).
   double now_us() const;
 
-  /// Appends a duration event; no-op when disabled.
+  /// Appends a duration event; no-op when disabled.  A non-zero `flow`
+  /// links the span into a cross-thread flow chain (see FlowPhase).
   void record(const char* name, const char* arg_name, double ts_us,
-              double dur_us, long long arg);
+              double dur_us, long long arg, std::uint64_t flow = 0,
+              FlowPhase flow_phase = FlowPhase::kNone);
   /// Appends an instant (zero-duration) marker; no-op when disabled.
   void instant(const char* name, const char* arg_name = nullptr,
                long long arg = 0);
@@ -109,31 +119,42 @@ class Tracer {
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) : ScopedSpan(name, nullptr, 0) {}
-  ScopedSpan(const char* name, const char* arg_name, long long arg) {
+  ScopedSpan(const char* name, const char* arg_name, long long arg,
+             std::uint64_t flow = 0, FlowPhase phase = FlowPhase::kNone) {
     Tracer& tracer = Tracer::global();
     if (tracer.enabled()) {
       name_ = name;
       arg_name_ = arg_name;
       arg_ = arg;
       ts_us_ = tracer.now_us();
+      set_flow(flow, phase);
     }
   }
   ~ScopedSpan() {
     if (name_ != nullptr) {
       Tracer& tracer = Tracer::global();
-      tracer.record(name_, arg_name_, ts_us_, tracer.now_us() - ts_us_, arg_);
+      tracer.record(name_, arg_name_, ts_us_, tracer.now_us() - ts_us_, arg_,
+                    flow_, flow_phase_);
     }
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   void set_arg(long long arg) { arg_ = arg; }
+  /// Links this span into flow `id` (no-op when id is 0, so untraced
+  /// requests fall out of the flow machinery without call-site checks).
+  void set_flow(std::uint64_t id, FlowPhase phase) {
+    flow_ = id;
+    flow_phase_ = id != 0 ? phase : FlowPhase::kNone;
+  }
 
  private:
   const char* name_ = nullptr;
   const char* arg_name_ = nullptr;
   double ts_us_ = 0.0;
   long long arg_ = 0;
+  std::uint64_t flow_ = 0;
+  FlowPhase flow_phase_ = FlowPhase::kNone;
 };
 
 }  // namespace amf::obs
@@ -147,6 +168,22 @@ class ScopedSpan {
 #define AMF_SPAN_ARG(name, key, value)                             \
   ::amf::obs::ScopedSpan AMF_OBS_CONCAT(amf_obs_span_, __LINE__)( \
       name, key, static_cast<long long>(value))
+// Flow-linked spans: carry the request's wire trace id both as an arg
+// (visible in the span's detail pane) and as a flow binding, so one
+// Perfetto load shows arrows from the accept thread through the batch
+// worker to the reply.  A zero id degrades to a plain AMF_SPAN_ARG.
+#define AMF_SPAN_FLOW_START(name, id)                               \
+  ::amf::obs::ScopedSpan AMF_OBS_CONCAT(amf_obs_span_, __LINE__)(   \
+      name, "trace", static_cast<long long>(id),                    \
+      static_cast<std::uint64_t>(id), ::amf::obs::FlowPhase::kStart)
+#define AMF_SPAN_FLOW_STEP(name, id)                                \
+  ::amf::obs::ScopedSpan AMF_OBS_CONCAT(amf_obs_span_, __LINE__)(   \
+      name, "trace", static_cast<long long>(id),                    \
+      static_cast<std::uint64_t>(id), ::amf::obs::FlowPhase::kStep)
+#define AMF_SPAN_FLOW_END(name, id)                                 \
+  ::amf::obs::ScopedSpan AMF_OBS_CONCAT(amf_obs_span_, __LINE__)(   \
+      name, "trace", static_cast<long long>(id),                    \
+      static_cast<std::uint64_t>(id), ::amf::obs::FlowPhase::kEnd)
 #define AMF_INSTANT(name) ::amf::obs::Tracer::global().instant(name)
 #define AMF_INSTANT_ARG(name, key, value) \
   ::amf::obs::Tracer::global().instant(name, key, \
@@ -154,6 +191,9 @@ class ScopedSpan {
 #else
 #define AMF_SPAN(name) static_cast<void>(0)
 #define AMF_SPAN_ARG(name, key, value) static_cast<void>(0)
+#define AMF_SPAN_FLOW_START(name, id) static_cast<void>(0)
+#define AMF_SPAN_FLOW_STEP(name, id) static_cast<void>(0)
+#define AMF_SPAN_FLOW_END(name, id) static_cast<void>(0)
 #define AMF_INSTANT(name) static_cast<void>(0)
 #define AMF_INSTANT_ARG(name, key, value) static_cast<void>(0)
 #endif

@@ -1,6 +1,7 @@
 #include "svc/client.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
@@ -47,7 +48,13 @@ Client::Client(EndpointKind kind, std::string target, int port,
   // Rids must not collide across client restarts while the server's dedup
   // window still remembers the old client, so the prefix is random.
   std::uniform_int_distribution<std::uint32_t> any;
-  rid_prefix_ = "r" + std::to_string(any(rng_));
+  char prefix[16];
+  std::snprintf(prefix, sizeof(prefix), "r%u", any(rng_));
+  rid_prefix_ = prefix;
+  // Trace ids follow the same restart-collision logic: 32 random high
+  // bits + a 20-bit counter keeps the id unique across restarts AND
+  // < 2^53, so it round-trips exactly through the JSON number type.
+  trace_prefix_ = static_cast<std::uint64_t>(any(rng_));
   reconnect();
 }
 
@@ -71,6 +78,8 @@ void Client::reconnect() {
       set_recv_timeout_ms(sock.fd(), retry_.read_timeout_ms);
     sock_ = std::move(sock);
     reader_ = LineReader(sock_.fd());
+    if (connected_once_) ++stats_.reconnects;
+    connected_once_ = true;
   } catch (const util::ContractError& e) {
     // A timed-out connect is a typed client-side condition, not a
     // contract bug in the caller.
@@ -164,8 +173,16 @@ Json Client::call(Op op, const std::string& session, Json body) {
   // retry re-sends the identical bytes — the server dedups on it.
   if (retry_.max_attempts > 1 && delta_op(op) && req.find("rid") == nullptr)
     req.set("rid", Json(rid_prefix_ + "-" + std::to_string(++next_rid_)));
+  // Like the rid, the trace id is stamped before the line is built so
+  // every retry carries the SAME id — the /tracez dump then shows the
+  // whole retry storm as one flow.
+  if (trace_on_ && req.find("trace") == nullptr) {
+    last_trace_ = (trace_prefix_ << 20) | (++next_trace_ & 0xFFFFF);
+    req.set("trace", Json(static_cast<double>(last_trace_)));
+  }
   std::string line = req.dump();
   line += '\n';
+  ++stats_.calls;
 
   const bool retryable = retry_.max_attempts > 1 && idempotent_op(op);
   std::string cause;
@@ -191,8 +208,11 @@ Json Client::call(Op op, const std::string& session, Json body) {
       // desynchronize every call after this one.
       sock_.close();
     }
+    if (last == Outcome::kTimeout) ++stats_.timeouts;
     if (!retryable || attempt >= retry_.max_attempts) break;
     const double delay = backoff_delay_ms(attempt);
+    ++stats_.retries;
+    stats_.backoff_ms += delay;
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
   }
 

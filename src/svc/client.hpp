@@ -44,6 +44,17 @@
 
 namespace amf::svc {
 
+/// Counters over one Client's lifetime (single-threaded, like the
+/// client itself).  Surfaced by `amf_client --verbose` so operators can
+/// see the retry machinery work instead of inferring it from latency.
+struct ClientStats {
+  std::uint64_t calls = 0;       ///< call() invocations
+  std::uint64_t retries = 0;     ///< re-attempts after a failed one
+  std::uint64_t reconnects = 0;  ///< reconnects after the initial connect
+  std::uint64_t timeouts = 0;    ///< connect/read timeouts observed
+  double backoff_ms = 0.0;       ///< total time slept between attempts
+};
+
 /// Client-side fault handling. The default is the maximally patient
 /// configuration: block forever, never retry.
 struct RetryPolicy {
@@ -102,6 +113,18 @@ class Client {
   Json drain();
   bool ping();
 
+  /// Enables wire trace propagation: every subsequent call() stamps a
+  /// fresh numeric "trace" id (32-bit random prefix + counter, < 2^53
+  /// so it survives the JSON number type exactly).  The server threads
+  /// the id through its spans, so a /tracez dump joins client requests
+  /// to server work.  Off by default (zero wire overhead).
+  void set_tracing(bool on) { trace_on_ = on; }
+  /// The trace id stamped on the most recent call (0 = none yet).
+  std::uint64_t last_trace() const { return last_trace_; }
+
+  /// Lifetime retry/reconnect counters (see ClientStats).
+  const ClientStats& client_stats() const { return stats_; }
+
  private:
   enum class EndpointKind { kUnix, kTcp };
   enum class Outcome { kOk, kTimeout, kDead };
@@ -127,6 +150,12 @@ class Client {
   std::string rid_prefix_;  ///< per-client uniqueness for generated rids
   long long next_rid_ = 0;
   std::mt19937 rng_;  ///< backoff jitter (seeded per policy)
+  bool trace_on_ = false;
+  std::uint64_t trace_prefix_ = 0;  ///< random high bits of trace ids
+  std::uint64_t next_trace_ = 0;
+  std::uint64_t last_trace_ = 0;
+  bool connected_once_ = false;
+  ClientStats stats_;
 };
 
 }  // namespace amf::svc

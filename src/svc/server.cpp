@@ -11,7 +11,9 @@
 #include <utility>
 
 #include "obs/export.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace amf::svc {
 
@@ -250,6 +252,14 @@ RecoveryReport Server::recover_from_journal() {
     add_session(std::move(session));
     ++report.sessions;
   }
+  for (const std::string& warning : report.warnings)
+    util::Logger::global().warn("svc.journal_recovery").str("warning",
+                                                            warning);
+  util::Logger::global()
+      .info("svc.journal_recovered")
+      .num("sessions", report.sessions)
+      .num("deltas", report.deltas)
+      .num("warnings", report.warnings.size());
   return report;
 }
 
@@ -262,6 +272,93 @@ void Server::start() {
   }
   started_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
+
+  // Telemetry sidecar: the HTTP listener and the SLO ticker come up
+  // together (the ticker exists to feed /metrics and /slo), and the span
+  // tracer turns on so /tracez has request flows to show.
+  if (config_.http_port >= 0) {
+    obs::Tracer::global().set_enabled(true);
+    slo_ = std::make_unique<obs::SloTracker>(&obs::Registry::global(),
+                                             config_.slo);
+    http_ = std::make_unique<HttpListener>(
+        config_.http_port,
+        [this](const std::string& path, const std::string& query) {
+          return handle_http(path, query);
+        },
+        config_.http);
+    http_->start();
+    slo_thread_ = std::thread([this] { slo_ticker_loop(); });
+  }
+
+  util::Logger::global()
+      .info("svc.server_start")
+      .str("listen", config_.unix_path.empty()
+                         ? "tcp:" + std::to_string(bound_port_)
+                         : "unix:" + config_.unix_path)
+      .num("http_port", http_ != nullptr ? http_->port() : -1)
+      .str("policy", config_.session.policy)
+      .num("batch_window_ms", config_.session.batch_window_ms)
+      .num("max_queue_depth", config_.session.max_queue_depth)
+      .boolean("journal", !config_.journal_dir.empty());
+}
+
+int Server::http_port() const {
+  return http_ != nullptr ? http_->port() : -1;
+}
+
+void Server::slo_ticker_loop() {
+  const double period_s = std::max(config_.slo.window_s, 0.01);
+  std::unique_lock<std::mutex> lock(slo_mu_);
+  while (!slo_stop_) {
+    const auto wake = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(period_s));
+    if (slo_cv_.wait_until(lock, wake, [this] { return slo_stop_; }))
+      return;
+    lock.unlock();
+    slo_->tick();
+    lock.lock();
+  }
+}
+
+HttpResponse Server::handle_http(const std::string& path,
+                                 const std::string& query) {
+  HttpResponse resp;
+  if (path == "/metrics") {
+    resp.content_type = "text/plain; version=0.0.4";
+    resp.body = obs::to_prometheus_text(obs::Registry::global().snapshot());
+  } else if (path == "/healthz") {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    std::size_t sessions = 0;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions = sessions_.size();
+    }
+    resp.status = draining ? 503 : 200;
+    resp.content_type = "application/json";
+    resp.body = std::string("{\"status\":\"") +
+                (draining ? "draining" : "ok") +
+                "\",\"sessions\":" + std::to_string(sessions) + "}\n";
+  } else if (path == "/tracez") {
+    resp.content_type = "application/json";
+    auto& tracer = obs::Tracer::global();
+    const auto events =
+        query == "drain=1" ? tracer.drain() : tracer.events();
+    resp.body = obs::to_chrome_trace(events);
+  } else if (path == "/slo") {
+    resp.content_type = "application/json";
+    resp.body = slo_->to_json();
+  } else {
+    resp.status = 404;
+    resp.body = "unknown endpoint (try /metrics, /healthz, /tracez, "
+                "/slo)\n";
+  }
+  // http_get (tests, smoke) reads line-framed bodies; every endpoint
+  // already ends with '\n', keep it that way for anything added later.
+  if (!resp.body.empty() && resp.body.back() != '\n')
+    resp.body.push_back('\n');
+  return resp;
 }
 
 void Server::trigger_drain() {
@@ -304,14 +401,30 @@ void Server::connection_loop(std::shared_ptr<Conn> conn) {
 
 void Server::handle_line(const std::shared_ptr<Conn>& conn,
                          const std::string& line) {
+  using Clock = std::chrono::steady_clock;
+  auto& metrics = SvcMetrics::get();
   Request req;
+  const auto parse_start = Clock::now();
   try {
     req = parse_request(line);
   } catch (const SvcError& e) {
     conn->write(error_line(0.0, e.code(), e.what()));
     return;
   }
-  SvcMetrics::get().request_counter(req.op).add();
+  metrics.stage_parse_ms.observe(
+      std::chrono::duration<double, std::milli>(Clock::now() - parse_start)
+          .count());
+  metrics.request_counter(req.op).add();
+
+  // Wire-propagated trace id (optional "trace" field, protocol v:1
+  // addition): this span opens the request's flow; the enqueue, batch,
+  // allocator, journal, and reply spans link to it by the same id.
+  const double trace_field = req.body.number_or("trace", 0.0);
+  const std::uint64_t trace =
+      trace_field > 0.0 && std::isfinite(trace_field)
+          ? static_cast<std::uint64_t>(trace_field)
+          : 0;
+  AMF_SPAN_FLOW_START("svc/request", trace);
 
   try {
     switch (req.op) {
@@ -354,11 +467,20 @@ void Server::handle_line(const std::shared_ptr<Conn>& conn,
       session = it->second.get();
     }
     // Sessions outlive connections: they are destroyed only by the
-    // drain, which first joins every connection thread.
-    const double id = req.id;
-    session->submit(req, [conn, id](std::string response) {
-      (void)id;
-      conn->write(response);
+    // drain, which first joins every connection thread. The responder
+    // closes the request's flow: the reply span runs on whichever
+    // thread answers (connection thread for ACKs/sheds, session worker
+    // for solves) and carries the wire trace id either way.
+    session->submit(req, [conn, trace](std::string response) {
+      const auto reply_start = Clock::now();
+      {
+        AMF_SPAN_FLOW_END("svc/reply", trace);
+        conn->write(response);
+      }
+      SvcMetrics::get().stage_reply_ms.observe(
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    reply_start)
+              .count());
     });
   } catch (const SvcError& e) {
     conn->write(error_line(req.id, e.code(), e.what()));
@@ -578,8 +700,24 @@ void Server::perform_drain() {
     if (t.joinable()) t.join();
 
   // 5. Tear down sessions (queues are empty; workers already joined).
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  sessions_.clear();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.clear();
+  }
+
+  // 6. Stop the telemetry sidecar last, so /healthz kept answering 503
+  // (draining) for the whole drain window.
+  if (slo_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(slo_mu_);
+      slo_stop_ = true;
+    }
+    slo_cv_.notify_all();
+    slo_thread_.join();
+  }
+  if (http_ != nullptr) http_->stop();
+
+  util::Logger::global().info("svc.server_drained");
 }
 
 }  // namespace amf::svc

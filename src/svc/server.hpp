@@ -48,6 +48,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/slo.hpp"
+#include "svc/http.hpp"
 #include "svc/journal.hpp"
 #include "svc/net.hpp"
 #include "svc/session.hpp"
@@ -68,6 +70,15 @@ struct ServerConfig {
   std::string journal_dir;
   /// When journaled appends reach the disk (see journal.hpp).
   FsyncPolicy fsync = FsyncPolicy::kBatch;
+  /// HTTP telemetry port (-1 = no HTTP listener; 0 = ephemeral, see
+  /// http_port() after start()).  Serves GET /metrics, /healthz,
+  /// /tracez, and /slo on loopback; read-only.
+  int http_port = -1;
+  /// Request rate limit for the HTTP listener (see http.hpp).
+  HttpOptions http;
+  /// Rolling SLO windows (gauges + /slo).  The ticker runs only while
+  /// the HTTP listener is up; window width is slo.window_s seconds.
+  obs::SloConfig slo;
 };
 
 /// What recover_from_journal() rebuilt, for operator logging.
@@ -109,6 +120,13 @@ class Server {
   int tcp_port() const { return bound_port_; }
   const std::string& unix_path() const { return config_.unix_path; }
 
+  /// The bound HTTP telemetry port (after start(); -1 when disabled).
+  int http_port() const;
+
+  /// The SLO tracker backing the gauges and /slo (nullptr when the HTTP
+  /// listener is disabled).
+  const obs::SloTracker* slo() const { return slo_.get(); }
+
   /// Requests a graceful drain. Async-signal-safe (signal handlers may
   /// call it); returns immediately.
   void trigger_drain();
@@ -135,6 +153,10 @@ class Server {
   void handle_stats(const Request& req, const std::shared_ptr<Conn>& conn);
   void perform_drain();
   void add_session(std::unique_ptr<Session> session);
+  /// Routes one telemetry GET (listener thread).
+  HttpResponse handle_http(const std::string& path,
+                           const std::string& query);
+  void slo_ticker_loop();
   /// `<journal_dir>/<percent-escaped name>.wal`.
   std::string journal_path(const std::string& session_name) const;
   /// Creates the session's journal (truncating any stale file), writes
@@ -157,6 +179,14 @@ class Server {
   std::thread accept_thread_;
   std::atomic<bool> draining_{false};
   bool started_ = false;
+
+  // --- telemetry sidecar (HTTP listener + SLO ticker) ---
+  std::unique_ptr<HttpListener> http_;
+  std::unique_ptr<obs::SloTracker> slo_;
+  std::thread slo_thread_;
+  std::mutex slo_mu_;
+  std::condition_variable slo_cv_;
+  bool slo_stop_ = false;
 
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;

@@ -8,8 +8,10 @@
 #include "core/amf.hpp"
 #include "core/eamf.hpp"
 #include "core/persite.hpp"
+#include "obs/span.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace amf::svc {
 
@@ -32,6 +34,14 @@ std::unique_ptr<core::Allocator> make_policy(const std::string& name) {
   if (name == "psmf") return std::make_unique<core::PerSiteMaxMin>();
   throw SvcError(ErrorCode::kBadRequest,
                  "unknown policy \"" + name + "\" (amf|eamf|psmf)");
+}
+
+/// Wire trace id of a request; clients stamp it as an optional numeric
+/// "trace" field (protocol v:1 addition; absent or 0 = untraced).
+std::uint64_t trace_of(const Request& req) {
+  const double t = req.body.number_or("trace", 0.0);
+  if (!(t > 0.0) || !std::isfinite(t)) return 0;
+  return static_cast<std::uint64_t>(t);
 }
 
 }  // namespace
@@ -93,6 +103,19 @@ SvcMetrics& SvcMetrics::get() {
         reg.histogram("amf_svc_solve_ms", "allocator wall time per call (ms)");
     out.turnaround_ms = reg.histogram(
         "amf_svc_turnaround_ms", "solve enqueue-to-response latency (ms)");
+    out.stage_parse_ms = reg.histogram(
+        "amf_svc_stage_parse_ms", "request line parse time (ms)");
+    out.stage_queue_ms = reg.histogram(
+        "amf_svc_stage_queue_ms", "enqueue to batch-drain start (ms)");
+    out.stage_batch_wait_ms =
+        reg.histogram("amf_svc_stage_batch_wait_ms",
+                      "batch accumulation-window wait per batch (ms)");
+    out.stage_solve_ms = reg.histogram(
+        "amf_svc_stage_solve_ms", "allocator call time per solve stage (ms)");
+    out.stage_journal_ms = reg.histogram(
+        "amf_svc_stage_journal_ms", "write-ahead journal append time (ms)");
+    out.stage_reply_ms = reg.histogram(
+        "amf_svc_stage_reply_ms", "response write time (ms)");
     return out;
   }();
   return m;
@@ -129,6 +152,11 @@ Session::Session(std::string name, std::vector<double> capacities,
   problem_ = core::AllocationProblem({}, std::move(capacities));
   base_policy_ = make_policy(config_.policy);
   robust_ = std::make_unique<core::RobustAllocator>(*base_policy_);
+  util::Logger::global()
+      .info("svc.session_start")
+      .str("session", name_)
+      .str("policy", config_.policy)
+      .num("sites", nominal_capacities_.size());
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -164,6 +192,12 @@ Session::Session(std::string name, core::Matrix capacity_matrix,
   }
   base_policy_ = make_policy(config_.policy);
   robust_ = std::make_unique<core::RobustAllocator>(*base_policy_);
+  util::Logger::global()
+      .info("svc.session_start")
+      .str("session", name_)
+      .str("policy", config_.policy)
+      .num("sites", nominal_capacities_.size())
+      .num("resources", problem_.resources());
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -210,6 +244,13 @@ Session::Session(std::string name, ProblemSnapshot snapshot,
     workloads_mode_ = problem_.has_workloads() ? 1 : 0;
   base_policy_ = make_policy(config_.policy);
   robust_ = std::make_unique<core::RobustAllocator>(*base_policy_);
+  util::Logger::global()
+      .info("svc.session_restore")
+      .str("session", name_)
+      .str("policy", config_.policy)
+      .num("sites", nominal_capacities_.size())
+      .num("jobs", job_ids_.size())
+      .num("seq", initial_seq);
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -237,10 +278,17 @@ void Session::submit(const Request& req, Responder respond) {
   item.req = req;
   item.respond = std::move(respond);
   item.enqueued = Clock::now();
+  item.trace = trace_of(req);
+  AMF_SPAN_FLOW_STEP("svc/enqueue", item.trace);
 
   std::unique_lock<std::mutex> lock(mu_);
   if (draining_ || stopped_) {
     lock.unlock();
+    util::Logger::global()
+        .info("svc.shed")
+        .str("session", name_)
+        .str("reason", "draining")
+        .trace(item.trace);
     item.respond(error_line(req.id, ErrorCode::kDraining,
                             "session \"" + name_ + "\" is draining"));
     return;
@@ -248,6 +296,12 @@ void Session::submit(const Request& req, Responder respond) {
   if (queue_.size() >= config_.max_queue_depth) {
     lock.unlock();
     metrics.rejects.add();
+    util::Logger::global()
+        .warn("svc.shed")
+        .str("session", name_)
+        .str("reason", "queue_full")
+        .num("depth", config_.max_queue_depth)
+        .trace(item.trace);
     item.respond(error_line(
         req.id, ErrorCode::kOverloaded,
         "session \"" + name_ + "\" queue full (depth " +
@@ -265,6 +319,7 @@ void Session::submit(const Request& req, Responder respond) {
         Json ack = hit->second;
         lock.unlock();
         metrics.dedup_hits.add();
+        AMF_SPAN_FLOW_STEP("svc/dedup_hit", item.trace);
         ack.set("dup", Json(true));
         item.respond(ok_line(req.id, ack));
         return;
@@ -288,7 +343,13 @@ void Session::submit(const Request& req, Responder respond) {
     // append rolls the admission back — no ACK without a journal entry.
     if (journal_ != nullptr) {
       try {
-        journal_->append(delta_record_payload_locked(item, enqueued_seq_));
+        const auto append_start = Clock::now();
+        {
+          AMF_SPAN_FLOW_STEP("svc/journal_append", item.trace);
+          journal_->append(delta_record_payload_locked(item, enqueued_seq_));
+        }
+        metrics.stage_journal_ms.observe(
+            ms_since(append_start, Clock::now()));
         metrics.journal_records.add();
         if (journal_->policy() == FsyncPolicy::kAlways)
           metrics.journal_syncs.add();
@@ -718,6 +779,13 @@ void Session::serve_run(std::vector<Item>* run) {
     const bool expired = item.budget_ms > 0.0 && wait >= item.budget_ms;
     if (aged || expired) {
       metrics.rejects.add();
+      util::Logger::global()
+          .warn("svc.shed")
+          .str("session", name_)
+          .str("reason", aged ? "queue_age" : "deadline")
+          .num("wait_ms", wait)
+          .trace(item.trace);
+      AMF_SPAN_FLOW_STEP("svc/shed", item.trace);
       item.respond(error_line(
           item.req.id, ErrorCode::kOverloaded,
           aged ? "solve shed: queue wait exceeded max_queue_age_ms"
@@ -757,18 +825,33 @@ void Session::serve_run(std::vector<Item>* run) {
         }
         try {
           const auto solve_start = Clock::now();
-          if (problem_.jobs() == 0) {
-            last_allocation_ = core::Allocation({}, base_policy_->name());
-          } else {
-            std::optional<util::StopToken> token;
-            std::optional<util::ScopedStop> scoped;
-            if (budget > 0.0) {
-              token.emplace(util::Deadline::after_ms(budget));
-              scoped.emplace(*token);
+          {
+            AMF_SPAN_FLOW_STEP("svc/allocator", item.trace);
+            if (problem_.jobs() == 0) {
+              last_allocation_ = core::Allocation({}, base_policy_->name());
+            } else {
+              std::optional<util::StopToken> token;
+              std::optional<util::ScopedStop> scoped;
+              if (budget > 0.0) {
+                token.emplace(util::Deadline::after_ms(budget));
+                scoped.emplace(*token);
+              }
+              last_allocation_ = robust_->allocate(problem_, workspace_);
             }
-            last_allocation_ = robust_->allocate(problem_, workspace_);
           }
-          metrics.solve_ms.observe(ms_since(solve_start, Clock::now()));
+          const double solve_wall = ms_since(solve_start, Clock::now());
+          metrics.solve_ms.observe(solve_wall);
+          metrics.stage_solve_ms.observe(solve_wall);
+          if (config_.slow_solve_ms > 0.0 &&
+              solve_wall > config_.slow_solve_ms) {
+            util::Logger::global()
+                .warn("svc.slow_solve")
+                .str("session", name_)
+                .num("solve_ms", solve_wall)
+                .num("threshold_ms", config_.slow_solve_ms)
+                .num("jobs", problem_.jobs())
+                .trace(item.trace);
+          }
           metrics.solve_calls.add();
           has_allocation_ = true;
           last_solve_seq_ = seq_;
@@ -786,6 +869,7 @@ void Session::serve_run(std::vector<Item>* run) {
     }
     metrics.solves_served.add();
     metrics.turnaround_ms.observe(ms_since(item.enqueued, Clock::now()));
+    AMF_SPAN_FLOW_STEP("svc/serve", item.trace);
     item.respond(ok_line(item.req.id, solve_result_json(item)));
   }
 }
@@ -810,8 +894,11 @@ void Session::worker_loop() {
           std::chrono::duration_cast<Clock::duration>(
               std::chrono::duration<double, std::milli>(
                   config_.batch_window_ms));
+      const auto wait_start = Clock::now();
       cv_.wait_until(lock, until,
                      [this] { return stopped_ || draining_; });
+      metrics.stage_batch_wait_ms.observe(
+          ms_since(wait_start, Clock::now()));
       if (stopped_) return;
     }
 
@@ -839,12 +926,23 @@ void Session::worker_loop() {
     lock.unlock();
 
     const auto now = Clock::now();
-    for (const Item& item : deltas)
+    for (const Item& item : deltas) {
       metrics.queue_wait_ms.observe(ms_since(item.enqueued, now));
-    for (const Item& item : run)
+      metrics.stage_queue_ms.observe(ms_since(item.enqueued, now));
+    }
+    for (const Item& item : run) {
       metrics.queue_wait_ms.observe(ms_since(item.enqueued, now));
-    for (const Item& item : deltas) apply_delta(item);
-    if (!run.empty()) serve_run(&run);
+      metrics.stage_queue_ms.observe(ms_since(item.enqueued, now));
+    }
+    {
+      AMF_SPAN_ARG("svc/batch_drain", "items",
+                   deltas.size() + run.size());
+      for (const Item& item : deltas) {
+        AMF_SPAN_FLOW_STEP("svc/apply_delta", item.trace);
+        apply_delta(item);
+      }
+      if (!run.empty()) serve_run(&run);
+    }
     // fsync=batch piggybacks on the batch window: one sync makes every
     // ACK of the drained window durable.
     if (journal_ != nullptr && !deltas.empty() &&
@@ -873,12 +971,19 @@ void Session::worker_loop() {
 }
 
 void Session::drain() {
+  std::size_t pending = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!draining_)
+      pending = queue_.size();
     draining_ = true;
     cv_.notify_all();
   }
   if (worker_.joinable()) worker_.join();
+  util::Logger::global()
+      .info("svc.session_drain")
+      .str("session", name_)
+      .num("pending", pending);
 }
 
 Json Session::snapshot_json_locked_state() const {

@@ -108,6 +108,9 @@ struct SessionConfig {
   /// Compact the journal to one snapshot record once it holds this many
   /// appends and the session is quiescent (0 = never compact).
   long long journal_compact_every = 4096;
+  /// Allocator calls slower than this log a `svc.slow_solve` warning
+  /// (0 = disabled).
+  double slow_solve_ms = 0.0;
 };
 
 /// Registry handles for the service metrics (global registry; created
@@ -136,6 +139,14 @@ struct SvcMetrics {
   obs::Histogram queue_wait_ms;  ///< enqueue -> start of processing
   obs::Histogram solve_ms;       ///< allocator wall time per solve call
   obs::Histogram turnaround_ms;  ///< enqueue -> response, solve requests
+  // Per-stage request latency breakdown (one histogram per pipeline
+  // stage a traced request passes through; see DESIGN.md §14).
+  obs::Histogram stage_parse_ms;       ///< wire line -> parsed Request
+  obs::Histogram stage_queue_ms;       ///< enqueue -> batch drain start
+  obs::Histogram stage_batch_wait_ms;  ///< accumulation-window wait
+  obs::Histogram stage_solve_ms;       ///< allocator call (= solve_ms view)
+  obs::Histogram stage_journal_ms;     ///< write-ahead append (+fsync)
+  obs::Histogram stage_reply_ms;       ///< response serialization + write
 
   /// The process-wide instance (registered in Registry::global()).
   static SvcMetrics& get();
@@ -219,6 +230,7 @@ class Session {
     double budget_ms = 0.0;  ///< solve: effective budget (0 = unbudgeted)
     bool latest = false;     ///< solve: may be served at a newer state
     long long job_id = -1;   ///< add_job: assigned handle; finish_job: target
+    std::uint64_t trace = 0;  ///< wire trace id (0 = untraced request)
     std::string rid;         ///< delta: client retry id ("" = none)
     int prev_workloads_mode = -2;  ///< add_job: mode before admission
   };

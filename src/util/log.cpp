@@ -1,0 +1,208 @@
+#include "util/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace amf::util {
+
+namespace {
+
+void append_escaped(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void append_number(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  double back = 0.0;
+  if (std::sscanf(buf, "%lf", &back) != 1 || back != v)
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  *out += buf;
+}
+
+long long wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+double steady_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "info";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw ContractError("unknown log level \"" + std::string(name) +
+                      "\" (debug|info|warn|error|off)");
+}
+
+Logger::Logger() = default;
+
+Logger& Logger::global() {
+  static Logger* g = new Logger();
+  return *g;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::set_rate_limit(double per_second, double burst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rate_per_s_ = per_second > 0.0 ? per_second : 0.0;
+  burst_ = burst > 0.0 ? burst : 0.0;
+  buckets_.clear();
+}
+
+Logger::Line::Line(Logger* logger, LogLevel level, std::string_view event)
+    : logger_(logger), event_(event) {
+  if (logger_ == nullptr) return;
+  body_ = "{\"ts\":";
+  body_ += std::to_string(wall_ms());
+  body_ += ",\"level\":\"";
+  body_ += to_string(level);
+  body_ += "\",\"event\":";
+  append_escaped(&body_, event);
+}
+
+Logger::Line::Line(Line&& other) noexcept
+    : logger_(other.logger_),
+      event_(std::move(other.event_)),
+      body_(std::move(other.body_)) {
+  other.logger_ = nullptr;
+}
+
+Logger::Line::~Line() {
+  if (logger_ == nullptr) return;
+  logger_->emit(event_, std::move(body_));
+}
+
+Logger::Line& Logger::Line::str(std::string_view key, std::string_view value) {
+  if (logger_ == nullptr) return *this;
+  body_ += ",";
+  append_escaped(&body_, key);
+  body_ += ":";
+  append_escaped(&body_, value);
+  return *this;
+}
+
+Logger::Line& Logger::Line::num(std::string_view key, double value) {
+  if (logger_ == nullptr) return *this;
+  body_ += ",";
+  append_escaped(&body_, key);
+  body_ += ":";
+  append_number(&body_, value);
+  return *this;
+}
+
+Logger::Line& Logger::Line::num(std::string_view key, long long value) {
+  if (logger_ == nullptr) return *this;
+  body_ += ",";
+  append_escaped(&body_, key);
+  body_ += ":";
+  body_ += std::to_string(value);
+  return *this;
+}
+
+Logger::Line& Logger::Line::boolean(std::string_view key, bool value) {
+  if (logger_ == nullptr) return *this;
+  body_ += ",";
+  append_escaped(&body_, key);
+  body_ += value ? ":true" : ":false";
+  return *this;
+}
+
+Logger::Line& Logger::Line::trace(std::uint64_t id) {
+  if (logger_ == nullptr || id == 0) return *this;
+  return num("trace", static_cast<long long>(id));
+}
+
+Logger::Line Logger::log(LogLevel level, std::string_view event) {
+  if (level == LogLevel::kOff || !enabled(level)) {
+    return Line(nullptr, level, event);
+  }
+  return Line(this, level, event);
+}
+
+void Logger::emit(const std::string& event, std::string body) {
+  std::uint64_t suppressed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rate_per_s_ > 0.0) {
+      Bucket& bucket = buckets_[event];
+      const double now = steady_s();
+      if (bucket.last_s == 0.0) {
+        bucket.tokens = burst_ > 0.0 ? burst_ : 1.0;
+      } else {
+        bucket.tokens += (now - bucket.last_s) * rate_per_s_;
+        const double cap = burst_ > 0.0 ? burst_ : 1.0;
+        if (bucket.tokens > cap) bucket.tokens = cap;
+      }
+      bucket.last_s = now;
+      if (bucket.tokens < 1.0) {
+        ++bucket.suppressed;
+        suppressed_total_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      bucket.tokens -= 1.0;
+      suppressed = bucket.suppressed;
+      bucket.suppressed = 0;
+    }
+    if (suppressed > 0) {
+      body += ",\"suppressed\":";
+      body += std::to_string(suppressed);
+    }
+    body += "}\n";
+    emitted_.fetch_add(1, std::memory_order_relaxed);
+    if (sink_) {
+      sink_(body);
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), stderr);
+    std::fflush(stderr);
+  }
+}
+
+}  // namespace amf::util

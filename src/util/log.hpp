@@ -1,0 +1,147 @@
+// log.hpp — structured, leveled, rate-limited line-JSON logging.
+//
+// Every emitted line is one JSON object:
+//
+//   {"ts":1723200000123,"level":"info","event":"svc.session_created",
+//    "session":"cli","sites":6}
+//
+// Usage:
+//
+//   util::Logger::global().info("svc.session_created")
+//       .str("session", name).num("sites", sites);
+//
+// The builder emits on destruction (end of the full expression), so a
+// log statement is one line of call-site code and exactly one line of
+// output. Key properties:
+//
+//   * leveled: a cheap atomic check gates every statement, so a
+//     debug-level line in a hot path costs one relaxed load when the
+//     logger runs at info;
+//   * thread-safe: lines are built thread-locally and handed to the sink
+//     under one mutex, so concurrent writers never interleave bytes;
+//   * rate-limited: a per-event token bucket bounds the steady-state
+//     line rate (hot events like load sheds cannot flood the sink); the
+//     first line after a suppression window carries a "suppressed" count
+//     so no drop is silent;
+//   * trace-correlated: .trace(id) stamps the request's wire trace id,
+//     the same id the span layer records, so a log line and a Perfetto
+//     track join on one value.
+//
+// The default sink writes to stderr (stdout stays reserved for tool
+// output contracts). Tests swap the sink for a capture function.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace amf::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* to_string(LogLevel level);
+/// Parses "debug|info|warn|error|off"; throws ContractError otherwise.
+LogLevel parse_log_level(std::string_view name);
+
+class Logger {
+ public:
+  /// Receives one complete line including the trailing '\n'.
+  using Sink = std::function<void(std::string_view line)>;
+
+  Logger();
+
+  /// Process-wide logger (leaked on purpose: worker threads may log
+  /// during static destruction).
+  static Logger& global();
+
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+
+  /// Replaces the sink (nullptr restores the stderr default).
+  void set_sink(Sink sink);
+
+  /// Token-bucket rate limit applied per event name: at most `burst`
+  /// lines instantly, refilling at `per_second`. 0 disables limiting.
+  /// Suppressed lines are counted and reported on the event's next
+  /// emitted line as a "suppressed" field.
+  void set_rate_limit(double per_second, double burst);
+
+  /// Lines emitted / suppressed since construction (tests, /healthz).
+  std::uint64_t emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t suppressed() const {
+    return suppressed_total_.load(std::memory_order_relaxed);
+  }
+
+  /// RAII line builder; serializes and emits on destruction. All
+  /// methods are no-ops on a disabled line, so call sites need no
+  /// level checks of their own.
+  class Line {
+   public:
+    Line(Line&& other) noexcept;
+    Line(const Line&) = delete;
+    Line& operator=(const Line&) = delete;
+    Line& operator=(Line&&) = delete;
+    ~Line();
+
+    Line& str(std::string_view key, std::string_view value);
+    Line& num(std::string_view key, double value);
+    Line& num(std::string_view key, long long value);
+    Line& num(std::string_view key, int value) {
+      return num(key, static_cast<long long>(value));
+    }
+    Line& num(std::string_view key, std::size_t value) {
+      return num(key, static_cast<long long>(value));
+    }
+    Line& boolean(std::string_view key, bool value);
+    /// Wire trace id ("trace" field); 0 is not stamped.
+    Line& trace(std::uint64_t id);
+
+   private:
+    friend class Logger;
+    Line(Logger* logger, LogLevel level, std::string_view event);
+    Logger* logger_ = nullptr;  ///< nullptr: disabled, builder inert
+    std::string event_;
+    std::string body_;
+  };
+
+  Line log(LogLevel level, std::string_view event);
+  Line debug(std::string_view event) { return log(LogLevel::kDebug, event); }
+  Line info(std::string_view event) { return log(LogLevel::kInfo, event); }
+  Line warn(std::string_view event) { return log(LogLevel::kWarn, event); }
+  Line error(std::string_view event) { return log(LogLevel::kError, event); }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double last_s = 0.0;       ///< steady seconds at the last refill
+    std::uint64_t suppressed = 0;
+  };
+
+  /// Emits the built line through the sink, applying the rate limit.
+  void emit(const std::string& event, std::string body);
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> suppressed_total_{0};
+  mutable std::mutex mu_;
+  Sink sink_;  ///< empty: stderr
+  double rate_per_s_ = 0.0;
+  double burst_ = 0.0;
+  std::unordered_map<std::string, Bucket> buckets_;
+};
+
+}  // namespace amf::util

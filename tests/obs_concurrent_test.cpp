@@ -129,5 +129,72 @@ TEST(ObsConcurrent, SnapshotDuringWritesKeepsTotalsMonotone) {
   EXPECT_EQ(registry.snapshot().counter("monotone_counter"), 100000);
 }
 
+// The serving-telemetry pattern: an HTTP scraper thread snapshots the
+// registry while short-lived worker threads write through their shard
+// and retire() it on exit (fold into the retired base). Totals seen by
+// the scraper must stay monotone through every fold — a scrape landing
+// mid-retire must never observe the counts twice or not at all.
+TEST(ObsConcurrent, ScrapeDuringShardRetireStaysMonotonic) {
+  Registry registry;
+  Counter hits = registry.counter("retire_hits");
+  Histogram wait = registry.histogram("retire_wait_ms");
+
+  constexpr int kGenerations = 24;
+  constexpr long long kPerThread = 20000;
+  std::atomic<bool> stop_scraping{false};
+  std::atomic<long long> scrapes{0};
+
+  std::thread scraper([&] {
+    long long last_hits = 0;
+    std::uint64_t last_count = 0;
+    while (!stop_scraping.load(std::memory_order_acquire)) {
+      const Snapshot snap = registry.snapshot();
+      const long long h = snap.counter("retire_hits");
+      EXPECT_GE(h, last_hits);
+      last_hits = h;
+      if (const HistogramSample* hist = snap.histogram("retire_wait_ms")) {
+        std::uint64_t bucket_total = 0;
+        for (std::uint64_t b : hist->buckets) bucket_total += b;
+        EXPECT_GE(bucket_total, last_count);
+        last_count = bucket_total;
+      }
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Two overlapping worker threads per generation, each retiring its
+  // shard before exit — the scraper keeps running across every fold.
+  for (int g = 0; g < kGenerations; ++g) {
+    std::thread a([&] {
+      Shard& shard = registry.local_shard();
+      for (long long i = 0; i < kPerThread; ++i) {
+        hits.add_to(shard);
+        wait.observe_in(shard, static_cast<double>(i % 100));
+      }
+      registry.retire(shard);
+    });
+    std::thread b([&] {
+      Shard& shard = registry.local_shard();
+      for (long long i = 0; i < kPerThread; ++i) {
+        hits.add_to(shard);
+        wait.observe_in(shard, static_cast<double>(i % 100));
+      }
+      registry.retire(shard);
+    });
+    a.join();
+    b.join();
+  }
+  stop_scraping.store(true, std::memory_order_release);
+  scraper.join();
+
+  constexpr long long kTrue = 2LL * kGenerations * kPerThread;
+  const Snapshot final_snap = registry.snapshot();
+  EXPECT_EQ(final_snap.counter("retire_hits"), kTrue);
+  const HistogramSample* hist = final_snap.histogram("retire_wait_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->stats.count(), static_cast<std::uint64_t>(kTrue));
+  EXPECT_GT(scrapes.load(), 0);
+}
+
 }  // namespace
 }  // namespace amf::obs

@@ -6,7 +6,13 @@
 // around each check.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +20,7 @@
 #include "amf.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
 #include "util/error.hpp"
 
@@ -269,6 +276,346 @@ TEST(ObsExport, PrometheusTextMatchesRegistry) {
             std::string::npos);
   EXPECT_NE(text.find("amf_test_ms_sum 3\n"), std::string::npos);
   EXPECT_NE(text.find("amf_test_ms_count 2\n"), std::string::npos);
+}
+
+TEST(ObsTracer, FlowMacrosBindSpansIntoOneFlow) {
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    AMF_SPAN_FLOW_START("test/request", 77);
+    { AMF_SPAN_FLOW_STEP("test/enqueue", 77); }
+    { AMF_SPAN_FLOW_END("test/reply", 77); }
+  }
+  {
+    // Id 0 means "untraced": the span records, the flow binding does not.
+    AMF_SPAN_FLOW_STEP("test/untraced", 0);
+  }
+  tracer.set_enabled(false);
+  auto events = tracer.drain();
+  ASSERT_EQ(events.size(), 4u);
+  for (const auto& ev : events) {
+    const std::string name = ev.name;
+    if (name == "test/request") {
+      EXPECT_EQ(ev.flow, 77u);
+      EXPECT_EQ(ev.flow_phase, obs::FlowPhase::kStart);
+      EXPECT_EQ(ev.arg, 77);  // the trace id doubles as a span arg
+    } else if (name == "test/enqueue") {
+      EXPECT_EQ(ev.flow, 77u);
+      EXPECT_EQ(ev.flow_phase, obs::FlowPhase::kStep);
+    } else if (name == "test/reply") {
+      EXPECT_EQ(ev.flow, 77u);
+      EXPECT_EQ(ev.flow_phase, obs::FlowPhase::kEnd);
+    } else {
+      EXPECT_EQ(name, "test/untraced");
+      EXPECT_EQ(ev.flow, 0u);
+      EXPECT_EQ(ev.flow_phase, obs::FlowPhase::kNone);
+    }
+  }
+}
+
+TEST(ObsExport, ChromeTraceEmitsFlowEvents) {
+  std::vector<obs::SpanEvent> events(3);
+  events[0] = {"request", "trace", 10.0, 50.0, 9, 9,
+               obs::FlowPhase::kStart};
+  events[1] = {"enqueue", "trace", 15.0, 5.0, 9, 9,
+               obs::FlowPhase::kStep};
+  events[2] = {"reply", "trace", 40.0, 10.0, 9, 9,
+               obs::FlowPhase::kEnd};
+  const std::string json = obs::to_chrome_trace(events);
+
+  long braces = 0, brackets = 0;
+  for (char ch : json) {
+    braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+
+  auto count = [&json](const std::string& needle) {
+    long n = 0;
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + needle.size()))
+      ++n;
+    return n;
+  };
+  // One flow event per span, bound by the shared name/cat/id triple.
+  EXPECT_EQ(count("\"ph\":\"s\""), 1);
+  EXPECT_EQ(count("\"ph\":\"t\""), 1);
+  EXPECT_EQ(count("\"ph\":\"f\""), 1);
+  EXPECT_EQ(count("\"name\":\"amf/request\""), 3);
+  EXPECT_EQ(count("\"cat\":\"amf.flow\""), 3);
+  EXPECT_EQ(count("\"id\":9"), 3);
+  // Chrome requires the binding-point marker on step and finish.
+  EXPECT_EQ(count("\"bp\":\"e\""), 2);
+}
+
+TEST(ObsExport, ZeroFlowEmitsNoFlowEvents) {
+  std::vector<obs::SpanEvent> events(1);
+  events[0] = {"plain", "jobs", 10.0, 50.0, 4, 0};
+  const std::string json = obs::to_chrome_trace(events);
+  EXPECT_EQ(json.find("amf.flow"), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"s\""), std::string::npos);
+}
+
+TEST(ObsExport, PrometheusHelpLinesPresentAndEscaped) {
+  obs::Registry reg;
+  reg.counter("amf_test_helped_total", "counts stuff\nwith a \\ twist")
+      .add(3);
+  reg.gauge("amf_test_plain");  // no help: no HELP line
+  const std::string text = obs::to_prometheus_text(reg.snapshot());
+  // HELP precedes TYPE, with newline and backslash escaped per the
+  // exposition format.
+  EXPECT_NE(
+      text.find("# HELP amf_test_helped_total counts stuff\\nwith a "
+                "\\\\ twist\n# TYPE amf_test_helped_total counter\n"),
+      std::string::npos);
+  EXPECT_EQ(text.find("# HELP amf_test_plain"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE amf_test_plain gauge\n"), std::string::npos);
+}
+
+TEST(ObsExport, PrometheusNamesSanitized) {
+  obs::Registry reg;
+  reg.counter("amf.test-dotted/total").add(1);
+  reg.gauge("0starts_with_digit").set(2.0);
+  const std::string text = obs::to_prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("amf_test_dotted_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("_0starts_with_digit 2\n"), std::string::npos);
+  EXPECT_EQ(text.find("amf.test"), std::string::npos);
+  EXPECT_EQ(text.find("\n0starts"), std::string::npos);
+}
+
+namespace lint {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1))
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+/// promtool-style check of one exposition page: every line parses, TYPE
+/// precedes its samples and appears once, histogram series are
+/// cumulative with a +Inf bucket equal to _count, and a _sum exists.
+void check_page(const std::string& text) {
+  std::set<std::string> typed;
+  std::set<std::string> histograms;
+  std::map<std::string, std::vector<std::pair<double, double>>> buckets;
+  std::map<std::string, double> values;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    SCOPED_TRACE("line " + std::to_string(lineno) + ": " + line);
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, name;
+      ls >> hash >> kind >> name;
+      ASSERT_TRUE(kind == "HELP" || kind == "TYPE");
+      EXPECT_TRUE(valid_metric_name(name));
+      if (kind == "TYPE") {
+        std::string type;
+        ls >> type;
+        ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                    type == "histogram");
+        EXPECT_TRUE(typed.insert(name).second)
+            << "duplicate TYPE for " << name;
+        if (type == "histogram") histograms.insert(name);
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos);
+    const std::string name =
+        line.substr(0, brace == std::string::npos
+                           ? space
+                           : std::min(brace, space));
+    EXPECT_TRUE(valid_metric_name(name));
+    const std::string value_str = line.substr(line.rfind(' ') + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &end);
+    ASSERT_TRUE(end != nullptr && *end == '\0')
+        << "unparseable value " << value_str;
+    values[name] = value;
+
+    // Histogram series must follow their family's TYPE line.
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0 &&
+          histograms.count(name.substr(0, name.size() - s.size())) > 0)
+        family = name.substr(0, name.size() - s.size());
+    }
+    EXPECT_TRUE(typed.count(family) > 0)
+        << "sample before TYPE for " << family;
+    if (brace != std::string::npos && family + "_bucket" == name) {
+      const std::size_t le = line.find("le=\"");
+      ASSERT_NE(le, std::string::npos);
+      const std::size_t close = line.find('"', le + 4);
+      const std::string bound = line.substr(le + 4, close - le - 4);
+      const double b = bound == "+Inf"
+                           ? std::numeric_limits<double>::infinity()
+                           : std::strtod(bound.c_str(), nullptr);
+      buckets[family].emplace_back(b, value);
+    }
+  }
+  for (const std::string& h : histograms) {
+    SCOPED_TRACE("histogram " + h);
+    const auto& series = buckets[h];
+    ASSERT_FALSE(series.empty());
+    for (std::size_t i = 1; i < series.size(); ++i) {
+      EXPECT_LT(series[i - 1].first, series[i].first);
+      EXPECT_LE(series[i - 1].second, series[i].second);  // cumulative
+    }
+    EXPECT_TRUE(std::isinf(series.back().first)) << "missing +Inf bucket";
+    ASSERT_TRUE(values.count(h + "_count") > 0);
+    ASSERT_TRUE(values.count(h + "_sum") > 0);
+    EXPECT_EQ(series.back().second, values[h + "_count"]);
+  }
+}
+
+}  // namespace lint
+
+TEST(ObsExport, PrometheusScrapePassesLint) {
+  obs::Registry reg;
+  reg.counter("amf_lint_events_total", "things that happened").add(12);
+  reg.counter("amf_lint_bare_total").add(1);
+  reg.gauge("amf_lint_depth", "queue depth right now").set(3.5);
+  auto h = reg.histogram("amf_lint_wait_ms", "how long things waited");
+  h.observe(0.2);
+  h.observe(3.0);
+  h.observe(250.0);
+  auto empty = reg.histogram("amf_lint_idle_ms");
+  (void)empty;  // zero-sample histograms must still lint
+  lint::check_page(obs::to_prometheus_text(reg.snapshot()));
+}
+
+TEST(ObsSlo, BucketQuantileInterpolates) {
+  std::array<std::uint64_t, obs::kHistogramBuckets> b{};
+  EXPECT_EQ(obs::bucket_quantile(b, 0.5), 0.0);  // empty: no data
+
+  b[10] = 100;
+  const double lo = obs::Histogram::bucket_bound(9);
+  const double hi = obs::Histogram::bucket_bound(10);
+  const double q25 = obs::bucket_quantile(b, 0.25);
+  const double q75 = obs::bucket_quantile(b, 0.75);
+  EXPECT_GE(q25, lo);
+  EXPECT_LE(q75, hi);
+  EXPECT_LT(q25, q75);  // interpolation inside one bucket is monotone
+
+  // Samples in the overflow bucket clamp to the largest finite bound.
+  std::array<std::uint64_t, obs::kHistogramBuckets> inf{};
+  inf[obs::kHistogramBuckets - 1] = 5;
+  EXPECT_EQ(obs::bucket_quantile(inf, 0.99),
+            obs::Histogram::bucket_bound(obs::kHistogramBuckets - 2));
+}
+
+TEST(ObsSlo, ConfigValidationThrows) {
+  obs::Registry reg;
+  obs::SloConfig cfg;
+  cfg.gauge_prefix = "amf_slo_cfg_test";
+  cfg.windows = 0;
+  EXPECT_THROW(obs::SloTracker(&reg, cfg), util::ContractError);
+  cfg.windows = 2;
+  cfg.fast_windows = 3;
+  EXPECT_THROW(obs::SloTracker(&reg, cfg), util::ContractError);
+  cfg.fast_windows = 1;
+  cfg.error_budget = 0.0;
+  EXPECT_THROW(obs::SloTracker(&reg, cfg), util::ContractError);
+  cfg.error_budget = 0.01;
+  EXPECT_THROW(obs::SloTracker(nullptr, cfg), util::ContractError);
+  EXPECT_NO_THROW(obs::SloTracker(&reg, cfg));
+}
+
+TEST(ObsSlo, TickRingAndBurnRates) {
+  obs::Registry reg;
+  auto lat = reg.histogram("slo_test_latency_ms");
+  auto served = reg.counter("slo_test_served_total");
+  auto shed = reg.counter("slo_test_shed_total");
+
+  obs::SloConfig cfg;
+  cfg.latency_metric = "slo_test_latency_ms";
+  cfg.served_counter = "slo_test_served_total";
+  cfg.shed_counter = "slo_test_shed_total";
+  cfg.window_s = 1.0;
+  cfg.windows = 3;
+  cfg.fast_windows = 1;
+  cfg.p99_target_ms = 1.0;
+  cfg.error_budget = 0.1;
+  cfg.gauge_prefix = "slo_test";
+  obs::SloTracker tracker(&reg, cfg);
+
+  // The first tick only sets the baseline: pre-start traffic must not
+  // count against the SLO.
+  served.add(5);
+  tracker.tick();
+  EXPECT_EQ(tracker.report().windows_filled, 0u);
+  EXPECT_EQ(tracker.report().served, 0u);
+
+  // Window 1: 8 fast requests, 2 above the 1 ms target.
+  for (int i = 0; i < 8; ++i) lat.observe(0.25);
+  lat.observe(100.0);
+  lat.observe(100.0);
+  served.add(10);
+  tracker.tick();
+  obs::SloTracker::Report r = tracker.report();
+  EXPECT_EQ(r.windows_filled, 1u);
+  EXPECT_EQ(r.served, 10u);
+  EXPECT_EQ(r.samples, 10u);
+  EXPECT_LT(r.p50_ms, 1.0);
+  EXPECT_GT(r.p99_ms, 10.0);
+  // bad = 2 slow samples out of 10 requests: (2/10) / 0.1 budget = 2x.
+  EXPECT_NEAR(r.burn_rate_slow, 2.0, 1e-9);
+  EXPECT_NEAR(r.burn_rate_fast, 2.0, 1e-9);
+  EXPECT_EQ(r.shed_rate, 0.0);
+
+  // Window 2: clean latencies but half the traffic is shed.
+  served.add(10);
+  shed.add(10);
+  tracker.tick();
+  r = tracker.report();
+  EXPECT_EQ(r.windows_filled, 2u);
+  EXPECT_EQ(r.served, 20u);
+  EXPECT_EQ(r.shed, 10u);
+  EXPECT_NEAR(r.shed_rate, 10.0 / 30.0, 1e-9);
+  // Fast horizon = last window only: 10 sheds / 20 requests / budget.
+  EXPECT_NEAR(r.burn_rate_fast, 5.0, 1e-9);
+  // Slow horizon = both windows: (10 sheds + 2 slow) / 30 / budget.
+  EXPECT_NEAR(r.burn_rate_slow, 4.0, 1e-9);
+  // Derived gauges are republished on the registry for /metrics.
+  obs::Snapshot snap = reg.snapshot();
+  EXPECT_NEAR(snap.gauge("slo_test_burn_rate_fast"), 5.0, 1e-9);
+  EXPECT_NEAR(snap.gauge("slo_test_p50_ms"), r.p50_ms, 1e-9);
+  EXPECT_EQ(snap.gauge("slo_test_windows"), 2.0);
+
+  // Two idle ticks roll the ring (size 3): window 1's slow samples and
+  // its latency data age out.
+  tracker.tick();
+  tracker.tick();
+  r = tracker.report();
+  EXPECT_EQ(r.windows_filled, 3u);
+  EXPECT_EQ(r.samples, 0u);
+  EXPECT_EQ(r.served, 10u);
+  EXPECT_EQ(r.shed, 10u);
+  EXPECT_EQ(r.p99_ms, 0.0);
+  EXPECT_NEAR(r.burn_rate_slow, 5.0, 1e-9);
+
+  // to_json carries the report plus the configured targets.
+  const std::string json = tracker.to_json();
+  EXPECT_NE(json.find("\"p99_target_ms\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"error_budget\":0.1"), std::string::npos);
+  EXPECT_NE(json.find("\"windows\":3"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
 }
 
 TEST(ObsExport, MetricsJsonSplicesExtraMember) {

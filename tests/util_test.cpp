@@ -8,10 +8,13 @@
 #include <set>
 #include <sstream>
 #include <atomic>
+#include <chrono>
 #include <thread>
+#include <vector>
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -365,6 +368,104 @@ TEST(ThreadPool, FuturePropagatesException) {
   ThreadPool pool(1);
   auto f = pool.submit([] { throw std::logic_error("bad"); });
   EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(Log, ParseLevelRoundTrip) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_THROW(parse_log_level("verbose"), ContractError);
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "warn");
+}
+
+TEST(Log, LineIsOneJsonObjectWithTypedFields) {
+  Logger logger;
+  std::vector<std::string> lines;
+  logger.set_sink([&lines](std::string_view line) {
+    lines.emplace_back(line);
+  });
+  logger.info("test.event")
+      .str("name", "cli")
+      .num("sites", 6)
+      .num("ratio", 0.5)
+      .boolean("ok", true)
+      .trace(42);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_EQ(line.rfind("{\"ts\":", 0), 0u);  // starts with the timestamp
+  EXPECT_EQ(line.substr(line.size() - 2), "}\n");
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"test.event\""), std::string::npos);
+  EXPECT_NE(line.find("\"name\":\"cli\""), std::string::npos);
+  EXPECT_NE(line.find("\"sites\":6"), std::string::npos);
+  EXPECT_NE(line.find("\"ratio\":0.5"), std::string::npos);
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"trace\":42"), std::string::npos);
+}
+
+TEST(Log, LevelGateSuppressesBelowThreshold) {
+  Logger logger;
+  int emitted = 0;
+  logger.set_sink([&emitted](std::string_view) { ++emitted; });
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.debug("a");
+  logger.info("b");
+  logger.warn("c");
+  logger.error("d");
+  EXPECT_EQ(emitted, 2);
+  logger.set_level(LogLevel::kOff);
+  logger.error("e");
+  EXPECT_EQ(emitted, 2);
+}
+
+TEST(Log, StringValuesAreEscaped) {
+  Logger logger;
+  std::string captured;
+  logger.set_sink([&captured](std::string_view line) {
+    captured.assign(line);
+  });
+  logger.info("esc").str("k", "a\"b\\c\nd");
+  EXPECT_NE(captured.find("\"k\":\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(Log, ZeroTraceIdIsNotStamped) {
+  Logger logger;
+  std::string captured;
+  logger.set_sink([&captured](std::string_view line) {
+    captured.assign(line);
+  });
+  logger.info("evt").trace(0);
+  EXPECT_EQ(captured.find("trace"), std::string::npos);
+}
+
+TEST(Log, RateLimitSuppressesAndReportsOnRecovery) {
+  Logger logger;
+  std::vector<std::string> lines;
+  logger.set_sink([&lines](std::string_view line) {
+    lines.emplace_back(line);
+  });
+  // Burst of 2, refilling at 1000/s: the first two lines pass, the rest
+  // of the tight loop is suppressed (the refill within a few micro-
+  // seconds is < 1 token).
+  logger.set_rate_limit(1000.0, 2.0);
+  for (int i = 0; i < 50; ++i) logger.info("hot.event");
+  EXPECT_GE(lines.size(), 2u);
+  EXPECT_LT(lines.size(), 50u);
+  EXPECT_EQ(logger.emitted(), lines.size());
+  EXPECT_EQ(logger.suppressed() + logger.emitted(), 50u);
+  // Other event names have their own bucket.
+  logger.info("cold.event");
+  EXPECT_EQ(lines.back().find("hot.event"), std::string::npos);
+  // After the bucket refills, the next hot line reports what was lost.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const std::size_t before = lines.size();
+  logger.info("hot.event");
+  ASSERT_GT(lines.size(), before);
+  EXPECT_NE(lines.back().find("\"suppressed\":"), std::string::npos);
 }
 
 }  // namespace

@@ -29,14 +29,20 @@ namespace {
 int usage(bool help = false) {
   (help ? std::cout : std::cerr)
       << "usage: amf_client (--unix PATH | --tcp HOST PORT) "
-         "solve|raw|stats|drain|ping [options]\n"
+         "[connection options] solve|raw|stats|drain|ping [options]\n"
          "  solve [--session S] [--policy amf|eamf|psmf] "
          "[--budget-ms B] [--batch-window-ms W] < problem.csv\n"
          "        prints the allocation matrix in amf_solve's CSV format\n"
          "  raw   < requests.jsonl   one response line per request line\n"
          "  stats [--prometheus]     metric registry scrape\n"
          "  drain                    graceful server drain\n"
-         "  ping                     liveness check\n";
+         "  ping                     liveness check\n"
+         "connection options (accepted before or after the mode):\n"
+         "  --retries N              attempts per idempotent op (default 1)\n"
+         "  --read-timeout-ms T      per-read timeout (default: block)\n"
+         "  --trace                  stamp wire trace ids (see /tracez)\n"
+         "  --verbose                print retry/reconnect counters to "
+         "stderr on exit\n";
   return help ? 0 : 2;
 }
 
@@ -100,6 +106,29 @@ int main(int argc, char** argv) {
   using namespace amf;
   std::string unix_path, host;
   int port = -1;
+  svc::RetryPolicy retry;
+  bool trace = false, verbose = false;
+  // Connection options are accepted on either side of the mode word, so
+  // this matcher runs in both argument loops.
+  auto connection_flag = [&](int* idx) {
+    int k = *idx;
+    if (std::strcmp(argv[k], "--retries") == 0 && k + 1 < argc) {
+      retry.max_attempts = std::atoi(argv[++k]);
+    } else if (std::strcmp(argv[k], "--read-timeout-ms") == 0 &&
+               k + 1 < argc) {
+      retry.read_timeout_ms = std::atof(argv[++k]);
+      if (retry.connect_timeout_ms <= 0.0)
+        retry.connect_timeout_ms = retry.read_timeout_ms;
+    } else if (std::strcmp(argv[k], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[k], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      return false;
+    }
+    *idx = k;
+    return true;
+  };
   int i = 1;
   for (; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
@@ -110,6 +139,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--tcp") == 0 && i + 2 < argc) {
       host = argv[++i];
       port = std::atoi(argv[++i]);
+    } else if (connection_flag(&i)) {
+      continue;
     } else {
       break;
     }
@@ -135,15 +166,37 @@ int main(int argc, char** argv) {
       batch_window_ms = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--prometheus") == 0) {
       stats_format = "prometheus";
+    } else if (connection_flag(&i)) {
+      continue;
     } else {
       return usage();
     }
   }
+  if (retry.max_attempts < 1) return usage();
 
   try {
     svc::Client client = unix_path.empty()
-                             ? svc::Client::connect_tcp(host, port)
-                             : svc::Client::connect_unix(unix_path);
+                             ? svc::Client::connect_tcp(host, port, retry)
+                             : svc::Client::connect_unix(unix_path, retry);
+    client.set_tracing(trace);
+    // Counters print even when the op throws below, so a failed run still
+    // shows how much retrying it did.
+    struct Verbose {
+      svc::Client* client;
+      bool on;
+      ~Verbose() {
+        if (!on) return;
+        const svc::ClientStats& s = client->client_stats();
+        std::cerr << "amf_client: calls=" << s.calls
+                  << " retries=" << s.retries
+                  << " reconnects=" << s.reconnects
+                  << " timeouts=" << s.timeouts
+                  << " backoff_ms=" << s.backoff_ms;
+        if (client->last_trace() != 0)
+          std::cerr << " last_trace=" << client->last_trace();
+        std::cerr << "\n";
+      }
+    } verbose_guard{&client, verbose};
     if (mode == "solve")
       return run_solve(client, session, policy, budget_ms, batch_window_ms);
     if (mode == "raw") return run_raw(client);

@@ -22,7 +22,9 @@
 #include <iostream>
 #include <string>
 
+#include "svc/http.hpp"
 #include "svc/server.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -34,7 +36,10 @@ int usage(bool help = false) {
          "[--policy amf|eamf|psmf]\n"
          "                 [--snapshot-out F] [--restore F] [--journal DIR] "
          "[--fsync always|batch|off]\n"
-         "                 [--dedup-window N] [--journal-compact-every N]\n"
+         "                 [--dedup-window N] [--journal-compact-every N] "
+         "[--http ADDR] [--log-level L]\n"
+         "                 [--slow-solve-ms T] [--slo-window-s W] "
+         "[--slo-p99-ms T] [--slo-budget B]\n"
          "  --unix PATH          listen on a Unix-domain socket at PATH\n"
          "  --tcp PORT           listen on loopback TCP (0 = ephemeral; "
          "the bound port is printed)\n"
@@ -66,7 +71,23 @@ int usage(bool help = false) {
          "  --journal-compact-every N  compact a quiescent session's "
          "journal once it\n"
          "                       holds N records (default 4096; 0 = "
-         "never)\n";
+         "never)\n"
+         "  --http ADDR          serve GET /metrics, /healthz, /tracez, "
+         "/slo on loopback\n"
+         "                       HTTP (ADDR = port, :port, or "
+         "127.0.0.1:port; 0 = ephemeral,\n"
+         "                       the bound port is printed)\n"
+         "  --log-level L        structured log threshold: debug, info, "
+         "warn (default),\n"
+         "                       error, off — JSON lines on stderr\n"
+         "  --slow-solve-ms T    warn-log solves slower than T ms "
+         "(0 = off)\n"
+         "  --slo-window-s W     rolling SLO window width in seconds "
+         "(default 10)\n"
+         "  --slo-p99-ms T       turnaround p99 target backing the burn "
+         "rate (default 50)\n"
+         "  --slo-budget B       error budget as a fraction of requests "
+         "(default 0.01)\n";
   return help ? 0 : 2;
 }
 
@@ -147,6 +168,39 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       config.session.journal_compact_every = std::atoll(v);
+    } else if (std::strcmp(argv[i], "--http") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      try {
+        config.http_port = svc::parse_http_addr(v);
+      } catch (const std::exception& e) {
+        std::cerr << "amf_serve: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--log-level") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      try {
+        util::Logger::global().set_level(util::parse_log_level(v));
+      } catch (const std::exception&) {
+        return usage();
+      }
+    } else if (std::strcmp(argv[i], "--slow-solve-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.session.slow_solve_ms = std::atof(v);
+    } else if (std::strcmp(argv[i], "--slo-window-s") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.slo.window_s = std::atof(v);
+    } else if (std::strcmp(argv[i], "--slo-p99-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.slo.p99_target_ms = std::atof(v);
+    } else if (std::strcmp(argv[i], "--slo-budget") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.slo.error_budget = std::atof(v);
     } else {
       return usage();
     }
@@ -188,6 +242,9 @@ int main(int argc, char** argv) {
                 << "\n";
     else
       std::cerr << "amf_serve: listening on 127.0.0.1:" << server.tcp_port()
+                << "\n";
+    if (server.http_port() >= 0)
+      std::cerr << "amf_serve: http on 127.0.0.1:" << server.http_port()
                 << "\n";
     server.wait_drained();
     g_server = nullptr;
