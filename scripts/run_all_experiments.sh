@@ -42,6 +42,11 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
     # F20 soaks the telemetry surface A/B; the summary carries the
     # overhead ratio and the HTTP-scraped SLO values the CI gate pins.
     set -- --json "$OUT_DIR/BENCH_soak.json"
+  elif [ "$name" = "bench_f21_failover" ]; then
+    # F21 spins up primary+standby pairs and promotes; the smoke sweep
+    # keeps the full-suite run fast while still gating the replication
+    # overhead and the promoted-state audit.
+    set -- --smoke --json "$OUT_DIR/BENCH_failover.json"
   else
     set --
   fi

@@ -12,8 +12,8 @@ namespace amf::svc {
 namespace {
 
 /// Deltas are idempotent *via rid* (attached by call()); solve, snapshot,
-/// stats, and ping are naturally idempotent. create_session and drain are
-/// not: a retry of a lost create ACK would hit session_exists.
+/// stats, ping, and promote are naturally idempotent. create_session and
+/// drain are not: a retry of a lost create ACK would hit session_exists.
 bool idempotent_op(Op op) {
   switch (op) {
     case Op::kAddJob:
@@ -24,10 +24,16 @@ bool idempotent_op(Op op) {
     case Op::kSnapshot:
     case Op::kStats:
     case Op::kPing:
+    case Op::kPromote:
       return true;
     default:
       return false;
   }
+}
+
+std::string endpoint_label(const Endpoint& ep) {
+  if (!ep.unix_path.empty()) return "unix:" + ep.unix_path;
+  return ep.host + ":" + std::to_string(ep.port);
 }
 
 bool delta_op(Op op) {
@@ -37,14 +43,35 @@ bool delta_op(Op op) {
 
 }  // namespace
 
-Client::Client(EndpointKind kind, std::string target, int port,
-               RetryPolicy retry)
-    : kind_(kind),
-      target_(std::move(target)),
-      port_(port),
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.unix_path = spec.substr(5);
+    AMF_REQUIRE(!ep.unix_path.empty(),
+                "endpoint \"" + spec + "\" names no socket path");
+    return ep;
+  }
+  const auto colon = spec.rfind(':');
+  const std::string host = colon == std::string::npos ? "" : spec.substr(0, colon);
+  const std::string port_part =
+      colon == std::string::npos ? spec : spec.substr(colon + 1);
+  try {
+    ep.port = std::stoi(port_part);
+  } catch (const std::exception&) {
+    ep.port = 0;
+  }
+  AMF_REQUIRE(ep.port > 0 && ep.port <= 65535,
+              "endpoint \"" + spec + "\" needs unix:PATH, HOST:PORT, or PORT");
+  ep.host = host.empty() ? "127.0.0.1" : host;
+  return ep;
+}
+
+Client::Client(std::vector<Endpoint> endpoints, RetryPolicy retry)
+    : endpoints_(std::move(endpoints)),
       retry_(retry),
       reader_(-1),
       rng_(retry.jitter_seed != 0 ? retry.jitter_seed : std::random_device{}()) {
+  AMF_REQUIRE(!endpoints_.empty(), "client needs at least one endpoint");
   // Rids must not collide across client restarts while the server's dedup
   // window still remembers the old client, so the prefix is random.
   std::uniform_int_distribution<std::uint32_t> any;
@@ -55,39 +82,71 @@ Client::Client(EndpointKind kind, std::string target, int port,
   // bits + a 20-bit counter keeps the id unique across restarts AND
   // < 2^53, so it round-trips exactly through the JSON number type.
   trace_prefix_ = static_cast<std::uint64_t>(any(rng_));
-  reconnect();
+  bool counted = false;
+  reconnect(&counted);
 }
 
 Client Client::connect_unix(const std::string& path, RetryPolicy retry) {
-  return Client(EndpointKind::kUnix, path, 0, retry);
+  Endpoint ep;
+  ep.unix_path = path;
+  return Client(std::vector<Endpoint>{ep}, retry);
 }
 
 Client Client::connect_tcp(const std::string& host, int port,
                            RetryPolicy retry) {
-  return Client(EndpointKind::kTcp, host, port, retry);
+  Endpoint ep;
+  ep.host = host;
+  ep.port = port;
+  return Client(std::vector<Endpoint>{ep}, retry);
 }
 
-void Client::reconnect() {
-  try {
-    Socket sock = kind_ == EndpointKind::kUnix
-                      ? amf::svc::connect_unix(target_,
-                                               retry_.connect_timeout_ms)
-                      : amf::svc::connect_tcp(target_, port_,
-                                              retry_.connect_timeout_ms);
-    if (retry_.read_timeout_ms > 0.0)
-      set_recv_timeout_ms(sock.fd(), retry_.read_timeout_ms);
-    sock_ = std::move(sock);
-    reader_ = LineReader(sock_.fd());
-    if (connected_once_) ++stats_.reconnects;
-    connected_once_ = true;
-  } catch (const util::ContractError& e) {
-    // A timed-out connect is a typed client-side condition, not a
-    // contract bug in the caller.
-    const std::string what = e.what();
-    if (what.find("timed out") != std::string::npos)
-      throw SvcError(ErrorCode::kTimeout, what);
-    throw;
+Client Client::connect_endpoints(std::vector<Endpoint> endpoints,
+                                 RetryPolicy retry) {
+  return Client(std::move(endpoints), retry);
+}
+
+void Client::rotate_endpoint() {
+  if (endpoints_.size() < 2) return;
+  endpoint_idx_ = (endpoint_idx_ + 1) % endpoints_.size();
+  ++stats_.failovers;
+}
+
+void Client::reconnect(bool* counted) {
+  *counted = false;
+  std::string cause;
+  bool timed_out = false;
+  for (std::size_t tried = 0; tried < endpoints_.size(); ++tried) {
+    const Endpoint& ep = endpoints_[endpoint_idx_];
+    try {
+      Socket sock = !ep.unix_path.empty()
+                        ? amf::svc::connect_unix(ep.unix_path,
+                                                 retry_.connect_timeout_ms)
+                        : amf::svc::connect_tcp(ep.host, ep.port,
+                                                retry_.connect_timeout_ms);
+      if (retry_.read_timeout_ms > 0.0)
+        set_recv_timeout_ms(sock.fd(), retry_.read_timeout_ms);
+      sock_ = std::move(sock);
+      reader_ = LineReader(sock_.fd());
+      if (connected_once_) ++stats_.reconnects;
+      connected_once_ = true;
+      return;
+    } catch (const util::ContractError& e) {
+      const std::string what = e.what();
+      timed_out = what.find("timed out") != std::string::npos;
+      // Connect-phase timeouts count exactly like read timeouts, one per
+      // endpoint attempt (a sweep that times out twice counts two).
+      if (timed_out) {
+        ++stats_.timeouts;
+        *counted = true;
+      }
+      cause = endpoint_label(ep) + ": " + what;
+      rotate_endpoint();
+    }
   }
+  // Every endpoint failed; surface the last failure. A timed-out connect
+  // is a typed client-side condition, not a contract bug in the caller.
+  if (timed_out) throw SvcError(ErrorCode::kTimeout, cause);
+  throw util::ContractError(cause);
 }
 
 std::string Client::call_line(const std::string& line) {
@@ -189,9 +248,12 @@ Json Client::call(Op op, const std::string& session, Json body) {
   Outcome last = Outcome::kDead;
   for (int attempt = 1;; ++attempt) {
     cause.clear();
+    // reconnect() counts its own timeouts (one per endpoint attempt);
+    // the flag stops the per-attempt accounting below double-counting.
+    bool counted = false;
     if (!sock_.valid()) {
       try {
-        reconnect();
+        reconnect(&counted);
       } catch (const SvcError& e) {
         cause = e.what();
         last = Outcome::kTimeout;
@@ -203,12 +265,31 @@ Json Client::call(Op op, const std::string& session, Json body) {
     if (cause.empty()) {
       Json out;
       last = roundtrip(line, id, &out, &cause);
-      if (last == Outcome::kOk) return unwrap(std::move(out));
-      // A timed-out wait abandons the connection: a late response would
-      // desynchronize every call after this one.
-      sock_.close();
+      if (last == Outcome::kOk) {
+        try {
+          return unwrap(std::move(out));
+        } catch (const SvcError& e) {
+          // An unpromoted standby answers session work with not_primary:
+          // rotate and retry the SAME bytes against the next endpoint
+          // (rid dedup makes a delta that actually reached the old
+          // primary exactly-once). Non-retryable ops surface the error.
+          if (e.code() != ErrorCode::kNotPrimary || !retryable ||
+              endpoints_.size() < 2)
+            throw;
+          cause = e.what();
+          last = Outcome::kDead;
+          sock_.close();
+          rotate_endpoint();
+        }
+      } else {
+        // A timed-out wait abandons the connection: a late response
+        // would desynchronize every call after this one. Rotate so the
+        // retry tries the next endpoint in the list.
+        sock_.close();
+        if (retryable) rotate_endpoint();
+      }
     }
-    if (last == Outcome::kTimeout) ++stats_.timeouts;
+    if (last == Outcome::kTimeout && !counted) ++stats_.timeouts;
     if (!retryable || attempt >= retry_.max_attempts) break;
     const double delay = backoff_delay_ms(attempt);
     ++stats_.retries;
@@ -287,6 +368,8 @@ Json Client::stats(const std::string& format) {
 }
 
 Json Client::drain() { return call(Op::kDrain, ""); }
+
+Json Client::promote() { return call(Op::kPromote, ""); }
 
 bool Client::ping() {
   Json response = call(Op::kPing, "");

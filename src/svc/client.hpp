@@ -29,6 +29,20 @@
 // naming the attempts and the last transport error; a timeout with no
 // retries configured surfaces as SvcError(kTimeout).
 //
+// ## Endpoint failover (DESIGN.md §15)
+//
+// connect_endpoints() takes an ORDERED list of server addresses (primary
+// first, standbys after). The client talks to one endpoint at a time and
+// rotates to the next on: a connect failure, a dead/timed-out roundtrip,
+// or a typed `not_primary` response (the endpoint is an unpromoted
+// standby). Rotation only happens when a retry is allowed — the op is
+// idempotent and attempts remain — so a non-retryable op surfaces its
+// error instead of silently switching servers. Combined with rid dedup
+// on the server, a delta retried across a failover is applied exactly
+// once: the standby inherited the primary's dedup window through the
+// replication stream, so the re-sent rid is answered with the original
+// ACK. ClientStats::failovers counts rotations.
+//
 // The convenience wrappers mirror the protocol ops one-to-one and return
 // the full response object (envelope included), so callers can read
 // "seq", "job", "tier", "allocation" as documented in DESIGN.md §11.
@@ -51,9 +65,25 @@ struct ClientStats {
   std::uint64_t calls = 0;       ///< call() invocations
   std::uint64_t retries = 0;     ///< re-attempts after a failed one
   std::uint64_t reconnects = 0;  ///< reconnects after the initial connect
-  std::uint64_t timeouts = 0;    ///< connect/read timeouts observed
+  /// Connect and read timeouts observed, one per timed-out endpoint
+  /// attempt (a reconnect sweep that times out on two endpoints counts
+  /// two).
+  std::uint64_t timeouts = 0;
+  std::uint64_t failovers = 0;   ///< endpoint rotations (see header doc)
   double backoff_ms = 0.0;       ///< total time slept between attempts
 };
+
+/// One server address for the failover list: a non-empty unix_path
+/// selects AF_UNIX, otherwise TCP host:port.
+struct Endpoint {
+  std::string unix_path;
+  std::string host;
+  int port = 0;
+};
+
+/// Parses "unix:PATH", "HOST:PORT", or a bare "PORT" (loopback TCP).
+/// Throws util::ContractError naming the spec on anything else.
+Endpoint parse_endpoint(const std::string& spec);
 
 /// Client-side fault handling. The default is the maximally patient
 /// configuration: block forever, never retry.
@@ -78,6 +108,11 @@ class Client {
                              RetryPolicy retry = RetryPolicy());
   static Client connect_tcp(const std::string& host, int port,
                             RetryPolicy retry = RetryPolicy());
+  /// Ordered failover list: the client connects to the first reachable
+  /// endpoint and rotates on failures (see the header doc). Throws when
+  /// every endpoint refuses the initial connect.
+  static Client connect_endpoints(std::vector<Endpoint> endpoints,
+                                  RetryPolicy retry = RetryPolicy());
 
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
@@ -112,6 +147,9 @@ class Client {
   Json stats(const std::string& format = "json");
   Json drain();
   bool ping();
+  /// Promotes the CURRENT endpoint (a warm standby) to primary.
+  /// Idempotent; returns {"role","epoch","promoted"}.
+  Json promote();
 
   /// Enables wire trace propagation: every subsequent call() stamps a
   /// fresh numeric "trace" id (32-bit random prefix + counter, < 2^53
@@ -126,13 +164,18 @@ class Client {
   const ClientStats& client_stats() const { return stats_; }
 
  private:
-  enum class EndpointKind { kUnix, kTcp };
   enum class Outcome { kOk, kTimeout, kDead };
 
-  Client(EndpointKind kind, std::string target, int port, RetryPolicy retry);
+  Client(std::vector<Endpoint> endpoints, RetryPolicy retry);
 
-  /// (Re)establishes the connection per the retry policy's timeouts.
-  void reconnect();
+  /// (Re)establishes the connection per the retry policy's timeouts,
+  /// trying each endpoint at most once starting from the current one.
+  /// Counts every timed-out endpoint attempt in stats_.timeouts and
+  /// every rotation in stats_.failovers; *counted reports whether the
+  /// failure that escaped was already counted there.
+  void reconnect(bool* counted);
+  /// Advances to the next endpoint (no-op with a single endpoint).
+  void rotate_endpoint();
   /// One send + matched-response read on the current connection.
   Outcome roundtrip(const std::string& line, long long id, Json* out,
                     std::string* cause);
@@ -140,9 +183,8 @@ class Client {
   Json unwrap(Json response);
   double backoff_delay_ms(int attempt);
 
-  EndpointKind kind_;
-  std::string target_;  ///< unix path, or TCP host
-  int port_ = 0;
+  std::vector<Endpoint> endpoints_;
+  std::size_t endpoint_idx_ = 0;  ///< the endpoint currently in use
   RetryPolicy retry_;
   Socket sock_;
   LineReader reader_;

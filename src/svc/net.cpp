@@ -4,6 +4,7 @@
 #include <fcntl.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -35,8 +36,25 @@ void connect_checked(int fd, const sockaddr* addr, socklen_t len,
   if (flags < 0) fail_errno(what + " fcntl(F_GETFL)");
   if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
     fail_errno(what + " fcntl(O_NONBLOCK)");
-  if (::connect(fd, addr, len) != 0) {
-    if (errno != EINPROGRESS && errno != EAGAIN) fail_errno(what);
+  int rc = ::connect(fd, addr, len);
+  if (rc != 0 && errno == EAGAIN) {
+    // AF_UNIX reports a full accept backlog as EAGAIN with NO connect in
+    // flight — polling POLLOUT would lie (an unconnected unix fd shows
+    // writable with SO_ERROR 0), so retry the connect itself until the
+    // deadline.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double, std::milli>(timeout_ms);
+    do {
+      if (std::chrono::steady_clock::now() >= deadline)
+        throw util::ContractError(what + ": connect timed out after " +
+                                  std::to_string(timeout_ms) + " ms");
+      ::poll(nullptr, 0, 2);  // brief sleep between backlog probes
+      rc = ::connect(fd, addr, len);
+    } while (rc != 0 && errno == EAGAIN);
+  }
+  if (rc != 0) {
+    if (errno != EINPROGRESS) fail_errno(what);
     pollfd pfd{};
     pfd.fd = fd;
     pfd.events = POLLOUT;
@@ -169,6 +187,26 @@ Socket listen_tcp(int port, int* bound_port) {
   return sock;
 }
 
+void enable_keepalive(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof one);
+  // Tighten the probe schedule from the kernel defaults (hours) to under
+  // a minute: idle 30 s, then 3 probes 5 s apart. Harmless no-ops on
+  // AF_UNIX fds, same as the TCP_NODELAY idiom below.
+#ifdef TCP_KEEPIDLE
+  const int idle_s = 30;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPIDLE, &idle_s, sizeof idle_s);
+#endif
+#ifdef TCP_KEEPINTVL
+  const int interval_s = 5;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPINTVL, &interval_s, sizeof interval_s);
+#endif
+#ifdef TCP_KEEPCNT
+  const int probes = 3;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPCNT, &probes, sizeof probes);
+#endif
+}
+
 Socket accept_connection(const Socket& listener) {
   while (true) {
     const int fd = ::accept(listener.fd(), nullptr, nullptr);
@@ -176,6 +214,8 @@ Socket accept_connection(const Socket& listener) {
       const int one = 1;
       // Latency over bandwidth: responses are single small lines.
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      // Detect half-dead peers instead of holding their session forever.
+      enable_keepalive(fd);
       return Socket(fd);
     }
     if (errno == EINTR) continue;
@@ -207,6 +247,7 @@ Socket connect_tcp(const std::string& host, int port, double timeout_ms) {
   if (!sock.valid()) fail_errno("socket(AF_INET)");
   const int one = 1;
   ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  enable_keepalive(sock.fd());
   connect_checked(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr,
                   timeout_ms,
                   "connect(" + host + ":" + std::to_string(port) + ")");

@@ -77,7 +77,14 @@ Socket listen_unix(const std::string& path);
 Socket listen_tcp(int port, int* bound_port);
 
 /// Accepts one connection; invalid socket on error (listener closed).
+/// TCP connections get TCP_NODELAY and keepalive (enable_keepalive).
 Socket accept_connection(const Socket& listener);
+
+/// Turns on SO_KEEPALIVE with an aggressive probe schedule (30 s idle,
+/// 5 s interval, 3 probes) so a half-dead TCP peer surfaces as an I/O
+/// error within a minute instead of hanging its session forever.
+/// Applied to accepted and client TCP sockets; no-op on AF_UNIX fds.
+void enable_keepalive(int fd);
 
 /// Client-side connects. `timeout_ms` > 0 bounds the connect itself
 /// (non-blocking connect + poll); 0 keeps the OS default blocking

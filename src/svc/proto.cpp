@@ -17,6 +17,7 @@ Op parse_op(std::string_view name) {
   if (name == "stats") return Op::kStats;
   if (name == "drain") return Op::kDrain;
   if (name == "ping") return Op::kPing;
+  if (name == "promote") return Op::kPromote;
   throw SvcError(ErrorCode::kUnknownOp,
                  "unknown op \"" + std::string(name) + "\"");
 }
@@ -33,6 +34,7 @@ const char* to_string(Op op) {
     case Op::kStats: return "stats";
     case Op::kDrain: return "drain";
     case Op::kPing: return "ping";
+    case Op::kPromote: return "promote";
   }
   return "?";
 }
@@ -46,6 +48,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kDraining: return "draining";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kNotPrimary: return "not_primary";
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kRetriesExhausted: return "retries_exhausted";
   }
@@ -59,6 +62,7 @@ ErrorCode parse_error_code(std::string_view name) {
   if (name == "session_exists") return ErrorCode::kSessionExists;
   if (name == "overloaded") return ErrorCode::kOverloaded;
   if (name == "draining") return ErrorCode::kDraining;
+  if (name == "not_primary") return ErrorCode::kNotPrimary;
   if (name == "timeout") return ErrorCode::kTimeout;
   if (name == "retries_exhausted") return ErrorCode::kRetriesExhausted;
   return ErrorCode::kInternal;

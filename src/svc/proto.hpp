@@ -65,6 +65,7 @@ enum class Op {
   kStats,          ///< metric registry scrape (Prometheus text + JSON)
   kDrain,          ///< begin graceful server drain
   kPing,           ///< liveness no-op
+  kPromote,        ///< promote a warm standby to primary (idempotent)
 };
 
 /// Parses an op name; throws SvcError(kUnknownOp) on anything else.
@@ -81,6 +82,8 @@ enum class ErrorCode {
                    ///< aged out / deadline expired before serving)
   kDraining,       ///< server is draining; no new work accepted
   kInternal,       ///< unexpected server-side failure
+  kNotPrimary,     ///< a warm standby refused session work (promote it,
+                   ///< or address the primary; see DESIGN.md §15)
   // Client-side codes (never sent by the server; raised by svc::Client).
   kTimeout,           ///< connect/read deadline expired with no response
   kRetriesExhausted,  ///< reconnect-and-retry gave up (non-idempotent op,

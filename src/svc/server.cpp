@@ -1,6 +1,7 @@
 #include "svc/server.hpp"
 
 #include <dirent.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -43,6 +44,24 @@ std::string escape_session_file(const std::string& name) {
   return out;
 }
 
+/// Parses a replication target: "host:port" or a bare loopback "port".
+void parse_repl_target(const std::string& spec, std::string* host,
+                       int* port) {
+  const std::size_t colon = spec.rfind(':');
+  const std::string host_part =
+      colon == std::string::npos ? "127.0.0.1" : spec.substr(0, colon);
+  const std::string port_part =
+      colon == std::string::npos ? spec : spec.substr(colon + 1);
+  try {
+    *port = std::stoi(port_part);
+  } catch (const std::exception&) {
+    *port = 0;
+  }
+  AMF_REQUIRE(*port > 0 && *port <= 65535,
+              "replicate_to \"" + spec + "\" needs host:port or port");
+  *host = host_part.empty() ? "127.0.0.1" : host_part;
+}
+
 }  // namespace
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {
@@ -50,6 +69,18 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
   AMF_REQUIRE(::pipe(fds) == 0, "self-pipe creation failed");
   wake_read_ = fds[0];
   wake_write_ = fds[1];
+  AMF_REQUIRE(::pipe(fds) == 0, "repl self-pipe creation failed");
+  repl_wake_read_ = fds[0];
+  repl_wake_write_ = fds[1];
+  AMF_REQUIRE(::pipe(fds) == 0, "promote self-pipe creation failed");
+  promote_read_ = fds[0];
+  promote_write_ = fds[1];
+  // Epoch: persisted across restarts alongside the journals. A fresh
+  // primary starts at 1; a fresh standby at 0 (it adopts the primary's
+  // epoch from the stream handshake and exceeds it on promotion).
+  epoch_ =
+      config_.journal_dir.empty() ? 0 : read_epoch_file(config_.journal_dir);
+  if (config_.standby_port < 0 && epoch_ == 0) epoch_ = 1;
 }
 
 Server::~Server() {
@@ -57,6 +88,10 @@ Server::~Server() {
   wait_drained();
   if (wake_read_ >= 0) ::close(wake_read_);
   if (wake_write_ >= 0) ::close(wake_write_);
+  if (repl_wake_read_ >= 0) ::close(repl_wake_read_);
+  if (repl_wake_write_ >= 0) ::close(repl_wake_write_);
+  if (promote_read_ >= 0) ::close(promote_read_);
+  if (promote_write_ >= 0) ::close(promote_write_);
 }
 
 bool Server::Conn::write(const std::string& line) {
@@ -131,6 +166,47 @@ void Server::restore_from_file(const std::string& path) {
   }
 }
 
+std::unique_ptr<Session> Server::session_from_birth(const Json& birth,
+                                                    std::string* name_out) {
+  const std::string kind = birth.string_or("t", "");
+  SessionConfig cfg = config_.session;
+  cfg.policy = birth.string_or("policy", cfg.policy);
+  cfg.batch_window_ms =
+      birth.number_or("batch_window_ms", cfg.batch_window_ms);
+  cfg.default_budget_ms =
+      birth.number_or("default_budget_ms", cfg.default_budget_ms);
+
+  if (kind == "create") {
+    const std::string name = birth.string_or("session", "");
+    AMF_REQUIRE(!name.empty(), "create record lacks a session name");
+    const Json* capacities = birth.find("capacities");
+    AMF_REQUIRE(capacities != nullptr, "create record lacks capacities");
+    const long long r =
+        static_cast<long long>(birth.number_or("resources", 1.0));
+    *name_out = name;
+    if (r > 1)
+      return std::make_unique<Session>(
+          name,
+          matrix_from_json(*capacities, -1, static_cast<int>(r),
+                           "capacities"),
+          cfg);
+    return std::make_unique<Session>(
+        name, number_array(*capacities, -1, "capacities"), cfg);
+  }
+  if (kind == "snapshot") {
+    const Json* snap = birth.find("snapshot");
+    AMF_REQUIRE(snap != nullptr, "snapshot record lacks a snapshot");
+    const std::string name = snap->string_or("session", "");
+    AMF_REQUIRE(!name.empty(), "snapshot record lacks a session name");
+    *name_out = name;
+    return std::make_unique<Session>(
+        name, problem_from_json(*snap), cfg,
+        static_cast<long long>(birth.number_or("seq", 0.0)));
+  }
+  throw util::ContractError("birth record has type \"" + kind +
+                            "\" (want create or snapshot)");
+}
+
 RecoveryReport Server::recover_from_journal() {
   AMF_REQUIRE(!started_, "recover_from_journal must run before start()");
   AMF_REQUIRE(!config_.journal_dir.empty(),
@@ -168,45 +244,10 @@ RecoveryReport Server::recover_from_journal() {
                                 e.what() + "); skipping this journal");
       continue;
     }
-    const std::string kind = birth.string_or("t", "");
-    SessionConfig cfg = config_.session;
-    cfg.policy = birth.string_or("policy", cfg.policy);
-    cfg.batch_window_ms =
-        birth.number_or("batch_window_ms", cfg.batch_window_ms);
-    cfg.default_budget_ms =
-        birth.number_or("default_budget_ms", cfg.default_budget_ms);
-
     std::unique_ptr<Session> session;
     std::string name;
     try {
-      if (kind == "create") {
-        name = birth.string_or("session", "");
-        AMF_REQUIRE(!name.empty(), "create record lacks a session name");
-        const Json* capacities = birth.find("capacities");
-        AMF_REQUIRE(capacities != nullptr, "create record lacks capacities");
-        const long long r =
-            static_cast<long long>(birth.number_or("resources", 1.0));
-        if (r > 1)
-          session = std::make_unique<Session>(
-              name,
-              matrix_from_json(*capacities, -1, static_cast<int>(r),
-                               "capacities"),
-              cfg);
-        else
-          session = std::make_unique<Session>(
-              name, number_array(*capacities, -1, "capacities"), cfg);
-      } else if (kind == "snapshot") {
-        const Json* snap = birth.find("snapshot");
-        AMF_REQUIRE(snap != nullptr, "snapshot record lacks a snapshot");
-        name = snap->string_or("session", "");
-        AMF_REQUIRE(!name.empty(), "snapshot record lacks a session name");
-        session = std::make_unique<Session>(
-            name, problem_from_json(*snap), cfg,
-            static_cast<long long>(birth.number_or("seq", 0.0)));
-      } else {
-        throw util::ContractError("birth record has type \"" + kind +
-                                  "\" (want create or snapshot)");
-      }
+      session = session_from_birth(birth, &name);
     } catch (const std::exception& e) {
       report.warnings.push_back(path + ": " + e.what() +
                                 "; skipping this journal");
@@ -252,6 +293,9 @@ RecoveryReport Server::recover_from_journal() {
     add_session(std::move(session));
     ++report.sessions;
   }
+  // Surface silent tail loss on /metrics, not only in the report.
+  SvcMetrics::get().journal_replay_warnings.add(
+      static_cast<long long>(report.warnings.size()));
   for (const std::string& warning : report.warnings)
     util::Logger::global().warn("svc.journal_recovery").str("warning",
                                                             warning);
@@ -265,6 +309,12 @@ RecoveryReport Server::recover_from_journal() {
 
 void Server::start() {
   AMF_REQUIRE(!started_, "server already started");
+  if (config_.standby_port >= 0) {
+    AMF_REQUIRE(config_.replicate_to.empty(),
+                "a server cannot be standby and replicating primary at once");
+    standby_.store(true, std::memory_order_release);
+    repl_listener_ = listen_tcp(config_.standby_port, &repl_bound_port_);
+  }
   if (!config_.unix_path.empty()) {
     listener_ = listen_unix(config_.unix_path);
   } else {
@@ -272,6 +322,41 @@ void Server::start() {
   }
   started_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
+  promote_thread_ = std::thread([this] { promote_watcher_loop(); });
+  if (config_.standby_port >= 0)
+    repl_thread_ = std::thread([this] { repl_accept_loop(); });
+
+  if (!config_.replicate_to.empty()) {
+    AMF_REQUIRE(!config_.journal_dir.empty(),
+                "replicate_to requires journal_dir: replication streams "
+                "journal records");
+    ReplSenderConfig repl;
+    parse_repl_target(config_.replicate_to, &repl.host, &repl.port);
+    repl.ack = config_.repl_ack;
+    repl.ack_timeout_ms = config_.repl_ack_timeout_ms;
+    repl_sender_ = std::make_unique<ReplSender>(repl, epoch_);
+    // Seed the stream: sessions that predate the sender (restored or
+    // recovered before start()) reach the standby as snapshot births,
+    // offered before any live delta can be admitted. They are quiescent
+    // here — no worker has touched solver state yet.
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (auto& [name, session] : sessions_) {
+        std::uint64_t index = 0;
+        (void)repl_sender_->offer(
+            name, session->snapshot_record_payload_locked_state(), &index);
+        session->attach_replication(repl_sender_.get());
+      }
+    }
+    repl_sender_->start();
+  }
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    if (!is_standby() && !config_.journal_dir.empty())
+      persist_epoch_locked();
+    SvcMetrics::get().role.set(is_standby() ? 0.0 : 1.0);
+    SvcMetrics::get().epoch.set(static_cast<double>(epoch_));
+  }
 
   // Telemetry sidecar: the HTTP listener and the SLO ticker come up
   // together (the ticker exists to feed /metrics and /slo), and the span
@@ -299,7 +384,11 @@ void Server::start() {
       .str("policy", config_.session.policy)
       .num("batch_window_ms", config_.session.batch_window_ms)
       .num("max_queue_depth", config_.session.max_queue_depth)
-      .boolean("journal", !config_.journal_dir.empty());
+      .boolean("journal", !config_.journal_dir.empty())
+      .str("role", is_standby() ? "standby" : "primary")
+      .num("epoch", epoch())
+      .num("repl_port", repl_bound_port_)
+      .str("replicate_to", config_.replicate_to);
 }
 
 int Server::http_port() const {
@@ -337,9 +426,27 @@ HttpResponse Server::handle_http(const std::string& path,
     }
     resp.status = draining ? 503 : 200;
     resp.content_type = "application/json";
-    resp.body = std::string("{\"status\":\"") +
-                (draining ? "draining" : "ok") +
-                "\",\"sessions\":" + std::to_string(sessions) + "}\n";
+    // A warm standby is healthy (200) but says so: load balancers route
+    // on "role", operators read "epoch" before promoting.
+    Json body = Json::object();
+    body.set("status", Json(std::string(
+                           draining ? "draining"
+                                    : (is_standby() ? "standby" : "ok"))));
+    body.set("sessions", Json(static_cast<long long>(sessions)));
+    body.set("role",
+             Json(std::string(is_standby() ? "standby" : "primary")));
+    body.set("epoch", Json(epoch()));
+    if (repl_sender_ != nullptr) {
+      Json repl = Json::object();
+      repl.set("connected", Json(repl_sender_->connected()));
+      repl.set("fenced", Json(repl_sender_->fenced()));
+      repl.set("broken", Json(repl_sender_->broken()));
+      repl.set("lag_records",
+               Json(static_cast<long long>(repl_sender_->offered() -
+                                           repl_sender_->acked_index())));
+      body.set("repl", std::move(repl));
+    }
+    resp.body = body.dump() + "\n";
   } else if (path == "/tracez") {
     resp.content_type = "application/json";
     auto& tracer = obs::Tracer::global();
@@ -447,12 +554,21 @@ void Server::handle_line(const std::shared_ptr<Conn>& conn,
         trigger_drain();
         return;
       }
+      case Op::kPromote: {
+        conn->write(ok_line(req.id, promote()));
+        return;
+      }
       default:
         break;  // session ops
     }
 
     if (draining_.load(std::memory_order_acquire))
       throw SvcError(ErrorCode::kDraining, "server is draining");
+    if (is_standby())
+      throw SvcError(ErrorCode::kNotPrimary,
+                     "standby (epoch " + std::to_string(epoch()) +
+                         ") is not serving session work; promote it or "
+                         "address the primary");
     if (req.session.empty())
       throw SvcError(ErrorCode::kBadRequest,
                      std::string("op ") + to_string(req.op) +
@@ -493,6 +609,11 @@ void Server::handle_create_session(const Request& req,
                                    const std::shared_ptr<Conn>& conn) {
   if (draining_.load(std::memory_order_acquire))
     throw SvcError(ErrorCode::kDraining, "server is draining");
+  if (is_standby())
+    throw SvcError(ErrorCode::kNotPrimary,
+                   "standby (epoch " + std::to_string(epoch()) +
+                       ") is not serving session work; promote it or "
+                       "address the primary");
   if (req.session.empty())
     throw SvcError(ErrorCode::kBadRequest,
                    "create_session needs a \"session\" name");
@@ -586,6 +707,7 @@ void Server::handle_create_session(const Request& req,
   // Publish atomically: the name check, journal creation, and map insert
   // must not interleave with a racing create of the same name — the
   // journal open truncates, so a loser must never touch a live log.
+  std::uint64_t birth_index = 0;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     if (sessions_.count(req.session) != 0)
@@ -593,7 +715,28 @@ void Server::handle_create_session(const Request& req,
                      "session \"" + req.session + "\" already exists");
     if (!config_.journal_dir.empty())
       attach_fresh_journal(session.get(), birth);
+    Session* raw = session.get();
     sessions_.emplace(req.session, std::move(session));
+    // Replicate the birth before releasing the lock: deltas for this
+    // session can only follow its create ACK, so offering here keeps
+    // the stream ordered birth-before-deltas.
+    if (repl_sender_ != nullptr) {
+      raw->attach_replication(repl_sender_.get());
+      (void)repl_sender_->offer(req.session, birth, &birth_index);
+    }
+  }
+  // repl-ack mode: the create ACK owes the same guarantee a delta ACK
+  // does — the standby has the session.
+  if (repl_sender_ != nullptr && repl_sender_->ack_mode() &&
+      birth_index != 0) {
+    const auto wait =
+        repl_sender_->wait_acked(birth_index, config_.repl_ack_timeout_ms);
+    if (wait != ReplSender::WaitResult::kAcked)
+      throw SvcError(wait == ReplSender::WaitResult::kFenced
+                         ? ErrorCode::kNotPrimary
+                         : ErrorCode::kInternal,
+                     "standby did not confirm the session birth (the "
+                     "session exists locally; retry is a session_exists)");
   }
   Json out = Json::object();
   out.set("session", Json(req.session));
@@ -625,7 +768,225 @@ void Server::handle_stats(const Request& req,
   }
   out.set("sessions", std::move(sessions));
   out.set("draining", Json(draining_.load(std::memory_order_acquire)));
+  out.set("role", Json(std::string(is_standby() ? "standby" : "primary")));
+  out.set("epoch", Json(epoch()));
   conn->write(ok_line(req.id, out));
+}
+
+long long Server::epoch() const {
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  return epoch_;
+}
+
+void Server::persist_epoch_locked() {
+  if (!config_.journal_dir.empty())
+    write_epoch_file(config_.journal_dir, epoch_);
+}
+
+void Server::trigger_promote() {
+  // Async-signal-safe: one write() to the promote pipe, nothing else.
+  const char byte = 'p';
+  [[maybe_unused]] ssize_t n = ::write(promote_write_, &byte, 1);
+}
+
+void Server::promote_watcher_loop() {
+  // Dedicated pipe + thread: the accept loop treats its own wake pipe as
+  // the drain signal, so promotion needs a separate wake channel. The
+  // drain closes the write end, which ends this loop with read() == 0.
+  char byte = 0;
+  while (true) {
+    const ssize_t n = ::read(promote_read_, &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;
+    if (byte == 'q') return;  // drain teardown
+    promote();
+  }
+}
+
+Json Server::promote() {
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  const bool was_standby = standby_.load(std::memory_order_acquire);
+  if (was_standby) {
+    // Exceed every epoch seen anywhere, persist BEFORE serving: a
+    // deposed primary restarting later must find itself outranked even
+    // if this process crashes right after the first post-promotion ACK.
+    epoch_ = std::max(epoch_, peer_epoch_) + 1;
+    persist_epoch_locked();
+    standby_.store(false, std::memory_order_release);
+    SvcMetrics::get().role.set(1.0);
+    SvcMetrics::get().epoch.set(static_cast<double>(epoch_));
+    util::Logger::global()
+        .info("svc.promoted")
+        .num("epoch", epoch_)
+        .num("peer_epoch", peer_epoch_);
+  }
+  Json out = Json::object();
+  out.set("role", Json(std::string("primary")));
+  out.set("epoch", Json(epoch_));
+  out.set("promoted", Json(was_standby));
+  return out;
+}
+
+void Server::repl_accept_loop() {
+  while (wait_readable(repl_listener_.fd(), repl_wake_read_)) {
+    Socket sock = accept_connection(repl_listener_);
+    if (!sock.valid()) break;
+    {
+      std::lock_guard<std::mutex> lock(repl_conn_mu_);
+      repl_conn_fd_ = sock.fd();
+    }
+    repl_serve_connection(sock);
+    {
+      std::lock_guard<std::mutex> lock(repl_conn_mu_);
+      repl_conn_fd_ = -1;
+    }
+  }
+}
+
+void Server::repl_serve_connection(Socket& sock) {
+  LineReader reader(sock.fd());
+  std::string line;
+  const auto reply = [&sock](const Json& msg) {
+    return sock.send_all(msg.dump() + "\n");
+  };
+  while (reader.read_line(&line) == LineReader::Status::kLine) {
+    Json msg;
+    try {
+      msg = Json::parse(line);
+    } catch (const std::exception&) {
+      break;  // framing lost; the sender reconnects and resends unacked
+    }
+    const std::string type = msg.string_or("t", "");
+    const long long msg_epoch =
+        static_cast<long long>(msg.number_or("epoch", 0.0));
+    if (type == "hello") {
+      Json out = Json::object();
+      std::lock_guard<std::mutex> lock(repl_mu_);
+      if (!standby_.load(std::memory_order_acquire) || msg_epoch < epoch_) {
+        out.set("t", Json(std::string("fenced")));
+        out.set("epoch", Json(epoch_));
+        SvcMetrics::get().repl_fenced.add();
+        util::Logger::global()
+            .warn("svc.repl_fenced_peer")
+            .num("peer_epoch", msg_epoch)
+            .num("epoch", epoch_);
+        reply(out);
+        break;
+      }
+      peer_epoch_ = std::max(peer_epoch_, msg_epoch);
+      if (msg_epoch > epoch_) {
+        epoch_ = msg_epoch;  // adopt the primary's epoch
+        persist_epoch_locked();
+        SvcMetrics::get().epoch.set(static_cast<double>(epoch_));
+      }
+      out.set("t", Json(std::string("ok")));
+      out.set("epoch", Json(epoch_));
+      if (!reply(out)) break;
+      util::Logger::global().info("svc.repl_attached").num("epoch", epoch_);
+      continue;
+    }
+    if (type == "rec") {
+      const auto index = static_cast<std::uint64_t>(msg.number_or("i", 0.0));
+      const std::string session = msg.string_or("session", "");
+      const Json* record = msg.find("record");
+      Json out = Json::object();
+      // One lock spans the epoch check and the apply: a record is either
+      // fully applied before a racing promote() bumps the epoch, or
+      // fenced after — never half-applied under the new epoch.
+      std::lock_guard<std::mutex> lock(repl_mu_);
+      if (!standby_.load(std::memory_order_acquire) || msg_epoch < epoch_) {
+        out.set("t", Json(std::string("fenced")));
+        out.set("epoch", Json(epoch_));
+        SvcMetrics::get().repl_fenced.add();
+        if (!reply(out)) break;
+        continue;  // keep fencing; the deposed sender stops itself
+      }
+      peer_epoch_ = std::max(peer_epoch_, msg_epoch);
+      std::string error;
+      if (record == nullptr || session.empty())
+        error = "malformed replication record";
+      else
+        repl_apply_record(session, *record, &error);
+      if (!error.empty()) {
+        out.set("t", Json(std::string("err")));
+        out.set("i", Json(static_cast<double>(index)));
+        out.set("message", Json(error));
+        util::Logger::global()
+            .error("svc.repl_reject")
+            .str("session", session)
+            .str("message", error);
+        if (!reply(out)) break;
+        continue;  // sender goes terminal (broken); we stay a standby
+      }
+      SvcMetrics::get().repl_applied.add();
+      out.set("t", Json(std::string("ack")));
+      out.set("i", Json(static_cast<double>(index)));
+      if (!reply(out)) break;
+      continue;
+    }
+    break;  // unknown message type: drop the connection
+  }
+  sock.shutdown_both();
+}
+
+bool Server::repl_apply_record(const std::string& session_name,
+                               const Json& record, std::string* error) {
+  const std::string kind = record.string_or("t", "");
+  try {
+    if (kind == "create" || kind == "snapshot") {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      auto it = sessions_.find(session_name);
+      if (kind == "create" && it != sessions_.end())
+        return true;  // duplicate resend of a birth we already applied
+      if (kind == "snapshot" && it != sessions_.end()) {
+        const auto snap_seq =
+            static_cast<long long>(record.number_or("seq", -1.0));
+        if (it->second->enqueued_seq() == snap_seq) {
+          // Pure compaction: our state already IS this snapshot (stream
+          // order guarantees the prefix matched); just shrink the log.
+          it->second->compact_journal_replicated(record.dump());
+          return true;
+        }
+        // Re-seed (e.g. the primary restarted and streams a fresh
+        // snapshot): replace our copy wholesale.
+        sessions_.erase(it);
+      }
+      std::string name;
+      auto session = session_from_birth(record, &name);
+      if (name != session_name) {
+        *error = "birth names session \"" + name + "\", stream says \"" +
+                 session_name + "\"";
+        return false;
+      }
+      if (!config_.journal_dir.empty())
+        attach_fresh_journal(session.get(), record.dump());
+      sessions_.emplace(name, std::move(session));
+      return true;
+    }
+    if (kind == "delta") {
+      Session* session = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        auto it = sessions_.find(session_name);
+        if (it == sessions_.end()) {
+          *error = "delta for unknown session \"" + session_name + "\"";
+          return false;
+        }
+        session = it->second.get();
+      }
+      const auto seq = static_cast<long long>(record.number_or("seq", -1.0));
+      if (seq <= session->enqueued_seq())
+        return true;  // duplicate resend after a reconnect
+      if (!session->replay_journal_record(record, error)) return false;
+      session->journal_append_replicated(record.dump());
+      return true;
+    }
+    *error = "unknown record type \"" + kind + "\"";
+    return false;
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return false;
+  }
 }
 
 void Server::wait_drained() {
@@ -664,6 +1025,25 @@ void Server::perform_drain() {
   listener_.close();
   if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
 
+  // 1b. Stop the standby receiver (wake its accept loop, cut the live
+  // stream connection) and the promote watcher.
+  if (repl_thread_.joinable()) {
+    const char byte = 'q';
+    [[maybe_unused]] ssize_t n = ::write(repl_wake_write_, &byte, 1);
+    repl_listener_.shutdown_both();
+    {
+      std::lock_guard<std::mutex> lock(repl_conn_mu_);
+      if (repl_conn_fd_ >= 0) ::shutdown(repl_conn_fd_, SHUT_RDWR);
+    }
+    repl_thread_.join();
+    repl_listener_.close();
+  }
+  if (promote_thread_.joinable()) {
+    const char byte = 'q';
+    [[maybe_unused]] ssize_t n = ::write(promote_write_, &byte, 1);
+    promote_thread_.join();
+  }
+
   // 2. Serve all queued work. Sessions reply through still-open
   // connections; new submissions get typed `draining` errors. Once a
   // session is drained its journal covers exactly its final state, so
@@ -699,11 +1079,13 @@ void Server::perform_drain() {
   for (std::thread& t : conn_threads_)
     if (t.joinable()) t.join();
 
-  // 5. Tear down sessions (queues are empty; workers already joined).
+  // 5. Tear down sessions (queues are empty; workers already joined),
+  // then the replication sender they pointed at.
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions_.clear();
   }
+  if (repl_sender_ != nullptr) repl_sender_->stop();
 
   // 6. Stop the telemetry sidecar last, so /healthz kept answering 503
   // (draining) for the whole drain window.

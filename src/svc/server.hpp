@@ -52,6 +52,7 @@
 #include "svc/http.hpp"
 #include "svc/journal.hpp"
 #include "svc/net.hpp"
+#include "svc/repl.hpp"
 #include "svc/session.hpp"
 
 namespace amf::svc {
@@ -79,6 +80,21 @@ struct ServerConfig {
   /// Rolling SLO windows (gauges + /slo).  The ticker runs only while
   /// the HTTP listener is up; window width is slo.window_s seconds.
   obs::SloConfig slo;
+
+  // --- high availability (see repl.hpp and DESIGN.md §15) ---
+  /// Primary side: stream every journal record to a warm standby at
+  /// "host:port" (or just "port", loopback). Requires journal_dir.
+  std::string replicate_to;
+  /// Withhold delta ACKs until the standby confirms the append (repl-ack
+  /// mode). Default off: async replication, lag exported as gauges.
+  bool repl_ack = false;
+  /// Bound on each standby-confirmation wait in repl-ack mode.
+  double repl_ack_timeout_ms = 5000.0;
+  /// Standby side: listen for a primary's replication stream on this
+  /// loopback TCP port (-1 = not a standby; 0 = ephemeral, see
+  /// repl_port()). A standby serves ping/stats/promote and answers all
+  /// session work with typed `not_primary` until promoted.
+  int standby_port = -1;
 };
 
 /// What recover_from_journal() rebuilt, for operator logging.
@@ -131,6 +147,28 @@ class Server {
   /// call it); returns immediately.
   void trigger_drain();
 
+  /// Promotes a standby to primary: fences the replication stream, bumps
+  /// the epoch above everything seen, persists it, and starts serving
+  /// session work. Idempotent (promoting a primary is a no-op). Returns
+  /// {"role","epoch","promoted"} — the `promote` op's response body.
+  Json promote();
+
+  /// Async-signal-safe promotion request (the SIGUSR1 handler calls it);
+  /// a watcher thread performs the actual promote().
+  void trigger_promote();
+
+  bool is_standby() const {
+    return standby_.load(std::memory_order_acquire);
+  }
+  long long epoch() const;
+
+  /// The bound replication-listener port (after start(); -1 when not a
+  /// standby).
+  int repl_port() const { return repl_bound_port_; }
+
+  /// The replication sender (nullptr unless replicate_to is set).
+  const ReplSender* repl_sender() const { return repl_sender_.get(); }
+
   /// Blocks until a drain is triggered, then performs it (first caller
   /// does the work; later callers wait for completion).
   void wait_drained();
@@ -162,6 +200,21 @@ class Server {
   /// Creates the session's journal (truncating any stale file), writes
   /// `birth_payload` as the leading record, and attaches it.
   void attach_fresh_journal(Session* session, const std::string& birth_payload);
+  /// Builds a session from a birth record (create or snapshot kind) with
+  /// per-session config overrides applied. Shared by journal recovery
+  /// and the standby receiver. Throws on a malformed record.
+  std::unique_ptr<Session> session_from_birth(const Json& birth,
+                                              std::string* name_out);
+  /// Standby receiver: one accepted replication connection at a time.
+  void repl_accept_loop();
+  void repl_serve_connection(Socket& sock);
+  /// Applies one streamed journal record (standby side, under repl_mu_).
+  /// Duplicates (resends after reconnect) are skipped and still acked.
+  bool repl_apply_record(const std::string& session_name, const Json& record,
+                         std::string* error);
+  /// Blocks on the promote pipe; SIGUSR1 / trigger_promote() feed it.
+  void promote_watcher_loop();
+  void persist_epoch_locked();
 
   ServerConfig config_;
   Socket listener_;
@@ -192,6 +245,26 @@ class Server {
   std::condition_variable drain_cv_;
   bool drain_done_ = false;
   bool drain_running_ = false;
+
+  // --- replication / HA ---
+  std::unique_ptr<ReplSender> repl_sender_;  ///< primary side
+  Socket repl_listener_;                     ///< standby side
+  int repl_bound_port_ = -1;
+  std::thread repl_thread_;
+  int repl_wake_read_ = -1;  ///< self-pipe: drain stops the repl accept loop
+  int repl_wake_write_ = -1;
+  std::mutex repl_conn_mu_;
+  int repl_conn_fd_ = -1;  ///< live replication connection (drain shuts it)
+  std::atomic<bool> standby_{false};
+  /// Guards epoch_/peer_epoch_ and serializes record application against
+  /// promotion: a streamed record is either fully applied before the
+  /// promote or rejected by the bumped epoch, never half-raced.
+  mutable std::mutex repl_mu_;
+  long long epoch_ = 1;
+  long long peer_epoch_ = 0;  ///< highest epoch seen from a peer
+  int promote_read_ = -1;  ///< promote self-pipe (SIGUSR1-safe)
+  int promote_write_ = -1;
+  std::thread promote_thread_;
 };
 
 }  // namespace amf::svc

@@ -9,6 +9,7 @@
 #include "core/eamf.hpp"
 #include "core/persite.hpp"
 #include "obs/span.hpp"
+#include "svc/repl.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -44,6 +45,26 @@ std::uint64_t trace_of(const Request& req) {
   return static_cast<std::uint64_t>(t);
 }
 
+/// Typed error for a delta whose standby confirmation did not arrive
+/// (repl-ack mode). The delta IS applied locally — the message says so,
+/// and a retried rid re-checks the confirmation instead of re-applying.
+std::string repl_wait_error(double id, ReplSender::WaitResult wait) {
+  switch (wait) {
+    case ReplSender::WaitResult::kFenced:
+      return error_line(id, ErrorCode::kNotPrimary,
+                        "replication fenced by a higher epoch: this server "
+                        "was deposed; retry against the new primary");
+    case ReplSender::WaitResult::kBroken:
+      return error_line(id, ErrorCode::kInternal,
+                        "replication stream broken; delta applied locally "
+                        "but unconfirmed by the standby");
+    default:
+      return error_line(id, ErrorCode::kInternal,
+                        "standby confirmation timed out; delta applied "
+                        "locally, retry to re-check confirmation");
+  }
+}
+
 }  // namespace
 
 SvcMetrics& SvcMetrics::get() {
@@ -70,6 +91,8 @@ SvcMetrics& SvcMetrics::get() {
         reg.counter("amf_svc_requests_total_drain", "drain requests");
     out.requests_ping =
         reg.counter("amf_svc_requests_total_ping", "ping requests");
+    out.requests_promote =
+        reg.counter("amf_svc_requests_total_promote", "promote requests");
     out.rejects = reg.counter(
         "amf_svc_rejects_total",
         "requests shed by admission control (typed overloaded responses)");
@@ -95,6 +118,30 @@ SvcMetrics& SvcMetrics::get() {
     out.dedup_hits = reg.counter(
         "amf_svc_dedup_hits_total",
         "retried deltas re-ACKed from the rid window without re-applying");
+    out.journal_replay_warnings = reg.counter(
+        "amf_svc_journal_replay_warnings",
+        "journal-replay truncate-and-warn events (torn tails, rejected or "
+        "unreadable records)");
+    out.repl_sent = reg.counter("amf_svc_repl_sent_total",
+                                "journal records sent to the standby");
+    out.repl_acked = reg.counter("amf_svc_repl_acked_total",
+                                 "journal records the standby confirmed");
+    out.repl_applied = reg.counter("amf_svc_repl_applied_total",
+                                   "replicated records applied as standby");
+    out.repl_fenced = reg.counter(
+        "amf_svc_repl_fenced_total",
+        "replication messages rejected for carrying a stale epoch");
+    out.repl_reconnects = reg.counter("amf_svc_repl_reconnects_total",
+                                      "replication sender reconnects");
+    out.role = reg.gauge("amf_svc_role",
+                         "serving role: 1 = primary, 0 = warm standby");
+    out.epoch = reg.gauge("amf_svc_epoch", "current fencing epoch");
+    out.repl_lag_records = reg.gauge(
+        "amf_svc_repl_lag_records", "records offered but unacked by standby");
+    out.repl_lag_bytes = reg.gauge(
+        "amf_svc_repl_lag_bytes", "bytes offered but unacked by standby");
+    out.repl_lag_ms = reg.gauge("amf_svc_repl_lag_ms",
+                                "age of the oldest unacked record (ms)");
     out.batch_size =
         reg.histogram("amf_svc_batch_size", "requests per drained batch");
     out.queue_wait_ms = reg.histogram(
@@ -133,6 +180,7 @@ obs::Counter& SvcMetrics::request_counter(Op op) {
     case Op::kStats: return requests_stats;
     case Op::kDrain: return requests_drain;
     case Op::kPing: return requests_ping;
+    case Op::kPromote: return requests_promote;
   }
   return requests_ping;
 }
@@ -316,10 +364,23 @@ void Session::submit(const Request& req, Responder respond) {
     if (!item.rid.empty()) {
       const auto hit = dedup_ack_.find(item.rid);
       if (hit != dedup_ack_.end()) {
-        Json ack = hit->second;
+        Json ack = hit->second.ack;
+        const std::uint64_t pending = hit->second.repl_index;
         lock.unlock();
         metrics.dedup_hits.add();
         AMF_SPAN_FLOW_STEP("svc/dedup_hit", item.trace);
+        // In repl-ack mode the retried ACK owes the same guarantee the
+        // original did: the standby has the record. The delta stays
+        // applied either way — only the confirmation is awaited.
+        if (repl_ != nullptr && repl_->ack_mode() && pending != 0 &&
+            !repl_->acked(pending)) {
+          const auto wait =
+              repl_->wait_acked(pending, repl_->ack_timeout_ms());
+          if (wait != ReplSender::WaitResult::kAcked) {
+            item.respond(repl_wait_error(req.id, wait));
+            return;
+          }
+        }
         ack.set("dup", Json(true));
         item.respond(ok_line(req.id, ack));
         return;
@@ -341,12 +402,15 @@ void Session::submit(const Request& req, Responder respond) {
     // fsync=always, on the platter) before the ACK escapes. Appending
     // under mu_ keeps record order identical to seq order. A failed
     // append rolls the admission back — no ACK without a journal entry.
+    std::uint64_t repl_index = 0;
     if (journal_ != nullptr) {
+      std::string payload;
       try {
         const auto append_start = Clock::now();
         {
           AMF_SPAN_FLOW_STEP("svc/journal_append", item.trace);
-          journal_->append(delta_record_payload_locked(item, enqueued_seq_));
+          payload = delta_record_payload_locked(item, enqueued_seq_);
+          journal_->append(payload);
         }
         metrics.stage_journal_ms.observe(
             ms_since(append_start, Clock::now()));
@@ -362,8 +426,14 @@ void Session::submit(const Request& req, Responder respond) {
             std::string("journal append failed: ") + e.what()));
         return;
       }
+      // Stream the record to the standby in admission (seq) order.
+      // Never roll back past this point: once the record may exist
+      // remotely, reusing its seq for different content would silently
+      // diverge the standby. A failed offer therefore keeps the delta
+      // admitted; only the ACK semantics change (see below).
+      if (repl_ != nullptr) (void)repl_->offer(name_, payload, &repl_index);
     }
-    if (!item.rid.empty()) remember_ack_locked(item.rid, ack);
+    if (!item.rid.empty()) remember_ack_locked(item.rid, ack, repl_index);
     // ACK at admission: the delta is now owed to every later solve. The
     // queued copy carries no responder — the worker never replies to
     // deltas, and teardown must not reply twice.
@@ -372,6 +442,19 @@ void Session::submit(const Request& req, Responder respond) {
     queue_.push_back(std::move(item));
     cv_.notify_all();
     lock.unlock();
+    // repl-ack mode: the ACK is withheld until the standby confirms the
+    // append (off mu_, so the session keeps serving). On timeout or a
+    // terminal sender the client gets a typed error while the delta
+    // stays applied — a retry of the same rid re-checks the
+    // confirmation through the dedup window, never re-applies.
+    if (repl_ != nullptr && repl_->ack_mode() && repl_index != 0) {
+      const auto wait =
+          repl_->wait_acked(repl_index, repl_->ack_timeout_ms());
+      if (wait != ReplSender::WaitResult::kAcked) {
+        respond_ack(repl_wait_error(req.id, wait));
+        return;
+      }
+    }
     respond_ack(ok_line(req.id, ack));
     return;
   }
@@ -613,9 +696,11 @@ void Session::rollback_delta_locked(const Item& item) {
   }
 }
 
-void Session::remember_ack_locked(const std::string& rid, const Json& ack) {
+void Session::remember_ack_locked(const std::string& rid, const Json& ack,
+                                  std::uint64_t repl_index) {
   if (config_.dedup_window == 0) return;
-  if (!dedup_ack_.emplace(rid, ack).second) return;  // replay of a known rid
+  if (!dedup_ack_.emplace(rid, DedupEntry{ack, repl_index}).second)
+    return;  // replay of a known rid
   dedup_order_.push_back(rid);
   while (dedup_order_.size() > config_.dedup_window) {
     dedup_ack_.erase(dedup_order_.front());
@@ -672,6 +757,34 @@ void Session::attach_journal(std::unique_ptr<Journal> journal) {
   journal_ = std::move(journal);
 }
 
+void Session::attach_replication(ReplSender* repl) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AMF_REQUIRE(queue_.empty() && enqueued_seq_ == seq_,
+              "attach_replication requires a quiescent session");
+  repl_ = repl;
+}
+
+long long Session::enqueued_seq() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enqueued_seq_;
+}
+
+void Session::journal_append_replicated(const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (journal_ == nullptr) return;
+  journal_->append(payload);
+  SvcMetrics::get().journal_records.add();
+  if (journal_->policy() == FsyncPolicy::kAlways)
+    SvcMetrics::get().journal_syncs.add();
+}
+
+void Session::compact_journal_replicated(const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (journal_ == nullptr) return;
+  journal_->compact(payload);
+  SvcMetrics::get().journal_compactions.add();
+}
+
 bool Session::replay_journal_record(const Json& record, std::string* error) {
   std::lock_guard<std::mutex> lock(mu_);
   // Recovery runs before the server accepts traffic, so the worker is
@@ -724,7 +837,10 @@ bool Session::replay_journal_record(const Json& record, std::string* error) {
     Json ack = Json::object();
     ack.set("seq", Json(enqueued_seq_));
     if (item.req.op == Op::kAddJob) ack.set("job", Json(item.job_id));
-    remember_ack_locked(item.rid, ack);
+    // Replayed records owe no standby confirmation (repl_index 0): on a
+    // recovered primary the seeding snapshot covers them, and on a
+    // standby the record came *from* the stream.
+    remember_ack_locked(item.rid, ack, 0);
   }
   return true;
 }
@@ -964,8 +1080,17 @@ void Session::worker_loop() {
     if (journal_ != nullptr && config_.journal_compact_every > 0 &&
         enqueued_seq_ == seq_ &&
         journal_->appends_since_compact() >= config_.journal_compact_every) {
-      journal_->compact(snapshot_record_payload_locked_state());
+      const std::string payload = snapshot_record_payload_locked_state();
+      journal_->compact(payload);
       metrics.journal_compactions.add();
+      // Mirror the compaction downstream so the standby's log shrinks
+      // too (its state is unchanged by the snapshot — stream order
+      // guarantees it already applied exactly this prefix). Fire and
+      // forget: compaction never gates a client ACK.
+      if (repl_ != nullptr) {
+        std::uint64_t index = 0;
+        (void)repl_->offer(name_, payload, &index);
+      }
     }
   }
 }

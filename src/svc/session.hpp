@@ -87,6 +87,8 @@
 
 namespace amf::svc {
 
+class ReplSender;
+
 /// Per-session serving parameters (server-wide defaults; create_session
 /// may override batch_window_ms and policy).
 struct SessionConfig {
@@ -126,6 +128,7 @@ struct SvcMetrics {
   obs::Counter requests_stats;
   obs::Counter requests_drain;
   obs::Counter requests_ping;
+  obs::Counter requests_promote;
   obs::Counter rejects;        ///< admission-control sheds (typed overloaded)
   obs::Counter batches;        ///< batches drained
   obs::Counter solve_calls;    ///< allocator invocations
@@ -135,6 +138,20 @@ struct SvcMetrics {
   obs::Counter journal_syncs;        ///< explicit fsyncs (always + batch)
   obs::Counter journal_compactions;  ///< snapshot-compactions performed
   obs::Counter dedup_hits;  ///< retried deltas re-ACKed from the rid window
+  /// Journal-replay truncate-and-warn events (torn tails, rejected
+  /// records, unreadable files) — silent tail loss made visible.
+  obs::Counter journal_replay_warnings;
+  // --- replication / HA (see repl.hpp and DESIGN.md §15) ---
+  obs::Counter repl_sent;        ///< records written to the standby stream
+  obs::Counter repl_acked;       ///< records the standby confirmed
+  obs::Counter repl_applied;     ///< records this standby applied
+  obs::Counter repl_fenced;      ///< stale-epoch rejections (either side)
+  obs::Counter repl_reconnects;  ///< sender reconnects to the standby
+  obs::Gauge role;               ///< 1 = primary, 0 = warm standby
+  obs::Gauge epoch;              ///< current fencing epoch
+  obs::Gauge repl_lag_records;   ///< records offered but unacked
+  obs::Gauge repl_lag_bytes;     ///< bytes offered but unacked
+  obs::Gauge repl_lag_ms;        ///< age of the oldest unacked record
   obs::Histogram batch_size;     ///< requests per drained batch
   obs::Histogram queue_wait_ms;  ///< enqueue -> start of processing
   obs::Histogram solve_ms;       ///< allocator wall time per solve call
@@ -195,6 +212,22 @@ class Session {
   void attach_journal(std::unique_ptr<Journal> journal);
   bool has_journal() const { return journal_ != nullptr; }
 
+  /// Attaches the primary's replication stream (server start only; the
+  /// server owns the sender and outlives the session). Every journal
+  /// payload this session appends is then also offered to the standby,
+  /// in admission order; in ack mode delta ACKs additionally wait for
+  /// the standby's confirmation (see submit()).
+  void attach_replication(ReplSender* repl);
+
+  /// Deltas admitted so far (thread-safe; standby catch-up probes).
+  long long enqueued_seq();
+
+  /// Standby-side apply support: journal a replicated record / compact
+  /// to a replicated snapshot payload. Only safe while the session is
+  /// quiescent (a standby session sees no client traffic).
+  void journal_append_replicated(const std::string& payload);
+  void compact_journal_replicated(const std::string& payload);
+
   /// Applies one replayed journal delta record through the live
   /// validate/apply path (recovery only, before traffic). Returns false
   /// and fills `error` on a record the current state rejects — the
@@ -242,7 +275,8 @@ class Session {
   /// Journal payload of one admitted delta.
   std::string delta_record_payload_locked(const Item& item,
                                           long long seq) const;
-  void remember_ack_locked(const std::string& rid, const Json& ack);
+  void remember_ack_locked(const std::string& rid, const Json& ack,
+                           std::uint64_t repl_index);
   void worker_loop();
   /// Applies one admitted delta to problem + workspace + id map.
   void apply_delta(const Item& item);
@@ -268,12 +302,24 @@ class Session {
   int workloads_mode_ = -1;
   long long enqueued_seq_ = 0;   ///< deltas admitted
   long long processed_seq_ = 0;  ///< deltas applied (worker)
-  /// rid -> original delta ACK, bounded FIFO (config_.dedup_window).
-  std::unordered_map<std::string, Json> dedup_ack_;
+  /// rid -> original delta ACK plus the replication index its record was
+  /// offered under (0 = none pending: no replication, or a replayed
+  /// record), bounded FIFO (config_.dedup_window). In repl-ack mode a
+  /// dedup re-ACK waits for `repl_index` like the original did, so no
+  /// ACK — first or retried — escapes without standby confirmation.
+  struct DedupEntry {
+    Json ack;
+    std::uint64_t repl_index = 0;
+  };
+  std::unordered_map<std::string, DedupEntry> dedup_ack_;
   std::deque<std::string> dedup_order_;
   /// Write-ahead log; appends happen under mu_ so record order always
   /// matches admission (seq) order.
   std::unique_ptr<Journal> journal_;
+  /// Primary → standby stream (server-owned; nullptr = no replication).
+  /// offer() happens under mu_ right after the journal append, so the
+  /// stream carries records in seq order; ack waiting happens off mu_.
+  ReplSender* repl_ = nullptr;
 
   // --- solver state (worker thread only; after drain: owner thread) ---
   core::AllocationProblem problem_;

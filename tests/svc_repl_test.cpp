@@ -1,0 +1,338 @@
+// svc_repl_test.cpp — primary → warm-standby replication (DESIGN.md §15):
+// the journal stream keeps the standby bit-identical to the primary's
+// ACKed state, promotion fences the deposed primary under a higher
+// epoch, repl-ack mode withholds client ACKs until the standby confirms,
+// and the client rotates through its endpoint list on failures and
+// not_primary responses.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/client.hpp"
+#include "svc/repl.hpp"
+#include "svc/server.hpp"
+#include "util/error.hpp"
+
+namespace amf::svc {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  ::system(("rm -rf " + dir).c_str());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+/// The delta workload used across the replication tests.
+void feed_session(Client* client) {
+  client->create_session("s", {100, 80, 60});
+  const long long a = client->add_job("s", {50, 10, 0});
+  client->add_job("s", {20, 20, 20}, {}, 2.0);
+  client->add_job("s", {0, 30, 30});
+  client->finish_job("s", a);
+  client->site_event("s", 2, 0.5);
+  client->set_capacity("s", 0, 90);
+}
+
+/// Spins until the primary's sender has everything confirmed (async mode
+/// drains in the background) or the deadline passes.
+void await_replicated(const Server& primary, double deadline_ms = 5000.0) {
+  const auto start = std::chrono::steady_clock::now();
+  const ReplSender* sender = primary.repl_sender();
+  ASSERT_NE(sender, nullptr);
+  while (sender->acked_index() < sender->offered()) {
+    const double elapsed =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    ASSERT_LT(elapsed, deadline_ms)
+        << "replication never drained: offered=" << sender->offered()
+        << " acked=" << sender->acked_index()
+        << " fenced=" << sender->fenced() << " broken=" << sender->broken();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+struct Pair {
+  std::unique_ptr<Server> standby;
+  std::unique_ptr<Server> primary;
+};
+
+/// Starts a standby (journaled) and a primary (journaled) streaming to
+/// it. Caller owns both; drain order does not matter.
+Pair start_pair(const std::string& test, bool repl_ack,
+                double ack_timeout_ms = 5000.0) {
+  Pair pair;
+  ServerConfig standby;
+  standby.tcp_port = 0;
+  standby.standby_port = 0;
+  standby.journal_dir = fresh_dir(test + "_sb");
+  pair.standby = std::make_unique<Server>(standby);
+  pair.standby->start();
+
+  ServerConfig primary;
+  primary.tcp_port = 0;
+  primary.journal_dir = fresh_dir(test + "_pr");
+  primary.replicate_to =
+      "127.0.0.1:" + std::to_string(pair.standby->repl_port());
+  primary.repl_ack = repl_ack;
+  primary.repl_ack_timeout_ms = ack_timeout_ms;
+  pair.primary = std::make_unique<Server>(primary);
+  pair.primary->start();
+  return pair;
+}
+
+TEST(SvcRepl, StreamedStandbyPromotesToBitIdenticalState) {
+  Pair pair = start_pair("svc_repl_stream", /*repl_ack=*/false);
+
+  std::string ref_solve, ref_snapshot;
+  {
+    Client client =
+        Client::connect_tcp("127.0.0.1", pair.primary->tcp_port());
+    feed_session(&client);
+    ref_solve = client.solve("s").find("allocation")->dump();
+    ref_snapshot = client.snapshot("s").find("snapshot")->dump();
+  }
+  await_replicated(*pair.primary);
+
+  // Before promotion the standby refuses session work with a typed code.
+  EXPECT_TRUE(pair.standby->is_standby());
+  {
+    Client client =
+        Client::connect_tcp("127.0.0.1", pair.standby->tcp_port());
+    EXPECT_TRUE(client.ping());  // liveness is served either way
+    try {
+      client.solve("s");
+      FAIL() << "an unpromoted standby must refuse session work";
+    } catch (const SvcError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kNotPrimary);
+    }
+  }
+
+  const long long old_epoch = pair.standby->epoch();
+  Json promoted = pair.standby->promote();
+  EXPECT_TRUE(promoted.bool_or("promoted", false));
+  EXPECT_FALSE(pair.standby->is_standby());
+  EXPECT_GT(pair.standby->epoch(), old_epoch);
+
+  // The promoted standby serves the primary's exact ACKed state.
+  Client client = Client::connect_tcp("127.0.0.1", pair.standby->tcp_port());
+  EXPECT_EQ(client.solve("s").find("allocation")->dump(), ref_solve);
+  EXPECT_EQ(client.snapshot("s").find("snapshot")->dump(), ref_snapshot);
+}
+
+TEST(SvcRepl, PromoteIsIdempotentAndBumpsEpochOnce) {
+  Pair pair = start_pair("svc_repl_promote_idem", /*repl_ack=*/false);
+  Json first = pair.standby->promote();
+  EXPECT_TRUE(first.bool_or("promoted", false));
+  const long long epoch = pair.standby->epoch();
+  Json second = pair.standby->promote();
+  EXPECT_FALSE(second.bool_or("promoted", false));
+  EXPECT_EQ(pair.standby->epoch(), epoch);
+  EXPECT_EQ(static_cast<long long>(second.number_or("epoch", -1.0)), epoch);
+}
+
+TEST(SvcRepl, ReplAckConfirmsEveryDeltaBeforeTheClientSeesTheAck) {
+  Pair pair = start_pair("svc_repl_ack", /*repl_ack=*/true);
+  Client client = Client::connect_tcp("127.0.0.1", pair.primary->tcp_port());
+  feed_session(&client);
+  // In repl-ack mode an ACKed delta IS a confirmed delta: by the time the
+  // last ACK arrived, the standby had everything. No await needed.
+  const ReplSender* sender = pair.primary->repl_sender();
+  ASSERT_NE(sender, nullptr);
+  EXPECT_EQ(sender->acked_index(), sender->offered());
+
+  const std::string ref_solve = client.solve("s").find("allocation")->dump();
+  pair.standby->promote();
+  Client standby_client =
+      Client::connect_tcp("127.0.0.1", pair.standby->tcp_port());
+  EXPECT_EQ(standby_client.solve("s").find("allocation")->dump(), ref_solve);
+}
+
+TEST(SvcRepl, DeposedPrimaryIsFencedAfterPromotion) {
+  Pair pair = start_pair("svc_repl_fence", /*repl_ack=*/true,
+                         /*ack_timeout_ms=*/2000.0);
+  Client client = Client::connect_tcp("127.0.0.1", pair.primary->tcp_port());
+  client.create_session("s", {10, 10});
+  client.add_job("s", {5, 5});
+
+  // Promote the standby while the old primary still streams to it. The
+  // standby's receiver now rejects the stream under its higher epoch.
+  pair.standby->promote();
+
+  // The deposed primary's next repl-ack delta cannot confirm: the typed
+  // not_primary error tells the caller to fail over. The delta stays
+  // applied locally (seq reuse would silently diverge the standby).
+  try {
+    client.add_job("s", {1, 1});
+    FAIL() << "a fenced primary must fail repl-ack deltas";
+  } catch (const SvcError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotPrimary) << e.what();
+  }
+  EXPECT_TRUE(pair.primary->repl_sender()->fenced());
+  EXPECT_GE(pair.primary->repl_sender()->peer_epoch(),
+            pair.standby->epoch());
+}
+
+TEST(SvcRepl, EpochFileSurvivesRestart) {
+  const std::string dir = fresh_dir("svc_repl_epoch_file");
+  EXPECT_EQ(read_epoch_file(dir), 0);
+  write_epoch_file(dir, 7);
+  EXPECT_EQ(read_epoch_file(dir), 7);
+  write_epoch_file(dir, 8);
+  EXPECT_EQ(read_epoch_file(dir), 8);
+
+  // A restarted journaled server resumes its persisted epoch.
+  ServerConfig config;
+  config.tcp_port = 0;
+  config.journal_dir = dir;
+  Server server(config);
+  EXPECT_EQ(server.epoch(), 8);
+}
+
+// ---------------------------------------------------------------------
+// Client endpoint failover
+
+TEST(SvcRepl, ClientRotatesToNextEndpointWhenTheFirstDies) {
+  ServerConfig config_a;
+  config_a.tcp_port = 0;
+  auto server_a = std::make_unique<Server>(config_a);
+  server_a->start();
+  ServerConfig config_b;
+  config_b.tcp_port = 0;
+  Server server_b(config_b);
+  server_b.start();
+
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.connect_timeout_ms = 300;
+  retry.read_timeout_ms = 500;
+  retry.backoff_initial_ms = 2;
+  retry.backoff_max_ms = 10;
+  retry.jitter_seed = 5;
+  std::vector<Endpoint> endpoints{
+      parse_endpoint("127.0.0.1:" + std::to_string(server_a->tcp_port())),
+      parse_endpoint("127.0.0.1:" + std::to_string(server_b.tcp_port()))};
+  Client client = Client::connect_endpoints(endpoints, retry);
+  EXPECT_TRUE(client.ping());
+  EXPECT_EQ(client.client_stats().failovers, 0u);
+
+  // Endpoint A dies; the next ping must land on B transparently.
+  server_a->trigger_drain();
+  server_a->wait_drained();
+  server_a.reset();
+  EXPECT_TRUE(client.ping());
+  EXPECT_GE(client.client_stats().failovers, 1u);
+  EXPECT_GE(client.client_stats().reconnects, 1u);
+}
+
+TEST(SvcRepl, ClientRotatesOffAnUnpromotedStandby) {
+  Pair pair = start_pair("svc_repl_client_rotate", /*repl_ack=*/false);
+  Client primary_client =
+      Client::connect_tcp("127.0.0.1", pair.primary->tcp_port());
+  primary_client.create_session("s", {10, 10});
+  await_replicated(*pair.primary);
+
+  // Endpoint list leads with the (unpromoted) standby: session work gets
+  // not_primary there and must rotate to the real primary.
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.connect_timeout_ms = 300;
+  retry.read_timeout_ms = 500;
+  retry.backoff_initial_ms = 2;
+  retry.jitter_seed = 9;
+  std::vector<Endpoint> endpoints{
+      parse_endpoint("127.0.0.1:" + std::to_string(pair.standby->tcp_port())),
+      parse_endpoint("127.0.0.1:" + std::to_string(pair.primary->tcp_port()))};
+  Client client = Client::connect_endpoints(endpoints, retry);
+  Json solved = client.solve("s");
+  EXPECT_TRUE(solved.bool_or("ok", false));
+  EXPECT_GE(client.client_stats().failovers, 1u);
+}
+
+// Satellite: connect-phase timeouts must count in ClientStats::timeouts
+// exactly like read timeouts — one per timed-out endpoint attempt.
+TEST(SvcRepl, ConnectTimeoutsAreCountedPerEndpointAttempt) {
+  // A unix listener with a zero backlog whose accept queue is already
+  // full: further nonblocking connects get EAGAIN, so the client's
+  // poll-bounded connect times out deterministically (nobody ever
+  // accepts).
+  const std::string dir = fresh_dir("svc_repl_conn_timeout");
+  const std::string path = dir + "/full.sock";
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof(addr.sun_path));
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 0), 0);
+  std::vector<int> fillers;
+  for (int i = 0; i < 16; ++i) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 &&
+        errno == EAGAIN) {
+      ::close(fd);
+      break;  // the queue is full — exactly the state the test needs
+    }
+    fillers.push_back(fd);
+  }
+
+  // A live fallback server so the client construction succeeds after the
+  // timed-out first endpoint.
+  ServerConfig config;
+  config.tcp_port = 0;
+  Server server(config);
+  server.start();
+
+  RetryPolicy retry;
+  retry.connect_timeout_ms = 80;
+  retry.read_timeout_ms = 500;
+  retry.max_attempts = 2;
+  retry.backoff_initial_ms = 1;
+  retry.jitter_seed = 3;
+  std::vector<Endpoint> endpoints{
+      parse_endpoint("unix:" + path),
+      parse_endpoint("127.0.0.1:" + std::to_string(server.tcp_port()))};
+  Client client = Client::connect_endpoints(endpoints, retry);
+  EXPECT_TRUE(client.ping());
+  EXPECT_EQ(client.client_stats().timeouts, 1u)
+      << "the connect-phase timeout on the full endpoint must be counted";
+  EXPECT_EQ(client.client_stats().failovers, 1u);
+
+  for (int fd : fillers) ::close(fd);
+  ::close(listener);
+}
+
+// Satellite: keepalive on accepted and client TCP sockets.
+TEST(SvcRepl, KeepaliveIsEnabledOnBothEndsOfATcpConnection) {
+  int port = 0;
+  Socket listener = listen_tcp(0, &port);
+  Socket client = connect_tcp("127.0.0.1", port, 1000.0);
+  Socket accepted = accept_connection(listener);
+  ASSERT_TRUE(accepted.valid());
+  for (const int fd : {client.fd(), accepted.fd()}) {
+    int value = 0;
+    socklen_t len = sizeof(value);
+    ASSERT_EQ(::getsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &value, &len), 0);
+    EXPECT_EQ(value, 1) << "fd " << fd << " lacks SO_KEEPALIVE";
+  }
+}
+
+}  // namespace
+}  // namespace amf::svc

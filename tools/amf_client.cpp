@@ -1,6 +1,12 @@
 // amf_client — command-line client for amf_serve.
 //
-//   amf_client (--unix PATH | --tcp HOST PORT) <mode> [options]
+//   amf_client (--unix PATH | --tcp HOST PORT | --endpoints LIST)
+//              <mode> [options]
+//
+// --endpoints takes a comma-separated ordered failover list
+// ("unix:PATH" / "HOST:PORT" / "PORT"); the client rotates to the next
+// endpoint on connect failures, dead/timed-out roundtrips, and typed
+// not_primary responses (see DESIGN.md §15).
 //
 // Modes:
 //   solve   read an AllocationProblem CSV on stdin, run it through a
@@ -13,6 +19,7 @@
 //           --prometheus).
 //   drain   trigger a graceful server drain.
 //   ping    liveness check.
+//   promote promote a warm standby to primary (idempotent).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -28,8 +35,9 @@ namespace {
 
 int usage(bool help = false) {
   (help ? std::cout : std::cerr)
-      << "usage: amf_client (--unix PATH | --tcp HOST PORT) "
-         "[connection options] solve|raw|stats|drain|ping [options]\n"
+      << "usage: amf_client (--unix PATH | --tcp HOST PORT | "
+         "--endpoints LIST) [connection options]\n"
+         "                  solve|raw|stats|drain|ping|promote [options]\n"
          "  solve [--session S] [--policy amf|eamf|psmf] "
          "[--budget-ms B] [--batch-window-ms W] < problem.csv\n"
          "        prints the allocation matrix in amf_solve's CSV format\n"
@@ -37,7 +45,13 @@ int usage(bool help = false) {
          "  stats [--prometheus]     metric registry scrape\n"
          "  drain                    graceful server drain\n"
          "  ping                     liveness check\n"
+         "  promote                  promote a warm standby to primary\n"
          "connection options (accepted before or after the mode):\n"
+         "  --endpoints LIST         comma-separated ordered failover list "
+         "(unix:PATH,\n"
+         "                           HOST:PORT, or PORT entries); the "
+         "client rotates on\n"
+         "                           failures and not_primary responses\n"
          "  --retries N              attempts per idempotent op (default 1)\n"
          "  --read-timeout-ms T      per-read timeout (default: block)\n"
          "  --trace                  stamp wire trace ids (see /tracez)\n"
@@ -106,6 +120,7 @@ int main(int argc, char** argv) {
   using namespace amf;
   std::string unix_path, host;
   int port = -1;
+  std::vector<svc::Endpoint> endpoints;
   svc::RetryPolicy retry;
   bool trace = false, verbose = false;
   // Connection options are accepted on either side of the mode word, so
@@ -114,6 +129,25 @@ int main(int argc, char** argv) {
     int k = *idx;
     if (std::strcmp(argv[k], "--retries") == 0 && k + 1 < argc) {
       retry.max_attempts = std::atoi(argv[++k]);
+    } else if (std::strcmp(argv[k], "--endpoints") == 0 && k + 1 < argc) {
+      std::string list = argv[++k];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string spec =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!spec.empty()) {
+          try {
+            endpoints.push_back(svc::parse_endpoint(spec));
+          } catch (const std::exception& e) {
+            std::cerr << "amf_client: " << e.what() << "\n";
+            std::exit(2);
+          }
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else if (std::strcmp(argv[k], "--read-timeout-ms") == 0 &&
                k + 1 < argc) {
       retry.read_timeout_ms = std::atof(argv[++k]);
@@ -146,7 +180,7 @@ int main(int argc, char** argv) {
     }
   }
   if (i >= argc) return usage();
-  if (unix_path.empty() && port < 0) return usage();
+  if (unix_path.empty() && port < 0 && endpoints.empty()) return usage();
   const std::string mode = argv[i++];
 
   std::string session = "cli", policy = "amf", stats_format = "json";
@@ -175,9 +209,17 @@ int main(int argc, char** argv) {
   if (retry.max_attempts < 1) return usage();
 
   try {
-    svc::Client client = unix_path.empty()
-                             ? svc::Client::connect_tcp(host, port, retry)
-                             : svc::Client::connect_unix(unix_path, retry);
+    if (!unix_path.empty()) {
+      svc::Endpoint ep;
+      ep.unix_path = unix_path;
+      endpoints.insert(endpoints.begin(), ep);
+    } else if (port >= 0) {
+      svc::Endpoint ep;
+      ep.host = host;
+      ep.port = port;
+      endpoints.insert(endpoints.begin(), ep);
+    }
+    svc::Client client = svc::Client::connect_endpoints(endpoints, retry);
     client.set_tracing(trace);
     // Counters print even when the op throws below, so a failed run still
     // shows how much retrying it did.
@@ -191,6 +233,7 @@ int main(int argc, char** argv) {
                   << " retries=" << s.retries
                   << " reconnects=" << s.reconnects
                   << " timeouts=" << s.timeouts
+                  << " failovers=" << s.failovers
                   << " backoff_ms=" << s.backoff_ms;
         if (client->last_trace() != 0)
           std::cerr << " last_trace=" << client->last_trace();
@@ -217,6 +260,16 @@ int main(int argc, char** argv) {
     }
     if (mode == "ping") {
       std::cout << (client.ping() ? "pong" : "no pong") << "\n";
+      return 0;
+    }
+    if (mode == "promote") {
+      svc::Json response = client.promote();
+      std::cout << "role=" << response.string_or("role", "?")
+                << " epoch=" << static_cast<long long>(
+                       response.number_or("epoch", 0.0))
+                << " promoted="
+                << (response.bool_or("promoted", false) ? "true" : "false")
+                << "\n";
       return 0;
     }
     return usage();

@@ -13,6 +13,10 @@
 // a crash (kill -9, power loss) the same flag replays the logs on
 // startup and the recovered sessions are bit-identical to the uncrashed
 // server's ACKed state (see DESIGN.md §12).
+//
+// High availability (DESIGN.md §15): --replicate-to streams every journal
+// record to a warm standby started with --standby; SIGUSR1 (or the
+// `promote` op) promotes the standby to primary under a higher epoch.
 #include <sys/stat.h>
 
 #include <cerrno>
@@ -40,6 +44,8 @@ int usage(bool help = false) {
          "[--http ADDR] [--log-level L]\n"
          "                 [--slow-solve-ms T] [--slo-window-s W] "
          "[--slo-p99-ms T] [--slo-budget B]\n"
+         "                 [--replicate-to ADDR] [--repl-ack] "
+         "[--repl-ack-timeout-ms T] [--standby PORT]\n"
          "  --unix PATH          listen on a Unix-domain socket at PATH\n"
          "  --tcp PORT           listen on loopback TCP (0 = ephemeral; "
          "the bound port is printed)\n"
@@ -87,7 +93,23 @@ int usage(bool help = false) {
          "  --slo-p99-ms T       turnaround p99 target backing the burn "
          "rate (default 50)\n"
          "  --slo-budget B       error budget as a fraction of requests "
-         "(default 0.01)\n";
+         "(default 0.01)\n"
+         "  --replicate-to ADDR  stream journal records to a warm standby "
+         "at host:port or\n"
+         "                       port (loopback); requires --journal\n"
+         "  --repl-ack           withhold delta ACKs until the standby "
+         "confirms the append\n"
+         "                       (default: async replication)\n"
+         "  --repl-ack-timeout-ms T  bound on each standby confirmation "
+         "wait (default 5000)\n"
+         "  --standby PORT       run as a warm standby: receive a "
+         "primary's replication\n"
+         "                       stream on loopback PORT (0 = ephemeral; "
+         "the bound port is\n"
+         "                       printed). Session work is refused with "
+         "`not_primary` until\n"
+         "                       SIGUSR1 or the `promote` op promotes "
+         "this server\n";
   return help ? 0 : 2;
 }
 
@@ -95,6 +117,10 @@ amf::svc::Server* g_server = nullptr;
 
 void on_signal(int) {
   if (g_server != nullptr) g_server->trigger_drain();
+}
+
+void on_promote(int) {
+  if (g_server != nullptr) g_server->trigger_promote();
 }
 
 }  // namespace
@@ -201,6 +227,21 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       config.slo.error_budget = std::atof(v);
+    } else if (std::strcmp(argv[i], "--replicate-to") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.replicate_to = v;
+    } else if (std::strcmp(argv[i], "--repl-ack") == 0) {
+      config.repl_ack = true;
+    } else if (std::strcmp(argv[i], "--repl-ack-timeout-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.repl_ack_timeout_ms = std::atof(v);
+    } else if (std::strcmp(argv[i], "--standby") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.standby_port = std::atoi(v);
+      if (config.standby_port < 0) return usage();
     } else {
       return usage();
     }
@@ -236,6 +277,9 @@ int main(int argc, char** argv) {
     sa.sa_handler = on_signal;
     sigaction(SIGTERM, &sa, nullptr);
     sigaction(SIGINT, &sa, nullptr);
+    struct sigaction sp {};
+    sp.sa_handler = on_promote;
+    sigaction(SIGUSR1, &sp, nullptr);
     server.start();
     if (!server.unix_path().empty())
       std::cerr << "amf_serve: listening on unix:" << server.unix_path()
@@ -246,6 +290,9 @@ int main(int argc, char** argv) {
     if (server.http_port() >= 0)
       std::cerr << "amf_serve: http on 127.0.0.1:" << server.http_port()
                 << "\n";
+    if (server.repl_port() >= 0)
+      std::cerr << "amf_serve: standby repl on 127.0.0.1:"
+                << server.repl_port() << "\n";
     server.wait_drained();
     g_server = nullptr;
     std::cerr << "amf_serve: drained\n";
