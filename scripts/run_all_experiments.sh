@@ -47,6 +47,12 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
     # keeps the full-suite run fast while still gating the replication
     # overhead and the promoted-state audit.
     set -- --smoke --json "$OUT_DIR/BENCH_failover.json"
+  elif [ "$name" = "bench_f22_cluster" ]; then
+    # F22 spins up multi-shard clusters behind amf_route; the smoke
+    # sweep keeps the full-suite run fast while still gating scale-out
+    # completion and executor-path bit-identity. Full mode (10k
+    # sessions, 1->4 shards) is a manual run on a multi-core host.
+    set -- --smoke --json "$OUT_DIR/BENCH_cluster.json"
   else
     set --
   fi

@@ -1,0 +1,158 @@
+// router.hpp — the session-sharding router (DESIGN.md §16).
+//
+// A Router listens on the same line-JSON protocol as amf_serve and
+// partitions SESSIONS across N backend shards (each an independent
+// amf_serve). Session-addressed requests are forwarded to
+//
+//   shard(session) = override[session]  if a move pinned it,
+//                    fnv1a64(session) % N  otherwise,
+//
+// with the request line passed through VERBATIM — rids, trace ids, and
+// every body field reach the shard byte-identically, and the shard's
+// response line returns to the client byte-identically, so solves and
+// snapshots through the router are bit-identical to direct serving.
+//
+// Session-less ops are handled at the router: `ping` answers locally,
+// `stats` fans out to every shard and aggregates, `drain` drains every
+// shard then the router itself. One router-only admin op exists:
+//
+//   {"op":"move_session","session":S,"to":K}
+//
+// performs a snapshot-based shard handoff: forwarding for S is parked,
+// S is drained and evicted on its current shard (`evict_session`),
+// re-created on shard K from the returned snapshot + rid-dedup window,
+// the override map repoints S, and parked forwarders resume. In-flight
+// client retries stay exactly-once across the move because the dedup
+// window travels with the session.
+//
+// ## Threading
+//
+// One accept loop; one thread per client connection (the router holds
+// per-client upstream sockets, so client threads never contend on a
+// shared shard connection). Each client thread processes its requests
+// in order with at most one in-flight upstream roundtrip, so upstream
+// responses cannot interleave. Upstream connects are lazy and re-tried
+// per request; a shard that cannot be reached answers the client with a
+// typed `shard_unavailable` error (clients rotate endpoints on it, see
+// client.hpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "svc/client.hpp"
+#include "svc/json.hpp"
+#include "svc/net.hpp"
+
+namespace amf::router {
+
+struct RouterConfig {
+  /// Listen address: non-empty unix_path wins, else loopback TCP
+  /// (tcp_port 0 = ephemeral, bound port via Router::tcp_port()).
+  std::string unix_path;
+  int tcp_port = -1;
+  /// Backend shards, one endpoint each. Order defines shard indices.
+  std::vector<svc::Endpoint> shards;
+  /// listen(2) backlog (0 = SOMAXCONN).
+  int backlog = 0;
+  /// Bound on each upstream connect (0 = OS default).
+  double connect_timeout_ms = 2000.0;
+  /// SO_RCVTIMEO per upstream response wait (0 = block forever). A
+  /// timed-out shard roundtrip surfaces as `shard_unavailable`.
+  double read_timeout_ms = 0.0;
+};
+
+/// 64-bit FNV-1a, the stable session → shard hash. Exposed so tests and
+/// benches can predict placement.
+std::uint64_t fnv1a64(std::string_view s);
+
+class Router {
+ public:
+  explicit Router(RouterConfig config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  void start();
+  void trigger_drain();  ///< async-signal-safe drain trigger
+  void wait_drained();
+
+  int tcp_port() const { return bound_port_; }
+  const std::string& unix_path() const { return config_.unix_path; }
+  std::size_t shards() const { return config_.shards.size(); }
+
+  /// Current shard index for `session` (override map consulted). Blocks
+  /// while a move of this session is in flight.
+  std::size_t shard_of(const std::string& session);
+
+ private:
+  /// One lazily-connected upstream per shard, owned by one client
+  /// connection thread (never shared, so no locking).
+  struct Upstream {
+    svc::Socket sock;
+    std::unique_ptr<svc::LineReader> reader;
+  };
+
+  struct ClientConn {
+    svc::Socket sock;
+    std::vector<Upstream> upstreams;
+  };
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<ClientConn> conn);
+  void reap_finished_connections();
+  /// Dispatches one request line; writes exactly one response line.
+  void handle_line(ClientConn& conn, const std::string& line);
+  /// Roundtrip on `conn`'s upstream to `shard`: lazy (re)connect, send
+  /// the line verbatim, read the response with the matching id. False =
+  /// shard unreachable (`*cause` says why); the upstream is reset.
+  bool forward(ClientConn& conn, std::size_t shard, const std::string& line,
+               double id, std::string* response, std::string* cause);
+  void handle_stats(ClientConn& conn, const svc::Json& req, double id);
+  void handle_drain(ClientConn& conn, const svc::Json& req, double id);
+  void handle_move_session(ClientConn& conn, const svc::Json& req,
+                           double id);
+  /// Fresh admin client for one shard (evict/create during a move).
+  svc::Client admin_client(std::size_t shard);
+
+  RouterConfig config_;
+  svc::Socket listener_;
+  int bound_port_ = -1;
+  std::thread accept_thread_;
+  int wake_read_ = -1;   ///< drain wake pipe (accept loop side)
+  int wake_write_ = -1;  ///< drain wake pipe (trigger side)
+  std::atomic<bool> draining_{false};
+  std::mutex drained_mu_;
+  std::condition_variable drained_cv_;
+  bool drained_ = false;
+
+  std::mutex conns_mu_;
+  std::vector<std::weak_ptr<ClientConn>> conns_;
+  std::map<std::thread::id, std::thread> conn_threads_;
+  std::vector<std::thread::id> finished_conn_threads_;
+
+  /// Routing state: overrides from moves, plus the moving set parking
+  /// forwarders for sessions mid-handoff.
+  std::mutex route_mu_;
+  std::condition_variable route_cv_;
+  std::unordered_map<std::string, std::size_t> override_;
+  std::unordered_set<std::string> moving_;
+
+  // Router-level counters, surfaced in the aggregated `stats` reply.
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> shard_errors_{0};
+  std::atomic<std::uint64_t> moves_{0};
+};
+
+}  // namespace amf::router

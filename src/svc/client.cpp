@@ -272,10 +272,13 @@ Json Client::call(Op op, const std::string& session, Json body) {
           // An unpromoted standby answers session work with not_primary:
           // rotate and retry the SAME bytes against the next endpoint
           // (rid dedup makes a delta that actually reached the old
-          // primary exactly-once). Non-retryable ops surface the error.
-          if (e.code() != ErrorCode::kNotPrimary || !retryable ||
-              endpoints_.size() < 2)
-            throw;
+          // primary exactly-once). A router that cannot reach a backend
+          // answers shard_unavailable — the same treatment applies, the
+          // next router endpoint may own a healthy path to the shard.
+          // Non-retryable ops surface the error.
+          const bool rotates = e.code() == ErrorCode::kNotPrimary ||
+                               e.code() == ErrorCode::kShardUnavailable;
+          if (!rotates || !retryable || endpoints_.size() < 2) throw;
           cause = e.what();
           last = Outcome::kDead;
           sock_.close();
@@ -370,6 +373,10 @@ Json Client::stats(const std::string& format) {
 Json Client::drain() { return call(Op::kDrain, ""); }
 
 Json Client::promote() { return call(Op::kPromote, ""); }
+
+Json Client::evict_session(const std::string& session) {
+  return call(Op::kEvictSession, session);
+}
 
 bool Client::ping() {
   Json response = call(Op::kPing, "");

@@ -150,6 +150,10 @@ class Client {
   /// Promotes the CURRENT endpoint (a warm standby) to primary.
   /// Idempotent; returns {"role","epoch","promoted"}.
   Json promote();
+  /// Admin: drains `session` on the server and removes it, returning
+  /// {"seq","snapshot","dedup"} for re-creation elsewhere (shard
+  /// handoff, DESIGN.md §16). NOT retried — a lost ACK is ambiguous.
+  Json evict_session(const std::string& session);
 
   /// Enables wire trace propagation: every subsequent call() stamps a
   /// fresh numeric "trace" id (32-bit random prefix + counter, < 2^53

@@ -1,0 +1,125 @@
+#include "svc/eventloop.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "svc/net.hpp"
+#include "util/error.hpp"
+
+namespace amf::svc {
+
+EventLoop::EventLoop(std::size_t threads) {
+  const std::size_t n = threads == 0 ? 1 : threads;
+  reactors_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto reactor = std::make_unique<Reactor>();
+    reactor->epfd = ::epoll_create1(0);
+    AMF_REQUIRE(reactor->epfd >= 0, "epoll_create1 failed");
+    int fds[2];
+    AMF_REQUIRE(::pipe(fds) == 0, "reactor wake pipe creation failed");
+    reactor->wake_read = fds[0];
+    reactor->wake_write = fds[1];
+    set_nonblocking(reactor->wake_read, true);  // drained with a read loop
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = reactor->wake_read;
+    AMF_REQUIRE(::epoll_ctl(reactor->epfd, EPOLL_CTL_ADD, reactor->wake_read,
+                            &ev) == 0,
+                "epoll_ctl(wake pipe) failed");
+    reactors_.push_back(std::move(reactor));
+  }
+  for (auto& reactor : reactors_)
+    reactor->thread = std::thread([this, r = reactor.get()] { run(r); });
+}
+
+EventLoop::~EventLoop() {
+  stop();
+  for (auto& reactor : reactors_) {
+    if (reactor->epfd >= 0) ::close(reactor->epfd);
+    if (reactor->wake_read >= 0) ::close(reactor->wake_read);
+    if (reactor->wake_write >= 0) ::close(reactor->wake_write);
+  }
+}
+
+std::size_t EventLoop::pick() {
+  return next_.fetch_add(1, std::memory_order_relaxed) % reactors_.size();
+}
+
+void EventLoop::add(std::size_t reactor_index, int fd, Callback callback) {
+  Reactor& reactor = *reactors_[reactor_index];
+  {
+    std::lock_guard<std::mutex> lock(reactor.mu);
+    reactor.callbacks[fd] =
+        std::make_shared<Callback>(std::move(callback));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP;
+  ev.data.fd = fd;
+  if (::epoll_ctl(reactor.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    std::lock_guard<std::mutex> lock(reactor.mu);
+    reactor.callbacks.erase(fd);
+    AMF_REQUIRE(false, "epoll_ctl(ADD) failed");
+  }
+}
+
+void EventLoop::set_want_write(std::size_t reactor_index, int fd, bool want) {
+  Reactor& reactor = *reactors_[reactor_index];
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | (want ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  // ENOENT (already removed) and EBADF (fd closed after drain) are fine:
+  // a late writer arming EPOLLOUT on a dead connection is a no-op.
+  (void)::epoll_ctl(reactor.epfd, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::remove(std::size_t reactor_index, int fd) {
+  Reactor& reactor = *reactors_[reactor_index];
+  (void)::epoll_ctl(reactor.epfd, EPOLL_CTL_DEL, fd, nullptr);
+  std::lock_guard<std::mutex> lock(reactor.mu);
+  reactor.callbacks.erase(fd);
+}
+
+void EventLoop::run(Reactor* reactor) {
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(reactor->epfd, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == reactor->wake_read) {
+        char buf[16];
+        while (::read(reactor->wake_read, buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      std::shared_ptr<Callback> callback;
+      {
+        std::lock_guard<std::mutex> lock(reactor->mu);
+        const auto it = reactor->callbacks.find(fd);
+        if (it != reactor->callbacks.end()) callback = it->second;
+      }
+      if (callback != nullptr) (*callback)(events[i].events);
+    }
+  }
+}
+
+void EventLoop::stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  for (auto& reactor : reactors_) {
+    const char byte = 'q';
+    [[maybe_unused]] ssize_t n = ::write(reactor->wake_write, &byte, 1);
+  }
+  for (auto& reactor : reactors_) {
+    if (reactor->thread.joinable()) reactor->thread.join();
+    std::lock_guard<std::mutex> lock(reactor->mu);
+    reactor->callbacks.clear();
+  }
+}
+
+}  // namespace amf::svc

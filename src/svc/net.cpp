@@ -146,7 +146,16 @@ LineReader::Status LineReader::read_line(std::string* out) {
   }
 }
 
-Socket listen_unix(const std::string& path) {
+namespace {
+
+int effective_backlog(const ListenOptions& options) {
+  if (options.backlog > 0) return options.backlog;
+  return SOMAXCONN;
+}
+
+}  // namespace
+
+Socket listen_unix(const std::string& path, ListenOptions options) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   AMF_REQUIRE(path.size() < sizeof addr.sun_path,
@@ -158,17 +167,22 @@ Socket listen_unix(const std::string& path) {
   ::unlink(path.c_str());  // replace a stale socket file
   if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
     fail_errno("bind(" + path + ")");
-  if (::listen(sock.fd(), 64) != 0) fail_errno("listen(" + path + ")");
+  if (::listen(sock.fd(), effective_backlog(options)) != 0)
+    fail_errno("listen(" + path + ")");
   return sock;
 }
 
-Socket listen_tcp(int port, int* bound_port) {
+Socket listen_tcp(int port, int* bound_port, ListenOptions options) {
   AMF_REQUIRE(port >= 0 && port <= 65535, "tcp port out of range");
   AMF_REQUIRE(bound_port != nullptr, "bound_port is required");
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) fail_errno("socket(AF_INET)");
   const int one = 1;
   ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+#ifdef SO_REUSEPORT
+  if (options.reuseport)
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof one);
+#endif
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -176,7 +190,8 @@ Socket listen_tcp(int port, int* bound_port) {
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
     fail_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
-  if (::listen(sock.fd(), 64) != 0) fail_errno("listen");
+  if (::listen(sock.fd(), effective_backlog(options)) != 0)
+    fail_errno("listen");
 
   sockaddr_in actual{};
   socklen_t len = sizeof actual;
@@ -252,6 +267,14 @@ Socket connect_tcp(const std::string& host, int port, double timeout_ms) {
                   timeout_ms,
                   "connect(" + host + ":" + std::to_string(port) + ")");
   return sock;
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) fail_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) != 0)
+    fail_errno("fcntl(F_SETFL)");
 }
 
 void set_recv_timeout_ms(int fd, double ms) {

@@ -68,13 +68,27 @@ class LineReader {
   bool eof_ = false;
 };
 
+/// Listener tuning shared by the Unix and TCP binds.
+struct ListenOptions {
+  /// accept() backlog; 0 picks SOMAXCONN. At thousands of concurrent
+  /// connects the old hard-coded 64 caused spurious connect timeouts.
+  int backlog = 0;
+  /// SO_REUSEPORT (TCP only): lets several listener sockets share one
+  /// port so multiple acceptors (or shard processes) can split the
+  /// accept load kernel-side.
+  bool reuseport = false;
+};
+
 /// Binds + listens on a Unix-domain socket, replacing a stale file at
 /// `path`. Throws util::ContractError on failure (e.g. path too long).
-Socket listen_unix(const std::string& path);
+Socket listen_unix(const std::string& path, ListenOptions options = {});
 
 /// Binds + listens on loopback TCP. `port` 0 picks an ephemeral port;
 /// `*bound_port` (required) receives the actual one.
-Socket listen_tcp(int port, int* bound_port);
+Socket listen_tcp(int port, int* bound_port, ListenOptions options = {});
+
+/// Switches O_NONBLOCK on or off. Throws util::ContractError on failure.
+void set_nonblocking(int fd, bool on);
 
 /// Accepts one connection; invalid socket on error (listener closed).
 /// TCP connections get TCP_NODELAY and keepalive (enable_keepalive).

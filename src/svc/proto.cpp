@@ -18,6 +18,7 @@ Op parse_op(std::string_view name) {
   if (name == "drain") return Op::kDrain;
   if (name == "ping") return Op::kPing;
   if (name == "promote") return Op::kPromote;
+  if (name == "evict_session") return Op::kEvictSession;
   throw SvcError(ErrorCode::kUnknownOp,
                  "unknown op \"" + std::string(name) + "\"");
 }
@@ -35,6 +36,7 @@ const char* to_string(Op op) {
     case Op::kDrain: return "drain";
     case Op::kPing: return "ping";
     case Op::kPromote: return "promote";
+    case Op::kEvictSession: return "evict_session";
   }
   return "?";
 }
@@ -49,6 +51,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kDraining: return "draining";
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kNotPrimary: return "not_primary";
+    case ErrorCode::kShardUnavailable: return "shard_unavailable";
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kRetriesExhausted: return "retries_exhausted";
   }
@@ -63,6 +66,7 @@ ErrorCode parse_error_code(std::string_view name) {
   if (name == "overloaded") return ErrorCode::kOverloaded;
   if (name == "draining") return ErrorCode::kDraining;
   if (name == "not_primary") return ErrorCode::kNotPrimary;
+  if (name == "shard_unavailable") return ErrorCode::kShardUnavailable;
   if (name == "timeout") return ErrorCode::kTimeout;
   if (name == "retries_exhausted") return ErrorCode::kRetriesExhausted;
   return ErrorCode::kInternal;

@@ -66,6 +66,8 @@ enum class Op {
   kDrain,          ///< begin graceful server drain
   kPing,           ///< liveness no-op
   kPromote,        ///< promote a warm standby to primary (idempotent)
+  kEvictSession,   ///< admin: drain one session and return its snapshot
+                   ///< + dedup window, then remove it (shard handoff)
 };
 
 /// Parses an op name; throws SvcError(kUnknownOp) on anything else.
@@ -84,6 +86,8 @@ enum class ErrorCode {
   kInternal,       ///< unexpected server-side failure
   kNotPrimary,     ///< a warm standby refused session work (promote it,
                    ///< or address the primary; see DESIGN.md §15)
+  kShardUnavailable,  ///< the router could not reach the backend shard
+                      ///< owning this session (retry rotates endpoints)
   // Client-side codes (never sent by the server; raised by svc::Client).
   kTimeout,           ///< connect/read deadline expired with no response
   kRetriesExhausted,  ///< reconnect-and-retry gave up (non-idempotent op,

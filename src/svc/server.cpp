@@ -1,6 +1,7 @@
 #include "svc/server.hpp"
 
 #include <dirent.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -65,6 +66,13 @@ void parse_repl_target(const std::string& spec, std::string* host,
 }  // namespace
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {
+  if (config_.executor) {
+    std::size_t threads = config_.executor_threads;
+    if (threads == 0)
+      threads = std::max<std::size_t>(2, std::thread::hardware_concurrency());
+    executor_ = std::make_unique<SvcExecutor>(threads);
+    config_.session.executor = executor_.get();
+  }
   int fds[2];
   AMF_REQUIRE(::pipe(fds) == 0, "self-pipe creation failed");
   wake_read_ = fds[0];
@@ -94,10 +102,174 @@ Server::~Server() {
   if (promote_write_ >= 0) ::close(promote_write_);
 }
 
-bool Server::Conn::write(const std::string& line) {
+bool Server::ThreadConn::write(const std::string& line) {
   std::lock_guard<std::mutex> lock(write_mu);
   return sock.send_all(line);
 }
+
+void Server::ThreadConn::close_now() { sock.shutdown_both(); }
+
+/// Epoll-mode connection: a non-blocking socket owned by one reactor.
+/// Reads happen only on that reactor thread (inbuf needs no lock);
+/// writes come from any thread (connection handlers, session workers,
+/// executor workers) under write_mu — a write that cannot complete
+/// immediately buffers the remainder and arms EPOLLOUT, which the
+/// reactor drains. Protocol framing (kMaxLineBytes bound, '\r' strip,
+/// empty-line skip) matches LineReader byte for byte.
+struct Server::EventConn : Conn,
+                           std::enable_shared_from_this<Server::EventConn> {
+  /// Cap on buffered unsent response bytes: a reader slower than its own
+  /// solve stream eventually loses the connection instead of growing the
+  /// server's memory without bound.
+  static constexpr std::size_t kMaxWriteBufferBytes = 8u << 20;
+
+  Server* server = nullptr;
+  Socket sock;
+  std::size_t reactor = 0;
+
+  std::mutex write_mu;
+  std::string outbuf;
+  bool want_write = false;
+  bool dead = false;    ///< no further writes (peer gone or over cap)
+  bool closed = false;  ///< connection-accounting done (gauge decrement)
+
+  std::string inbuf;  ///< reactor thread only
+
+  bool write(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (dead) return false;
+    if (outbuf.empty()) {
+      std::size_t sent = 0;
+      while (sent < line.size()) {
+        const ssize_t n =
+            ::send(sock.fd(), line.data() + sent, line.size() - sent,
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n > 0) {
+          sent += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        dead = true;
+        return false;
+      }
+      if (sent == line.size()) return true;
+      outbuf.assign(line, sent, std::string::npos);
+    } else {
+      if (outbuf.size() + line.size() > kMaxWriteBufferBytes) {
+        dead = true;
+        sock.shutdown_both();  // reactor sees EOF and finishes teardown
+        return false;
+      }
+      outbuf.append(line);
+    }
+    if (!want_write) {
+      want_write = true;
+      server->eventloop_->set_want_write(reactor, sock.fd(), true);
+    }
+    return true;
+  }
+
+  void close_now() override {
+    {
+      std::lock_guard<std::mutex> lock(write_mu);
+      dead = true;
+    }
+    sock.shutdown_both();
+    finish_accounting();
+  }
+
+  /// Reactor-thread event dispatch.
+  void on_events(std::uint32_t events) {
+    if ((events & EPOLLOUT) != 0) flush();
+    if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+      disconnect();
+      return;
+    }
+    if ((events & (EPOLLIN | EPOLLRDHUP)) == 0) return;
+    char buf[65536];
+    while (true) {
+      const ssize_t n = ::recv(sock.fd(), buf, sizeof buf, 0);
+      if (n > 0) {
+        inbuf.append(buf, static_cast<std::size_t>(n));
+        if (!drain_lines()) return;  // oversized line: connection dropped
+        continue;
+      }
+      if (n == 0) {
+        disconnect();
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      disconnect();
+      return;
+    }
+  }
+
+ private:
+  /// Dispatches every complete line in inbuf; false when framing is lost
+  /// (a line exceeded kMaxLineBytes) and the connection was dropped.
+  bool drain_lines() {
+    std::size_t pos;
+    while ((pos = inbuf.find('\n')) != std::string::npos) {
+      std::string line = inbuf.substr(0, pos);
+      inbuf.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      server->handle_line(shared_from_this(), line);
+    }
+    if (inbuf.size() > kMaxLineBytes) {
+      write(error_line(0.0, ErrorCode::kBadRequest,
+                       "request line exceeds the protocol limit"));
+      disconnect();
+      return false;
+    }
+    return true;
+  }
+
+  void flush() {
+    std::lock_guard<std::mutex> lock(write_mu);
+    while (!outbuf.empty() && !dead) {
+      const ssize_t n = ::send(sock.fd(), outbuf.data(), outbuf.size(),
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        outbuf.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      dead = true;
+    }
+    if (want_write) {
+      want_write = false;
+      server->eventloop_->set_want_write(reactor, sock.fd(), false);
+    }
+  }
+
+  /// Reactor-side teardown: deregister, half-close, account. The fd
+  /// itself closes with the last shared_ptr (late responders still hold
+  /// some), so its number cannot be reused under a stale registration.
+  void disconnect() {
+    server->eventloop_->remove(reactor, sock.fd());
+    {
+      std::lock_guard<std::mutex> lock(write_mu);
+      dead = true;
+    }
+    sock.shutdown_both();
+    finish_accounting();
+  }
+
+  void finish_accounting() {
+    {
+      std::lock_guard<std::mutex> lock(write_mu);
+      if (closed) return;
+      closed = true;
+    }
+    const long long open =
+        server->open_conns_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    SvcMetrics::get().open_connections.set(static_cast<double>(open));
+  }
+};
 
 void Server::add_session(std::unique_ptr<Session> session) {
   std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -315,10 +487,19 @@ void Server::start() {
     standby_.store(true, std::memory_order_release);
     repl_listener_ = listen_tcp(config_.standby_port, &repl_bound_port_);
   }
+  ListenOptions listen_options;
+  listen_options.backlog = config_.backlog;
   if (!config_.unix_path.empty()) {
-    listener_ = listen_unix(config_.unix_path);
+    listener_ = listen_unix(config_.unix_path, listen_options);
   } else {
-    listener_ = listen_tcp(config_.tcp_port, &bound_port_);
+    listener_ = listen_tcp(config_.tcp_port, &bound_port_, listen_options);
+  }
+  if (config_.io_model == IoModel::kEpoll) {
+    std::size_t threads = config_.io_threads;
+    if (threads == 0)
+      threads = std::min<std::size_t>(
+          4, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+    eventloop_ = std::make_unique<EventLoop>(threads);
   }
   started_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -478,17 +659,69 @@ void Server::accept_loop() {
   while (wait_readable(listener_.fd(), wake_read_)) {
     Socket conn_sock = accept_connection(listener_);
     if (!conn_sock.valid()) break;
-    auto conn = std::make_shared<Conn>();
-    conn->sock = std::move(conn_sock);
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    if (draining_.load(std::memory_order_acquire)) return;
-    conns_.push_back(conn);
-    conn_threads_.emplace_back(
-        [this, conn = std::move(conn)] { connection_loop(conn); });
+    if (config_.io_model == IoModel::kEpoll) {
+      adopt_connection_epoll(std::move(conn_sock));
+    } else {
+      reap_finished_connections();
+      adopt_connection_thread(std::move(conn_sock));
+    }
   }
 }
 
-void Server::connection_loop(std::shared_ptr<Conn> conn) {
+void Server::adopt_connection_epoll(Socket sock) {
+  auto conn = std::make_shared<EventConn>();
+  conn->server = this;
+  conn->sock = std::move(sock);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (draining_.load(std::memory_order_acquire)) return;
+    conns_.push_back(conn);
+  }
+  const long long open =
+      open_conns_.fetch_add(1, std::memory_order_relaxed) + 1;
+  SvcMetrics::get().open_connections.set(static_cast<double>(open));
+  set_nonblocking(conn->sock.fd(), true);
+  conn->reactor = eventloop_->pick();
+  eventloop_->add(conn->reactor, conn->sock.fd(),
+                  [conn](std::uint32_t events) { conn->on_events(events); });
+}
+
+void Server::adopt_connection_thread(Socket sock) {
+  auto conn = std::make_shared<ThreadConn>();
+  conn->sock = std::move(sock);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  if (draining_.load(std::memory_order_acquire)) return;
+  conns_.push_back(conn);
+  std::thread t([this, conn] { connection_loop(std::move(conn)); });
+  const std::thread::id id = t.get_id();
+  conn_threads_.emplace(id, std::move(t));
+}
+
+void Server::reap_finished_connections() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const std::thread::id id : finished_conn_threads_) {
+      const auto it = conn_threads_.find(id);
+      if (it == conn_threads_.end()) continue;
+      done.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
+    finished_conn_threads_.clear();
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const std::weak_ptr<Conn>& weak) {
+                                  return weak.expired();
+                                }),
+                 conns_.end());
+  }
+  for (std::thread& t : done)
+    if (t.joinable()) t.join();
+}
+
+void Server::connection_loop(std::shared_ptr<ThreadConn> conn) {
+  const long long open =
+      open_conns_.fetch_add(1, std::memory_order_relaxed) + 1;
+  SvcMetrics::get().open_connections.set(static_cast<double>(open));
   LineReader reader(conn->sock.fd());
   std::string line;
   while (true) {
@@ -504,6 +737,13 @@ void Server::connection_loop(std::shared_ptr<Conn> conn) {
     break;  // kEof / kError / kOversized all end the connection
   }
   conn->sock.shutdown_both();
+  const long long left =
+      open_conns_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  SvcMetrics::get().open_connections.set(static_cast<double>(left));
+  // Announce exit for the accept loop's reaper (a thread cannot join
+  // itself); the drain joins whatever is still announced or live.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  finished_conn_threads_.push_back(std::this_thread::get_id());
 }
 
 void Server::handle_line(const std::shared_ptr<Conn>& conn,
@@ -558,6 +798,9 @@ void Server::handle_line(const std::shared_ptr<Conn>& conn,
         conn->write(ok_line(req.id, promote()));
         return;
       }
+      case Op::kEvictSession:
+        handle_evict_session(req, conn);
+        return;
       default:
         break;  // session ops
     }
@@ -637,6 +880,10 @@ void Server::handle_create_session(const Request& req,
     sites = snap.problem.sites();
     jobs = snap.problem.jobs();
     session = std::make_unique<Session>(req.session, std::move(snap), cfg);
+    // Shard handoff: a restore may carry the source's rid dedup window
+    // so in-flight client retries stay exactly-once across the move.
+    const Json* dedup = req.body.find("dedup");
+    if (dedup != nullptr) session->seed_dedup(*dedup);
     if (!config_.journal_dir.empty())
       birth = session->snapshot_record_payload_locked_state();
   } else {
@@ -742,6 +989,48 @@ void Server::handle_create_session(const Request& req,
   out.set("session", Json(req.session));
   out.set("sites", Json(sites));
   out.set("jobs", Json(jobs));
+  conn->write(ok_line(req.id, out));
+}
+
+void Server::handle_evict_session(const Request& req,
+                                  const std::shared_ptr<Conn>& conn) {
+  if (draining_.load(std::memory_order_acquire))
+    throw SvcError(ErrorCode::kDraining, "server is draining");
+  if (is_standby())
+    throw SvcError(ErrorCode::kNotPrimary,
+                   "standby (epoch " + std::to_string(epoch()) +
+                       ") is not serving session work; promote it or "
+                       "address the primary");
+  if (req.session.empty())
+    throw SvcError(ErrorCode::kBadRequest,
+                   "evict_session needs a \"session\" name");
+  // Unpublish first: requests arriving after this point get no_session
+  // (the router retries them on the target shard), while everything
+  // already admitted is served by the drain below.
+  std::unique_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = sessions_.find(req.session);
+    if (it == sessions_.end())
+      throw SvcError(ErrorCode::kNoSession,
+                     "no session \"" + req.session + "\"");
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  session->drain();
+  Json out = Json::object();
+  out.set("session", Json(req.session));
+  out.set("seq", Json(session->enqueued_seq()));
+  out.set("snapshot", session->snapshot_json_after_drain());
+  out.set("dedup", session->dedup_json_after_drain());
+  session.reset();
+  // The journal must go with the session: a leftover .wal would resurrect
+  // it HERE on restart while the target shard also owns it (split brain).
+  if (!config_.journal_dir.empty())
+    ::unlink(journal_path(req.session).c_str());
+  util::Logger::global()
+      .info("svc.session_evicted")
+      .str("session", req.session);
   conn->write(ok_line(req.id, out));
 }
 
@@ -1070,21 +1359,31 @@ void Server::perform_drain() {
     obs::write_text_file(config_.snapshot_path, root.dump() + "\n");
   }
 
-  // 4. Close connections and join their threads.
+  // 4. Close connections: stop the reactors (epoll mode) and join the
+  // reader threads (thread mode).
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (auto& weak : conns_)
-      if (auto conn = weak.lock()) conn->sock.shutdown_both();
+      if (auto conn = weak.lock()) conn->close_now();
   }
-  for (std::thread& t : conn_threads_)
+  if (eventloop_ != nullptr) eventloop_->stop();
+  std::map<std::thread::id, std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    readers.swap(conn_threads_);
+    finished_conn_threads_.clear();
+  }
+  for (auto& [id, t] : readers)
     if (t.joinable()) t.join();
 
-  // 5. Tear down sessions (queues are empty; workers already joined),
-  // then the replication sender they pointed at.
+  // 5. Tear down sessions (queues are empty; workers already joined and
+  // executor tasks waited out), then the executor they ran on, then the
+  // replication sender they pointed at.
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions_.clear();
   }
+  if (executor_ != nullptr) executor_->stop();
   if (repl_sender_ != nullptr) repl_sender_->stop();
 
   // 6. Stop the telemetry sidecar last, so /healthz kept answering 503

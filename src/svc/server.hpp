@@ -49,6 +49,8 @@
 #include <vector>
 
 #include "obs/slo.hpp"
+#include "svc/eventloop.hpp"
+#include "svc/executor.hpp"
 #include "svc/http.hpp"
 #include "svc/journal.hpp"
 #include "svc/net.hpp"
@@ -56,6 +58,12 @@
 #include "svc/session.hpp"
 
 namespace amf::svc {
+
+/// Connection I/O model (see DESIGN.md §16).
+enum class IoModel {
+  kEpoll,    ///< epoll reactor threads, non-blocking sockets (default)
+  kThreads,  ///< legacy one blocking reader thread per connection
+};
 
 struct ServerConfig {
   /// Unix-domain socket path; non-empty selects AF_UNIX.
@@ -80,6 +88,20 @@ struct ServerConfig {
   /// Rolling SLO windows (gauges + /slo).  The ticker runs only while
   /// the HTTP listener is up; window width is slo.window_s seconds.
   obs::SloConfig slo;
+
+  // --- scale-out serving (see DESIGN.md §16) ---
+  /// Connection layer: epoll reactors (default) or thread-per-connection.
+  IoModel io_model = IoModel::kEpoll;
+  /// Reactor threads in epoll mode (0 = auto).
+  std::size_t io_threads = 0;
+  /// Shared session executor: sessions run as tasks on a fixed pool
+  /// instead of one worker thread each. Off = legacy per-session worker.
+  bool executor = true;
+  /// Executor pool width (0 = auto: hardware concurrency).
+  std::size_t executor_threads = 0;
+  /// accept() backlog (0 = SOMAXCONN). The old hard-coded 64 caused
+  /// spurious connect timeouts under thousands of concurrent connects.
+  int backlog = 0;
 
   // --- high availability (see repl.hpp and DESIGN.md §15) ---
   /// Primary side: stream every journal record to a warm standby at
@@ -176,18 +198,41 @@ class Server {
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
  private:
+  /// One client connection, whichever I/O model carries it. Responders
+  /// hold shared_ptrs, so a Conn outlives its socket teardown and a late
+  /// write() is a clean false, never a use-after-free.
   struct Conn {
+    virtual ~Conn() = default;
+    /// Serialized full-line write; false once the connection is dead.
+    virtual bool write(const std::string& line) = 0;
+    /// Drain-time force-close: unblocks the reader (thread mode) or
+    /// surfaces EOF to the reactor (epoll mode). Idempotent.
+    virtual void close_now() = 0;
+  };
+  /// Thread mode: blocking socket + a dedicated reader thread.
+  struct ThreadConn : Conn {
     Socket sock;
     std::mutex write_mu;
-    /// Serialized full-line write; false once the connection is dead.
-    bool write(const std::string& line);
+    bool write(const std::string& line) override;
+    void close_now() override;
   };
+  /// Epoll mode: non-blocking socket on a reactor (see server.cpp).
+  struct EventConn;
 
   void accept_loop();
-  void connection_loop(std::shared_ptr<Conn> conn);
+  void adopt_connection_epoll(Socket sock);
+  void adopt_connection_thread(Socket sock);
+  /// Joins connection threads that have announced exit and prunes dead
+  /// Conn registrations (thread mode; called from the accept loop so a
+  /// long-lived server does not accumulate one joinable thread per
+  /// historical connection).
+  void reap_finished_connections();
+  void connection_loop(std::shared_ptr<ThreadConn> conn);
   void handle_line(const std::shared_ptr<Conn>& conn, const std::string& line);
   void handle_create_session(const Request& req,
                              const std::shared_ptr<Conn>& conn);
+  void handle_evict_session(const Request& req,
+                            const std::shared_ptr<Conn>& conn);
   void handle_stats(const Request& req, const std::shared_ptr<Conn>& conn);
   void perform_drain();
   void add_session(std::unique_ptr<Session> session);
@@ -227,7 +272,19 @@ class Server {
 
   std::mutex conns_mu_;
   std::vector<std::weak_ptr<Conn>> conns_;
-  std::vector<std::thread> conn_threads_;
+  /// Thread mode: live reader threads by id; finished ones move to
+  /// finished_conn_threads_ (a thread cannot join itself) and are
+  /// reaped by the accept loop.
+  std::map<std::thread::id, std::thread> conn_threads_;
+  std::vector<std::thread::id> finished_conn_threads_;
+  std::atomic<long long> open_conns_{0};
+
+  /// Scale-out serving: the reactor set (epoll mode) and the shared
+  /// session executor (executor mode). The executor is built in the
+  /// constructor — restore/recovery create sessions before start() and
+  /// those sessions already need config_.session.executor.
+  std::unique_ptr<EventLoop> eventloop_;
+  std::unique_ptr<SvcExecutor> executor_;
 
   std::thread accept_thread_;
   std::atomic<bool> draining_{false};

@@ -9,6 +9,7 @@
 #include "core/eamf.hpp"
 #include "core/persite.hpp"
 #include "obs/span.hpp"
+#include "svc/executor.hpp"
 #include "svc/repl.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
@@ -93,6 +94,8 @@ SvcMetrics& SvcMetrics::get() {
         reg.counter("amf_svc_requests_total_ping", "ping requests");
     out.requests_promote =
         reg.counter("amf_svc_requests_total_promote", "promote requests");
+    out.requests_evict_session = reg.counter(
+        "amf_svc_requests_total_evict_session", "evict_session requests");
     out.rejects = reg.counter(
         "amf_svc_rejects_total",
         "requests shed by admission control (typed overloaded responses)");
@@ -142,6 +145,14 @@ SvcMetrics& SvcMetrics::get() {
         "amf_svc_repl_lag_bytes", "bytes offered but unacked by standby");
     out.repl_lag_ms = reg.gauge("amf_svc_repl_lag_ms",
                                 "age of the oldest unacked record (ms)");
+    out.open_connections = reg.gauge("amf_svc_open_connections",
+                                     "live client connections");
+    out.executor_queue_depth =
+        reg.gauge("amf_svc_executor_queue_depth",
+                  "tasks queued in the shared session executor");
+    out.executor_steal_count =
+        reg.gauge("amf_svc_executor_steal_count",
+                  "session executor work-steals since process start");
     out.batch_size =
         reg.histogram("amf_svc_batch_size", "requests per drained batch");
     out.queue_wait_ms = reg.histogram(
@@ -181,6 +192,7 @@ obs::Counter& SvcMetrics::request_counter(Op op) {
     case Op::kDrain: return requests_drain;
     case Op::kPing: return requests_ping;
     case Op::kPromote: return requests_promote;
+    case Op::kEvictSession: return requests_evict_session;
   }
   return requests_ping;
 }
@@ -205,7 +217,8 @@ Session::Session(std::string name, std::vector<double> capacities,
       .str("session", name_)
       .str("policy", config_.policy)
       .num("sites", nominal_capacities_.size());
-  worker_ = std::thread([this] { worker_loop(); });
+  if (config_.executor == nullptr)
+    worker_ = std::thread([this] { worker_loop(); });
 }
 
 Session::Session(std::string name, core::Matrix capacity_matrix,
@@ -246,7 +259,8 @@ Session::Session(std::string name, core::Matrix capacity_matrix,
       .str("policy", config_.policy)
       .num("sites", nominal_capacities_.size())
       .num("resources", problem_.resources());
-  worker_ = std::thread([this] { worker_loop(); });
+  if (config_.executor == nullptr)
+    worker_ = std::thread([this] { worker_loop(); });
 }
 
 Session::Session(std::string name, ProblemSnapshot snapshot,
@@ -299,15 +313,20 @@ Session::Session(std::string name, ProblemSnapshot snapshot,
       .num("sites", nominal_capacities_.size())
       .num("jobs", job_ids_.size())
       .num("seq", initial_seq);
-  worker_ = std::thread([this] { worker_loop(); });
+  if (config_.executor == nullptr)
+    worker_ = std::thread([this] { worker_loop(); });
 }
 
 Session::~Session() {
   std::deque<Item> leftovers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     stopped_ = true;
     cv_.notify_all();
+    // Executor mode: wait for the in-flight task (including one parked
+    // on a batch-window timer — it fires, sees stopped_, and clears
+    // scheduled_ as its last touch of the session).
+    idle_cv_.wait(lock, [this] { return !scheduled_; });
   }
   if (worker_.joinable()) worker_.join();
   {
@@ -441,6 +460,7 @@ void Session::submit(const Request& req, Responder respond) {
     item.respond = nullptr;
     queue_.push_back(std::move(item));
     cv_.notify_all();
+    schedule_locked();
     lock.unlock();
     // repl-ack mode: the ACK is withheld until the standby confirms the
     // append (off mu_, so the session keeps serving). On timeout or a
@@ -477,6 +497,7 @@ void Session::submit(const Request& req, Responder respond) {
   }
   queue_.push_back(std::move(item));
   cv_.notify_all();
+  schedule_locked();
 }
 
 void Session::validate_delta_locked(const Request& req, Item* item) {
@@ -1017,80 +1038,135 @@ void Session::worker_loop() {
           ms_since(wait_start, Clock::now()));
       if (stopped_) return;
     }
+    process_batch(lock);
+  }
+}
 
-    // Drain one batch: deltas (applied in order), then a run of
-    // consecutive solve/snapshot requests sharing one allocator call. A
-    // strict solve or a snapshot is a barrier — later deltas stay queued
-    // so it observes exactly its prefix. Solves marked "latest" float:
-    // deltas submitted after them may still join the batch, and they are
-    // served at the newer state (reported via seq).
-    std::vector<Item> deltas, run;
-    bool run_all_latest = true;
-    while (!queue_.empty()) {
-      Item& head = queue_.front();
-      if (is_delta_op(head.req.op)) {
-        if (!run.empty() && !run_all_latest) break;
-        deltas.push_back(std::move(head));
-        queue_.pop_front();
-      } else {
-        if (head.req.op != Op::kSolve || !head.latest)
-          run_all_latest = false;
-        run.push_back(std::move(head));
-        queue_.pop_front();
+void Session::schedule_locked() {
+  if (config_.executor == nullptr) return;  // thread mode: cv_ wakes worker
+  if (scheduled_ || stopped_) return;
+  scheduled_ = true;
+  config_.executor->submit([this] { executor_run(); });
+}
+
+void Session::executor_run() {
+  auto& metrics = SvcMetrics::get();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopped_ && !queue_.empty()) {
+    // Accumulation window: instead of a timed cv wait, park the slice on
+    // the executor timer and give the worker back. scheduled_ stays true
+    // across the deferral — the timer continuation owns the session's
+    // liveness until it clears the flag.
+    if (config_.batch_window_ms > 0.0 && !draining_) {
+      const auto until =
+          queue_.front().enqueued +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  config_.batch_window_ms));
+      const auto now = Clock::now();
+      if (now < until) {
+        if (window_wait_start_ == Clock::time_point{})
+          window_wait_start_ = now;
+        const double delay_ms =
+            std::chrono::duration<double, std::milli>(until - now).count();
+        lock.unlock();
+        config_.executor->submit_after(delay_ms, [this] { executor_run(); });
+        return;
       }
     }
+    if (window_wait_start_ != Clock::time_point{}) {
+      metrics.stage_batch_wait_ms.observe(
+          ms_since(window_wait_start_, Clock::now()));
+      window_wait_start_ = {};
+    }
+    process_batch(lock);
+    // One batch per slice: requeue behind other runnable sessions so a
+    // hot session cannot starve the pool. Draining flushes in place.
+    if (!draining_) break;
+  }
+  if (!stopped_ && !queue_.empty()) {
     lock.unlock();
+    config_.executor->submit([this] { executor_run(); });
+    return;
+  }
+  scheduled_ = false;
+  idle_cv_.notify_all();
+}
 
-    const auto now = Clock::now();
+void Session::process_batch(std::unique_lock<std::mutex>& lock) {
+  auto& metrics = SvcMetrics::get();
+  // Drain one batch: deltas (applied in order), then a run of
+  // consecutive solve/snapshot requests sharing one allocator call. A
+  // strict solve or a snapshot is a barrier — later deltas stay queued
+  // so it observes exactly its prefix. Solves marked "latest" float:
+  // deltas submitted after them may still join the batch, and they are
+  // served at the newer state (reported via seq).
+  std::vector<Item> deltas, run;
+  bool run_all_latest = true;
+  while (!queue_.empty()) {
+    Item& head = queue_.front();
+    if (is_delta_op(head.req.op)) {
+      if (!run.empty() && !run_all_latest) break;
+      deltas.push_back(std::move(head));
+      queue_.pop_front();
+    } else {
+      if (head.req.op != Op::kSolve || !head.latest)
+        run_all_latest = false;
+      run.push_back(std::move(head));
+      queue_.pop_front();
+    }
+  }
+  lock.unlock();
+
+  const auto now = Clock::now();
+  for (const Item& item : deltas) {
+    metrics.queue_wait_ms.observe(ms_since(item.enqueued, now));
+    metrics.stage_queue_ms.observe(ms_since(item.enqueued, now));
+  }
+  for (const Item& item : run) {
+    metrics.queue_wait_ms.observe(ms_since(item.enqueued, now));
+    metrics.stage_queue_ms.observe(ms_since(item.enqueued, now));
+  }
+  {
+    AMF_SPAN_ARG("svc/batch_drain", "items",
+                 deltas.size() + run.size());
     for (const Item& item : deltas) {
-      metrics.queue_wait_ms.observe(ms_since(item.enqueued, now));
-      metrics.stage_queue_ms.observe(ms_since(item.enqueued, now));
+      AMF_SPAN_FLOW_STEP("svc/apply_delta", item.trace);
+      apply_delta(item);
     }
-    for (const Item& item : run) {
-      metrics.queue_wait_ms.observe(ms_since(item.enqueued, now));
-      metrics.stage_queue_ms.observe(ms_since(item.enqueued, now));
-    }
-    {
-      AMF_SPAN_ARG("svc/batch_drain", "items",
-                   deltas.size() + run.size());
-      for (const Item& item : deltas) {
-        AMF_SPAN_FLOW_STEP("svc/apply_delta", item.trace);
-        apply_delta(item);
-      }
-      if (!run.empty()) serve_run(&run);
-    }
-    // fsync=batch piggybacks on the batch window: one sync makes every
-    // ACK of the drained window durable.
-    if (journal_ != nullptr && !deltas.empty() &&
-        journal_->policy() == FsyncPolicy::kBatch) {
-      journal_->sync();
-      metrics.journal_syncs.add();
-    }
-    metrics.batches.add();
-    metrics.batch_size.observe(
-        static_cast<double>(deltas.size() + run.size()));
+    if (!run.empty()) serve_run(&run);
+  }
+  // fsync=batch piggybacks on the batch window: one sync makes every
+  // ACK of the drained window durable.
+  if (journal_ != nullptr && !deltas.empty() &&
+      journal_->policy() == FsyncPolicy::kBatch) {
+    journal_->sync();
+    metrics.journal_syncs.add();
+  }
+  metrics.batches.add();
+  metrics.batch_size.observe(
+      static_cast<double>(deltas.size() + run.size()));
 
-    lock.lock();
-    processed_seq_ = seq_;
-    // Compaction: when the log has grown past the threshold and every
-    // journaled record is covered by the current state (no admitted-but-
-    // unapplied deltas), collapse it to one snapshot record. Holding mu_
-    // blocks admissions, so no record with seq > seq_ can land in the
-    // file mid-rewrite.
-    if (journal_ != nullptr && config_.journal_compact_every > 0 &&
-        enqueued_seq_ == seq_ &&
-        journal_->appends_since_compact() >= config_.journal_compact_every) {
-      const std::string payload = snapshot_record_payload_locked_state();
-      journal_->compact(payload);
-      metrics.journal_compactions.add();
-      // Mirror the compaction downstream so the standby's log shrinks
-      // too (its state is unchanged by the snapshot — stream order
-      // guarantees it already applied exactly this prefix). Fire and
-      // forget: compaction never gates a client ACK.
-      if (repl_ != nullptr) {
-        std::uint64_t index = 0;
-        (void)repl_->offer(name_, payload, &index);
-      }
+  lock.lock();
+  processed_seq_ = seq_;
+  // Compaction: when the log has grown past the threshold and every
+  // journaled record is covered by the current state (no admitted-but-
+  // unapplied deltas), collapse it to one snapshot record. Holding mu_
+  // blocks admissions, so no record with seq > seq_ can land in the
+  // file mid-rewrite.
+  if (journal_ != nullptr && config_.journal_compact_every > 0 &&
+      enqueued_seq_ == seq_ &&
+      journal_->appends_since_compact() >= config_.journal_compact_every) {
+    const std::string payload = snapshot_record_payload_locked_state();
+    journal_->compact(payload);
+    metrics.journal_compactions.add();
+    // Mirror the compaction downstream so the standby's log shrinks
+    // too (its state is unchanged by the snapshot — stream order
+    // guarantees it already applied exactly this prefix). Fire and
+    // forget: compaction never gates a client ACK.
+    if (repl_ != nullptr) {
+      std::uint64_t index = 0;
+      (void)repl_->offer(name_, payload, &index);
     }
   }
 }
@@ -1098,11 +1174,18 @@ void Session::worker_loop() {
 void Session::drain() {
   std::size_t pending = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (!draining_)
       pending = queue_.size();
     draining_ = true;
     cv_.notify_all();
+    if (config_.executor != nullptr) {
+      // Wait out the in-flight slice (it flushes every queued batch once
+      // draining_ is set; a window-parked slice fires within one batch
+      // window), then serve anything admitted after it went idle.
+      idle_cv_.wait(lock, [this] { return !scheduled_; });
+      while (!stopped_ && !queue_.empty()) process_batch(lock);
+    }
   }
   if (worker_.joinable()) worker_.join();
   util::Logger::global()
@@ -1128,6 +1211,43 @@ Json Session::snapshot_json_after_drain() {
                 "snapshot_json_after_drain needs a drained session");
   }
   return snapshot_json_locked_state();
+}
+
+Json Session::dedup_json_after_drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  AMF_REQUIRE(draining_ || stopped_,
+              "dedup_json_after_drain needs a drained session");
+  Json out = Json::array();
+  for (const std::string& rid : dedup_order_) {
+    const auto it = dedup_ack_.find(rid);
+    if (it == dedup_ack_.end()) continue;
+    Json entry = Json::object();
+    entry.set("rid", Json(rid));
+    entry.set("ack", it->second.ack);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+void Session::seed_dedup(const Json& entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AMF_REQUIRE(queue_.empty() && enqueued_seq_ == seq_,
+              "seed_dedup requires a quiescent session");
+  if (!entries.is_array())
+    throw SvcError(ErrorCode::kBadRequest, "dedup seed must be an array");
+  for (const Json& entry : entries.as_array()) {
+    if (!entry.is_object())
+      throw SvcError(ErrorCode::kBadRequest,
+                     "dedup seed entries must be objects");
+    const std::string rid = entry.string_or("rid", "");
+    const Json* ack = entry.find("ack");
+    if (rid.empty() || ack == nullptr || !ack->is_object())
+      throw SvcError(ErrorCode::kBadRequest,
+                     "dedup seed entries need \"rid\" and an \"ack\" object");
+    // A carried-over ACK owes no standby confirmation (repl_index 0):
+    // the target shard's seeding snapshot already covers the delta.
+    remember_ack_locked(rid, *ack, 0);
+  }
 }
 
 Json Session::info_json() {

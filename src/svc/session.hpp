@@ -88,6 +88,7 @@
 namespace amf::svc {
 
 class ReplSender;
+class SvcExecutor;
 
 /// Per-session serving parameters (server-wide defaults; create_session
 /// may override batch_window_ms and policy).
@@ -113,6 +114,12 @@ struct SessionConfig {
   /// Allocator calls slower than this log a `svc.slow_solve` warning
   /// (0 = disabled).
   double slow_solve_ms = 0.0;
+  /// Shared session executor (server-owned, outlives every session it
+  /// runs). Non-null switches the session from a dedicated worker thread
+  /// to executor scheduling: the session becomes a runnable task,
+  /// scheduled on delta arrival and batch-window expiry, with at most
+  /// one task in flight (per-session ordering = single-worker ordering).
+  SvcExecutor* executor = nullptr;
 };
 
 /// Registry handles for the service metrics (global registry; created
@@ -129,6 +136,7 @@ struct SvcMetrics {
   obs::Counter requests_drain;
   obs::Counter requests_ping;
   obs::Counter requests_promote;
+  obs::Counter requests_evict_session;
   obs::Counter rejects;        ///< admission-control sheds (typed overloaded)
   obs::Counter batches;        ///< batches drained
   obs::Counter solve_calls;    ///< allocator invocations
@@ -152,6 +160,10 @@ struct SvcMetrics {
   obs::Gauge repl_lag_records;   ///< records offered but unacked
   obs::Gauge repl_lag_bytes;     ///< bytes offered but unacked
   obs::Gauge repl_lag_ms;        ///< age of the oldest unacked record
+  // --- scale-out serving (see DESIGN.md §16) ---
+  obs::Gauge open_connections;        ///< live client connections
+  obs::Gauge executor_queue_depth;    ///< tasks queued in the executor
+  obs::Gauge executor_steal_count;    ///< work-steals since start
   obs::Histogram batch_size;     ///< requests per drained batch
   obs::Histogram queue_wait_ms;  ///< enqueue -> start of processing
   obs::Histogram solve_ms;       ///< allocator wall time per solve call
@@ -252,6 +264,15 @@ class Session {
   /// (no worker) — the in-band `snapshot` op is the live-session path.
   Json snapshot_json_after_drain();
 
+  /// The rid dedup window as a restorable array (admission order), for
+  /// shard handoff: a moved session must keep re-ACKing retried rids
+  /// exactly once. Only safe after drain().
+  Json dedup_json_after_drain();
+
+  /// Seeds the dedup window from dedup_json_after_drain() output. Must
+  /// run before the session sees traffic (restore path only).
+  void seed_dedup(const Json& entries);
+
   /// Queue/state counters for the stats op (thread-safe).
   Json info_json();
 
@@ -278,6 +299,20 @@ class Session {
   void remember_ack_locked(const std::string& rid, const Json& ack,
                            std::uint64_t repl_index);
   void worker_loop();
+  /// Executor mode: queues the session as a runnable task unless one is
+  /// already queued or running (`scheduled_`). Thread mode: no-op (the
+  /// cv_ notify in submit() wakes the dedicated worker).
+  void schedule_locked();
+  /// One executor slice: waits out the batch window by rescheduling via
+  /// submit_after, drains ONE batch (all batches when draining), then
+  /// reschedules itself while work remains.
+  void executor_run();
+  /// Drains one batch (deltas + solve/snapshot run + fsync + compaction)
+  /// from the front of the queue. Entered and left with `lock` held;
+  /// unlocked across the allocator work. Shared verbatim by the worker
+  /// thread, the executor slices, and the drain flush, so batching is
+  /// bit-identical across serving modes.
+  void process_batch(std::unique_lock<std::mutex>& lock);
   /// Applies one admitted delta to problem + workspace + id map.
   void apply_delta(const Item& item);
   /// Serves a run of consecutive solve/snapshot items (state unchanged
@@ -296,6 +331,16 @@ class Session {
   std::deque<Item> queue_;
   bool draining_ = false;
   bool stopped_ = false;
+  /// Executor mode: a task for this session is queued or running
+  /// (including parked on a batch-window timer). While true, `this` must
+  /// stay alive; drain() and the destructor wait on idle_cv_ for it to
+  /// clear. Clearing it is the task's final touch of the session.
+  bool scheduled_ = false;
+  std::condition_variable idle_cv_;
+  /// Executor mode: when the current batch first deferred for its
+  /// accumulation window (epoch = no deferral pending); feeds the
+  /// stage_batch_wait_ms histogram like the worker's timed cv wait.
+  std::chrono::steady_clock::time_point window_wait_start_{};
   long long next_job_id_ = 0;
   std::unordered_set<long long> projected_alive_;
   /// -1 unknown (no job seen yet), else 0/1: whether jobs carry workloads.

@@ -46,6 +46,9 @@ int usage(bool help = false) {
          "[--slo-p99-ms T] [--slo-budget B]\n"
          "                 [--replicate-to ADDR] [--repl-ack] "
          "[--repl-ack-timeout-ms T] [--standby PORT]\n"
+         "                 [--io-model epoll|threads] [--io-threads N] "
+         "[--executor 0|1]\n"
+         "                 [--executor-threads N] [--backlog N]\n"
          "  --unix PATH          listen on a Unix-domain socket at PATH\n"
          "  --tcp PORT           listen on loopback TCP (0 = ephemeral; "
          "the bound port is printed)\n"
@@ -109,7 +112,20 @@ int usage(bool help = false) {
          "                       printed). Session work is refused with "
          "`not_primary` until\n"
          "                       SIGUSR1 or the `promote` op promotes "
-         "this server\n";
+         "this server\n"
+         "  --io-model M         connection layer: epoll (event-driven "
+         "reactors, the\n"
+         "                       default) or threads (legacy "
+         "thread-per-connection)\n"
+         "  --io-threads N       epoll reactor threads (0 = auto, "
+         "min(4, cores))\n"
+         "  --executor 0|1       shared work-stealing session executor "
+         "(default 1;\n"
+         "                       0 = legacy worker thread per session)\n"
+         "  --executor-threads N executor pool size (0 = auto, "
+         "max(2, cores))\n"
+         "  --backlog N          listen(2) backlog (0 = SOMAXCONN, the "
+         "default)\n";
   return help ? 0 : 2;
 }
 
@@ -237,6 +253,32 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       config.repl_ack_timeout_ms = std::atof(v);
+    } else if (std::strcmp(argv[i], "--io-model") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      if (std::strcmp(v, "epoll") == 0)
+        config.io_model = svc::IoModel::kEpoll;
+      else if (std::strcmp(v, "threads") == 0)
+        config.io_model = svc::IoModel::kThreads;
+      else
+        return usage();
+    } else if (std::strcmp(argv[i], "--io-threads") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.io_threads = static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--executor") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.executor = std::atoi(v) != 0;
+    } else if (std::strcmp(argv[i], "--executor-threads") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.executor_threads = static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--backlog") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config.backlog = std::atoi(v);
+      if (config.backlog < 0) return usage();
     } else if (std::strcmp(argv[i], "--standby") == 0) {
       const char* v = next();
       if (v == nullptr) return usage();
